@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 1: application speedups under (non-overlapping) TreadMarks,
+ * 1..16 processors. The paper's shape: TSP best (~9 at 16p), then
+ * Water, Radix/Barnes mid-pack, Em3d poor, Ocean unacceptable (~1).
+ */
+
+#include "bench/figure_common.hh"
+#include "sim/stats.hh"
+
+int
+main()
+{
+    fig::header("Figure 1: speedups under TreadMarks (Base)");
+
+    const unsigned counts[] = {1, 2, 4, 8, 16};
+    sim::Table t({"app", "p=1", "p=2", "p=4", "p=8", "p=16",
+                  "speedup@16"});
+    for (const auto &app : apps::names()) {
+        std::vector<std::string> row{app};
+        double t1 = 0;
+        double t16 = 0;
+        for (unsigned p : counts) {
+            const dsm::RunResult r = fig::run(app, "Base", p);
+            const double ticks = static_cast<double>(r.exec_ticks);
+            if (p == 1)
+                t1 = ticks;
+            if (p == 16)
+                t16 = ticks;
+            row.push_back(sim::Table::fmt(ticks / 1e6, 1) + "M");
+        }
+        row.push_back(sim::Table::fmt(t1 / t16, 2));
+        t.addRow(row);
+        std::cout.flush();
+    }
+    t.print(std::cout);
+    std::cout << "\n(paper shape: TSP ~9, Water ~6, Radix/Barnes ~4,"
+                 " Em3d ~3, Ocean ~1 at 16 processors)\n";
+    return 0;
+}

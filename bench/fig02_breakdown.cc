@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 2: execution-time breakdown under Base TreadMarks on 16
+ * processors - normalized stacked bars (busy / data / synch / ipc /
+ * others) plus the per-application diff-operation percentage labels
+ * (paper: TSP 1.5, Water 7.6, Radix 20.6, Barnes 10.4, Em3d 26.7,
+ * Ocean 20.9).
+ */
+
+#include "bench/figure_common.hh"
+
+int
+main()
+{
+    fig::header("Figure 2: TreadMarks (Base) breakdown on 16 processors");
+
+    std::vector<harness::BreakdownRow> rows;
+    for (const auto &app : apps::names()) {
+        const dsm::RunResult r = fig::run(app, "Base", fig::procsFromEnv());
+        harness::BreakdownRow row =
+            harness::BreakdownRow::from(app, r);
+        rows.push_back(row.normalizedTo(row));
+        std::cout.flush();
+    }
+    harness::printBreakdownTable(std::cout,
+                                 "normalized execution time (percent)",
+                                 rows);
+    std::cout << "\n(the diff-ops% column reproduces the number printed"
+                 " above each bar in the paper)\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figures 5-10: the isolated and combined gains of the overlapping
+ * techniques. One table per application; bars Base / I / I+D / P /
+ * I+P / I+P+D, normalized to Base, broken into the paper's categories.
+ *
+ * Also reproduces the section 5.1 side numbers: the reduction in
+ * diff-related operation time under I+D (paper: 50/44/66/44/71/60 %
+ * for TSP/Water/Radix/Barnes/Em3d/Ocean) and the useless-prefetch
+ * rates (paper: >85 % for Water and Radix).
+ */
+
+#include "bench/figure_common.hh"
+
+int
+main()
+{
+    fig::header("Figures 5-10: overlap techniques under TreadMarks");
+
+    const char *modes[] = {"Base", "I", "I+D", "P", "I+P", "I+P+D"};
+    const unsigned procs = fig::procsFromEnv();
+
+    for (const auto &app : apps::names()) {
+        std::vector<harness::BreakdownRow> rows;
+        harness::BreakdownRow base;
+        double base_diff_ops = 0, id_diff_ops = -1;
+        double prefetch_useless = 0, prefetch_total = 0;
+
+        for (const char *m : modes) {
+            const dsm::RunResult r = fig::run(app, m, procs);
+            harness::BreakdownRow row = harness::BreakdownRow::from(m, r);
+            if (!std::strcmp(m, "Base")) {
+                base = row;
+                base_diff_ops =
+                    static_cast<double>(r.total().diff_op_cycles);
+            }
+            if (!std::strcmp(m, "I+D")) {
+                id_diff_ops =
+                    static_cast<double>(r.total().diff_op_cycles +
+                                        r.total().diff_op_ctrl_cycles);
+            }
+            if (!std::strcmp(m, "I+P")) {
+                auto it = r.extra.find("tmk.prefetches");
+                auto iu = r.extra.find("tmk.prefetches_useless");
+                if (it != r.extra.end() && iu != r.extra.end()) {
+                    prefetch_total = it->second;
+                    prefetch_useless = iu->second;
+                }
+            }
+            rows.push_back(row.normalizedTo(base));
+            std::cout.flush();
+        }
+        harness::printBreakdownTable(std::cout, app + " (percent of Base)",
+                                     rows);
+        if (base_diff_ops > 0 && id_diff_ops >= 0) {
+            std::cout << "  diff-op time reduction under I+D: "
+                      << sim::Table::fmt(
+                             100.0 * (1.0 - id_diff_ops / base_diff_ops),
+                             0)
+                      << "%  (paper: 50/44/66/44/71/60 by app)\n";
+        }
+        if (prefetch_total > 0) {
+            std::cout << "  useless prefetches (I+P): "
+                      << sim::Table::fmt(
+                             100.0 * prefetch_useless / prefetch_total, 0)
+                      << "% of " << prefetch_total << " issued\n";
+        }
+        std::cout << '\n';
+    }
+    std::cout << "(paper shape: I+D wins everywhere except Em3d/Ocean,"
+                 " where I+P+D is best; P alone helps only Em3d and"
+                 " Ocean; best combined gain ~50% = 2x speedup)\n";
+    return 0;
+}

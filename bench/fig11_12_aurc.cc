@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figures 11-12: best overlapping TreadMarks (I+D) vs AURC vs AURC+P,
+ * normalized to the overlapping TreadMarks. The paper's shape: TM-I+D
+ * at least matches AURC for 5 of 6 applications (AURC wins Water by
+ * ~13%), and prefetching *always* degrades AURC - catastrophically for
+ * some applications (the off-scale bars).
+ */
+
+#include "bench/figure_common.hh"
+
+int
+main()
+{
+    fig::header("Figures 11-12: overlapping TreadMarks (I+D) vs AURC");
+
+    const char *protos[] = {"I+D", "AURC", "AURC+P"};
+    const unsigned procs = fig::procsFromEnv();
+
+    for (const auto &app : apps::names()) {
+        std::vector<harness::BreakdownRow> rows;
+        harness::BreakdownRow base;
+        for (const char *pr : protos) {
+            const dsm::RunResult r = fig::run(app, pr, procs);
+            harness::BreakdownRow row = harness::BreakdownRow::from(
+                std::string(pr) == "I+D" ? "TM-I+D" : pr, r);
+            if (rows.empty())
+                base = row;
+            rows.push_back(row.normalizedTo(base));
+            std::cout.flush();
+        }
+        harness::printBreakdownTable(std::cout,
+                                     app + " (percent of TM-I+D)", rows);
+        std::cout << '\n';
+    }
+    std::cout << "(paper: AURC = 87..186% of TM-I+D across apps; AURC+P"
+                 " always worse than AURC, often off-scale)\n";
+    return 0;
+}

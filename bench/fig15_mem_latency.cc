@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 15: effect of memory latency on Em3d running times, TM-I+D vs
+ * AURC, 40..200 ns, normalized to TM-I+D at the default 100 ns. The
+ * paper's shape: AURC is nearly flat while the overlapping TreadMarks
+ * (whose DMA diff engine lives on the memory/PCI path) suffers up to
+ * ~1.35x at very high latency.
+ */
+
+#include "bench/figure_common.hh"
+
+int
+main()
+{
+    fig::header("Figure 15: memory latency sweep (Em3d)");
+
+    const unsigned procs = fig::procsFromEnv();
+    const double lat_ns[] = {40, 70, 100, 150, 200};
+
+    const double tm_base = static_cast<double>(
+        fig::run("Em3d", "I+D", procs).exec_ticks);
+
+    sim::Table t({"latency(ns)", "TM-I+D", "AURC"});
+    for (double ns : lat_ns) {
+        dsm::SysConfig tm = fig::configFor("I+D", procs);
+        tm.setMemLatencyNs(ns);
+        const double tmt = static_cast<double>(
+            fig::run("Em3d", "I+D", procs, &tm).exec_ticks);
+
+        dsm::SysConfig au = fig::configFor("AURC", procs);
+        au.setMemLatencyNs(ns);
+        const double aut = static_cast<double>(
+            fig::run("Em3d", "AURC", procs, &au).exec_ticks);
+
+        t.addRow({sim::Table::fmt(ns, 0), sim::Table::fmt(tmt / tm_base, 2),
+                  sim::Table::fmt(aut / tm_base, 2)});
+        std::cout.flush();
+    }
+    t.print(std::cout);
+    std::cout << "\n(normalized to TM-I+D at 100 ns; paper: TreadMarks"
+                 " rises with latency, AURC stays nearly flat)\n";
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 16: effect of memory bandwidth on Em3d running times, TM-I+D
+ * vs AURC, 60..200 MB/s (cache-block transfers), normalized to TM-I+D
+ * at the default (~103 MB/s). The paper's shape: both degrade at low
+ * bandwidth, TreadMarks slightly more severely (~1.5-1.6x vs ~1.2-1.3x).
+ */
+
+#include "bench/figure_common.hh"
+
+int
+main()
+{
+    fig::header("Figure 16: memory bandwidth sweep (Em3d)");
+
+    const unsigned procs = fig::procsFromEnv();
+    const double bw_mbs[] = {60, 80, 103, 150, 200};
+
+    const double tm_base = static_cast<double>(
+        fig::run("Em3d", "I+D", procs).exec_ticks);
+
+    sim::Table t({"bandwidth(MB/s)", "TM-I+D", "AURC"});
+    for (double bw : bw_mbs) {
+        dsm::SysConfig tm = fig::configFor("I+D", procs);
+        tm.setMemBandwidthMBs(bw);
+        const double tmt = static_cast<double>(
+            fig::run("Em3d", "I+D", procs, &tm).exec_ticks);
+
+        dsm::SysConfig au = fig::configFor("AURC", procs);
+        au.setMemBandwidthMBs(bw);
+        const double aut = static_cast<double>(
+            fig::run("Em3d", "AURC", procs, &au).exec_ticks);
+
+        t.addRow({sim::Table::fmt(bw, 0), sim::Table::fmt(tmt / tm_base, 2),
+                  sim::Table::fmt(aut / tm_base, 2)});
+        std::cout.flush();
+    }
+    t.print(std::cout);
+    std::cout << "\n(normalized to TM-I+D at ~103 MB/s; paper: both rise"
+                 " at low bandwidth, TreadMarks slightly more)\n";
+    return 0;
+}

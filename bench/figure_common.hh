@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration benches: configuration
+ * construction per protocol label, scale/processor-count overrides via
+ * environment variables, and run helpers.
+ *
+ * Environment knobs:
+ *   NCP2_SCALE = tiny | small | standard   (default: standard)
+ *   NCP2_PROCS = <n>                       (default: 16)
+ */
+
+#ifndef NCP2_BENCH_FIGURE_COMMON_HH
+#define NCP2_BENCH_FIGURE_COMMON_HH
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "apps/apps.hh"
+#include "harness/runner.hh"
+#include "sim/logging.hh"
+
+namespace fig
+{
+
+inline apps::Scale
+scaleFromEnv()
+{
+    const char *s = std::getenv("NCP2_SCALE");
+    if (!s)
+        return apps::Scale::standard;
+    if (!std::strcmp(s, "tiny"))
+        return apps::Scale::tiny;
+    if (!std::strcmp(s, "small"))
+        return apps::Scale::small;
+    return apps::Scale::standard;
+}
+
+inline unsigned
+procsFromEnv()
+{
+    const char *s = std::getenv("NCP2_PROCS");
+    return s ? static_cast<unsigned>(std::atoi(s)) : 16u;
+}
+
+/** Build a SysConfig for a protocol label: Base, I, I+D, P, I+P,
+ *  I+P+D, AURC, AURC+P. */
+inline dsm::SysConfig
+configFor(const std::string &proto, unsigned procs)
+{
+    dsm::SysConfig cfg;
+    cfg.num_procs = procs;
+    cfg.heap_bytes = 64ull << 20;
+    if (proto.rfind("AURC", 0) == 0) {
+        cfg.protocol = dsm::ProtocolKind::aurc;
+        cfg.mode.prefetch = proto == "AURC+P";
+    } else {
+        cfg.mode.offload = proto.find('I') != std::string::npos;
+        cfg.mode.hw_diffs = proto.find('D') != std::string::npos;
+        cfg.mode.prefetch = proto.find('P') != std::string::npos;
+    }
+    return cfg;
+}
+
+/**
+ * Run one (app, protocol, procs) cell and return the result. When
+ * @p cfg_override is given it must have been built with configFor() for
+ * the same protocol label - the label is only used to construct the
+ * default configuration.
+ */
+inline dsm::RunResult
+run(const std::string &app, const std::string &proto, unsigned procs,
+    dsm::SysConfig *cfg_override = nullptr)
+{
+    sim::setQuiet(true);
+    auto w = apps::make(app, scaleFromEnv());
+    dsm::SysConfig cfg =
+        cfg_override ? *cfg_override : configFor(proto, procs);
+    ncp2_assert(!cfg_override ||
+                    cfg.protocol == configFor(proto, procs).protocol,
+                "cfg_override protocol does not match label '%s'",
+                proto.c_str());
+    return harness::runOnce(cfg, *w);
+}
+
+inline void
+header(const char *what)
+{
+    std::cout << "=====================================================\n"
+              << what << "\n"
+              << "=====================================================\n";
+    dsm::SysConfig def = configFor("Base", procsFromEnv());
+    harness::printConfig(std::cout, def);
+    std::cout << '\n';
+}
+
+} // namespace fig
+
+#endif // NCP2_BENCH_FIGURE_COMMON_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the simulator substrates: event
+ * queue throughput, fiber context switches, mesh routing, cache model
+ * accesses, diff creation/application, and a full small simulation.
+ * These measure *host* performance of the simulator itself (useful when
+ * optimizing it), not simulated time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dsm/page.hh"
+#include "dsm/system.hh"
+#include "mem/cache.hh"
+#include "net/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+#include "sim/rng.hh"
+#include "tests/workload_helpers.hh"
+#include "tmk/treadmarks.hh"
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            eq.scheduleIn(static_cast<sim::Cycles>(i % 97), [&]() { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_FiberSwitch(benchmark::State &state)
+{
+    std::uint64_t count = 0;
+    sim::Fiber fiber([&]() {
+        for (;;) {
+            ++count;
+            sim::Fiber::yield();
+        }
+    });
+    for (auto _ : state)
+        fiber.resume();
+    benchmark::DoNotOptimize(count);
+    state.SetItemsProcessed(state.iterations() * 2); // two switches
+}
+BENCHMARK(BM_FiberSwitch);
+
+void
+BM_MeshSend(benchmark::State &state)
+{
+    net::MeshNetwork mesh(16, net::NetTiming{});
+    sim::Rng rng(1);
+    sim::Tick t = 0;
+    for (auto _ : state) {
+        const auto src = static_cast<sim::NodeId>(rng.below(16));
+        const auto dst = static_cast<sim::NodeId>(rng.below(16));
+        benchmark::DoNotOptimize(mesh.send(t, src, dst, 256));
+        t += 10;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MeshSend);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache cache;
+    sim::Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.accessRead(rng.below(1u << 22) & ~3ull));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_DiffFromTwin(benchmark::State &state)
+{
+    dsm::PageStore store(4096, 1 << 20, 4);
+    dsm::NodePage &pg = store.materialize(0);
+    store.makeTwin(pg);
+    // Dirty a configurable fraction of words.
+    auto *w = reinterpret_cast<std::uint32_t *>(pg.data.get());
+    const auto dirty = static_cast<unsigned>(state.range(0));
+    for (unsigned i = 0; i < dirty; ++i)
+        w[i * (1024 / (dirty ? dirty : 1))] = i + 1;
+    for (auto _ : state) {
+        dsm::Diff d = store.diffFromTwin(0, pg);
+        benchmark::DoNotOptimize(d.words());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiffFromTwin)->Arg(8)->Arg(128)->Arg(1024);
+
+void
+BM_DiffFromBits(benchmark::State &state)
+{
+    dsm::PageStore store(4096, 1 << 20, 4);
+    dsm::NodePage &pg = store.materialize(0);
+    store.armWriteBits(pg);
+    const auto dirty = static_cast<unsigned>(state.range(0));
+    for (unsigned i = 0; i < dirty; ++i)
+        dsm::PageStore::snoopWrite(pg, i * (1024 / (dirty ? dirty : 1)));
+    for (auto _ : state) {
+        dsm::Diff d = store.diffFromBits(0, pg);
+        benchmark::DoNotOptimize(d.words());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiffFromBits)->Arg(8)->Arg(128)->Arg(1024);
+
+void
+BM_FullSmallSimulation(benchmark::State &state)
+{
+    sim::setQuiet(true);
+    for (auto _ : state) {
+        testutil::StencilWorkload w(1024, 3);
+        dsm::SysConfig cfg;
+        cfg.num_procs = 8;
+        cfg.heap_bytes = 4u << 20;
+        dsm::System sys(cfg, tmk::makeTreadMarks(cfg.mode));
+        const dsm::RunResult r = sys.run(w);
+        benchmark::DoNotOptimize(r.exec_ticks);
+    }
+}
+BENCHMARK(BM_FullSmallSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

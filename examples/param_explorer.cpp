@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Architectural parameter exploration (the section 5.3 methodology on
+ * any workload): sweep one machine parameter and watch the two DSM
+ * designs trade places. Defaults to the network-bandwidth sweep on a
+ * small Em3d.
+ *
+ *   $ ./examples/param_explorer [net_bw|net_lat|mem_lat|mem_bw]
+ */
+
+#include <iostream>
+
+#include "apps/apps.hh"
+#include "harness/runner.hh"
+#include "sim/stats.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string knob = argc > 1 ? argv[1] : "net_bw";
+
+    struct Point
+    {
+        double value;
+        dsm::SysConfig tm, au;
+    };
+    std::vector<Point> points;
+    for (double v : knob == "net_bw"  ? std::vector<double>{20, 50, 100, 200}
+                  : knob == "net_lat" ? std::vector<double>{100, 200, 400}
+                  : knob == "mem_lat" ? std::vector<double>{40, 100, 200}
+                                      : std::vector<double>{60, 103, 200}) {
+        Point pt;
+        pt.value = v;
+        pt.tm.num_procs = pt.au.num_procs = 16;
+        pt.tm.heap_bytes = pt.au.heap_bytes = 64ull << 20;
+        pt.tm.mode.offload = pt.tm.mode.hw_diffs = true;
+        pt.au.protocol = dsm::ProtocolKind::aurc;
+        for (dsm::SysConfig *c : {&pt.tm, &pt.au}) {
+            if (knob == "net_bw")
+                c->net.setBandwidthMBs(v);
+            else if (knob == "net_lat")
+                c->net.msg_overhead = static_cast<sim::Cycles>(v);
+            else if (knob == "mem_lat")
+                c->setMemLatencyNs(v);
+            else
+                c->setMemBandwidthMBs(v);
+        }
+        points.push_back(pt);
+    }
+
+    sim::Table t({knob, "TM-I+D (Mcycles)", "AURC (Mcycles)"});
+    for (auto &pt : points) {
+        auto w1 = apps::make("Em3d", apps::Scale::small);
+        auto w2 = apps::make("Em3d", apps::Scale::small);
+        const double tm = static_cast<double>(
+            harness::runOnce(pt.tm, *w1).exec_ticks);
+        const double au = static_cast<double>(
+            harness::runOnce(pt.au, *w2).exec_ticks);
+        t.addRow({sim::Table::fmt(pt.value, 0), sim::Table::fmt(tm / 1e6, 2),
+                  sim::Table::fmt(au / 1e6, 2)});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Compare all eight protocol variants (six TreadMarks overlap modes +
+ * AURC with and without prefetching) on one workload and print the
+ * normalized results - a miniature of the paper's whole evaluation.
+ *
+ *   $ ./examples/protocol_compare [app]      (default: Ocean)
+ */
+
+#include <iostream>
+
+#include "apps/apps.hh"
+#include "harness/runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "Ocean";
+
+    std::vector<harness::BreakdownRow> rows;
+    harness::BreakdownRow base;
+    for (const char *proto :
+         {"Base", "I", "I+D", "P", "I+P", "I+P+D", "AURC", "AURC+P"}) {
+        dsm::SysConfig cfg;
+        cfg.num_procs = 16;
+        cfg.heap_bytes = 64ull << 20;
+        const std::string p(proto);
+        if (p.rfind("AURC", 0) == 0) {
+            cfg.protocol = dsm::ProtocolKind::aurc;
+            cfg.mode.prefetch = p == "AURC+P";
+        } else {
+            cfg.mode.offload = p.find('I') != std::string::npos;
+            cfg.mode.hw_diffs = p.find('D') != std::string::npos;
+            cfg.mode.prefetch = p.find('P') != std::string::npos;
+        }
+        auto w = apps::make(app, apps::Scale::small);
+        const dsm::RunResult r = harness::runOnce(cfg, *w);
+        harness::BreakdownRow row = harness::BreakdownRow::from(proto, r);
+        if (rows.empty())
+            base = row;
+        rows.push_back(row.normalizedTo(base));
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n";
+    harness::printBreakdownTable(
+        std::cout, app + " under every protocol (percent of Base)", rows);
+    return 0;
+}

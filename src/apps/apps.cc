@@ -1,0 +1,114 @@
+#include "apps/apps.hh"
+
+#include <algorithm>
+
+#include "apps/barnes.hh"
+#include "apps/em3d.hh"
+#include "apps/ocean.hh"
+#include "apps/radix.hh"
+#include "apps/tsp.hh"
+#include "apps/water.hh"
+#include "sim/logging.hh"
+
+namespace apps
+{
+
+const std::vector<std::string> &
+names()
+{
+    static const std::vector<std::string> n = {"TSP",   "Water", "Radix",
+                                               "Barnes", "Em3d", "Ocean"};
+    return n;
+}
+
+std::unique_ptr<dsm::Workload>
+make(const std::string &name, Scale scale)
+{
+    std::string n = name;
+    std::transform(n.begin(), n.end(), n.begin(), ::tolower);
+
+    if (n == "tsp") {
+        Tsp::Params p;
+        p.cities = scale == Scale::tiny ? 8
+                 : scale == Scale::small ? 10 : 16;
+        if (scale == Scale::standard)
+            p.split_depth = 3; // ~130 coarse tasks for 16 processors
+        return std::make_unique<Tsp>(p);
+    }
+    if (n == "water") {
+        Water::Params p;
+        if (scale == Scale::tiny) {
+            p.molecules = 24;
+            p.steps = 2;
+        } else if (scale == Scale::small) {
+            p.molecules = 64;
+            p.steps = 2;
+        } else {
+            p.molecules = 512; // the paper's input
+            p.steps = 2;
+        }
+        return std::make_unique<Water>(p);
+    }
+    if (n == "radix") {
+        Radix::Params p;
+        if (scale == Scale::tiny) {
+            p.keys = 4096;
+        } else if (scale == Scale::small) {
+            p.keys = 32768;
+        } else {
+            // The paper's 1M keys; 8-bit digits over the full 32-bit
+            // range, one iteration per digit as in SPLASH-2.
+            p.keys = 1u << 20;
+            p.radix_bits = 8;
+            p.key_bits = 32;
+        }
+        return std::make_unique<Radix>(p);
+    }
+    if (n == "barnes") {
+        Barnes::Params p;
+        if (scale == Scale::tiny) {
+            p.bodies = 96;
+            p.steps = 1;
+        } else if (scale == Scale::small) {
+            p.bodies = 512;
+            p.steps = 2;
+        } else {
+            p.bodies = 4096; // the paper's 4K bodies
+            p.steps = 2;
+        }
+        return std::make_unique<Barnes>(p);
+    }
+    if (n == "em3d") {
+        Em3d::Params p;
+        if (scale == Scale::tiny) {
+            p.nodes_per_kind = 512;
+            p.iters = 3;
+        } else if (scale == Scale::small) {
+            p.nodes_per_kind = 2048;
+            p.iters = 4;
+        } else {
+            // The paper's 40064 objects = 20032 of each kind.
+            p.nodes_per_kind = 20032;
+            p.degree = 5;
+            p.iters = 6;
+        }
+        return std::make_unique<Em3d>(p);
+    }
+    if (n == "ocean") {
+        Ocean::Params p;
+        if (scale == Scale::tiny) {
+            p.grid = 34;
+            p.sweeps = 4;
+        } else if (scale == Scale::small) {
+            p.grid = 130;
+            p.sweeps = 8;
+        } else {
+            p.grid = 258; // the paper's 258x258 ocean
+            p.sweeps = 12;
+        }
+        return std::make_unique<Ocean>(p);
+    }
+    ncp2_fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace apps

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The application workload suite (section 4.2 of the paper): TSP,
+ * Water, Radix, Barnes, Em3d and Ocean, re-implemented against the DSM
+ * Proc API with the same sharing and synchronization patterns as the
+ * originals (TreadMarks distribution / SPLASH-2 / Split-C).
+ *
+ * Problem sizes are configurable; the defaults are scaled down from the
+ * paper's (as the paper itself scaled down from Iftode et al.'s "since
+ * simulation time limitations prevented us from using inputs as large as
+ * theirs"). Every workload self-validates against a host-side reference
+ * computation, which makes the whole protocol stack correctness-tested
+ * end to end.
+ */
+
+#ifndef NCP2_APPS_APPS_HH
+#define NCP2_APPS_APPS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/workload.hh"
+
+namespace apps
+{
+
+/** Workload size preset. */
+enum class Scale
+{
+    tiny,    ///< unit tests: seconds even under ASan
+    small,   ///< quick benches
+    standard ///< the figures' default size
+};
+
+/** Instantiate a workload by paper name (case-insensitive). */
+std::unique_ptr<dsm::Workload> make(const std::string &name, Scale scale);
+
+/** The six paper applications, in the paper's presentation order. */
+const std::vector<std::string> &names();
+
+} // namespace apps
+
+#endif // NCP2_APPS_APPS_HH

@@ -1,0 +1,272 @@
+#include "apps/barnes.hh"
+
+#include <cmath>
+
+#include "apps/refcheck.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace apps
+{
+
+void
+Barnes::plan(dsm::GlobalHeap &heap, const dsm::SysConfig &)
+{
+    const unsigned n = p_.bodies;
+    sim::Rng rng(p_.seed);
+    init_pos_.assign(3 * n, 0.0);
+    // A Plummer-ish ball: uniform in a sphere, radius 10.
+    for (unsigned i = 0; i < n; ++i) {
+        double x, y, z;
+        do {
+            x = 2.0 * rng.uniform() - 1.0;
+            y = 2.0 * rng.uniform() - 1.0;
+            z = 2.0 * rng.uniform() - 1.0;
+        } while (x * x + y * y + z * z > 1.0);
+        init_pos_[3 * i + 0] = 10.0 * x;
+        init_pos_[3 * i + 1] = 10.0 * y;
+        init_pos_[3 * i + 2] = 10.0 * z;
+    }
+
+    const unsigned m = maxNodes();
+    pos_ = heap.allocPages(3ull * n * 8);
+    vel_ = heap.allocPages(3ull * n * 8);
+    node_mass_ = heap.allocPages(8ull * m);
+    node_com_ = heap.allocPages(24ull * m);
+    node_half_ = heap.allocPages(8ull * m);
+    node_center_ = heap.allocPages(24ull * m);
+    node_child_ = heap.allocPages(32ull * m);
+    node_count_ = heap.allocPages(4);
+}
+
+/**
+ * Child slot encoding: 0 = empty, k > 0 = internal node k, v < 0 = leaf
+ * holding body (-v - 1).
+ */
+void
+Barnes::buildTree(dsm::Proc &p)
+{
+    const unsigned n = p_.bodies;
+
+    // Bounding cube.
+    double half = 1.0;
+    std::vector<double> bp(3 * n);
+    for (unsigned i = 0; i < 3 * n; ++i) {
+        bp[i] = p.get<double>(pos_ + 8ull * i);
+        if (std::fabs(bp[i]) > half)
+            half = std::fabs(bp[i]);
+    }
+    half *= 1.01;
+
+    // Root = node 1 (0 is the "empty" sentinel).
+    unsigned used = 2;
+    p.put<double>(nHalf(1), half);
+    for (unsigned c = 0; c < 3; ++c)
+        p.put<double>(nCenter(1, c), 0.0);
+    for (unsigned c = 0; c < 8; ++c)
+        p.put<std::int32_t>(nChild(1, c), 0);
+
+    auto octant = [](const double *ctr, const double *b) {
+        unsigned o = 0;
+        if (b[0] >= ctr[0])
+            o |= 1;
+        if (b[1] >= ctr[1])
+            o |= 2;
+        if (b[2] >= ctr[2])
+            o |= 4;
+        return o;
+    };
+
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned node = 1;
+        for (;;) {
+            p.compute(20);
+            double ctr[3], h;
+            for (unsigned c = 0; c < 3; ++c)
+                ctr[c] = p.get<double>(nCenter(node, c));
+            h = p.get<double>(nHalf(node));
+            const unsigned o = octant(ctr, &bp[3 * i]);
+            const auto ch = p.get<std::int32_t>(nChild(node, o));
+            if (ch == 0) {
+                p.put<std::int32_t>(nChild(node, o),
+                                    -static_cast<std::int32_t>(i) - 1);
+                break;
+            }
+            if (ch > 0) {
+                node = static_cast<unsigned>(ch);
+                continue;
+            }
+            // Occupied leaf: split into a fresh child cell.
+            const unsigned other = static_cast<unsigned>(-ch - 1);
+            const unsigned fresh = used++;
+            ncp2_assert(fresh < maxNodes(), "Barnes tree overflow");
+            double fctr[3];
+            const double fh = h / 2.0;
+            for (unsigned c = 0; c < 3; ++c) {
+                const double sign = (o >> c) & 1 ? 1.0 : -1.0;
+                fctr[c] = ctr[c] + sign * fh;
+                p.put<double>(nCenter(fresh, c), fctr[c]);
+            }
+            p.put<double>(nHalf(fresh), fh);
+            for (unsigned c = 0; c < 8; ++c)
+                p.put<std::int32_t>(nChild(fresh, c), 0);
+            // Re-insert the displaced body one level down, then retry
+            // the current body from the fresh cell.
+            const unsigned oo = octant(fctr, &bp[3 * other]);
+            p.put<std::int32_t>(nChild(fresh, oo),
+                                -static_cast<std::int32_t>(other) - 1);
+            p.put<std::int32_t>(nChild(node, o),
+                                static_cast<std::int32_t>(fresh));
+            node = fresh;
+        }
+    }
+    p.put<std::int32_t>(node_count_, static_cast<std::int32_t>(used));
+
+    // Bottom-up mass / centre-of-mass (iterate nodes in reverse creation
+    // order: children always have higher indices than their parents).
+    for (unsigned k = used; k-- > 1;) {
+        double m = 0.0, com[3] = {0, 0, 0};
+        for (unsigned c = 0; c < 8; ++c) {
+            const auto ch = p.get<std::int32_t>(nChild(k, c));
+            if (ch == 0)
+                continue;
+            double cm, cc[3];
+            if (ch < 0) {
+                const unsigned b = static_cast<unsigned>(-ch - 1);
+                cm = 1.0;
+                for (unsigned x = 0; x < 3; ++x)
+                    cc[x] = bp[3 * b + x];
+            } else {
+                cm = p.get<double>(nMass(static_cast<unsigned>(ch)));
+                for (unsigned x = 0; x < 3; ++x)
+                    cc[x] = p.get<double>(
+                        nCom(static_cast<unsigned>(ch), x));
+            }
+            m += cm;
+            for (unsigned x = 0; x < 3; ++x)
+                cc[x] *= cm, com[x] += cc[x];
+            p.compute(12);
+        }
+        p.put<double>(nMass(k), m);
+        for (unsigned x = 0; x < 3; ++x)
+            p.put<double>(nCom(k, x), m > 0 ? com[x] / m : 0.0);
+    }
+}
+
+void
+Barnes::bodyForce(dsm::Proc &p, unsigned i, const double *bp, double *acc)
+{
+    acc[0] = acc[1] = acc[2] = 0.0;
+    unsigned stack[128];
+    unsigned sp = 0;
+    stack[sp++] = 1;
+
+    auto addPoint = [&](double m, const double *c) {
+        const double dx = c[0] - bp[0];
+        const double dy = c[1] - bp[1];
+        const double dz = c[2] - bp[2];
+        const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+        const double inv = 1.0 / std::sqrt(r2);
+        const double f = m * inv * inv * inv;
+        acc[0] += f * dx;
+        acc[1] += f * dy;
+        acc[2] += f * dz;
+        p.compute(30);
+    };
+
+    while (sp) {
+        const unsigned node = stack[--sp];
+        const double m = p.get<double>(nMass(node));
+        if (m <= 0.0)
+            continue;
+        double com[3];
+        for (unsigned c = 0; c < 3; ++c)
+            com[c] = p.get<double>(nCom(node, c));
+        const double h = p.get<double>(nHalf(node));
+        const double dx = com[0] - bp[0];
+        const double dy = com[1] - bp[1];
+        const double dz = com[2] - bp[2];
+        const double dist2 = dx * dx + dy * dy + dz * dz;
+        const double size = 2.0 * h;
+        if (size * size < p_.theta * p_.theta * dist2) {
+            addPoint(m, com); // far enough: use the aggregate
+            continue;
+        }
+        for (unsigned c = 0; c < 8; ++c) {
+            const auto ch = p.get<std::int32_t>(nChild(node, c));
+            if (ch == 0)
+                continue;
+            if (ch < 0) {
+                const unsigned b = static_cast<unsigned>(-ch - 1);
+                if (b == i)
+                    continue;
+                double bc[3];
+                for (unsigned x = 0; x < 3; ++x)
+                    bc[x] = p.get<double>(bPos(b, x));
+                addPoint(1.0, bc);
+            } else {
+                ncp2_assert(sp < 128, "Barnes traversal stack overflow");
+                stack[sp++] = static_cast<unsigned>(ch);
+            }
+        }
+    }
+}
+
+void
+Barnes::run(dsm::Proc &p)
+{
+    const unsigned n = p_.bodies;
+    const unsigned np = p.nprocs();
+    const unsigned lo = n * p.id() / np;
+    const unsigned hi = n * (p.id() + 1) / np;
+
+    if (p.id() == 0) {
+        for (unsigned i = 0; i < 3 * n; ++i) {
+            p.put<double>(pos_ + 8ull * i, init_pos_[i]);
+            p.put<double>(vel_ + 8ull * i, 0.0);
+        }
+    }
+    p.barrier(0);
+
+    std::vector<double> accs(3 * (hi - lo));
+    for (unsigned step = 0; step < p_.steps; ++step) {
+        if (p.id() == 0)
+            buildTree(p);
+        p.barrier(1 + 3 * step);
+
+        // Force phase: all positions are stable until the next barrier.
+        for (unsigned i = lo; i < hi; ++i) {
+            double bp[3];
+            for (unsigned c = 0; c < 3; ++c)
+                bp[c] = p.get<double>(bPos(i, c));
+            bodyForce(p, i, bp, &accs[3 * (i - lo)]);
+        }
+        p.barrier(2 + 3 * step);
+
+        // Update phase: owners integrate (leapfrog-ish Euler).
+        for (unsigned i = lo; i < hi; ++i) {
+            for (unsigned c = 0; c < 3; ++c) {
+                const double v = p.get<double>(bVel(i, c)) +
+                                 accs[3 * (i - lo) + c] * dt;
+                p.put<double>(bVel(i, c), v);
+                p.put<double>(bPos(i, c),
+                              p.get<double>(bPos(i, c)) + v * dt);
+            }
+        }
+        p.barrier(3 + 3 * step);
+    }
+}
+
+void
+Barnes::validate(dsm::System &sys)
+{
+    if (skip_validate_)
+        return;
+    Barnes ref(p_);
+    ref.disableValidation();
+    auto refsys = referenceRun(ref, sys.cfg());
+    compareDoubles(sys, *refsys, pos_, 3ull * p_.bodies, 1e-12,
+                   "Barnes.pos");
+}
+
+} // namespace apps

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Barnes (SPLASH-2): Barnes-Hut hierarchical N-body. The paper runs 4K
+ * bodies for 4 steps (with busy-wait synchronization removed); defaults
+ * here are smaller (configurable).
+ *
+ * Sharing pattern: the octree is rebuilt by processor 0 each step and
+ * then read-shared by everyone during the force phase; bodies are
+ * owner-written. Irregular read sharing of tree pages gives Barnes its
+ * moderate diff cost (10.4% in figure 2) and makes offloading (I) pay
+ * off through reduced synchronization interference.
+ */
+
+#ifndef NCP2_APPS_BARNES_HH
+#define NCP2_APPS_BARNES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/system.hh"
+#include "dsm/workload.hh"
+
+namespace apps
+{
+
+/** Barnes-Hut N-body simulation. */
+class Barnes : public dsm::Workload
+{
+  public:
+    struct Params
+    {
+        unsigned bodies = 512;
+        unsigned steps = 2;
+        double theta = 0.8;
+        std::uint64_t seed = 4242;
+    };
+
+    explicit Barnes(Params p) : p_(p) {}
+
+    std::string name() const override { return "Barnes"; }
+    void plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg) override;
+    void run(dsm::Proc &p) override;
+    void validate(dsm::System &sys) override;
+
+    /** Used by the reference run to suppress recursive validation. */
+    void disableValidation() { skip_validate_ = true; }
+
+  private:
+    static constexpr double dt = 0.025;
+    static constexpr double eps2 = 1e-4; ///< gravity softening
+
+    unsigned maxNodes() const { return 4 * p_.bodies + 64; }
+
+    // tree node field addresses
+    sim::GAddr nMass(unsigned k) const { return node_mass_ + 8ull * k; }
+    sim::GAddr nCom(unsigned k, unsigned c) const
+    {
+        return node_com_ + 8ull * (3 * k + c);
+    }
+    sim::GAddr nHalf(unsigned k) const { return node_half_ + 8ull * k; }
+    sim::GAddr nCenter(unsigned k, unsigned c) const
+    {
+        return node_center_ + 8ull * (3 * k + c);
+    }
+    sim::GAddr nChild(unsigned k, unsigned c) const
+    {
+        return node_child_ + 4ull * (8 * k + c);
+    }
+    sim::GAddr bPos(unsigned i, unsigned c) const
+    {
+        return pos_ + 8ull * (3 * i + c);
+    }
+    sim::GAddr bVel(unsigned i, unsigned c) const
+    {
+        return vel_ + 8ull * (3 * i + c);
+    }
+
+    void buildTree(dsm::Proc &p);
+    void bodyForce(dsm::Proc &p, unsigned i, const double *bp,
+                   double *acc);
+
+    Params p_;
+    bool skip_validate_ = false;
+    std::vector<double> init_pos_;
+
+    sim::GAddr pos_ = 0;
+    sim::GAddr vel_ = 0;
+    sim::GAddr node_mass_ = 0;
+    sim::GAddr node_com_ = 0;
+    sim::GAddr node_half_ = 0;
+    sim::GAddr node_center_ = 0;
+    sim::GAddr node_child_ = 0;
+    sim::GAddr node_count_ = 0; ///< int32: nodes used this step
+};
+
+} // namespace apps
+
+#endif // NCP2_APPS_BARNES_HH

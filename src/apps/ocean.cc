@@ -1,0 +1,171 @@
+#include "apps/ocean.hh"
+
+#include <cmath>
+
+#include "apps/refcheck.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace apps
+{
+
+void
+Ocean::plan(dsm::GlobalHeap &heap, const dsm::SysConfig &)
+{
+    const unsigned g = p_.grid;
+    ncp2_assert(g >= 10 && (g - 2) % 4 == 0,
+                "Ocean grid must be 4k+2 and >= 10");
+    sim::Rng rng(p_.seed);
+    boundary_.assign(4 * g, 0.0);
+    for (unsigned i = 0; i < 4 * g; ++i)
+        boundary_[i] = 10.0 * rng.uniform() - 5.0;
+
+    // Three grid levels: the solve lives on L0; the coarse levels give
+    // Ocean its multigrid character - tiny per-processor work slices
+    // between barriers, which is what makes it the paper's worst scaler.
+    grid_ = heap.allocPages(8ull * g * g);
+    const unsigned g1 = (g - 2) / 2 + 2;
+    const unsigned g2 = (g - 2) / 4 + 2;
+    grid1_ = heap.allocPages(8ull * g1 * g1);
+    grid2_ = heap.allocPages(8ull * g2 * g2);
+}
+
+void
+Ocean::run(dsm::Proc &p)
+{
+    const unsigned g0 = p_.grid;
+    const unsigned g1 = (g0 - 2) / 2 + 2;
+    const unsigned g2 = (g0 - 2) / 4 + 2;
+    const unsigned np = p.nprocs();
+    const sim::GAddr bases[3] = {grid_, grid1_, grid2_};
+    const unsigned dims[3] = {g0, g1, g2};
+
+    auto at = [&](unsigned lvl, unsigned r, unsigned c) {
+        return bases[lvl] +
+               8ull * (static_cast<std::uint64_t>(r) * dims[lvl] + c);
+    };
+    auto rowsOf = [&](unsigned lvl, unsigned &rlo, unsigned &rhi) {
+        const unsigned rows = dims[lvl] - 2;
+        rlo = 1 + rows * p.id() / np;
+        rhi = 1 + rows * (p.id() + 1) / np;
+    };
+
+    unsigned bar = 0;
+    auto barrier = [&]() { p.barrier(bar++); };
+
+    // One red or black half-sweep of SOR on a level, own rows only.
+    auto relax = [&](unsigned lvl, unsigned color) {
+        const unsigned g = dims[lvl];
+        unsigned rlo, rhi;
+        rowsOf(lvl, rlo, rhi);
+        for (unsigned r = rlo; r < rhi; ++r) {
+            for (unsigned c = 1 + ((r + color) & 1); c < g - 1; c += 2) {
+                const double up = p.get<double>(at(lvl, r - 1, c));
+                const double down = p.get<double>(at(lvl, r + 1, c));
+                const double left = p.get<double>(at(lvl, r, c - 1));
+                const double right = p.get<double>(at(lvl, r, c + 1));
+                const double old = p.get<double>(at(lvl, r, c));
+                const double gs = 0.25 * (up + down + left + right);
+                p.put<double>(at(lvl, r, c), old + omega * (gs - old));
+                p.compute(20);
+            }
+        }
+        barrier();
+    };
+
+    // Injection restriction fine -> coarse: owners of coarse rows read
+    // the coincident fine points (including the boundary ring).
+    auto restrictTo = [&](unsigned coarse) {
+        const unsigned fine = coarse - 1;
+        const unsigned gc = dims[coarse];
+        const unsigned gf = dims[fine];
+        unsigned rlo, rhi;
+        rowsOf(coarse, rlo, rhi);
+        auto fr = [&](unsigned r) {
+            return r == 0 ? 0u : (r == gc - 1 ? gf - 1 : 2 * r - 1);
+        };
+        const unsigned lo = p.id() == 0 ? 0 : rlo;
+        const unsigned hi = p.id() == np - 1 ? gc : rhi;
+        for (unsigned r = lo; r < hi; ++r) {
+            for (unsigned c = 0; c < gc; ++c) {
+                p.put<double>(at(coarse, r, c),
+                              p.get<double>(at(fine, fr(r), fr(c))));
+                p.compute(4);
+            }
+        }
+        barrier();
+    };
+
+    // Injection prolongation coarse -> fine at the coincident points.
+    auto prolongFrom = [&](unsigned coarse) {
+        const unsigned fine = coarse - 1;
+        const unsigned gc = dims[coarse];
+        unsigned rlo, rhi;
+        rowsOf(coarse, rlo, rhi);
+        for (unsigned r = rlo; r < rhi; ++r) {
+            for (unsigned c = 1; c < gc - 1; ++c) {
+                p.put<double>(at(fine, 2 * r - 1, 2 * c - 1),
+                              p.get<double>(at(coarse, r, c)));
+                p.compute(4);
+            }
+        }
+        barrier();
+    };
+
+    if (p.id() == 0) {
+        // Boundaries hold the forcing; the interiors start at zero.
+        for (unsigned i = 0; i < g0; ++i) {
+            p.put<double>(at(0, 0, i), boundary_[i]);
+            p.put<double>(at(0, g0 - 1, i), boundary_[g0 + i]);
+            p.put<double>(at(0, i, 0), boundary_[2 * g0 + i]);
+            p.put<double>(at(0, i, g0 - 1), boundary_[3 * g0 + i]);
+        }
+        for (unsigned r = 1; r < g0 - 1; ++r)
+            for (unsigned c = 1; c < g0 - 1; ++c)
+                p.put<double>(at(0, r, c), 0.0);
+    }
+    barrier();
+
+    // V-cycles: relax fine, restrict, relax mid, restrict, relax coarse
+    // (twice - it is cheap), prolong back up with a relaxation at each
+    // level. Every phase is barrier-separated; the coarse phases have
+    // ~16x / ~256x less work per processor for the same barrier cost.
+    const unsigned cycles = (p_.sweeps + 1) / 2;
+    for (unsigned cy = 0; cy < cycles; ++cy) {
+        relax(0, 0);
+        relax(0, 1);
+        restrictTo(1);
+        relax(1, 0);
+        relax(1, 1);
+        restrictTo(2);
+        relax(2, 0);
+        relax(2, 1);
+        relax(2, 0);
+        relax(2, 1);
+        prolongFrom(2);
+        relax(1, 0);
+        relax(1, 1);
+        prolongFrom(1);
+        relax(0, 0);
+        relax(0, 1);
+    }
+}
+
+void
+Ocean::validate(dsm::System &sys)
+{
+    if (skip_validate_)
+        return;
+    Ocean ref(p_);
+    ref.disableValidation();
+    auto refsys = referenceRun(ref, sys.cfg());
+    compareDoubles(sys, *refsys, grid_,
+                   static_cast<std::size_t>(p_.grid) * p_.grid, 1e-12,
+                   "Ocean.grid");
+    const unsigned g1 = (p_.grid - 2) / 2 + 2;
+    compareDoubles(sys, *refsys, grid1_,
+                   static_cast<std::size_t>(g1) * g1, 1e-12,
+                   "Ocean.grid1");
+}
+
+} // namespace apps

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ocean (SPLASH-2): large-scale ocean circulation. The paper simulates a
+ * 258x258 grid; we implement the red-black successive-over-relaxation
+ * solver that dominates Ocean's sharing behaviour (the full multigrid
+ * driver is replaced by a fixed-depth relaxation - see DESIGN.md), on a
+ * smaller default grid (configurable).
+ *
+ * Sharing pattern: row-block partitioned grid, nearest-neighbour page
+ * sharing at partition boundaries, barriers after every half-sweep -
+ * lots of barriers plus large multi-page diffs, the paper's worst
+ * TreadMarks performer (figure 1) and the biggest winner from I+P+D
+ * (49% of Base in figure 10).
+ */
+
+#ifndef NCP2_APPS_OCEAN_HH
+#define NCP2_APPS_OCEAN_HH
+
+#include <vector>
+
+#include "dsm/system.hh"
+#include "dsm/workload.hh"
+
+namespace apps
+{
+
+/**
+ * Red-black SOR over a three-level grid hierarchy (a structural stand-in
+ * for Ocean's multigrid solver: the coarse levels carry ~16x and ~256x
+ * less work per processor for the same barrier cost, which is what makes
+ * Ocean the paper's worst scaler).
+ */
+class Ocean : public dsm::Workload
+{
+  public:
+    struct Params
+    {
+        unsigned grid = 130;  ///< interior + 2 boundary rows/cols (4k+2)
+        unsigned sweeps = 12; ///< fine-grid red+black sweeps (2 per V-cycle)
+        std::uint64_t seed = 31337;
+    };
+
+    explicit Ocean(Params p) : p_(p) {}
+
+    std::string name() const override { return "Ocean"; }
+    void plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg) override;
+    void run(dsm::Proc &p) override;
+    void validate(dsm::System &sys) override;
+
+    void disableValidation() { skip_validate_ = true; }
+
+  private:
+    static constexpr double omega = 1.6; ///< over-relaxation factor
+
+    Params p_;
+    bool skip_validate_ = false;
+    std::vector<double> boundary_; ///< top/bottom/left/right values
+
+    sim::GAddr grid_ = 0;  ///< L0, the solution grid
+    sim::GAddr grid1_ = 0; ///< L1, half resolution
+    sim::GAddr grid2_ = 0; ///< L2, quarter resolution
+};
+
+} // namespace apps
+
+#endif // NCP2_APPS_OCEAN_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Radix (SPLASH-2): parallel integer radix sort. The paper sorts 1M
+ * keys; the default here is smaller (configurable).
+ *
+ * Sharing pattern: the permute phase scatters keys into a destination
+ * array at global rank offsets, producing heavy page-level false sharing
+ * and large diffs - Radix has the paper's highest diff cost after Em3d
+ * (20.6% in figure 2) and is a prefetching worst case (>85% useless).
+ */
+
+#ifndef NCP2_APPS_RADIX_HH
+#define NCP2_APPS_RADIX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/system.hh"
+#include "dsm/workload.hh"
+
+namespace apps
+{
+
+/** Parallel radix sort, one digit per iteration. */
+class Radix : public dsm::Workload
+{
+  public:
+    struct Params
+    {
+        unsigned keys = 32768;
+        unsigned radix_bits = 8; ///< digit width
+        unsigned key_bits = 32;  ///< key range; key_bits/radix_bits passes
+        std::uint64_t seed = 99;
+    };
+
+    explicit Radix(Params p) : p_(p) {}
+
+    std::string name() const override { return "Radix"; }
+    void plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg) override;
+    void run(dsm::Proc &p) override;
+    void validate(dsm::System &sys) override;
+
+  private:
+    unsigned buckets() const { return 1u << p_.radix_bits; }
+    unsigned passes() const { return p_.key_bits / p_.radix_bits; }
+
+    Params p_;
+    std::vector<std::uint32_t> init_keys_;
+    std::uint64_t key_sum_ = 0;
+
+    sim::GAddr a_ = 0;    ///< key array A
+    sim::GAddr b_ = 0;    ///< key array B
+    sim::GAddr hist_ = 0; ///< [nprocs][buckets] counts, then ranks
+};
+
+} // namespace apps
+
+#endif // NCP2_APPS_RADIX_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reference-run validation: deterministic workloads (Barnes, Em3d,
+ * Ocean) validate by re-running themselves on a fresh single-processor
+ * system - where the protocol short-circuits to plain execution - and
+ * comparing final shared memory. Per-datum arithmetic order is identical
+ * in both runs, so the comparison is (near-)exact, and any divergence
+ * indicts the coherence protocol.
+ */
+
+#ifndef NCP2_APPS_REFCHECK_HH
+#define NCP2_APPS_REFCHECK_HH
+
+#include <cmath>
+#include <memory>
+
+#include "dsm/system.hh"
+#include "dsm/workload.hh"
+#include "sim/logging.hh"
+#include "tmk/treadmarks.hh"
+
+namespace apps
+{
+
+/** Run @p w (with validation disabled by the caller) on one processor. */
+inline std::unique_ptr<dsm::System>
+referenceRun(dsm::Workload &w, const dsm::SysConfig &like)
+{
+    dsm::SysConfig cfg;
+    cfg.num_procs = 1;
+    cfg.heap_bytes = like.heap_bytes;
+    cfg.page_bytes = like.page_bytes;
+    auto sys = std::make_unique<dsm::System>(
+        cfg, tmk::makeTreadMarks(dsm::OverlapMode{}));
+    sys->run(w);
+    return sys;
+}
+
+/** Compare @p count doubles at @p base between two systems. */
+inline void
+compareDoubles(dsm::System &got, dsm::System &ref, sim::GAddr base,
+               std::size_t count, double tol, const char *what)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const double g = got.readGlobal<double>(base + 8 * i);
+        const double r = ref.readGlobal<double>(base + 8 * i);
+        const double err =
+            std::fabs(g - r) / std::max(1.0, std::fabs(r));
+        if (!(err <= tol)) {
+            ncp2_fatal("%s[%zu] = %.15g, reference %.15g (err %.3g)",
+                       what, i, g, r, err);
+        }
+    }
+}
+
+} // namespace apps
+
+#endif // NCP2_APPS_REFCHECK_HH

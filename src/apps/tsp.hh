@@ -1,0 +1,88 @@
+/**
+ * @file
+ * TSP: branch-and-bound minimum-cost tour (Rice University's TreadMarks
+ * distribution workload). The paper runs 18 cities; the default here is
+ * smaller for simulation-time reasons (configurable).
+ *
+ * Sharing pattern: a lock-protected shared work stack of partial tours,
+ * a lock-protected global best bound, and a read-shared distance matrix
+ * - classic coarse-grained task parallelism with migratory lock data,
+ * which is why TSP shows the best speedups in figure 1.
+ */
+
+#ifndef NCP2_APPS_TSP_HH
+#define NCP2_APPS_TSP_HH
+
+#include <cstdint>
+
+#include "dsm/system.hh"
+#include "dsm/workload.hh"
+
+namespace apps
+{
+
+/** Branch-and-bound travelling salesman. */
+class Tsp : public dsm::Workload
+{
+  public:
+    struct Params
+    {
+        unsigned cities = 11;
+        std::uint64_t seed = 42;
+        unsigned stack_capacity = 1 << 14;
+        /// Tours with at least this many cities fixed are solved
+        /// locally (sequential branch-and-bound) instead of being
+        /// split into queued subtasks - the TreadMarks TSP's coarse
+        /// task grain, which is what gives it the paper's near-linear
+        /// speedups.
+        unsigned split_depth = 4;
+    };
+
+    explicit Tsp(Params p) : p_(p) {}
+
+    std::string name() const override { return "TSP"; }
+    void plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg) override;
+    void run(dsm::Proc &p) override;
+    void validate(dsm::System &sys) override;
+
+    /** Host-side exact solution (Held-Karp), for validation. */
+    std::int32_t referenceCost() const;
+
+  private:
+    /**
+     * Sequential branch-and-bound below the task split depth.
+     * @return the best complete tour found under @p bound, or -1.
+     */
+    std::int32_t solveLocal(dsm::Proc &p,
+                            const std::vector<std::int32_t> &d,
+                            std::int32_t cost, std::int32_t depth,
+                            std::int32_t mask, std::int32_t city,
+                            std::int32_t bound,
+                            unsigned &nodes_since_refresh) const;
+
+    static constexpr unsigned queue_lock = 0;
+    static constexpr unsigned bound_lock = 1;
+
+    // entry layout: [cost, depth, mask, city] (path is recomputed for
+    // the best tour host-side; B&B only needs the frontier state)
+    static constexpr unsigned entry_words = 4;
+
+    sim::GAddr entryAddr(std::uint32_t slot) const
+    {
+        return stack_ + static_cast<sim::GAddr>(slot) * entry_words * 4;
+    }
+
+    Params p_;
+    std::vector<std::int32_t> dist_;    ///< host copy (written by proc 0)
+    std::vector<std::int32_t> min_out_; ///< pruning bound helper
+
+    sim::GAddr dist_addr_ = 0;
+    sim::GAddr stack_ = 0;       ///< entries
+    sim::GAddr top_ = 0;         ///< int32 stack top
+    sim::GAddr outstanding_ = 0; ///< int32 live work items
+    sim::GAddr best_ = 0;        ///< int32 best complete tour cost
+};
+
+} // namespace apps
+
+#endif // NCP2_APPS_TSP_HH

@@ -1,0 +1,178 @@
+#include "apps/water.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace apps
+{
+
+void
+Water::pairForce(const double *pi, const double *pj, double *f)
+{
+    const double dx = pi[0] - pj[0];
+    const double dy = pi[1] - pj[1];
+    const double dz = pi[2] - pj[2];
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    f[0] = f[1] = f[2] = 0.0;
+    if (r2 >= cutoff2 || r2 < 1e-12)
+        return;
+    // Lennard-Jones 6-12 on point centres.
+    const double inv2 = 1.0 / r2;
+    const double inv6 = inv2 * inv2 * inv2;
+    const double mag = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+    f[0] = mag * dx;
+    f[1] = mag * dy;
+    f[2] = mag * dz;
+}
+
+void
+Water::plan(dsm::GlobalHeap &heap, const dsm::SysConfig &)
+{
+    const unsigned n = p_.molecules;
+    // Slightly-perturbed cubic lattice: bounded forces, deterministic.
+    sim::Rng rng(p_.seed);
+    init_pos_.assign(n * 3, 0.0);
+    const auto side = static_cast<unsigned>(std::ceil(std::cbrt(n)));
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned x = i % side;
+        const unsigned y = (i / side) % side;
+        const unsigned z = i / (side * side);
+        init_pos_[3 * i + 0] = 1.3 * x + 0.1 * rng.uniform();
+        init_pos_[3 * i + 1] = 1.3 * y + 0.1 * rng.uniform();
+        init_pos_[3 * i + 2] = 1.3 * z + 0.1 * rng.uniform();
+    }
+
+    pos_ = heap.allocPages(n * 3 * 8);
+    vel_ = heap.allocPages(n * 3 * 8);
+    frc_ = heap.allocPages(n * 3 * 8);
+}
+
+void
+Water::run(dsm::Proc &p)
+{
+    const unsigned n = p_.molecules;
+    const unsigned np = p.nprocs();
+    const unsigned lo = n * p.id() / np;
+    const unsigned hi = n * (p.id() + 1) / np;
+
+    if (p.id() == 0) {
+        for (unsigned i = 0; i < n * 3; ++i) {
+            p.put<double>(pos_ + 8 * i, init_pos_[i]);
+            p.put<double>(vel_ + 8 * i, 0.0);
+        }
+    }
+    p.barrier(0);
+
+    std::vector<double> local(n * 3);
+    std::vector<double> mypos(n * 3);
+
+    for (unsigned step = 0; step < p_.steps; ++step) {
+        // (a) owners clear their force slots
+        for (unsigned i = lo; i < hi; ++i)
+            for (unsigned c = 0; c < 3; ++c)
+                p.put<double>(frc_ + 8 * (3 * i + c), 0.0);
+        p.barrier(100 + step * 4);
+
+        // (b) read all positions, compute owned pairs (i in [lo,hi), j>i)
+        for (unsigned i = 0; i < n * 3; ++i)
+            mypos[i] = p.get<double>(pos_ + 8 * i);
+        std::fill(local.begin(), local.end(), 0.0);
+        for (unsigned i = lo; i < hi; ++i) {
+            for (unsigned j = i + 1; j < n; ++j) {
+                double f[3];
+                pairForce(&mypos[3 * i], &mypos[3 * j], f);
+                p.compute(80);
+                for (unsigned c = 0; c < 3; ++c) {
+                    local[3 * i + c] += f[c];
+                    local[3 * j + c] -= f[c];
+                }
+            }
+        }
+
+        // (c) accumulate into the shared array under per-partition locks
+        for (unsigned q = 0; q < np; ++q) {
+            const unsigned qlo = n * q / np;
+            const unsigned qhi = n * (q + 1) / np;
+            bool any = false;
+            for (unsigned i = qlo * 3; i < qhi * 3 && !any; ++i)
+                any = local[i] != 0.0;
+            if (!any)
+                continue;
+            p.lock(10 + q);
+            for (unsigned i = qlo * 3; i < qhi * 3; ++i) {
+                if (local[i] == 0.0)
+                    continue;
+                const sim::GAddr a = frc_ + 8 * i;
+                p.put<double>(a, p.get<double>(a) + local[i]);
+            }
+            p.unlock(10 + q);
+        }
+        p.barrier(101 + step * 4);
+
+        // (d) owners integrate
+        for (unsigned i = lo; i < hi; ++i) {
+            for (unsigned c = 0; c < 3; ++c) {
+                const sim::GAddr av = vel_ + 8 * (3 * i + c);
+                const sim::GAddr ap = pos_ + 8 * (3 * i + c);
+                const double f = p.get<double>(frc_ + 8 * (3 * i + c));
+                const double v = p.get<double>(av) + f * dt;
+                p.put<double>(av, v);
+                p.put<double>(ap, p.get<double>(ap) + v * dt);
+                p.compute(12);
+            }
+        }
+        p.barrier(102 + step * 4);
+    }
+}
+
+void
+Water::referenceRun(std::vector<double> &pos, std::vector<double> &vel) const
+{
+    const unsigned n = p_.molecules;
+    pos = init_pos_;
+    vel.assign(n * 3, 0.0);
+    std::vector<double> frc(n * 3);
+    for (unsigned step = 0; step < p_.steps; ++step) {
+        std::fill(frc.begin(), frc.end(), 0.0);
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned j = i + 1; j < n; ++j) {
+                double f[3];
+                pairForce(&pos[3 * i], &pos[3 * j], f);
+                for (unsigned c = 0; c < 3; ++c) {
+                    frc[3 * i + c] += f[c];
+                    frc[3 * j + c] -= f[c];
+                }
+            }
+        }
+        for (unsigned i = 0; i < n * 3; ++i) {
+            vel[i] += frc[i] * dt;
+            pos[i] += vel[i] * dt;
+        }
+    }
+}
+
+void
+Water::validate(dsm::System &sys)
+{
+    std::vector<double> rp, rv;
+    referenceRun(rp, rv);
+    const unsigned n = p_.molecules;
+    for (unsigned i = 0; i < n * 3; ++i) {
+        const double got = sys.readGlobal<double>(pos_ + 8 * i);
+        const double want = rp[i];
+        const double err = std::fabs(got - want) /
+                           std::max(1.0, std::fabs(want));
+        // Force accumulation order differs between the parallel and the
+        // sequential reference run (lock-arrival order), so positions
+        // carry a few ULPs of drift amplified over the steps; the other
+        // five applications validate exactly.
+        if (!(err < 1e-5)) {
+            ncp2_fatal("Water: pos[%u] = %.12g, want %.12g (err %.3g)", i,
+                       got, want, err);
+        }
+    }
+}
+
+} // namespace apps

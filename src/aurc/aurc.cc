@@ -1,0 +1,938 @@
+#include "aurc/aurc.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace aurc
+{
+
+using dsm::Cat;
+using sim::NodeId;
+using sim::PageId;
+using sim::Tick;
+
+std::unique_ptr<dsm::Protocol>
+makeAurc(bool prefetch)
+{
+    return std::make_unique<Aurc>(prefetch);
+}
+
+std::string
+Aurc::name() const
+{
+    return prefetch_enabled_ ? "AURC+P" : "AURC";
+}
+
+void
+Aurc::attach(dsm::System &sys)
+{
+    sys_ = &sys;
+    const unsigned n = nprocs();
+    procs_.assign(n, ProcState{});
+    for (auto &ps : procs_) {
+        ps.vt = dsm::VectorClock(n);
+        ps.wcache.assign(cfg().write_cache_entries, WcEntry{});
+    }
+    const PageId used_pages =
+        (sys.heap().used() + cfg().page_bytes - 1) / cfg().page_bytes;
+    pages_.clear();
+    pages_.resize(used_pages);
+    prefetch_.assign(n, {});
+    copy_stamps_.clear();
+    copy_stamps_.resize(n);
+    incoming_done_.assign(n, 0);
+    ni_.clear();
+    for (unsigned i = 0; i < n; ++i)
+        ni_.emplace_back(sim::detail::format("aurc.ni.n%u", i));
+}
+
+NodeId
+Aurc::mergeNodeOf(const PageShare &sh) const
+{
+    if (sh.mode == Mode::home_based)
+        return sh.home;
+    return sh.pair[0];
+}
+
+bool
+Aurc::autoUpdated(const PageShare &sh, NodeId proc) const
+{
+    switch (sh.mode) {
+      case Mode::unshared:
+        return proc == sh.pair[0];
+      case Mode::pairwise:
+        return proc == sh.pair[0] || proc == sh.pair[1];
+      case Mode::home_based:
+        return proc == sh.home;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// intervals / invalidation
+// ---------------------------------------------------------------------
+
+void
+Aurc::closeInterval(NodeId proc)
+{
+    ProcState &ps = procs_[proc];
+    if (ps.open_dirty.empty())
+        return;
+    ++ps.vt[proc];
+    for (PageId page : ps.open_dirty) {
+        dsm::NodePage &pg = node(proc).pages.page(page);
+        pg.dirty_in_interval = false;
+        if (pg.access == dsm::Access::readwrite)
+            pg.access = dsm::Access::read;
+    }
+    ps.interval_pages.push_back(std::move(ps.open_dirty));
+    ps.open_dirty.clear();
+    node(proc).cpu.advance(
+        cfg().list_cycles * ps.interval_pages.back().size(), Cat::synch);
+}
+
+std::uint64_t
+Aurc::noticeCount(const dsm::VectorClock &from,
+                  const dsm::VectorClock &to) const
+{
+    std::uint64_t count = 0;
+    for (unsigned q = 0; q < from.size(); ++q) {
+        const ProcState &ps = procs_[q];
+        for (dsm::IntervalSeq s = from[q] + 1; s <= to[q]; ++s)
+            count += ps.interval_pages[s - 1].size();
+    }
+    return count;
+}
+
+void
+Aurc::applyInvalidations(NodeId proc, const dsm::VectorClock &from,
+                         const dsm::VectorClock &to)
+{
+    ProcState &me = procs_[proc];
+    dsm::PageStore &store = node(proc).pages;
+    for (unsigned q = 0; q < from.size(); ++q) {
+        if (q == proc)
+            continue;
+        const ProcState &ps = procs_[q];
+        for (dsm::IntervalSeq s = from[q] + 1; s <= to[q]; ++s) {
+            for (PageId page : ps.interval_pages[s - 1]) {
+                const PageShare &sh = pages_[page];
+                // Pairwise mappings and the home's own copy are kept
+                // current by the automatic updates: never invalidated.
+                if (autoUpdated(sh, proc))
+                    continue;
+                dsm::NodePage &pg = store.page(page);
+                if (!pg.present())
+                    continue;
+                if (pg.prefetch_pending) {
+                    auto it = prefetch_[proc].find(page);
+                    if (it != prefetch_[proc].end())
+                        it->second.invalidated_again = true;
+                    continue;
+                }
+                if (pg.access == dsm::Access::none)
+                    continue;
+                pg.access = dsm::Access::none;
+                node(proc).tlb.invalidate(page);
+                ++stats_.invalidations;
+                if (pg.prefetched_unused) {
+                    ++stats_.prefetches_useless;
+                    pg.prefetched_unused = false;
+                }
+                if (pg.referenced)
+                    me.invalidated.push_back(page);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// automatic updates
+// ---------------------------------------------------------------------
+
+void
+Aurc::sharedWrite(NodeId proc, PageId page, unsigned word, unsigned words)
+{
+    PageShare &sh = pages_[page];
+
+    // Record local write stamps at merge copies so that a delayed update
+    // from an earlier (synchronization-ordered) writer cannot regress a
+    // word this copy wrote later.
+    if (autoUpdated(sh, proc) &&
+        (sh.mode != Mode::unshared)) {
+        auto &stamps = copy_stamps_[proc][page];
+        if (!stamps) {
+            stamps = std::make_unique<std::uint32_t[]>(cfg().pageWords());
+            std::memset(stamps.get(), 0, cfg().pageWords() * 4);
+        }
+        for (unsigned w = word; w < word + words; ++w)
+            stamps[w] = ++write_stamp_;
+        // A pair member must still forward its writes to its partner.
+        if (sh.mode == Mode::home_based)
+            return;
+    }
+
+    // Determine whether this write must propagate anywhere.
+    NodeId dst = sim::invalid_node;
+    if (sh.mode == Mode::pairwise) {
+        if (proc == sh.pair[0])
+            dst = sh.pair[1];
+        else if (proc == sh.pair[1])
+            dst = sh.pair[0];
+    } else if (sh.mode == Mode::home_based && proc != sh.home) {
+        dst = sh.home;
+    }
+    if (dst == sim::invalid_node)
+        return;
+
+    for (unsigned w = word; w < word + words; ++w)
+        writeCachePush(proc, page, w);
+}
+
+void
+Aurc::writeCachePush(NodeId proc, PageId page, unsigned word)
+{
+    ProcState &ps = procs_[proc];
+    const std::uint32_t line = word / 8;
+    const unsigned off = word % 8;
+    const auto *data = reinterpret_cast<const std::uint32_t *>(
+        node(proc).pages.page(page).data.get());
+
+    for (WcEntry &e : ps.wcache) {
+        if (e.valid && e.page == page && e.line == line) {
+            e.mask |= 1u << off;
+            e.vals[off] = data[word];
+            e.stamps[off] = ++write_stamp_;
+            ++stats_.wcache_hits;
+            return;
+        }
+    }
+    // Miss: evict the FIFO victim and claim its slot.
+    WcEntry &victim = ps.wcache[ps.wc_next];
+    ps.wc_next = (ps.wc_next + 1) % ps.wcache.size();
+    if (victim.valid) {
+        sendUpdate(proc, victim);
+        ++stats_.wcache_evictions;
+    }
+    victim.valid = true;
+    victim.page = page;
+    victim.line = line;
+    victim.mask = 1u << off;
+    victim.vals[off] = data[word];
+    victim.stamps[off] = ++write_stamp_;
+}
+
+void
+Aurc::sendUpdate(NodeId proc, const WcEntry &e)
+{
+    PageShare &sh = pages_[e.page];
+    NodeId dst = sim::invalid_node;
+    if (sh.mode == Mode::pairwise) {
+        if (proc == sh.pair[0])
+            dst = sh.pair[1];
+        else if (proc == sh.pair[1])
+            dst = sh.pair[0];
+    } else if (sh.mode == Mode::home_based && proc != sh.home) {
+        dst = sh.home;
+    }
+    if (dst == sim::invalid_node)
+        return;
+
+    const unsigned words =
+        static_cast<unsigned>(__builtin_popcount(e.mask));
+    ++stats_.updates_sent;
+    stats_.update_words += words;
+
+    // The Shrimp NI snoops and sends without processor involvement,
+    // but each update occupies the NI pipeline for the per-message
+    // setup (an optimistic single cycle by default; figure 13's second
+    // experiment raises it to the full messaging overhead).
+    const Tick dep = ni_[proc].acquire(node(proc).cpu.localNow(),
+                                       cfg().update_overhead_cycles);
+    const Tick del =
+        sys_->net().send(dep, proc, dst, updateBytes(words));
+
+    // Capture values now (write-cache contents are value snapshots).
+    const WcEntry snap = e;
+    sys_->eq().schedule(del, [this, dst, snap, words, del]() {
+        dsm::Node &d = node(dst);
+        const Tick p = d.pci.transfer(del, words);
+        const Tick m = d.memory.access(p, words);
+        sys_->eq().schedule(m, [this, dst, snap, m]() {
+            dsm::NodePage &pg = node(dst).pages.page(snap.page);
+            if (!pg.present()) {
+                ++stats_.updates_dropped_absent;
+                return;
+            }
+            auto &stamps = copy_stamps_[dst][snap.page];
+            if (!stamps) {
+                stamps =
+                    std::make_unique<std::uint32_t[]>(cfg().pageWords());
+                std::memset(stamps.get(), 0, cfg().pageWords() * 4);
+            }
+            auto *w = reinterpret_cast<std::uint32_t *>(pg.data.get());
+            for (unsigned i = 0; i < 8; ++i) {
+                if (!(snap.mask & (1u << i)))
+                    continue;
+                const unsigned word = snap.line * 8 + i;
+                if (snap.stamps[i] > stamps[word]) {
+                    stamps[word] = snap.stamps[i];
+                    w[word] = snap.vals[i];
+                } else {
+                    ++stats_.updates_stamp_rejected;
+                }
+            }
+            // The destination CPU snoops the NI's memory writes.
+            node(dst).cache.invalidateRange(
+                static_cast<sim::GAddr>(snap.page) * cfg().page_bytes +
+                    snap.line * 32, 32);
+            PageShare &s2 = pages_[snap.page];
+            if (m > s2.updates_done_at)
+                s2.updates_done_at = m;
+        });
+        if (m > incoming_done_[dst])
+            incoming_done_[dst] = m;
+    });
+    if (del > sh.updates_done_at)
+        sh.updates_done_at = del; // refined upward at apply time
+    if (del > incoming_done_[dst])
+        incoming_done_[dst] = del;
+}
+
+void
+Aurc::flushPageEntries(NodeId proc, PageId page)
+{
+    ProcState &ps = procs_[proc];
+    for (WcEntry &e : ps.wcache) {
+        if (e.valid && e.page == page) {
+            sendUpdate(proc, e);
+            e.valid = false;
+        }
+    }
+}
+
+void
+Aurc::flushWriteCache(NodeId proc)
+{
+    ProcState &ps = procs_[proc];
+    unsigned flushed = 0;
+    for (WcEntry &e : ps.wcache) {
+        if (e.valid) {
+            sendUpdate(proc, e);
+            e.valid = false;
+            ++flushed;
+        }
+    }
+    if (flushed)
+        node(proc).cpu.advance(10 * flushed, Cat::synch);
+}
+
+// ---------------------------------------------------------------------
+// faults and page fetch
+// ---------------------------------------------------------------------
+
+void
+Aurc::ensureAccess(NodeId proc, PageId page, bool for_write)
+{
+    dsm::Node &n = node(proc);
+    dsm::NodePage &pg = n.pages.page(page);
+
+    if (nprocs() == 1) {
+        if (!pg.present())
+            n.pages.materialize(page);
+        pg.access = dsm::Access::readwrite;
+        return;
+    }
+
+    if (pg.present() && pg.access != dsm::Access::none &&
+        (!for_write || pg.access == dsm::Access::readwrite)) {
+        return;
+    }
+
+    // A pending prefetch: wait for it rather than faulting.
+    auto pit = prefetch_[proc].find(page);
+    if (pit != prefetch_[proc].end()) {
+        ++stats_.prefetch_demand_waits;
+        pit->second.demand_wait = true;
+        n.cpu.block(Cat::data);
+    }
+
+    if (!pg.present() || pg.access == dsm::Access::none)
+        faultIn(proc, page);
+
+    if (for_write && pg.access != dsm::Access::readwrite) {
+        // Write fault: cheap (no twins in AURC) - just the trap plus
+        // interval registration.
+        ++stats_.write_faults;
+        n.cpu.advance(cfg().interrupt_cycles, Cat::data);
+        pg.access = dsm::Access::readwrite;
+        if (!pg.dirty_in_interval) {
+            pg.dirty_in_interval = true;
+            procs_[proc].open_dirty.push_back(page);
+        }
+    }
+}
+
+void
+Aurc::faultIn(NodeId proc, PageId page)
+{
+    dsm::Node &n = node(proc);
+    PageShare &sh = pages_[page];
+    n.cpu.advance(cfg().interrupt_cycles, Cat::data); // VM trap
+
+    // Serialize transitions: wait while another fault is mid-fetch.
+    while (sh.fetch_in_flight) {
+        sh.fetch_waiters.push_back(proc);
+        n.cpu.block(Cat::data);
+        // Our copy may have become irrelevant to fetch again.
+        dsm::NodePage &mine = n.pages.page(page);
+        if (mine.present() && mine.access != dsm::Access::none)
+            return;
+    }
+
+    // --- sharing-set transitions (section 3.3) ---
+    NodeId src = sim::invalid_node;
+    switch (sh.mode) {
+      case Mode::unshared:
+        if (sh.pair[0] == sim::invalid_node || sh.pair[0] == proc) {
+            // First toucher: create the only copy, no traffic.
+            sh.pair[0] = proc;
+            dsm::NodePage &mine = n.pages.materialize(page);
+            mine.access = dsm::Access::read;
+            mine.referenced = false;
+            return;
+        }
+        // Second toucher: establish the bidirectional pair.
+        sh.pair[1] = proc;
+        sh.mode = Mode::pairwise;
+        ++stats_.pairwise_pages;
+        src = sh.pair[0];
+        break;
+
+      case Mode::pairwise:
+        if (proc == sh.pair[0] || proc == sh.pair[1]) {
+            // A pair member should never fault; refresh defensively.
+            src = proc == sh.pair[0] ? sh.pair[1] : sh.pair[0];
+        } else if (!sh.replaced_once) {
+            // Third toucher replaces the first (init-effect avoidance).
+            const NodeId evicted = sh.pair[0];
+            // Tearing down the evicted node's mapping flushes its
+            // pending deposits first (while the old routing is intact),
+            // exactly as unmapping a Shrimp segment would.
+            flushPageEntries(evicted, page);
+            sh.pair[0] = sh.pair[1];
+            sh.pair[1] = proc;
+            sh.replaced_once = true;
+            ++stats_.pair_replacements;
+            dsm::NodePage &ev = node(evicted).pages.page(page);
+            if (ev.present())
+                ev.access = dsm::Access::none;
+            src = sh.pair[0];
+        } else {
+            // Further sharers: revert to write-through to a home node.
+            sh.mode = Mode::home_based;
+            sh.home = sh.pair[0];
+            ++stats_.reverts_to_home;
+            src = sh.home;
+        }
+        break;
+
+      case Mode::home_based:
+        src = sh.home;
+        break;
+    }
+
+    ncp2_assert(src != sim::invalid_node && src != proc,
+                "bad AURC fetch source");
+    ++stats_.page_fetches;
+    sh.fetch_in_flight = true;
+    fetchPage(proc, src, page, false, [this, proc, page]() {
+        PageShare &s2 = pages_[page];
+        s2.fetch_in_flight = false;
+        std::vector<NodeId> waiters;
+        std::swap(waiters, s2.fetch_waiters);
+        node(proc).cpu.wake();
+        for (NodeId w : waiters)
+            node(w).cpu.wake();
+    });
+    n.cpu.block(Cat::data);
+
+    dsm::NodePage &pg = n.pages.page(page);
+    pg.access = dsm::Access::read;
+    pg.referenced = false;
+    pg.prefetched_unused = false;
+    sys_->snoopInvalidatePage(proc, page);
+}
+
+void
+Aurc::fetchPage(NodeId proc, NodeId src, PageId page, bool is_prefetch,
+                std::function<void()> on_done)
+{
+    const Cat cat = is_prefetch ? Cat::synch : Cat::data;
+    fiberSend(proc, src, pageReqBytes(), cat,
+              [this, proc, src, page, is_prefetch,
+               on_done = std::move(on_done)](Tick) {
+        // At the source: processor intervention (AURC has no protocol
+        // controller), then a reply that may wait for in-flight updates
+        // to drain (the flush/lock-timestamp check).
+        dsm::Node &s = node(src);
+        const Tick now = sys_->eq().now();
+        const Tick mem_done = s.memory.access(now, cfg().pageWords());
+        const Tick svc_done = s.cpu.interrupt(
+            cfg().interrupt_cycles + cfg().list_cycles * 4 +
+            (mem_done - now));
+        PageShare &sh = pages_[page];
+        Tick ready = svc_done;
+        if (sh.updates_done_at > ready) {
+            ready = sh.updates_done_at;
+            ++stats_.update_drain_waits;
+        }
+        sys_->eq().schedule(ready, [this, proc, src, page, is_prefetch,
+                                    on_done]() {
+            eventSend(src, proc, pageReplyBytes(),
+                      [this, proc, src, page, is_prefetch,
+                       on_done](Tick t) {
+                dsm::Node &me = node(proc);
+                const Tick p = me.pci.transfer(t, cfg().pageWords());
+                const Tick m = me.memory.access(p, cfg().pageWords());
+                // Prefetched pages additionally require the processor to
+                // remap them on arrival (paper: prefetch servicing
+                // requires processor intervention).
+                Tick done = m;
+                if (is_prefetch)
+                    done = std::max(m, me.cpu.interrupt(200));
+                sys_->eq().schedule(done, [this, proc, src, page,
+                                           on_done]() {
+                    // Copy from the live source at install time: updates
+                    // that raced the fetch toward our (not yet mapped)
+                    // copy are thereby included; later-arriving ones are
+                    // stamp-merged on top.
+                    dsm::NodePage &sp = node(src).pages.page(page);
+                    ncp2_assert(sp.present(),
+                                "AURC fetch from an absent copy");
+                    dsm::NodePage &mp = node(proc).pages.materialize(page);
+                    std::memcpy(mp.data.get(), sp.data.get(),
+                                cfg().page_bytes);
+                    // Inherit the source's word stamps so an in-flight
+                    // older update cannot regress a snapshot value.
+                    auto sit = copy_stamps_[src].find(page);
+                    if (sit != copy_stamps_[src].end()) {
+                        auto &mine = copy_stamps_[proc][page];
+                        if (!mine) {
+                            mine = std::make_unique<std::uint32_t[]>(
+                                cfg().pageWords());
+                        }
+                        std::memcpy(mine.get(), sit->second.get(),
+                                    cfg().pageWords() * 4);
+                    }
+                    on_done();
+                });
+            });
+        });
+    });
+}
+
+// ---------------------------------------------------------------------
+// prefetching (AURC+P)
+// ---------------------------------------------------------------------
+
+void
+Aurc::issuePrefetches(NodeId proc)
+{
+    ProcState &ps = procs_[proc];
+    if (!prefetch_enabled_) {
+        ps.invalidated.clear();
+        return;
+    }
+    std::vector<PageId> cands;
+    std::swap(cands, ps.invalidated);
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+    dsm::Node &n = node(proc);
+    for (PageId page : cands) {
+        dsm::NodePage &pg = n.pages.page(page);
+        if (!pg.present() || pg.access != dsm::Access::none ||
+            pg.prefetch_pending || !pg.referenced) {
+            continue;
+        }
+        const PageShare &sh = pages_[page];
+        const NodeId src = mergeNodeOf(sh);
+        if (src == sim::invalid_node || src == proc || sh.fetch_in_flight)
+            continue;
+
+        pg.prefetch_pending = true;
+        prefetch_[proc][page] = PagePrefetch{};
+        ++stats_.prefetches_issued;
+
+        fetchPage(proc, src, page, true, [this, proc, page]() {
+            auto it = prefetch_[proc].find(page);
+            if (it == prefetch_[proc].end())
+                return;
+            const bool demand_wait = it->second.demand_wait;
+            const bool stale = it->second.invalidated_again;
+            prefetch_[proc].erase(it);
+
+            dsm::Node &nd = node(proc);
+            dsm::NodePage &pg2 = nd.pages.page(page);
+            pg2.prefetch_pending = false;
+            if (!stale) {
+                pg2.access = dsm::Access::read;
+                pg2.referenced = false;
+                pg2.prefetched_unused = !demand_wait;
+                sys_->snoopInvalidatePage(proc, page);
+            }
+            if (demand_wait)
+                nd.cpu.wake();
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// message helpers (everything runs on the computation processors)
+// ---------------------------------------------------------------------
+
+void
+Aurc::fiberSend(NodeId proc, NodeId dst, std::uint32_t bytes, Cat cat,
+                std::function<void(Tick)> fn)
+{
+    dsm::Node &n = node(proc);
+    n.cpu.flush();
+    n.cpu.advance(cfg().net.msg_overhead, cat);
+    n.cpu.flush();
+    const Tick dep = sys_->eq().now();
+    const Tick del = sys_->net().send(dep, proc, dst, bytes);
+    sys_->eq().schedule(del, [fn = std::move(fn), del]() { fn(del); });
+}
+
+void
+Aurc::eventSend(NodeId src, NodeId dst, std::uint32_t bytes,
+                std::function<void(Tick)> fn)
+{
+    const Tick done = node(src).cpu.interrupt(cfg().net.msg_overhead);
+    const Tick del = sys_->net().send(done, src, dst, bytes);
+    sys_->eq().schedule(del, [fn = std::move(fn), del]() { fn(del); });
+}
+
+// ---------------------------------------------------------------------
+// locks and barriers (notice exchange without diffs)
+// ---------------------------------------------------------------------
+
+void
+Aurc::acquire(NodeId proc, unsigned lock_id)
+{
+    dsm::Node &n = node(proc);
+    ++stats_.lock_acquires;
+
+    if (nprocs() == 1) {
+        n.cpu.advance(20, Cat::synch);
+        return;
+    }
+
+    LockState &lk = locks_[lock_id];
+    if (lk.has_owner && lk.owner == proc && !lk.held && !lk.granting &&
+        lk.waiters.empty()) {
+        n.cpu.advance(40, Cat::synch);
+        lk.held = true;
+        return;
+    }
+
+    const NodeId manager = static_cast<NodeId>(lock_id % nprocs());
+    fiberSend(proc, manager, lockReqBytes(), Cat::synch,
+              [this, proc, lock_id, manager](Tick) {
+                  node(manager).cpu.interrupt(cfg().interrupt_cycles +
+                                              cfg().list_cycles * 2);
+                  locks_[lock_id].waiters.push_back(proc);
+                  pumpLock(lock_id, manager);
+              });
+    n.cpu.block(Cat::synch);
+
+    n.cpu.advance(cfg().list_cycles *
+                      (procs_[proc].invalidated.size() + 1),
+                  Cat::synch);
+    issuePrefetches(proc);
+}
+
+void
+Aurc::pumpLock(unsigned lock_id, NodeId manager)
+{
+    LockState &l = locks_[lock_id];
+    if (l.held || l.granting || l.waiters.empty())
+        return;
+    l.granting = true;
+    const NodeId next = l.waiters.front();
+    l.waiters.pop_front();
+
+    if (!l.has_owner) {
+        l.has_owner = true;
+        grantLock(lock_id, manager, next, false);
+        return;
+    }
+    const NodeId o = l.owner;
+    eventSend(manager, o, lockReqBytes(), [this, lock_id, o, next](Tick) {
+        LockState &l2 = locks_[lock_id];
+        if (l2.held) {
+            l2.has_pending = true;
+            l2.pending = next;
+        } else {
+            grantLock(lock_id, o, next, false);
+        }
+    });
+}
+
+void
+Aurc::grantLock(unsigned lock_id, NodeId from, NodeId to, bool from_fiber)
+{
+    LockState &lk = locks_[lock_id];
+    dsm::VectorClock grant_vt = lk.release_vt.size()
+        ? lk.release_vt
+        : dsm::VectorClock(nprocs());
+    if (from == to)
+        grant_vt = procs_[from].vt;
+
+    const std::uint64_t notices = noticeCount(procs_[to].vt, grant_vt);
+
+    lk.held = true;
+    lk.owner = to;
+    lk.granting = false;
+
+    if (from == to) {
+        deliverGrant(lock_id, to, grant_vt);
+        return;
+    }
+
+    if (from_fiber) {
+        node(from).cpu.advance(cfg().list_cycles * notices, Cat::synch);
+        fiberSend(from, to, grantBytes(notices), Cat::synch,
+                  [this, lock_id, to, grant_vt](Tick) {
+                      deliverGrant(lock_id, to, grant_vt);
+                  });
+    } else {
+        const Tick done = node(from).cpu.interrupt(
+            cfg().interrupt_cycles + cfg().list_cycles * notices);
+        sys_->eq().schedule(done, [this, lock_id, from, to, grant_vt,
+                                   notices]() {
+            eventSend(from, to, grantBytes(notices),
+                      [this, lock_id, to, grant_vt](Tick) {
+                          deliverGrant(lock_id, to, grant_vt);
+                      });
+        });
+    }
+}
+
+void
+Aurc::deliverGrant(unsigned lock_id, NodeId to, dsm::VectorClock grant_vt)
+{
+    // Honour the flush timestamps: the acquirer may not proceed until
+    // every update already headed for its memory has been deposited.
+    const Tick now = sys_->eq().now();
+    if (incoming_done_[to] > now) {
+        ++stats_.update_drain_waits;
+        sys_->eq().schedule(incoming_done_[to],
+                            [this, lock_id, to, grant_vt]() {
+                                deliverGrant(lock_id, to, grant_vt);
+                            });
+        return;
+    }
+    (void)lock_id;
+    ProcState &ps = procs_[to];
+    applyInvalidations(to, ps.vt, grant_vt);
+    ps.vt.merge(grant_vt);
+    node(to).cpu.wake();
+}
+
+void
+Aurc::release(NodeId proc, unsigned lock_id)
+{
+    dsm::Node &n = node(proc);
+    if (nprocs() == 1) {
+        n.cpu.advance(10, Cat::synch);
+        return;
+    }
+
+    closeInterval(proc);
+    // Flush the write cache and propagate flush timestamps before the
+    // lock can move on.
+    flushWriteCache(proc);
+
+    LockState &lk = locks_[lock_id];
+    ncp2_assert(lk.held && lk.owner == proc,
+                "release of lock %u not held by %u", lock_id, proc);
+    lk.held = false;
+    lk.release_vt = procs_[proc].vt;
+
+    if (lk.has_pending) {
+        lk.has_pending = false;
+        grantLock(lock_id, proc, lk.pending, true);
+    } else if (!lk.waiters.empty() && !lk.granting) {
+        lk.granting = true;
+        const NodeId next = lk.waiters.front();
+        lk.waiters.pop_front();
+        grantLock(lock_id, proc, next, true);
+    } else {
+        n.cpu.advance(10, Cat::synch);
+    }
+}
+
+void
+Aurc::barrier(NodeId proc, unsigned barrier_id)
+{
+    dsm::Node &n = node(proc);
+    if (nprocs() == 1) {
+        n.cpu.advance(10, Cat::synch);
+        return;
+    }
+
+    closeInterval(proc);
+    flushWriteCache(proc);
+
+    if (mgr_known_vt_.size() == 0)
+        mgr_known_vt_ = dsm::VectorClock(nprocs());
+    auto &bar = barriers_[barrier_id];
+    if (bar.merged_vt.size() == 0)
+        bar.merged_vt = mgr_known_vt_;
+
+    ProcState &ps = procs_[proc];
+    const std::uint64_t up_notices = noticeCount(mgr_known_vt_, ps.vt);
+
+    fiberSend(proc, 0, grantBytes(up_notices), Cat::synch,
+              [this, proc, barrier_id, up_notices](Tick) {
+        auto &b = barriers_[barrier_id];
+        dsm::Node &mgr = node(0);
+        const Tick done = mgr.cpu.interrupt(
+            cfg().interrupt_cycles + cfg().list_cycles * up_notices);
+        b.merged_vt.merge(procs_[proc].vt);
+        if (done > b.ready_at)
+            b.ready_at = done;
+        if (++b.arrived < nprocs())
+            return;
+
+        ++stats_.barriers;
+        const dsm::VectorClock final_vt = b.merged_vt;
+        mgr_known_vt_.merge(final_vt);
+        sys_->eq().schedule(b.ready_at, [this, barrier_id, final_vt]() {
+            for (unsigned q = 0; q < nprocs(); ++q) {
+                const std::uint64_t down =
+                    noticeCount(procs_[q].vt, final_vt);
+                eventSend(0, q, grantBytes(down),
+                          [this, q, final_vt](Tick t) {
+                              // Barrier releases obey the same
+                              // flush-timestamp rule as lock grants.
+                              const Tick ready =
+                                  std::max(t, incoming_done_[q]);
+                              if (ready > t)
+                                  ++stats_.update_drain_waits;
+                              sys_->eq().schedule(ready, [this, q,
+                                                          final_vt]() {
+                                  ProcState &pq = procs_[q];
+                                  applyInvalidations(q, pq.vt, final_vt);
+                                  pq.vt.merge(final_vt);
+                                  node(q).cpu.wake();
+                              });
+                          });
+            }
+            barriers_.erase(barrier_id);
+        });
+    });
+    n.cpu.block(Cat::synch);
+
+    n.cpu.advance(cfg().list_cycles *
+                      (procs_[proc].invalidated.size() + 1),
+                  Cat::synch);
+    issuePrefetches(proc);
+}
+
+// ---------------------------------------------------------------------
+// validation-time reconstruction
+// ---------------------------------------------------------------------
+
+void
+Aurc::readCoherent(PageId page, std::uint8_t *out)
+{
+    if (page >= pages_.size()) {
+        std::memset(out, 0, cfg().page_bytes);
+        return;
+    }
+    if (nprocs() == 1) {
+        const dsm::NodePage &p0 = node(0).pages.page(page);
+        if (p0.present())
+            std::memcpy(out, p0.data.get(), cfg().page_bytes);
+        else
+            std::memset(out, 0, cfg().page_bytes);
+        return;
+    }
+    PageShare &sh = pages_[page];
+    const NodeId merge = mergeNodeOf(sh);
+    if (merge == sim::invalid_node) {
+        std::memset(out, 0, cfg().page_bytes);
+        return;
+    }
+    const dsm::NodePage &mp = node(merge).pages.page(page);
+    if (!mp.present()) {
+        std::memset(out, 0, cfg().page_bytes);
+        return;
+    }
+    std::memcpy(out, mp.data.get(), cfg().page_bytes);
+
+    // Fold in any write-cache entries not yet flushed (writes after the
+    // final release), honouring the per-word stamps.
+    auto *words = reinterpret_cast<std::uint32_t *>(out);
+    std::vector<std::uint32_t> stamp(cfg().pageWords(), 0);
+    auto it = copy_stamps_[merge].find(page);
+    if (it != copy_stamps_[merge].end())
+        std::memcpy(stamp.data(), it->second.get(), cfg().pageWords() * 4);
+    for (unsigned q = 0; q < nprocs(); ++q) {
+        if (q == merge)
+            continue;
+        for (const WcEntry &e : procs_[q].wcache) {
+            if (!e.valid || e.page != page)
+                continue;
+            for (unsigned i = 0; i < 8; ++i) {
+                if (!(e.mask & (1u << i)))
+                    continue;
+                const unsigned w = e.line * 8 + i;
+                if (e.stamps[i] > stamp[w]) {
+                    stamp[w] = e.stamps[i];
+                    words[w] = e.vals[i];
+                }
+            }
+        }
+    }
+}
+
+void
+Aurc::finalize()
+{
+    for (unsigned p = 0; p < nprocs(); ++p) {
+        dsm::PageStore &store = node(p).pages;
+        for (PageId pg = 0; pg < pages_.size(); ++pg) {
+            if (store.page(pg).prefetched_unused)
+                ++stats_.prefetches_useless;
+        }
+    }
+
+    auto &x = sys_->extra_stats;
+    x["aurc.updates_sent"] = static_cast<double>(stats_.updates_sent);
+    x["aurc.update_words"] = static_cast<double>(stats_.update_words);
+    x["aurc.wcache_hits"] = static_cast<double>(stats_.wcache_hits);
+    x["aurc.page_fetches"] = static_cast<double>(stats_.page_fetches);
+    x["aurc.pairwise_pages"] = static_cast<double>(stats_.pairwise_pages);
+    x["aurc.reverts_to_home"] =
+        static_cast<double>(stats_.reverts_to_home);
+    x["aurc.invalidations"] = static_cast<double>(stats_.invalidations);
+    x["aurc.lock_acquires"] = static_cast<double>(stats_.lock_acquires);
+    x["aurc.barriers"] = static_cast<double>(stats_.barriers);
+    x["aurc.prefetches"] = static_cast<double>(stats_.prefetches_issued);
+    x["aurc.prefetches_useless"] =
+        static_cast<double>(stats_.prefetches_useless);
+    x["aurc.updates_dropped_absent"] =
+        static_cast<double>(stats_.updates_dropped_absent);
+    x["aurc.updates_stamp_rejected"] =
+        static_cast<double>(stats_.updates_stamp_rejected);
+    x["aurc.update_drain_waits"] =
+        static_cast<double>(stats_.update_drain_waits);
+}
+
+} // namespace aurc

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * AURC: automatic-update release consistency with optimized pairwise
+ * sharing (Iftode et al., HPCA'96), as described in section 3.3 of the
+ * paper, plus the paper's prefetching variant (AURC+P).
+ *
+ * Mechanism summary:
+ *  - shared stores are write-through; a Shrimp-style network interface
+ *    snoops them and propagates *automatic updates* through a small
+ *    combining write cache, with (optimistically) one cycle of
+ *    per-message overhead;
+ *  - a page shared by exactly two processors is mapped bidirectionally:
+ *    each sharer's writes update the other's memory directly, so page
+ *    faults and fetches never occur between them. The third processor to
+ *    access the page replaces the first in the pair; any further sharer
+ *    reverts the page to write-through to a *home node*;
+ *  - pages with a home store data and directory there; all writers
+ *    forward updates to the home, where modifications merge;
+ *  - consistency is release-based: lock/barrier transfer carries write
+ *    notices; the acquirer invalidates out-of-date pages (never pairwise
+ *    mappings or the home's own copy). A page fault fetches the whole
+ *    page from the home after all in-flight updates to it have drained
+ *    (the flush/lock-timestamp check);
+ *  - AURC+P additionally prefetches whole pages from their homes for
+ *    invalidated cached-and-referenced pages at acquire time. There is
+ *    no protocol controller: prefetch servicing interrupts processors.
+ *
+ * Update application is ordered by per-word write stamps so that
+ * network-reordered updates from synchronization-ordered writers cannot
+ * regress a word (the role flush timestamps play in real AURC).
+ */
+
+#ifndef NCP2_AURC_AURC_HH
+#define NCP2_AURC_AURC_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/config.hh"
+#include "dsm/page.hh"
+#include "dsm/protocol.hh"
+#include "dsm/system.hh"
+#include "dsm/vclock.hh"
+#include "sim/resource.hh"
+
+namespace aurc
+{
+
+/** AURC statistics (inputs to figures 11-16). */
+struct AurcStats
+{
+    std::uint64_t updates_sent = 0;     ///< update messages on the wire
+    std::uint64_t update_words = 0;
+    std::uint64_t wcache_hits = 0;      ///< stores combined in the write cache
+    std::uint64_t wcache_evictions = 0;
+    std::uint64_t page_fetches = 0;
+    std::uint64_t write_faults = 0;
+    std::uint64_t pairwise_pages = 0;   ///< pages that ever became pairwise
+    std::uint64_t pair_replacements = 0;
+    std::uint64_t reverts_to_home = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t lock_acquires = 0;
+    std::uint64_t barriers = 0;
+    std::uint64_t prefetches_issued = 0;
+    std::uint64_t prefetches_useless = 0;
+    std::uint64_t prefetch_demand_waits = 0;
+    std::uint64_t update_drain_waits = 0; ///< fetches delayed by in-flight updates
+    std::uint64_t updates_dropped_absent = 0; ///< update hit an unmapped copy
+    std::uint64_t updates_stamp_rejected = 0; ///< word older than the copy
+};
+
+/** The AURC protocol (optionally with page prefetching). */
+class Aurc : public dsm::Protocol
+{
+  public:
+    explicit Aurc(bool prefetch) : prefetch_enabled_(prefetch) {}
+
+    void attach(dsm::System &sys) override;
+    void ensureAccess(sim::NodeId proc, sim::PageId page,
+                      bool for_write) override;
+    void sharedWrite(sim::NodeId proc, sim::PageId page, unsigned word,
+                     unsigned words) override;
+    void acquire(sim::NodeId proc, unsigned lock_id) override;
+    void release(sim::NodeId proc, unsigned lock_id) override;
+    void barrier(sim::NodeId proc, unsigned barrier_id) override;
+    std::string name() const override;
+    void readCoherent(sim::PageId page, std::uint8_t *out) override;
+    void finalize() override;
+
+    const AurcStats &stats() const { return stats_; }
+
+  private:
+    /** Sharing mode of one page. */
+    enum class Mode : std::uint8_t
+    {
+        unshared,   ///< zero or one toucher
+        pairwise,   ///< two sharers, bidirectional mapping
+        home_based, ///< three or more: write-through to home
+    };
+
+    /** Global sharing state of one page. */
+    struct PageShare
+    {
+        Mode mode = Mode::unshared;
+        sim::NodeId pair[2] = {sim::invalid_node, sim::invalid_node};
+        sim::NodeId home = sim::invalid_node;
+        bool replaced_once = false; ///< the 3rd-toucher swap happened
+        /// Drain horizon: all updates to this page sent so far have been
+        /// applied at their destination by this tick.
+        sim::Tick updates_done_at = 0;
+        /// A demand fetch (and its sharing transition) is in flight;
+        /// later faulters queue so transitions stay serialized.
+        bool fetch_in_flight = false;
+        std::vector<sim::NodeId> fetch_waiters;
+    };
+
+    /** One write-cache entry (a combining store buffer line). */
+    struct WcEntry
+    {
+        bool valid = false;
+        sim::PageId page = 0;
+        std::uint32_t line = 0;           ///< line index within the page
+        std::uint32_t mask = 0;           ///< dirty words within the line
+        std::uint32_t vals[8] = {};
+        std::uint32_t stamps[8] = {};
+    };
+
+    /** Per-processor protocol state. */
+    struct ProcState
+    {
+        dsm::VectorClock vt;
+        std::vector<std::vector<sim::PageId>> interval_pages;
+        std::vector<sim::PageId> open_dirty;
+        std::vector<sim::PageId> invalidated; ///< prefetch candidates
+        std::vector<WcEntry> wcache;
+        unsigned wc_next = 0; ///< FIFO cursor
+    };
+
+    struct LockState
+    {
+        bool held = false;
+        bool has_owner = false;
+        bool granting = false;
+        bool has_pending = false;
+        sim::NodeId pending = 0;
+        sim::NodeId owner = 0;
+        dsm::VectorClock release_vt;
+        std::deque<sim::NodeId> waiters;
+    };
+
+    struct BarrierState
+    {
+        unsigned arrived = 0;
+        sim::Tick ready_at = 0;
+        dsm::VectorClock merged_vt;
+    };
+
+    struct PagePrefetch
+    {
+        bool demand_wait = false;
+        /// New write notices for this page arrived while the prefetch
+        /// was in flight; the fetched copy must not be revalidated.
+        bool invalidated_again = false;
+    };
+
+    // helpers
+    unsigned nprocs() const { return sys_->nprocs(); }
+    dsm::Node &node(sim::NodeId n) { return sys_->node(n); }
+    const dsm::SysConfig &cfg() const { return sys_->cfg(); }
+
+    /** The node holding the authoritative (merge) copy of @p page. */
+    sim::NodeId mergeNodeOf(const PageShare &sh) const;
+
+    /** True if @p proc's copy is kept current by automatic updates. */
+    bool autoUpdated(const PageShare &sh, sim::NodeId proc) const;
+
+    void closeInterval(sim::NodeId proc);
+    std::uint64_t noticeCount(const dsm::VectorClock &from,
+                              const dsm::VectorClock &to) const;
+    void applyInvalidations(sim::NodeId proc, const dsm::VectorClock &from,
+                            const dsm::VectorClock &to);
+
+    /** Push one word into the write cache, evicting as needed. */
+    void writeCachePush(sim::NodeId proc, sim::PageId page, unsigned word);
+
+    /** Emit one write-cache entry as an automatic update message. */
+    void sendUpdate(sim::NodeId proc, const WcEntry &e);
+
+    /** Flush the whole write cache (at releases/barriers). */
+    void flushWriteCache(sim::NodeId proc);
+
+    /** Flush one node's pending entries for one page (unmap teardown). */
+    void flushPageEntries(sim::NodeId proc, sim::PageId page);
+
+    /** Demand fault: sharing transition + page fetch. Blocks. */
+    void faultIn(sim::NodeId proc, sim::PageId page);
+
+    /**
+     * Fetch the page bytes from @p src into @p proc's copy, honouring
+     * the update-drain horizon; calls @p on_done at install time.
+     */
+    void fetchPage(sim::NodeId proc, sim::NodeId src, sim::PageId page,
+                   bool is_prefetch, std::function<void()> on_done);
+
+    void issuePrefetches(sim::NodeId proc);
+
+    void grantLock(unsigned lock_id, sim::NodeId from, sim::NodeId to,
+                   bool from_fiber);
+    void pumpLock(unsigned lock_id, sim::NodeId manager);
+    void deliverGrant(unsigned lock_id, sim::NodeId to,
+                      dsm::VectorClock grant_vt);
+
+    /** CPU-charged message send from the fiber. */
+    void fiberSend(sim::NodeId proc, sim::NodeId dst, std::uint32_t bytes,
+                   dsm::Cat cat, std::function<void(sim::Tick)> fn);
+
+    /** CPU-interrupt message send from event context. */
+    void eventSend(sim::NodeId src, sim::NodeId dst, std::uint32_t bytes,
+                   std::function<void(sim::Tick)> fn);
+
+    std::uint32_t lockReqBytes() const { return 16 + 4 * nprocs(); }
+    std::uint32_t grantBytes(std::uint64_t notices) const
+    {
+        return 24 + 4 * nprocs() +
+               static_cast<std::uint32_t>(8 * notices);
+    }
+    std::uint32_t pageReqBytes() const { return 16; }
+    std::uint32_t pageReplyBytes() const { return cfg().page_bytes + 32; }
+    std::uint32_t
+    updateBytes(unsigned words) const
+    {
+        return 8 + 4 * words;
+    }
+
+    bool prefetch_enabled_;
+    dsm::System *sys_ = nullptr;
+    std::vector<ProcState> procs_;
+    std::vector<PageShare> pages_;
+    std::unordered_map<unsigned, LockState> locks_;
+    std::unordered_map<unsigned, BarrierState> barriers_;
+    dsm::VectorClock mgr_known_vt_;
+    std::vector<std::unordered_map<sim::PageId, PagePrefetch>> prefetch_;
+    /// Per-node horizon: every automatic update destined to this node
+    /// that has been sent so far will have been applied by this tick.
+    /// Synchronization deliveries (lock grants, barrier releases) wait
+    /// for it - the flush/lock-timestamp check for copies that never
+    /// fault (pairwise members, homes).
+    std::vector<sim::Tick> incoming_done_;
+    /// Per-node NI send pipeline: each automatic update occupies it for
+    /// the per-update overhead, so expensive updates throttle senders
+    /// (figure 13's second experiment).
+    std::vector<sim::Resource> ni_;
+    /// Per-copy word stamps (node -> page -> stamps), allocated lazily
+    /// for copies that merge writes from multiple processors.
+    std::vector<std::unordered_map<sim::PageId,
+        std::unique_ptr<std::uint32_t[]>>> copy_stamps_;
+    std::uint32_t write_stamp_ = 0;
+    AurcStats stats_;
+};
+
+/** Factory helper used by benches and tests. */
+std::unique_ptr<dsm::Protocol> makeAurc(bool prefetch);
+
+} // namespace aurc
+
+#endif // NCP2_AURC_AURC_HH

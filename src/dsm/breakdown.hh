@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Execution-time breakdown accounting, matching figure 2 of the paper.
+ *
+ * Every cycle of a computation processor's execution is attributed to one
+ * category: busy (useful work), data (page/diff fetch stalls), synch
+ * (lock/barrier waits including interval and write-notice processing),
+ * ipc (servicing requests from remote processors), and "others" (TLB
+ * fills, cache misses to local memory, write-buffer stalls, interrupt
+ * entry/exit). The paper additionally labels each bar with the share of
+ * time spent in diff-related operations (twinning + diff creation +
+ * application), which we track separately.
+ */
+
+#ifndef NCP2_DSM_BREAKDOWN_HH
+#define NCP2_DSM_BREAKDOWN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace dsm
+{
+
+/** Where a processor cycle went. */
+enum class Cat : unsigned
+{
+    busy = 0,     ///< application computation + cache-hit accesses
+    data,         ///< stalled fetching pages/diffs (coherence misses)
+    synch,        ///< lock/barrier latency incl. notice processing
+    ipc,          ///< stolen to service remote requests
+    other_cache,  ///< local-memory cache-miss latency
+    other_tlb,    ///< TLB fill latency
+    other_wb,     ///< write-buffer-full stalls
+    other_int,    ///< interrupt entry/exit not attributable elsewhere
+    num_cats
+};
+
+constexpr unsigned num_cats = static_cast<unsigned>(Cat::num_cats);
+
+inline const char *
+catName(Cat c)
+{
+    switch (c) {
+      case Cat::busy: return "busy";
+      case Cat::data: return "data";
+      case Cat::synch: return "synch";
+      case Cat::ipc: return "ipc";
+      case Cat::other_cache: return "other.cache";
+      case Cat::other_tlb: return "other.tlb";
+      case Cat::other_wb: return "other.wb";
+      case Cat::other_int: return "other.int";
+      default: return "?";
+    }
+}
+
+/** Per-processor cycle attribution plus diff-operation bookkeeping. */
+struct Breakdown
+{
+    std::array<std::uint64_t, num_cats> cycles{};
+
+    /// Cycles the *computation processor* spent on twin creation and
+    /// diff creation/application (the paper's per-bar percentage label).
+    std::uint64_t diff_op_cycles = 0;
+    /// Diff-op cycles executed by the protocol controller instead
+    /// (overlapped; not on the CPU's critical path unless waited on).
+    std::uint64_t diff_op_ctrl_cycles = 0;
+
+    void
+    add(Cat c, sim::Cycles n)
+    {
+        cycles[static_cast<unsigned>(c)] += n;
+    }
+
+    std::uint64_t get(Cat c) const { return cycles[static_cast<unsigned>(c)]; }
+
+    std::uint64_t
+    others() const
+    {
+        return get(Cat::other_cache) + get(Cat::other_tlb) +
+               get(Cat::other_wb) + get(Cat::other_int);
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (auto v : cycles)
+            t += v;
+        return t;
+    }
+
+    Breakdown &
+    operator+=(const Breakdown &o)
+    {
+        for (unsigned i = 0; i < num_cats; ++i)
+            cycles[i] += o.cycles[i];
+        diff_op_cycles += o.diff_op_cycles;
+        diff_op_ctrl_cycles += o.diff_op_ctrl_cycles;
+        return *this;
+    }
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_BREAKDOWN_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * System configuration: Table 1 of the paper plus protocol/run options.
+ *
+ * All times are in 10 ns processor cycles; the computation processor,
+ * the protocol-controller core and its DMA engine run at the same clock
+ * (paper section 4.1).
+ */
+
+#ifndef NCP2_DSM_CONFIG_HH
+#define NCP2_DSM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+#include "net/mesh.hh"
+#include "pcib/pci_bus.hh"
+#include "sim/types.hh"
+
+namespace dsm
+{
+
+/** Which software-DSM protocol runs the coherence. */
+enum class ProtocolKind
+{
+    treadmarks, ///< lazy release consistency with diffs
+    aurc,       ///< automatic updates + optimized pairwise sharing
+};
+
+/**
+ * Diff-prefetching strategy (the paper evaluates only `always`; its
+ * companion report - Bianchini, Pinto & Amorim, "Page Fault Behavior
+ * and Prefetching in Software DSMs", ES-401/96 - proposes adaptive
+ * variants, which we implement as extensions for the ablation bench).
+ */
+enum class PrefetchStrategy
+{
+    always,   ///< the paper's heuristic: every invalidated cached-and-
+              ///< referenced page is prefetched
+    adaptive, ///< per-page usefulness history: a page whose prefetches
+              ///< keep going unused stops being prefetched
+    capped,   ///< at most K prefetches per synchronization event, so
+              ///< requests cannot cluster into a traffic burst
+};
+
+/**
+ * The paper's overlap techniques. Base TreadMarks is no flags; the six
+ * evaluated variants are Base, I, I+D, P, I+P, I+P+D. AURC uses only
+ * the prefetch flag.
+ */
+struct OverlapMode
+{
+    bool offload = false;  ///< "I": controller runs basic protocol tasks
+    bool hw_diffs = false; ///< "D": snooped bit vectors + DMA diff engine
+    bool prefetch = false; ///< "P": diff/page prefetching at acquires
+    PrefetchStrategy prefetch_strategy = PrefetchStrategy::always;
+    unsigned prefetch_cap = 4; ///< per-sync budget for `capped`
+    /// Lazy Hybrid (Dwarkadas et al. '93, contrasted with prefetching in
+    /// the paper's section 6): the releaser piggybacks its own diffs on
+    /// the lock-grant message for pages the acquirer caches, so those
+    /// pages need neither invalidation nor a later fault.
+    bool lazy_hybrid = false;
+
+    std::string
+    label() const
+    {
+        if (!offload && !hw_diffs && !prefetch)
+            return "Base";
+        std::string s;
+        auto add = [&s](const char *t) {
+            if (!s.empty())
+                s += "+";
+            s += t;
+        };
+        if (offload)
+            add("I");
+        if (prefetch)
+            add("P");
+        if (hw_diffs)
+            add("D");
+        return s;
+    }
+};
+
+/** Full system configuration (Table 1 defaults). */
+struct SysConfig
+{
+    // --- machine geometry ---
+    unsigned num_procs = 16;
+    unsigned page_bytes = 4096;
+    std::uint64_t heap_bytes = 64ull << 20; ///< global shared heap
+
+    // --- per-node memory system ---
+    mem::MemoryTiming memory;       ///< setup 10 + 3/word
+    mem::CacheGeometry cache;       ///< 128 KB direct-mapped, 32 B lines
+    unsigned write_buffer_entries = 4;
+    unsigned tlb_entries = 128;
+    sim::Cycles tlb_fill_cycles = 100;
+
+    // --- interconnect and PCI ---
+    net::NetTiming net;             ///< 8-bit mesh, switch 4, wire 2
+    pcib::PciTiming pci;            ///< 10 + 3/word
+
+    // --- protocol costs ---
+    sim::Cycles interrupt_cycles = 400;   ///< all interrupts / traps
+    sim::Cycles list_cycles = 6;          ///< per list element processed
+    sim::Cycles twin_cycles_per_word = 5; ///< + memory accesses
+    sim::Cycles diff_cycles_per_word = 7; ///< software create/apply, + memory
+    sim::Cycles cmd_issue_cycles = 10;    ///< CPU cost to enqueue a
+                                          ///< controller command
+
+    // --- DMA diff engine (paper section 3.1) ---
+    sim::Cycles dma_scan_empty = 200;  ///< bit-vector scan, 0 words written
+    sim::Cycles dma_scan_full = 2100;  ///< bit-vector scan, all 1024 written
+
+    // --- AURC ---
+    unsigned write_cache_entries = 4;  ///< combining write cache at the NI
+    /// Per-update messaging overhead. The paper's default results
+    /// "optimistically assume that update messages have a messaging
+    /// overhead of a single cycle"; figure 13's second experiment lifts
+    /// this assumption.
+    sim::Cycles update_overhead_cycles = 1;
+
+    // --- protocol selection ---
+    ProtocolKind protocol = ProtocolKind::treadmarks;
+    OverlapMode mode;
+
+    // --- run control ---
+    std::uint64_t seed = 12345;
+    sim::Tick max_ticks = 400ull * 1000 * 1000 * 1000; ///< watchdog
+    /// Fibers flush accumulated busy time to the event queue at this
+    /// granularity; smaller = more precise interleaving, slower host run.
+    sim::Cycles time_quantum = 200;
+
+    unsigned pageWords() const { return page_bytes / 4; }
+
+    /**
+     * Memory bandwidth for cache-block transfers in MB/s at 100 MHz
+     * (the paper quotes 103 MB/s for the defaults).
+     */
+    double
+    memBandwidthMBs() const
+    {
+        const double cycles = static_cast<double>(memory.setup_cycles) +
+            static_cast<double>(memory.word_cycles) * cache.line_bytes / 4;
+        return (cache.line_bytes / cycles) * 100.0;
+    }
+
+    /** Memory (setup) latency in nanoseconds; default 100 ns. */
+    double
+    memLatencyNs() const
+    {
+        return static_cast<double>(memory.setup_cycles) * 10.0;
+    }
+
+    /** Configure memory setup time from a latency in nanoseconds. */
+    void
+    setMemLatencyNs(double ns)
+    {
+        memory.setup_cycles =
+            static_cast<sim::Cycles>(ns / 10.0 + 0.5);
+        if (memory.setup_cycles == 0)
+            memory.setup_cycles = 1;
+    }
+
+    /** Approximate a target cache-block memory bandwidth in MB/s. */
+    void
+    setMemBandwidthMBs(double mbs)
+    {
+        // bytes / ((setup + words*w) * 10ns) = mbs MB/s
+        const double words = cache.line_bytes / 4.0;
+        double w = (cache.line_bytes * 100.0 / mbs -
+                    static_cast<double>(memory.setup_cycles)) / words;
+        if (w < 1.0)
+            w = 1.0;
+        memory.word_cycles = static_cast<sim::Cycles>(w + 0.5);
+    }
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_CONFIG_HH

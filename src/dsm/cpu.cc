@@ -1,0 +1,139 @@
+#include "dsm/cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace dsm
+{
+
+Cpu::Cpu(sim::NodeId id, sim::EventQueue &eq, const SysConfig &cfg)
+    : id_(id), eq_(eq), cfg_(cfg)
+{
+}
+
+void
+Cpu::start(std::function<void()> body)
+{
+    fiber_ = std::make_unique<sim::Fiber>(
+        [this, body = std::move(body)]() {
+            body();
+            flush();
+            finished_ = true;
+            finish_tick_ = eq_.now();
+        },
+        4u << 20);
+    eq_.schedule(0, [this]() { fiber_->resume(); });
+}
+
+void
+Cpu::sleepTo(sim::Tick t)
+{
+    ncp2_assert(sim::Fiber::current(), "sleepTo outside the cpu fiber");
+    eq_.schedule(t, [this]() { fiber_->resume(); });
+    sim::Fiber::yield();
+}
+
+void
+Cpu::absorbInterrupts()
+{
+    // Interrupt handlers that fired while the application was running
+    // push its instructions back by their service time.
+    while (pending_intr_) {
+        const sim::Cycles s = pending_intr_;
+        pending_intr_ = 0;
+        bd.add(Cat::ipc, s);
+        sleepTo(eq_.now() + s);
+    }
+}
+
+void
+Cpu::advance(sim::Cycles n, Cat c)
+{
+    bd.add(c, n);
+    lag_ += n;
+    if (lag_ >= cfg_.time_quantum)
+        flush();
+}
+
+void
+Cpu::flush()
+{
+    while (lag_ || pending_intr_) {
+        const sim::Cycles n = lag_;
+        lag_ = 0;
+        if (n)
+            sleepTo(eq_.now() + n);
+        absorbInterrupts();
+    }
+}
+
+void
+Cpu::stallUntil(sim::Tick t, Cat c)
+{
+    flush();
+    if (t > eq_.now()) {
+        bd.add(c, t - eq_.now());
+        sleepTo(t);
+    }
+    absorbInterrupts();
+}
+
+sim::Tick
+Cpu::block(Cat c)
+{
+    flush();
+    const sim::Tick start = eq_.now();
+    if (!wake_pending_) {
+        blocked_ = true;
+        sim::Fiber::yield();
+        blocked_ = false;
+    }
+    wake_pending_ = false;
+
+    sim::Tick now = eq_.now();
+    // If an interrupt handler is still running when the data arrives,
+    // the application resumes only after it completes; the overlapped
+    // portion was hidden.
+    if (intr_busy_until_ > now) {
+        bd.add(c, now - start);
+        bd.add(Cat::ipc, intr_busy_until_ - now);
+        sleepTo(intr_busy_until_);
+        now = eq_.now();
+    } else {
+        bd.add(c, now - start);
+    }
+    absorbInterrupts();
+    return now;
+}
+
+void
+Cpu::wake()
+{
+    if (blocked_) {
+        eq_.schedule(eq_.now(), [this]() { fiber_->resume(); });
+        blocked_ = false;
+        wake_pending_ = true;   // consumed by block() upon resume
+    } else {
+        wake_pending_ = true;
+    }
+}
+
+sim::Tick
+Cpu::interrupt(sim::Cycles service)
+{
+    ++interrupts_;
+    const sim::Tick now = eq_.now();
+    const sim::Tick start = intr_busy_until_ > now ? intr_busy_until_ : now;
+    intr_busy_until_ = start + service;
+    if (blocked_) {
+        // Overlapped with an application stall: hidden unless it is
+        // still running at wake-up (handled in block()).
+        ipc_hidden_ += service;
+    } else {
+        // The application is running; inject the stolen time at the
+        // next flush.
+        pending_intr_ += service;
+    }
+    return intr_busy_until_;
+}
+
+} // namespace dsm

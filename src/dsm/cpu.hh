@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The computation-processor model: a fiber plus a timing account.
+ *
+ * The fiber executes application code natively. Simulated time advances
+ * in two ways:
+ *  - advance(): cheap accumulation of cycles (busy work, cache hits,
+ *    local-memory misses). Accumulated lag is flushed to the event queue
+ *    every `time_quantum` cycles so that nodes interleave finely;
+ *  - blocking: page faults, lock/barrier waits and explicit sleeps
+ *    yield the fiber and resume it from a protocol event, attributing
+ *    the waited cycles to the right breakdown category.
+ *
+ * Remote-request service (IPC) is modelled with an interrupt timeline:
+ * each interrupt occupies the CPU for its service time starting at
+ * max(arrival, previous-interrupt-end). While the application is
+ * *running*, that time is injected into the fiber's clock at the next
+ * flush (visible IPC); while the application is *blocked*, the service
+ * overlaps the stall and only delays the wake-up if it is still in
+ * progress then - exactly the paper's observation that "IPC overheads
+ * are often hidden by data fetch and synchronization latencies" except
+ * under prefetching.
+ */
+
+#ifndef NCP2_DSM_CPU_HH
+#define NCP2_DSM_CPU_HH
+
+#include <functional>
+#include <memory>
+
+#include "dsm/breakdown.hh"
+#include "dsm/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+#include "sim/types.hh"
+
+namespace dsm
+{
+
+/** One computation processor. */
+class Cpu
+{
+  public:
+    Cpu(sim::NodeId id, sim::EventQueue &eq, const SysConfig &cfg);
+
+    /** Create the fiber and schedule its first activation at tick 0. */
+    void start(std::function<void()> body);
+
+    bool finished() const { return finished_; }
+    sim::Tick finishTick() const { return finish_tick_; }
+    sim::NodeId id() const { return id_; }
+
+    /** The processor's local clock: queue time plus unflushed lag. */
+    sim::Tick localNow() const { return eq_.now() + lag_; }
+
+    // ----- called from inside the fiber -----
+
+    /** Accumulate @p n cycles of category @p c; flushes at the quantum. */
+    void advance(sim::Cycles n, Cat c);
+
+    /** Synchronize the local clock with the event queue (may yield). */
+    void flush();
+
+    /**
+     * Flush, then sleep until absolute tick @p t, attributing the wait
+     * to @p c. No-op if @p t is in the past.
+     */
+    void stallUntil(sim::Tick t, Cat c);
+
+    /**
+     * Flush, then block until wake() is called; the waited cycles are
+     * attributed to @p c. Returns the resume tick.
+     */
+    sim::Tick block(Cat c);
+
+    // ----- called from protocol events -----
+
+    /** Unblock a fiber blocked in block(); resumes at the current tick. */
+    void wake();
+
+    /**
+     * Steal the CPU for @p service cycles (servicing a remote request).
+     * @return the tick at which the service completes.
+     */
+    sim::Tick interrupt(sim::Cycles service);
+
+    /** True if the fiber is currently blocked in block(). */
+    bool blocked() const { return blocked_; }
+
+    /** Earliest tick the CPU is free of interrupt handlers. */
+    sim::Tick interruptBusyUntil() const { return intr_busy_until_; }
+
+    Breakdown bd;
+
+    // visible-vs-hidden IPC bookkeeping
+    std::uint64_t ipcHiddenCycles() const { return ipc_hidden_; }
+    std::uint64_t interrupts() const { return interrupts_; }
+
+  private:
+    void sleepTo(sim::Tick t);
+    void absorbInterrupts();
+
+    sim::NodeId id_;
+    sim::EventQueue &eq_;
+    const SysConfig &cfg_;
+    std::unique_ptr<sim::Fiber> fiber_;
+
+    sim::Cycles lag_ = 0;              ///< unflushed busy cycles
+    bool blocked_ = false;             ///< in block(), awaiting wake()
+    bool wake_pending_ = false;        ///< wake() arrived before yield
+    bool finished_ = false;
+    sim::Tick finish_tick_ = 0;
+
+    sim::Tick intr_busy_until_ = 0;    ///< interrupt-handler timeline
+    sim::Cycles pending_intr_ = 0;     ///< service to inject at next flush
+    std::uint64_t ipc_hidden_ = 0;
+    std::uint64_t interrupts_ = 0;
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_CPU_HH

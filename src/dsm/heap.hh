@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The global shared address space and its allocator.
+ *
+ * Workloads plan their shared data layout once (host-side, before the
+ * simulation starts) with a simple bump allocator. Page granularity
+ * matters: allocations can be page-aligned to control (or deliberately
+ * provoke, as Radix does) page-level false sharing.
+ */
+
+#ifndef NCP2_DSM_HEAP_HH
+#define NCP2_DSM_HEAP_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dsm
+{
+
+/** Bump allocator over the DSM global address space. */
+class GlobalHeap
+{
+  public:
+    GlobalHeap(std::uint64_t bytes, unsigned page_bytes)
+        : bytes_(bytes), page_bytes_(page_bytes)
+    {
+    }
+
+    /** Allocate @p bytes with @p align alignment (power of two). */
+    sim::GAddr
+    alloc(std::uint64_t bytes, std::uint64_t align = 8)
+    {
+        ncp2_assert(align && (align & (align - 1)) == 0,
+                    "alignment must be a power of two");
+        next_ = (next_ + align - 1) & ~(align - 1);
+        const sim::GAddr addr = next_;
+        next_ += bytes;
+        ncp2_assert(next_ <= bytes_,
+                    "global heap exhausted (%llu of %llu bytes)",
+                    static_cast<unsigned long long>(next_),
+                    static_cast<unsigned long long>(bytes_));
+        return addr;
+    }
+
+    /** Allocate page-aligned (each object starts on a fresh page). */
+    sim::GAddr
+    allocPages(std::uint64_t bytes)
+    {
+        return alloc(bytes, page_bytes_);
+    }
+
+    std::uint64_t used() const { return next_; }
+    std::uint64_t capacity() const { return bytes_; }
+    unsigned pageBytes() const { return page_bytes_; }
+
+  private:
+    std::uint64_t bytes_;
+    unsigned page_bytes_;
+    sim::GAddr next_ = 0;
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_HEAP_HH

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Per-node page copies, VM-style access protection, twins, snooped
+ * write-bit vectors, and diff machinery.
+ *
+ * Unlike a pure timing model, this simulator moves the real bytes: each
+ * node owns private copies of the pages it has touched, diffs are real
+ * word-level encodings of modifications, and applying them is a real
+ * scatter. The applications therefore compute correct results *only if*
+ * the coherence protocol is correct, which is what the test suite leans
+ * on.
+ */
+
+#ifndef NCP2_DSM_PAGE_HH
+#define NCP2_DSM_PAGE_HH
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "dsm/vclock.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dsm
+{
+
+/** VM protection of a node's copy of a page. */
+enum class Access : std::uint8_t
+{
+    none,      ///< invalid: any access faults
+    read,      ///< reads ok, writes fault (twin / bit-vector setup)
+    readwrite, ///< all accesses ok
+};
+
+/**
+ * A word-granularity encoding of the modifications made to a page:
+ * parallel arrays of word indices and their new values. Used both for
+ * software diffs (twin comparison) and hardware diffs (bit-vector
+ * gather); the representations differ only in who builds them and how
+ * long that takes.
+ */
+struct Diff
+{
+    sim::PageId page = 0;
+    std::vector<std::uint16_t> idx; ///< word indices within the page
+    std::vector<std::uint32_t> val; ///< new word values
+
+    unsigned words() const { return static_cast<unsigned>(idx.size()); }
+
+    /**
+     * Wire size: run headers amortize to roughly a word of metadata per
+     * 8 data words plus a fixed header; hardware diffs ship the 128-byte
+     * bit vector instead. We use one conservative formula for both.
+     */
+    std::uint32_t
+    wireBytes() const
+    {
+        return 32 + 4 * words() + words() / 2;
+    }
+
+    /** Scatter this diff's words onto @p data (a page-sized buffer). */
+    void
+    apply(std::uint8_t *data) const
+    {
+        auto *w = reinterpret_cast<std::uint32_t *>(data);
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            w[idx[i]] = val[i];
+    }
+};
+
+/** One node's copy of one page, with all protocol-side state. */
+struct NodePage
+{
+    std::unique_ptr<std::uint8_t[]> data; ///< null until first mapped here
+    std::unique_ptr<std::uint8_t[]> twin; ///< software-diff shadow copy
+    std::vector<std::uint64_t> write_bits; ///< snooped word bit vector (D)
+    Access access = Access::none;
+
+    /// Highest interval of each writer whose modifications are reflected
+    /// in this copy (the fetch-consistency watermark).
+    std::vector<IntervalSeq> applied;
+
+    /// Per-word happened-before keys of the last value applied from a
+    /// diff (lazily allocated by the protocol). Diffs from concurrent
+    /// intervals touch disjoint words, but a single writer's *cumulative*
+    /// diff can carry words from several of its intervals; ordering must
+    /// therefore be enforced per word at application time.
+    std::unique_ptr<std::uint64_t[]> word_keys;
+
+    /// Referenced since it last became valid (prefetch heuristic input).
+    bool referenced = false;
+    /// A prefetch for this page is in flight.
+    bool prefetch_pending = false;
+    /// Page became valid via prefetch and has not been referenced since.
+    bool prefetched_unused = false;
+    /// Writer-side: page written during the current interval.
+    bool dirty_in_interval = false;
+
+    bool present() const { return data != nullptr; }
+};
+
+/**
+ * All pages of one node. Pages are created lazily; page_bytes is fixed
+ * system-wide.
+ */
+class PageStore
+{
+  public:
+    PageStore(unsigned page_bytes, std::uint64_t heap_bytes, unsigned nprocs)
+        : page_bytes_(page_bytes), nprocs_(nprocs),
+          pages_(static_cast<std::size_t>(heap_bytes / page_bytes))
+    {
+    }
+
+    unsigned pageBytes() const { return page_bytes_; }
+    unsigned pageWords() const { return page_bytes_ / 4; }
+    std::size_t numPages() const { return pages_.size(); }
+
+    NodePage &
+    page(sim::PageId id)
+    {
+        ncp2_assert(id < pages_.size(), "page id out of range");
+        return pages_[id];
+    }
+
+    const NodePage &
+    page(sim::PageId id) const
+    {
+        ncp2_assert(id < pages_.size(), "page id out of range");
+        return pages_[id];
+    }
+
+    /** Materialize a zero-filled copy (e.g., at the home node). */
+    NodePage &
+    materialize(sim::PageId id)
+    {
+        NodePage &p = page(id);
+        if (!p.data) {
+            p.data = std::make_unique<std::uint8_t[]>(page_bytes_);
+            std::memset(p.data.get(), 0, page_bytes_);
+            p.applied.assign(nprocs_, 0);
+        }
+        return p;
+    }
+
+    /** Create/refresh the software twin from the current contents. */
+    void
+    makeTwin(NodePage &p)
+    {
+        ncp2_assert(p.present(), "twin of an absent page");
+        if (!p.twin)
+            p.twin = std::make_unique<std::uint8_t[]>(page_bytes_);
+        std::memcpy(p.twin.get(), p.data.get(), page_bytes_);
+    }
+
+    void
+    dropTwin(NodePage &p)
+    {
+        p.twin.reset();
+    }
+
+    /** Ensure the snoop bit vector exists (cleared). */
+    void
+    armWriteBits(NodePage &p)
+    {
+        const std::size_t words64 = pageWords() / 64;
+        if (p.write_bits.size() != words64)
+            p.write_bits.assign(words64, 0);
+        else
+            std::fill(p.write_bits.begin(), p.write_bits.end(), 0);
+    }
+
+    /** Snoop logic: record that word @p word_idx of @p p was written. */
+    static void
+    snoopWrite(NodePage &p, unsigned word_idx)
+    {
+        if (!p.write_bits.empty())
+            p.write_bits[word_idx >> 6] |= 1ull << (word_idx & 63);
+    }
+
+    /** Count of set bits in the snoop vector. */
+    static unsigned
+    writtenWords(const NodePage &p)
+    {
+        unsigned n = 0;
+        for (std::uint64_t w : p.write_bits)
+            n += static_cast<unsigned>(__builtin_popcountll(w));
+        return n;
+    }
+
+    /**
+     * Software diff: compare the twin against the current contents.
+     * Does not touch the twin (callers refresh it as protocol dictates).
+     */
+    Diff
+    diffFromTwin(sim::PageId id, const NodePage &p) const
+    {
+        ncp2_assert(p.present() && p.twin, "diffFromTwin needs a twin");
+        Diff d;
+        d.page = id;
+        const auto *cur = reinterpret_cast<const std::uint32_t *>(p.data.get());
+        const auto *old = reinterpret_cast<const std::uint32_t *>(p.twin.get());
+        const unsigned words = pageWords();
+        for (unsigned i = 0; i < words; ++i) {
+            if (cur[i] != old[i]) {
+                d.idx.push_back(static_cast<std::uint16_t>(i));
+                d.val.push_back(cur[i]);
+            }
+        }
+        return d;
+    }
+
+    /**
+     * Hardware diff: gather the words whose snoop bits are set. The DMA
+     * engine does not compare values, so unchanged-but-written words are
+     * included (a slightly larger diff, as on the real hardware).
+     */
+    Diff
+    diffFromBits(sim::PageId id, const NodePage &p) const
+    {
+        ncp2_assert(p.present(), "diffFromBits needs a mapped page");
+        Diff d;
+        d.page = id;
+        const auto *cur = reinterpret_cast<const std::uint32_t *>(p.data.get());
+        for (std::size_t blk = 0; blk < p.write_bits.size(); ++blk) {
+            std::uint64_t bits = p.write_bits[blk];
+            while (bits) {
+                const unsigned bit =
+                    static_cast<unsigned>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                const unsigned w = static_cast<unsigned>(blk * 64 + bit);
+                d.idx.push_back(static_cast<std::uint16_t>(w));
+                d.val.push_back(cur[w]);
+            }
+        }
+        return d;
+    }
+
+  private:
+    unsigned page_bytes_;
+    unsigned nprocs_;
+    std::vector<NodePage> pages_;
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_PAGE_HH

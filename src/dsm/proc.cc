@@ -1,0 +1,50 @@
+#include "dsm/proc.hh"
+
+#include "dsm/system.hh"
+
+namespace dsm
+{
+
+unsigned
+Proc::nprocs() const
+{
+    return sys_->nprocs();
+}
+
+void
+Proc::compute(std::uint64_t cycles)
+{
+    sys_->node(id_).cpu.advance(cycles, Cat::busy);
+}
+
+void
+Proc::access(sim::GAddr addr, unsigned bytes, bool is_write, void *data)
+{
+    sys_->access(id_, addr, bytes, is_write, data);
+}
+
+void
+Proc::lock(unsigned lock_id)
+{
+    sys_->acquire(id_, lock_id);
+}
+
+void
+Proc::unlock(unsigned lock_id)
+{
+    sys_->release(id_, lock_id);
+}
+
+void
+Proc::barrier(unsigned barrier_id)
+{
+    sys_->barrier(id_, barrier_id);
+}
+
+sim::Rng &
+Proc::rng()
+{
+    return sys_->node(id_).rng;
+}
+
+} // namespace dsm

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The application-facing DSM programming interface.
+ *
+ * A Proc is a handle to one simulated computation processor. Workloads
+ * are SPMD: the same run() body executes on every Proc. Shared memory is
+ * accessed through typed get/put calls over global addresses (GAddr);
+ * private data is ordinary host memory whose computation cost the
+ * workload charges with compute().
+ */
+
+#ifndef NCP2_DSM_PROC_HH
+#define NCP2_DSM_PROC_HH
+
+#include <cstring>
+#include <type_traits>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace dsm
+{
+
+class System;
+
+/** Handle to one simulated processor, passed to Workload::run(). */
+class Proc
+{
+  public:
+    Proc(System &sys, sim::NodeId id) : sys_(&sys), id_(id) {}
+
+    sim::NodeId id() const { return id_; }
+    unsigned nprocs() const;
+
+    /** Charge @p cycles of useful (busy) computation. */
+    void compute(std::uint64_t cycles);
+
+    /** Read a trivially copyable value (size <= 8) from shared memory. */
+    template <typename T>
+    T
+    get(sim::GAddr addr)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        T v;
+        access(addr, sizeof(T), false, &v);
+        return v;
+    }
+
+    /** Write a value to shared memory. */
+    template <typename T>
+    void
+    put(sim::GAddr addr, T v)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        access(addr, sizeof(T), true, &v);
+    }
+
+    /** Acquire a global lock (blocks). */
+    void lock(unsigned lock_id);
+
+    /** Release a global lock. */
+    void unlock(unsigned lock_id);
+
+    /** Global barrier across all processors. */
+    void barrier(unsigned barrier_id);
+
+    /** Per-processor deterministic RNG. */
+    sim::Rng &rng();
+
+    System &system() { return *sys_; }
+
+  private:
+    void access(sim::GAddr addr, unsigned bytes, bool is_write, void *data);
+
+    System *sys_;
+    sim::NodeId id_;
+};
+
+/**
+ * Typed view of a shared array at a fixed base address; sugar over
+ * Proc::get/put so workload code stays readable.
+ */
+template <typename T>
+struct GArray
+{
+    sim::GAddr base = 0;
+
+    sim::GAddr at(std::uint64_t i) const { return base + i * sizeof(T); }
+    T get(Proc &p, std::uint64_t i) const { return p.get<T>(at(i)); }
+    void put(Proc &p, std::uint64_t i, T v) const { p.put<T>(at(i), v); }
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_PROC_HH

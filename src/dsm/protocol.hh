@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The coherence-protocol interface.
+ *
+ * A Protocol implements the DSM semantics on top of the machine model:
+ * it decides what happens on page faults (ensureAccess), on every shared
+ * store (sharedWrite - automatic updates, snoop bit vectors), and at
+ * synchronization operations. Implementations: tmk::TreadMarks (with the
+ * paper's overlap modes) and aurc::Aurc (+ prefetch).
+ *
+ * Protocol methods that run on behalf of an application execute *on that
+ * processor's fiber* and may block it (Cpu::block); asynchronous
+ * machinery (remote service, controller commands) runs on events.
+ */
+
+#ifndef NCP2_DSM_PROTOCOL_HH
+#define NCP2_DSM_PROTOCOL_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace dsm
+{
+
+class System;
+
+/** Abstract software-DSM coherence protocol. */
+class Protocol
+{
+  public:
+    virtual ~Protocol() = default;
+
+    /** Wire the protocol to its system; called once before the run. */
+    virtual void attach(System &sys) = 0;
+
+    /**
+     * Guarantee that processor @p proc may read (or write, if
+     * @p for_write) the page containing @p addr. Runs on the fiber;
+     * blocks through the fault/fetch path when needed.
+     */
+    virtual void ensureAccess(sim::NodeId proc, sim::PageId page,
+                              bool for_write) = 0;
+
+    /**
+     * Hook invoked after processor @p proc stored to shared memory
+     * (word-aligned span [word, word + words) of @p page). The store
+     * has already been applied to the local copy and charged through
+     * the cache/write-buffer path.
+     */
+    virtual void sharedWrite(sim::NodeId proc, sim::PageId page,
+                             unsigned word, unsigned words) = 0;
+
+    /** Lock acquire (blocks the fiber until ownership arrives). */
+    virtual void acquire(sim::NodeId proc, unsigned lock_id) = 0;
+
+    /** Lock release. */
+    virtual void release(sim::NodeId proc, unsigned lock_id) = 0;
+
+    /** Global barrier (blocks until all processors arrive). */
+    virtual void barrier(sim::NodeId proc, unsigned barrier_id) = 0;
+
+    /** Protocol display name ("TreadMarks/I+D", "AURC+P", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Host-side (zero-time) reconstruction of the coherent contents of
+     * @p page into @p out (page_bytes long), used for validation after
+     * the run: the home copy brought fully up to date.
+     */
+    virtual void readCoherent(sim::PageId page, std::uint8_t *out) = 0;
+
+    /** End-of-run hook (flush stats). */
+    virtual void finalize() {}
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_PROTOCOL_HH

@@ -1,0 +1,174 @@
+#include "dsm/system.hh"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace dsm
+{
+
+Node::Node(sim::NodeId id, sim::EventQueue &eq, const SysConfig &cfg)
+    : cpu(id, eq, cfg),
+      memory(sim::detail::format("mem.n%u", id), cfg.memory),
+      cache(cfg.cache),
+      tlb(cfg.tlb_entries, cfg.tlb_fill_cycles),
+      wbuf(cfg.write_buffer_entries, memory),
+      pci(sim::detail::format("pci.n%u", id), cfg.pci),
+      controller(id, eq, cfg, memory, pci),
+      pages(cfg.page_bytes, cfg.heap_bytes, cfg.num_procs),
+      rng(cfg.seed * 1000003u + id)
+{
+}
+
+System::System(SysConfig cfg, std::unique_ptr<Protocol> protocol)
+    : cfg_(cfg), protocol_(std::move(protocol))
+{
+    ncp2_assert(cfg_.num_procs >= 1, "need at least one processor");
+    heap_ = std::make_unique<GlobalHeap>(cfg_.heap_bytes, cfg_.page_bytes);
+    net_ = std::make_unique<net::MeshNetwork>(cfg_.num_procs, cfg_.net);
+    nodes_.reserve(cfg_.num_procs);
+    for (unsigned i = 0; i < cfg_.num_procs; ++i)
+        nodes_.push_back(std::make_unique<Node>(i, eq_, cfg_));
+}
+
+System::~System() = default;
+
+RunResult
+System::run(Workload &workload)
+{
+    workload.plan(*heap_, cfg_);
+    protocol_->attach(*this);
+
+    for (unsigned i = 0; i < cfg_.num_procs; ++i) {
+        Node &n = *nodes_[i];
+        n.cpu.start([this, &workload, i]() {
+            Proc p(*this, i);
+            workload.run(p);
+        });
+    }
+
+    const bool drained = eq_.run(cfg_.max_ticks);
+    if (!drained)
+        ncp2_fatal("simulation exceeded max_ticks watchdog (%llu)",
+                   static_cast<unsigned long long>(cfg_.max_ticks));
+    for (unsigned i = 0; i < cfg_.num_procs; ++i) {
+        if (!nodes_[i]->cpu.finished()) {
+            ncp2_panic("deadlock: processor %u never finished "
+                       "(event queue drained)", i);
+        }
+    }
+
+    protocol_->finalize();
+    workload.validate(*this);
+
+    RunResult r;
+    for (auto &n : nodes_) {
+        if (n->cpu.finishTick() > r.exec_ticks)
+            r.exec_ticks = n->cpu.finishTick();
+        r.bd.push_back(n->cpu.bd);
+    }
+    r.net = net_->stats();
+    r.extra = extra_stats;
+    return r;
+}
+
+void
+System::access(sim::NodeId proc, sim::GAddr addr, unsigned bytes,
+               bool is_write, void *data)
+{
+    ncp2_assert(bytes >= 1 && bytes <= 8, "access size out of range");
+    ncp2_assert(addr % bytes == 0, "unaligned shared access @%llu",
+                static_cast<unsigned long long>(addr));
+    ncp2_assert(addr + bytes <= heap_->used(),
+                "shared access beyond allocated heap");
+
+    Node &n = *nodes_[proc];
+    const sim::PageId page = pageOf(addr);
+    const unsigned off = pageOffset(addr);
+
+    // Issue slot.
+    n.cpu.advance(1, Cat::busy);
+
+    // Address translation.
+    const sim::Cycles tlb_penalty = n.tlb.access(page);
+    if (tlb_penalty)
+        n.cpu.advance(tlb_penalty, Cat::other_tlb);
+
+    // VM protection / coherence.
+    protocol_->ensureAccess(proc, page, is_write);
+
+    NodePage &pg = n.pages.page(page);
+    ncp2_assert(pg.present(), "protocol left page %llu absent on node %u",
+                static_cast<unsigned long long>(page), proc);
+
+    if (!is_write) {
+        if (!n.cache.accessRead(addr)) {
+            const sim::Tick arrive = n.cpu.localNow();
+            const sim::Tick done =
+                n.memory.access(arrive, n.cache.lineWords());
+            n.cpu.advance(done - arrive, Cat::other_cache);
+        }
+        std::memcpy(data, pg.data.get() + off, bytes);
+        pg.referenced = true;
+        pg.prefetched_unused = false;
+    } else {
+        // Write-through: probe/update the cache, push through the
+        // write buffer, land in local memory.
+        n.cache.accessWrite(addr);
+        const sim::Cycles stall = n.wbuf.push(n.cpu.localNow());
+        if (stall)
+            n.cpu.advance(stall, Cat::other_wb);
+        std::memcpy(pg.data.get() + off, data, bytes);
+
+        const unsigned word = off / 4;
+        const unsigned words = (off % 4 + bytes + 3) / 4;
+        for (unsigned w = word; w < word + words; ++w)
+            PageStore::snoopWrite(pg, w);
+        pg.referenced = true;
+        pg.prefetched_unused = false;
+        protocol_->sharedWrite(proc, page, word, words);
+    }
+}
+
+void
+System::readCoherentBytes(sim::GAddr addr, unsigned bytes, void *out)
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (bytes) {
+        const sim::PageId page = pageOf(addr);
+        const unsigned off = pageOffset(addr);
+        const unsigned chunk =
+            std::min<unsigned>(bytes, cfg_.page_bytes - off);
+        auto it = coherent_cache_.find(page);
+        if (it == coherent_cache_.end()) {
+            std::vector<std::uint8_t> buf(cfg_.page_bytes, 0);
+            protocol_->readCoherent(page, buf.data());
+            it = coherent_cache_.emplace(page, std::move(buf)).first;
+        }
+        std::memcpy(dst, it->second.data() + off, chunk);
+        dst += chunk;
+        addr += chunk;
+        bytes -= chunk;
+    }
+}
+
+void
+System::acquire(sim::NodeId proc, unsigned lock_id)
+{
+    protocol_->acquire(proc, lock_id);
+}
+
+void
+System::release(sim::NodeId proc, unsigned lock_id)
+{
+    protocol_->release(proc, lock_id);
+}
+
+void
+System::barrier(sim::NodeId proc, unsigned barrier_id)
+{
+    protocol_->barrier(proc, barrier_id);
+}
+
+} // namespace dsm

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The simulated 16-node network of workstations.
+ *
+ * A System owns the event queue, the global heap, one Node per
+ * processor (CPU + caches + write buffer + TLB + main memory + PCI bus +
+ * protocol controller + page copies), the mesh interconnect and the
+ * coherence protocol. It implements the common shared-access path
+ * (TLB -> protection fault -> cache -> write buffer) and delegates
+ * coherence decisions to the Protocol.
+ */
+
+#ifndef NCP2_DSM_SYSTEM_HH
+#define NCP2_DSM_SYSTEM_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ctrl/controller.hh"
+#include "dsm/breakdown.hh"
+#include "dsm/config.hh"
+#include "dsm/cpu.hh"
+#include "dsm/heap.hh"
+#include "dsm/page.hh"
+#include "dsm/proc.hh"
+#include "dsm/protocol.hh"
+#include "dsm/workload.hh"
+#include "mem/cache.hh"
+#include "mem/memory.hh"
+#include "mem/tlb.hh"
+#include "mem/write_buffer.hh"
+#include "net/mesh.hh"
+#include "pcib/pci_bus.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace dsm
+{
+
+/** Everything that lives on one workstation (Figure 3). */
+struct Node
+{
+    Node(sim::NodeId id, sim::EventQueue &eq, const SysConfig &cfg);
+
+    Cpu cpu;
+    mem::MainMemory memory;
+    mem::Cache cache;
+    mem::Tlb tlb;
+    mem::WriteBuffer wbuf;
+    pcib::PciBus pci;
+    ctrl::Controller controller;
+    PageStore pages;
+    sim::Rng rng;
+};
+
+/** Result of one simulated run. */
+struct RunResult
+{
+    sim::Tick exec_ticks = 0;           ///< max processor finish tick
+    std::vector<Breakdown> bd;          ///< per-processor breakdown
+    net::NetStats net;                  ///< fabric traffic
+    std::map<std::string, double> extra; ///< protocol-specific stats
+
+    Breakdown
+    total() const
+    {
+        Breakdown t;
+        for (const auto &b : bd)
+            t += b;
+        return t;
+    }
+
+    /** Wall time at the 100 MHz clock. */
+    double seconds() const { return static_cast<double>(exec_ticks) * 1e-8; }
+};
+
+/** The simulated machine. */
+class System
+{
+  public:
+    System(SysConfig cfg, std::unique_ptr<Protocol> protocol);
+    ~System();
+
+    /** Run @p workload to completion and validate it. */
+    RunResult run(Workload &workload);
+
+    // ----- topology -----
+    const SysConfig &cfg() const { return cfg_; }
+    unsigned nprocs() const { return cfg_.num_procs; }
+    Node &node(sim::NodeId id) { return *nodes_[id]; }
+    sim::EventQueue &eq() { return eq_; }
+    net::MeshNetwork &net() { return *net_; }
+    GlobalHeap &heap() { return *heap_; }
+    Protocol &protocol() { return *protocol_; }
+
+    // ----- shared-access path (called by Proc) -----
+    void access(sim::NodeId proc, sim::GAddr addr, unsigned bytes,
+                bool is_write, void *data);
+
+    sim::PageId pageOf(sim::GAddr addr) const { return addr / cfg_.page_bytes; }
+    unsigned pageOffset(sim::GAddr addr) const
+    {
+        return static_cast<unsigned>(addr % cfg_.page_bytes);
+    }
+
+    /**
+     * Read the coherent (protocol-reconstructed) value of shared memory
+     * host-side, for validation after the run.
+     */
+    template <typename T>
+    T
+    readGlobal(sim::GAddr addr)
+    {
+        T v{};
+        readCoherentBytes(addr, sizeof(T), &v);
+        return v;
+    }
+
+    void readCoherentBytes(sim::GAddr addr, unsigned bytes, void *out);
+
+    /** Invalidate a page's lines in a node's cache and TLB (snoop). */
+    void
+    snoopInvalidatePage(sim::NodeId n, sim::PageId page)
+    {
+        node(n).cache.invalidateRange(
+            static_cast<sim::GAddr>(page) * cfg_.page_bytes, cfg_.page_bytes);
+    }
+
+    // ----- synchronization pass-throughs -----
+    void acquire(sim::NodeId proc, unsigned lock_id);
+    void release(sim::NodeId proc, unsigned lock_id);
+    void barrier(sim::NodeId proc, unsigned barrier_id);
+
+    // run-time stats the protocol can fill in finalize()
+    std::map<std::string, double> extra_stats;
+
+  private:
+    SysConfig cfg_;
+    std::unordered_map<sim::PageId, std::vector<std::uint8_t>>
+        coherent_cache_; ///< validation-time page reconstructions
+    sim::EventQueue eq_;
+    std::unique_ptr<GlobalHeap> heap_;
+    std::unique_ptr<net::MeshNetwork> net_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::unique_ptr<Protocol> protocol_;
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_SYSTEM_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Vector timestamps, intervals and write notices - the bookkeeping of
+ * lazy release consistency (Keleher et al.).
+ *
+ * Execution on each processor is divided into *intervals* delimited by
+ * synchronization operations. Each interval carries the set of pages its
+ * processor wrote (its write notices). A vector timestamp vt on
+ * processor p means: p has seen (invalidated for) every interval i of
+ * every processor q with i <= vt[q].
+ */
+
+#ifndef NCP2_DSM_VCLOCK_HH
+#define NCP2_DSM_VCLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dsm
+{
+
+/** Per-processor interval sequence number (intervals are 1-based). */
+using IntervalSeq = std::uint32_t;
+
+/** A vector timestamp: vt[q] = newest interval of q covered. */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+    explicit VectorClock(unsigned nprocs) : v_(nprocs, 0) {}
+
+    IntervalSeq operator[](unsigned p) const { return v_[p]; }
+    IntervalSeq &operator[](unsigned p) { return v_[p]; }
+    unsigned size() const { return static_cast<unsigned>(v_.size()); }
+
+    /** Component-wise maximum (join). */
+    void
+    merge(const VectorClock &o)
+    {
+        ncp2_assert(v_.size() == o.v_.size(), "vector clock size mismatch");
+        for (std::size_t i = 0; i < v_.size(); ++i)
+            if (o.v_[i] > v_[i])
+                v_[i] = o.v_[i];
+    }
+
+    /** True if every component of *this <= o (happens-before or equal). */
+    bool
+    dominatedBy(const VectorClock &o) const
+    {
+        for (std::size_t i = 0; i < v_.size(); ++i)
+            if (v_[i] > o.v_[i])
+                return false;
+        return true;
+    }
+
+    bool
+    operator==(const VectorClock &o) const
+    {
+        return v_ == o.v_;
+    }
+
+  private:
+    std::vector<IntervalSeq> v_;
+};
+
+/** Identifies one interval of one processor. */
+struct IntervalId
+{
+    sim::NodeId proc = sim::invalid_node;
+    IntervalSeq seq = 0;
+
+    bool
+    operator==(const IntervalId &o) const
+    {
+        return proc == o.proc && seq == o.seq;
+    }
+};
+
+/**
+ * A write notice: "page was modified during interval id". Transmitted at
+ * synchronization points; receipt obliges the receiver to invalidate the
+ * page before its next use.
+ */
+struct WriteNotice
+{
+    sim::PageId page = 0;
+    IntervalId interval;
+};
+
+/**
+ * An interval record kept by its creating processor (and lazily learned
+ * by others): the pages written plus the creator's vector time at the
+ * interval's close, used to order diff application.
+ */
+struct IntervalRecord
+{
+    IntervalId id;
+    VectorClock vt;                  ///< creator's clock when interval closed
+    std::vector<sim::PageId> pages;  ///< pages written during the interval
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_VCLOCK_HH

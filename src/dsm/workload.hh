@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The workload (application) interface.
+ *
+ * Workloads are SPMD programs written against the Proc API. Lifecycle:
+ *   1. plan()     - host-side: lay out shared data on the global heap;
+ *   2. run()      - executed once per simulated processor, on its fiber;
+ *   3. validate() - host-side after the run: check the computed result
+ *                   (throws via ncp2_fatal on failure), which is how the
+ *                   test suite proves protocol correctness end to end.
+ */
+
+#ifndef NCP2_DSM_WORKLOAD_HH
+#define NCP2_DSM_WORKLOAD_HH
+
+#include <string>
+
+#include "dsm/config.hh"
+#include "dsm/heap.hh"
+#include "dsm/proc.hh"
+
+namespace dsm
+{
+
+class System;
+
+/** An SPMD application running on the DSM. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short name ("TSP", "Ocean", ...). */
+    virtual std::string name() const = 0;
+
+    /** Allocate shared data; runs on the host before simulation. */
+    virtual void plan(GlobalHeap &heap, const SysConfig &cfg) = 0;
+
+    /** SPMD body; runs on every simulated processor. */
+    virtual void run(Proc &p) = 0;
+
+    /**
+     * Verify the result after the run; must call ncp2_fatal on failure.
+     * @param sys the system, for reading final shared-memory contents.
+     */
+    virtual void validate(System &sys) = 0;
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_WORKLOAD_HH

@@ -1,0 +1,109 @@
+#include "harness/runner.hh"
+
+#include <iomanip>
+
+#include "aurc/aurc.hh"
+#include "sim/stats.hh"
+#include "tmk/treadmarks.hh"
+
+namespace harness
+{
+
+std::unique_ptr<dsm::Protocol>
+makeProtocol(const dsm::SysConfig &cfg)
+{
+    switch (cfg.protocol) {
+      case dsm::ProtocolKind::treadmarks:
+        return tmk::makeTreadMarks(cfg.mode);
+      case dsm::ProtocolKind::aurc:
+        return aurc::makeAurc(cfg.mode.prefetch);
+    }
+    ncp2_panic("unknown protocol kind");
+}
+
+dsm::RunResult
+runOnce(const dsm::SysConfig &cfg, dsm::Workload &w)
+{
+    dsm::System sys(cfg, makeProtocol(cfg));
+    return sys.run(w);
+}
+
+BreakdownRow
+BreakdownRow::from(const std::string &label, const dsm::RunResult &r)
+{
+    BreakdownRow row;
+    row.label = label;
+    row.exec_ticks = static_cast<double>(r.exec_ticks);
+    const dsm::Breakdown t = r.total();
+    const double n = static_cast<double>(r.bd.size());
+    row.busy = static_cast<double>(t.get(dsm::Cat::busy)) / n;
+    row.data = static_cast<double>(t.get(dsm::Cat::data)) / n;
+    row.synch = static_cast<double>(t.get(dsm::Cat::synch)) / n;
+    row.ipc = static_cast<double>(t.get(dsm::Cat::ipc)) / n;
+    row.others = static_cast<double>(t.others()) / n;
+    const double total = row.busy + row.data + row.synch + row.ipc +
+                         row.others;
+    row.diff_pct = total > 0
+        ? 100.0 * static_cast<double>(t.diff_op_cycles) / n / total
+        : 0.0;
+    return row;
+}
+
+BreakdownRow
+BreakdownRow::normalizedTo(const BreakdownRow &base) const
+{
+    BreakdownRow r = *this;
+    const double scale = 100.0 / base.exec_ticks;
+    r.exec_ticks = exec_ticks * scale;
+    r.busy = busy * scale;
+    r.data = data * scale;
+    r.synch = synch * scale;
+    r.ipc = ipc * scale;
+    r.others = others * scale;
+    return r;
+}
+
+void
+printBreakdownTable(std::ostream &os, const std::string &title,
+                    const std::vector<BreakdownRow> &rows)
+{
+    os << "== " << title << " ==\n";
+    sim::Table t({"variant", "total%", "busy%", "data%", "synch%", "ipc%",
+                  "others%", "diff-ops%"});
+    for (const auto &r : rows) {
+        t.addRow({r.label, sim::Table::fmt(r.exec_ticks, 1),
+                  sim::Table::fmt(r.busy, 1), sim::Table::fmt(r.data, 1),
+                  sim::Table::fmt(r.synch, 1), sim::Table::fmt(r.ipc, 1),
+                  sim::Table::fmt(r.others, 1),
+                  sim::Table::fmt(r.diff_pct, 1)});
+    }
+    t.print(os);
+}
+
+void
+printConfig(std::ostream &os, const dsm::SysConfig &cfg)
+{
+    os << "-- system parameters (Table 1; 1 cycle = 10 ns) --\n"
+       << "procs=" << cfg.num_procs << " page=" << cfg.page_bytes
+       << "B cache=" << cfg.cache.size_bytes / 1024 << "KB/"
+       << cfg.cache.line_bytes << "B wbuf=" << cfg.write_buffer_entries
+       << " tlb=" << cfg.tlb_entries << "x" << cfg.tlb_fill_cycles
+       << "cy int=" << cfg.interrupt_cycles << "cy\n"
+       << "mem setup=" << cfg.memory.setup_cycles << "cy word="
+       << cfg.memory.word_cycles << "cy (lat=" << cfg.memLatencyNs()
+       << "ns bw=" << std::fixed << std::setprecision(0)
+       << cfg.memBandwidthMBs() << "MB/s)"
+       << " pci=" << cfg.pci.setup_cycles << "+" << cfg.pci.word_cycles
+       << "cy/word\n"
+       << "net width=" << cfg.net.path_width_bits << "b switch="
+       << cfg.net.switch_cycles << " wire=" << cfg.net.wire_cycles
+       << " overhead=" << cfg.net.msg_overhead << "cy (bw="
+       << std::setprecision(0) << cfg.net.bandwidthMBs() << "MB/s)\n"
+       << "twin=" << cfg.twin_cycles_per_word << "cy/w diff="
+       << cfg.diff_cycles_per_word << "cy/w list=" << cfg.list_cycles
+       << "cy/el dma-scan=" << cfg.dma_scan_empty << ".."
+       << cfg.dma_scan_full << "cy\n";
+    os.unsetf(std::ios::floatfield);
+}
+
+} // namespace harness

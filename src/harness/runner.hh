@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The experiment driver: build a System from a SysConfig, run a
+ * workload under the configured protocol, and render the paper's
+ * breakdown rows.
+ */
+
+#ifndef NCP2_HARNESS_RUNNER_HH
+#define NCP2_HARNESS_RUNNER_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "dsm/config.hh"
+#include "dsm/protocol.hh"
+#include "dsm/system.hh"
+#include "dsm/workload.hh"
+
+namespace harness
+{
+
+/** Instantiate the protocol selected by @p cfg. */
+std::unique_ptr<dsm::Protocol> makeProtocol(const dsm::SysConfig &cfg);
+
+/** Run @p w once under @p cfg; validates and returns the result. */
+dsm::RunResult runOnce(const dsm::SysConfig &cfg, dsm::Workload &w);
+
+/**
+ * Aggregate of a run used by the figure benches: the execution time and
+ * the five paper categories, averaged over processors.
+ */
+struct BreakdownRow
+{
+    std::string label;
+    double exec_ticks = 0;
+    double busy = 0, data = 0, synch = 0, ipc = 0, others = 0;
+    double diff_pct = 0; ///< CPU diff-op share of execution (fig 2 label)
+
+    /** Build from a run result. */
+    static BreakdownRow from(const std::string &label,
+                             const dsm::RunResult &r);
+
+    /** Normalize every column against @p base's execution time (in %). */
+    BreakdownRow normalizedTo(const BreakdownRow &base) const;
+};
+
+/** Print rows as the paper's stacked-bar data (percent columns). */
+void printBreakdownTable(std::ostream &os, const std::string &title,
+                         const std::vector<BreakdownRow> &rows);
+
+/** Print the Table-1 parameter block for reproducibility. */
+void printConfig(std::ostream &os, const dsm::SysConfig &cfg);
+
+} // namespace harness
+
+#endif // NCP2_HARNESS_RUNNER_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * First-level data-cache timing model.
+ *
+ * Direct-mapped, physically indexed over the DSM global address space,
+ * write-through with no write-allocate for shared data (writes must reach
+ * the memory bus so the protocol controller's snoop logic can see them,
+ * and so Shrimp-style network interfaces can propagate automatic
+ * updates). Only timing and tag state are modelled; data contents live in
+ * the DSM page store.
+ */
+
+#ifndef NCP2_MEM_CACHE_HH
+#define NCP2_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mem
+{
+
+/** Geometry of a direct-mapped cache. */
+struct CacheGeometry
+{
+    std::uint32_t size_bytes = 128 * 1024;
+    std::uint32_t line_bytes = 32;
+
+    std::uint32_t numLines() const { return size_bytes / line_bytes; }
+};
+
+/**
+ * Tag-only direct-mapped cache. Lookup cost is folded into the 1-cycle
+ * issue charge; misses cost a line fill from local memory (charged by
+ * the caller, which owns the memory bus).
+ */
+class Cache
+{
+  public:
+    explicit Cache(CacheGeometry geom = {})
+        : geom_(geom),
+          tags_(geom.numLines(), invalid_tag)
+    {
+        ncp2_assert((geom.line_bytes & (geom.line_bytes - 1)) == 0,
+                    "cache line size must be a power of two");
+        ncp2_assert((geom_.numLines() & (geom_.numLines() - 1)) == 0,
+                    "cache line count must be a power of two");
+        line_shift_ = ctz(geom.line_bytes);
+        index_mask_ = geom_.numLines() - 1;
+    }
+
+    /**
+     * Probe-and-fill for a read: returns true on hit; on miss installs
+     * the line.
+     */
+    bool
+    accessRead(sim::GAddr addr)
+    {
+        const std::uint64_t line = addr >> line_shift_;
+        const std::uint32_t idx = static_cast<std::uint32_t>(line) & index_mask_;
+        if (tags_[idx] == line) {
+            ++hits_;
+            return true;
+        }
+        tags_[idx] = line;
+        ++misses_;
+        return false;
+    }
+
+    /**
+     * Probe for a write (write-through, no write-allocate): returns true
+     * if the line is present (and thus also updated in cache).
+     */
+    bool
+    accessWrite(sim::GAddr addr)
+    {
+        const std::uint64_t line = addr >> line_shift_;
+        const std::uint32_t idx = static_cast<std::uint32_t>(line) & index_mask_;
+        if (tags_[idx] == line) {
+            ++write_hits_;
+            return true;
+        }
+        ++write_misses_;
+        return false;
+    }
+
+    /**
+     * Invalidate every line belonging to [@p base, @p base + @p bytes).
+     * Used when the protocol controller or an automatic update writes
+     * local memory behind the processor's back (the CPU snoops those bus
+     * writes, per the paper's node architecture).
+     */
+    void
+    invalidateRange(sim::GAddr base, std::uint64_t bytes)
+    {
+        const std::uint64_t first = base >> line_shift_;
+        const std::uint64_t last = (base + bytes - 1) >> line_shift_;
+        for (std::uint64_t line = first; line <= last; ++line) {
+            const std::uint32_t idx =
+                static_cast<std::uint32_t>(line) & index_mask_;
+            if (tags_[idx] == line) {
+                tags_[idx] = invalid_tag;
+                ++snoop_invalidations_;
+            }
+        }
+    }
+
+    void
+    invalidateAll()
+    {
+        tags_.assign(tags_.size(), invalid_tag);
+    }
+
+    std::uint32_t lineBytes() const { return geom_.line_bytes; }
+    std::uint32_t lineWords() const { return geom_.line_bytes / 4; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writeHits() const { return write_hits_; }
+    std::uint64_t writeMisses() const { return write_misses_; }
+    std::uint64_t snoopInvalidations() const { return snoop_invalidations_; }
+
+  private:
+    static constexpr std::uint64_t invalid_tag = ~std::uint64_t{0};
+
+    static std::uint32_t
+    ctz(std::uint32_t v)
+    {
+        std::uint32_t n = 0;
+        while (!(v & 1)) {
+            v >>= 1;
+            ++n;
+        }
+        return n;
+    }
+
+    CacheGeometry geom_;
+    std::vector<std::uint64_t> tags_;
+    std::uint32_t line_shift_ = 5;
+    std::uint32_t index_mask_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t write_hits_ = 0;
+    std::uint64_t write_misses_ = 0;
+    std::uint64_t snoop_invalidations_ = 0;
+};
+
+} // namespace mem
+
+#endif // NCP2_MEM_CACHE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Main-memory (DRAM + memory bus) timing model.
+ *
+ * The paper's Table 1 charges a fixed setup time plus a per-word burst
+ * cost for every memory transaction; the memory bus is the contended
+ * resource all node-local agents share (CPU cache fills, write-buffer
+ * drains, controller snoop writes, DMA gathers/scatters, automatic
+ * updates arriving from the network).
+ */
+
+#ifndef NCP2_MEM_MEMORY_HH
+#define NCP2_MEM_MEMORY_HH
+
+#include "sim/resource.hh"
+#include "sim/types.hh"
+
+namespace mem
+{
+
+/** Timing parameters for one node's main memory. */
+struct MemoryTiming
+{
+    sim::Cycles setup_cycles = 10;    ///< per-transaction setup
+    sim::Cycles word_cycles = 3;      ///< per 4-byte word after setup
+};
+
+/**
+ * One node's main memory behind its memory bus. All transactions are
+ * serialized (single-server FIFO), which is how the paper's bus
+ * contention manifests.
+ */
+class MainMemory
+{
+  public:
+    MainMemory(std::string name, MemoryTiming timing)
+        : bus_(std::move(name)), timing_(timing) {}
+
+    /** Service time of a @p words-word transaction, no contention. */
+    sim::Cycles
+    serviceTime(unsigned words) const
+    {
+        return timing_.setup_cycles + timing_.word_cycles * words;
+    }
+
+    /**
+     * Perform a @p words-word transaction arriving at @p arrival.
+     * @return completion tick (includes queuing behind earlier traffic).
+     */
+    sim::Tick
+    access(sim::Tick arrival, unsigned words)
+    {
+        return bus_.acquire(arrival, serviceTime(words));
+    }
+
+    /**
+     * Scattered transaction: @p words words spread over the page, moved
+     * in at most @p line_words-word bursts, paying the setup per burst.
+     * This is how a bit-vector-directed gather/scatter hits DRAM, which
+     * is why the overlapping TreadMarks is more sensitive to memory
+     * latency than AURC (figures 15/16).
+     */
+    sim::Tick
+    accessScattered(sim::Tick arrival, unsigned words,
+                    unsigned line_words = 8)
+    {
+        const unsigned bursts = (words + line_words - 1) / line_words;
+        const sim::Cycles service =
+            bursts * timing_.setup_cycles + timing_.word_cycles * words;
+        return bus_.acquire(arrival, service);
+    }
+
+    const sim::Resource &bus() const { return bus_; }
+    sim::Resource &bus() { return bus_; }
+    const MemoryTiming &timing() const { return timing_; }
+
+    void reset() { bus_.reset(); }
+
+  private:
+    sim::Resource bus_;
+    MemoryTiming timing_;
+};
+
+} // namespace mem
+
+#endif // NCP2_MEM_MEMORY_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TLB timing model: a direct-mapped page-translation cache with a fixed
+ * fill penalty (Table 1: 128 entries, 100-cycle fill).
+ */
+
+#ifndef NCP2_MEM_TLB_HH
+#define NCP2_MEM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mem
+{
+
+/** Direct-mapped TLB over DSM page numbers. */
+class Tlb
+{
+  public:
+    Tlb(unsigned entries = 128, sim::Cycles fill_cycles = 100)
+        : slots_(entries, invalid_page), fill_cycles_(fill_cycles)
+    {
+        ncp2_assert(entries && (entries & (entries - 1)) == 0,
+                    "TLB entry count must be a power of two");
+    }
+
+    /**
+     * Look up @p page; installs on miss.
+     * @return the fill penalty in cycles (0 on hit).
+     */
+    sim::Cycles
+    access(sim::PageId page)
+    {
+        const std::size_t idx = page & (slots_.size() - 1);
+        if (slots_[idx] == page) {
+            ++hits_;
+            return 0;
+        }
+        slots_[idx] = page;
+        ++misses_;
+        return fill_cycles_;
+    }
+
+    /** Drop a translation (page remapped/invalidated by the DSM). */
+    void
+    invalidate(sim::PageId page)
+    {
+        const std::size_t idx = page & (slots_.size() - 1);
+        if (slots_[idx] == page)
+            slots_[idx] = invalid_page;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    static constexpr sim::PageId invalid_page = ~sim::PageId{0};
+
+    std::vector<sim::PageId> slots_;
+    sim::Cycles fill_cycles_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace mem
+
+#endif // NCP2_MEM_TLB_HH

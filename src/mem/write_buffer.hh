@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Write-buffer timing model.
+ *
+ * Shared-page stores are write-through (the snoop logic and automatic-
+ * update hardware both depend on seeing them on the bus), so every store
+ * enters a small FIFO write buffer that drains to the memory bus. With
+ * the paper's 4 entries, bursts of stores stall the processor when the
+ * buffer fills; that stall is part of the "others" breakdown category.
+ */
+
+#ifndef NCP2_MEM_WRITE_BUFFER_HH
+#define NCP2_MEM_WRITE_BUFFER_HH
+
+#include <vector>
+
+#include "mem/memory.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mem
+{
+
+/**
+ * A FIFO of @p entries slots; each slot is occupied from enqueue until
+ * its single-word drain to memory completes. The drain serializes
+ * through the node's memory bus, so heavy controller/DMA traffic slows
+ * the buffer down as well.
+ */
+class WriteBuffer
+{
+  public:
+    WriteBuffer(unsigned entries, MainMemory &memory)
+        : slots_(entries, 0), memory_(&memory)
+    {
+        ncp2_assert(entries > 0, "write buffer needs at least one entry");
+    }
+
+    /**
+     * Enqueue a one-word store at @p now.
+     * @return the number of cycles the *processor* stalls (zero unless
+     *         the buffer is full).
+     */
+    sim::Cycles
+    push(sim::Tick now)
+    {
+        // The oldest slot must have drained before we can reuse it.
+        sim::Tick &slot = slots_[head_];
+        head_ = (head_ + 1) % slots_.size();
+
+        sim::Cycles stall = 0;
+        sim::Tick start = now;
+        if (slot > now) {
+            stall = slot - now;
+            start = slot;
+            stall_cycles_ += stall;
+            ++full_stalls_;
+        }
+        // Drain one word through the memory bus.
+        slot = memory_->access(start, 1);
+        ++stores_;
+        return stall;
+    }
+
+    /** Tick by which every currently buffered store has drained. */
+    sim::Tick
+    drainedAt() const
+    {
+        sim::Tick t = 0;
+        for (sim::Tick s : slots_)
+            if (s > t)
+                t = s;
+        return t;
+    }
+
+    std::uint64_t stores() const { return stores_; }
+    std::uint64_t fullStalls() const { return full_stalls_; }
+    std::uint64_t stallCycles() const { return stall_cycles_; }
+
+  private:
+    std::vector<sim::Tick> slots_;  ///< drain-completion tick per slot
+    MainMemory *memory_;
+    std::size_t head_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t full_stalls_ = 0;
+    std::uint64_t stall_cycles_ = 0;
+};
+
+} // namespace mem
+
+#endif // NCP2_MEM_WRITE_BUFFER_HH

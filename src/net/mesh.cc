@@ -1,0 +1,142 @@
+#include "net/mesh.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace net
+{
+
+MeshNetwork::MeshNetwork(unsigned num_nodes, NetTiming timing)
+    : num_nodes_(num_nodes), timing_(timing)
+{
+    ncp2_assert(num_nodes >= 1, "mesh needs at least one node");
+    width_ = 1;
+    while (width_ * width_ < num_nodes)
+        ++width_;
+    // Allocate links for every grid position: dimension-order routes may
+    // traverse router positions that have no attached node.
+    const unsigned grid = width_ * width_;
+    links_.reserve(static_cast<std::size_t>(grid) * num_ports);
+    for (unsigned n = 0; n < grid; ++n) {
+        for (unsigned p = 0; p < num_ports; ++p) {
+            links_.emplace_back(
+                sim::detail::format("link.n%u.p%u", n, p));
+        }
+    }
+}
+
+sim::Resource &
+MeshNetwork::link(sim::NodeId node, Port port)
+{
+    return links_[static_cast<std::size_t>(node) * num_ports + port];
+}
+
+void
+MeshNetwork::route(sim::NodeId src, sim::NodeId dst,
+                   std::vector<std::pair<sim::NodeId, Port>> &path) const
+{
+    path.clear();
+    unsigned x = src % width_;
+    unsigned y = src / width_;
+    const unsigned dx = dst % width_;
+    const unsigned dy = dst / width_;
+
+    // Dimension order: X first, then Y.
+    while (x != dx) {
+        const sim::NodeId here = y * width_ + x;
+        if (x < dx) {
+            path.emplace_back(here, east);
+            ++x;
+        } else {
+            path.emplace_back(here, west);
+            --x;
+        }
+    }
+    while (y != dy) {
+        const sim::NodeId here = y * width_ + x;
+        if (y < dy) {
+            path.emplace_back(here, south);
+            ++y;
+        } else {
+            path.emplace_back(here, north);
+            --y;
+        }
+    }
+    path.emplace_back(dst, eject);
+}
+
+unsigned
+MeshNetwork::hops(sim::NodeId src, sim::NodeId dst) const
+{
+    const unsigned x = src % width_, y = src / width_;
+    const unsigned dx = dst % width_, dy = dst / width_;
+    const unsigned hx = x > dx ? x - dx : dx - x;
+    const unsigned hy = y > dy ? y - dy : dy - y;
+    return hx + hy;
+}
+
+sim::Cycles
+MeshNetwork::uncontendedLatency(sim::NodeId src, sim::NodeId dst,
+                                std::uint32_t payload_bytes) const
+{
+    const std::uint32_t bytes = payload_bytes + timing_.header_bytes;
+    const auto tx = static_cast<sim::Cycles>(
+        std::ceil(bytes * timing_.cyclesPerByte()));
+    const unsigned h = hops(src, dst) + 1;  // +1 for ejection
+    return h * (timing_.switch_cycles + timing_.wire_cycles) + tx;
+}
+
+sim::Tick
+MeshNetwork::send(sim::Tick departure, sim::NodeId src, sim::NodeId dst,
+                  std::uint32_t payload_bytes)
+{
+    ncp2_assert(src < num_nodes_ && dst < num_nodes_,
+                "message endpoints out of range");
+
+    const std::uint32_t bytes = payload_bytes + timing_.header_bytes;
+    const auto tx = static_cast<sim::Cycles>(
+        std::ceil(bytes * timing_.cyclesPerByte()));
+
+    ++stats_.messages;
+    stats_.bytes += bytes;
+
+    if (src == dst) {
+        // Loop-back through the local NI: transmission only.
+        const sim::Tick done = departure + tx;
+        stats_.latency_cycles += tx;
+        return done;
+    }
+
+    route(src, dst, scratch_path_);
+
+    // Wormhole: the head advances one hop per (switch + wire); each link
+    // on the path is held for the whole transmission time starting when
+    // the head reaches it. Blocking anywhere delays the head and extends
+    // every upstream hold - approximated by serially reserving links in
+    // path order and propagating the head's delayed arrival.
+    sim::Tick head = departure;
+    for (const auto &[node, port] : scratch_path_) {
+        sim::Resource &l = link(node, port);
+        const sim::Tick free = l.freeAt();
+        if (free > head) {
+            stats_.contention_cycles += free - head;
+            head = free;
+        }
+        l.acquire(head, tx);
+        head += timing_.switch_cycles + timing_.wire_cycles;
+    }
+    const sim::Tick delivered = head + tx;
+    stats_.latency_cycles += delivered - departure;
+    return delivered;
+}
+
+void
+MeshNetwork::reset()
+{
+    for (auto &l : links_)
+        l.reset();
+    stats_ = {};
+}
+
+} // namespace net

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * PCI-bus timing model.
+ *
+ * The protocol controller and the network interface both sit on each
+ * node's PCI bus (Figure 3 of the paper). Every transfer between main
+ * memory and either device crosses PCI and pays setup + per-word burst
+ * cost (Table 1: 10 cycles + 3 cycles/word), serialized with other PCI
+ * traffic on the same node.
+ */
+
+#ifndef NCP2_PCIB_PCI_BUS_HH
+#define NCP2_PCIB_PCI_BUS_HH
+
+#include "sim/resource.hh"
+#include "sim/types.hh"
+
+namespace pcib
+{
+
+/** Timing parameters of one node's PCI bus. */
+struct PciTiming
+{
+    sim::Cycles setup_cycles = 10;
+    sim::Cycles word_cycles = 3;
+};
+
+/** Single-server FIFO PCI bus. */
+class PciBus
+{
+  public:
+    PciBus(std::string name, PciTiming timing)
+        : bus_(std::move(name)), timing_(timing) {}
+
+    sim::Cycles
+    serviceTime(unsigned words) const
+    {
+        return timing_.setup_cycles + timing_.word_cycles * words;
+    }
+
+    /** Burst-transfer @p words words; returns the completion tick. */
+    sim::Tick
+    transfer(sim::Tick arrival, unsigned words)
+    {
+        return bus_.acquire(arrival, serviceTime(words));
+    }
+
+    const sim::Resource &bus() const { return bus_; }
+    const PciTiming &timing() const { return timing_; }
+
+    void reset() { bus_.reset(); }
+
+  private:
+    sim::Resource bus_;
+    PciTiming timing_;
+};
+
+} // namespace pcib
+
+#endif // NCP2_PCIB_PCI_BUS_HH

@@ -1,0 +1,80 @@
+#include "sim/fiber.hh"
+
+#include "sim/logging.hh"
+
+namespace sim
+{
+
+namespace
+{
+/// The fiber currently executing on this (single) host thread.
+thread_local Fiber *g_current = nullptr;
+} // namespace
+
+Fiber::Fiber(Body body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(stack_bytes)
+{
+    ncp2_assert(stack_bytes >= 16 * 1024, "fiber stack too small");
+}
+
+Fiber::~Fiber() = default;
+
+Fiber *
+Fiber::current()
+{
+    return g_current;
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = g_current;
+    try {
+        self->body_();
+    } catch (...) {
+        self->pending_exception_ = std::current_exception();
+    }
+    self->finished_ = true;
+    // Return to the resumer; never comes back.
+    g_current = nullptr;
+    swapcontext(&self->context_, &self->caller_);
+    ncp2_panic("resumed a finished fiber");
+}
+
+void
+Fiber::resume()
+{
+    ncp2_assert(!g_current, "nested fiber resume is not supported");
+    ncp2_assert(!finished_, "resume() on a finished fiber");
+
+    if (!started_) {
+        started_ = true;
+        getcontext(&context_);
+        context_.uc_stack.ss_sp = stack_.data();
+        context_.uc_stack.ss_size = stack_.size();
+        context_.uc_link = nullptr;
+        makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 0);
+    }
+
+    g_current = this;
+    swapcontext(&caller_, &context_);
+    g_current = nullptr;
+
+    if (pending_exception_) {
+        auto ex = pending_exception_;
+        pending_exception_ = nullptr;
+        std::rethrow_exception(ex);
+    }
+}
+
+void
+Fiber::yield()
+{
+    Fiber *self = g_current;
+    ncp2_assert(self, "Fiber::yield() outside any fiber");
+    g_current = nullptr;
+    swapcontext(&self->context_, &self->caller_);
+    g_current = self;
+}
+
+} // namespace sim

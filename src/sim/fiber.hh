@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cooperative fibers: the execution-driven front end's threading substrate.
+ *
+ * Each simulated computation processor runs its application code on a
+ * Fiber. When the application performs a shared-memory access (or an
+ * explicit compute() charge) the memory-system back end decides how long
+ * the processor stalls; the fiber yields back to the event loop and is
+ * resumed by an event at the wake-up tick. This mirrors the Mint-style
+ * execution-driven simulation of the paper: back-end timing feeds back
+ * into front-end instruction interleaving.
+ *
+ * Implemented with POSIX ucontext. Fibers are strictly cooperative and
+ * single-threaded; only one fiber (or the scheduler) runs at a time.
+ */
+
+#ifndef NCP2_SIM_FIBER_HH
+#define NCP2_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace sim
+{
+
+/**
+ * A single cooperative fiber. resume() runs it until it calls
+ * Fiber::yield() or its body returns; exceptions thrown by the body are
+ * captured and rethrown in the resumer.
+ */
+class Fiber
+{
+  public:
+    using Body = std::function<void()>;
+
+    /**
+     * @param body     code to run on the fiber
+     * @param stack_bytes stack size; workloads with deep recursion
+     *                 (Barnes-Hut tree walks, TSP branch-and-bound)
+     *                 need generous stacks.
+     */
+    explicit Fiber(Body body, std::size_t stack_bytes = 1u << 20);
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Switch from the caller into the fiber; returns when the fiber
+     * yields or finishes. Must not be called from within a fiber
+     * (no nesting) or on a finished fiber.
+     */
+    void resume();
+
+    /** Yield from inside the currently running fiber back to its resumer. */
+    static void yield();
+
+    /** The fiber currently executing, or nullptr if in the scheduler. */
+    static Fiber *current();
+
+    /** True once the body has returned (or thrown). */
+    bool finished() const { return finished_; }
+
+  private:
+    static void trampoline();
+
+    Body body_;
+    std::vector<unsigned char> stack_;
+    ucontext_t context_;
+    ucontext_t caller_;
+    std::exception_ptr pending_exception_;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace sim
+
+#endif // NCP2_SIM_FIBER_HH

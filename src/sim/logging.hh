@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error and status reporting, after gem5's logging discipline.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something looks wrong but the simulation can continue.
+ * inform() - normal operational status.
+ */
+
+#ifndef NCP2_SIM_LOGGING_HH
+#define NCP2_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sim
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Suppress warn()/inform() output (used by tests and benches). */
+void setQuiet(bool quiet);
+bool quiet();
+
+#define ncp2_panic(...) \
+    ::sim::detail::panicImpl(__FILE__, __LINE__, ::sim::detail::format(__VA_ARGS__))
+
+#define ncp2_fatal(...) \
+    ::sim::detail::fatalImpl(__FILE__, __LINE__, ::sim::detail::format(__VA_ARGS__))
+
+#define ncp2_warn(...) \
+    ::sim::detail::warnImpl(::sim::detail::format(__VA_ARGS__))
+
+#define ncp2_inform(...) \
+    ::sim::detail::informImpl(::sim::detail::format(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define ncp2_assert(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::sim::detail::panicImpl(__FILE__, __LINE__,                     \
+                std::string("assertion failed: " #cond " ") +                \
+                ::sim::detail::format("" __VA_ARGS__));                      \
+        }                                                                    \
+    } while (0)
+
+} // namespace sim
+
+#endif // NCP2_SIM_LOGGING_HH

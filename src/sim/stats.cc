@@ -1,0 +1,100 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace sim
+{
+
+void
+StatGroup::addCounter(const std::string &name, const Counter *c,
+                      const std::string &desc)
+{
+    counters_.push_back({name, c, desc});
+}
+
+void
+StatGroup::addAccum(const std::string &name, const Accum *a,
+                    const std::string &desc)
+{
+    accums_.push_back({name, a, desc});
+}
+
+void
+StatGroup::addChild(const StatGroup *child)
+{
+    children_.push_back(child);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &e : counters_) {
+        os << name_ << '.' << e.name << ' ' << e.stat->value()
+           << "  # " << e.desc << '\n';
+    }
+    for (const auto &e : accums_) {
+        os << name_ << '.' << e.name << ' ' << e.stat->sum()
+           << "  # " << e.desc << '\n';
+    }
+    for (const StatGroup *child : children_)
+        child->dump(os);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    ncp2_assert(cells.size() == headers_.size(),
+                "table row has %zu cells, want %zu",
+                cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        width[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(width[i]) + 2)
+               << cells[i];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        rule += std::string(width[i], '-') + "  ";
+    os << rule << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << (v * 100.0) << '%';
+    return ss.str();
+}
+
+} // namespace sim

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics framework.
+ *
+ * Stats are plain member objects registered with a StatGroup by name;
+ * groups nest, and dump() renders "group.sub.stat  value  # desc" lines.
+ * The DSM layer builds the paper's execution-time breakdowns on top of
+ * these primitives.
+ */
+
+#ifndef NCP2_SIM_STATS_HH
+#define NCP2_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sim
+{
+
+/** A monotonically increasing 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** An accumulator of simulated cycles (or any additive scalar). */
+class Accum
+{
+  public:
+    Accum &operator+=(double v) { sum_ += v; ++samples_; return *this; }
+    void reset() { sum_ = 0; samples_ = 0; }
+    double sum() const { return sum_; }
+    std::uint64_t samples() const { return samples_; }
+    double mean() const { return samples_ ? sum_ / static_cast<double>(samples_) : 0.0; }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t samples_ = 0;
+};
+
+/** A fixed-bucket histogram for distributions (latency, sizes). */
+class Histogram
+{
+  public:
+    /** Buckets are [bounds[i-1], bounds[i]); a final overflow bucket. */
+    explicit Histogram(std::vector<double> bounds = {})
+        : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+    void
+    sample(double v)
+    {
+        std::size_t i = 0;
+        while (i < bounds_.size() && v >= bounds_[i])
+            ++i;
+        ++counts_[i];
+        sum_ += v;
+        ++total_;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t total() const { return total_; }
+    double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+    double max() const { return max_; }
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    void
+    reset()
+    {
+        counts_.assign(counts_.size(), 0);
+        sum_ = 0;
+        total_ = 0;
+        max_ = 0;
+    }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    double sum_ = 0;
+    std::uint64_t total_ = 0;
+    double max_ = 0;
+};
+
+/**
+ * A named bag of stats for dumping. Members register a pointer plus
+ * name/description; the group does not own the stats.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(const std::string &name, const Counter *c,
+                    const std::string &desc);
+    void addAccum(const std::string &name, const Accum *a,
+                  const std::string &desc);
+    void addChild(const StatGroup *child);
+
+    /** Render all registered stats to @p os, prefixed by the group name. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct CounterEntry { std::string name; const Counter *stat; std::string desc; };
+    struct AccumEntry { std::string name; const Accum *stat; std::string desc; };
+
+    std::string name_;
+    std::vector<CounterEntry> counters_;
+    std::vector<AccumEntry> accums_;
+    std::vector<const StatGroup *> children_;
+};
+
+/**
+ * Fixed-width text table used by the benches to print the paper's
+ * figure data as aligned rows.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment. */
+    void print(std::ostream &os) const;
+
+    static std::string fmt(double v, int precision = 2);
+    static std::string pct(double v, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sim
+
+#endif // NCP2_SIM_STATS_HH

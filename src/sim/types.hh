@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the simulator.
+ *
+ * All simulated time is expressed in *ticks*; one tick is one processor
+ * cycle (10 ns at the paper's 100 MHz default). Addresses index the DSM
+ * global shared address space, which starts at zero and is contiguous.
+ */
+
+#ifndef NCP2_SIM_TYPES_HH
+#define NCP2_SIM_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sim
+{
+
+/** Simulated time, in processor cycles. */
+using Tick = std::uint64_t;
+
+/** A duration, in processor cycles. */
+using Cycles = std::uint64_t;
+
+/** Identifier of a node (processor + controller + NIC) in the system. */
+using NodeId = std::uint32_t;
+
+/** Byte address in the DSM global shared address space. */
+using GAddr = std::uint64_t;
+
+/** Page number (GAddr >> page_shift). */
+using PageId = std::uint64_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId invalid_node = ~NodeId{0};
+
+/** Sentinel tick, used as "never". */
+inline constexpr Tick tick_never = ~Tick{0};
+
+} // namespace sim
+
+#endif // NCP2_SIM_TYPES_HH

@@ -1,0 +1,1285 @@
+#include "tmk/treadmarks.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace tmk
+{
+
+using dsm::Cat;
+using sim::NodeId;
+using sim::PageId;
+using sim::Tick;
+
+std::unique_ptr<dsm::Protocol>
+makeTreadMarks(dsm::OverlapMode mode)
+{
+    return std::make_unique<TreadMarks>(mode);
+}
+
+std::string
+TreadMarks::name() const
+{
+    return "TreadMarks/" + mode_.label();
+}
+
+void
+TreadMarks::attach(dsm::System &sys)
+{
+    sys_ = &sys;
+    const unsigned n = nprocs();
+    procs_.assign(n, ProcState{});
+    for (auto &ps : procs_)
+        ps.vt = dsm::VectorClock(n);
+    txns_.assign(n, Txn{});
+    prefetch_.assign(n, ProcPrefetch{});
+    lh_pending_words_.assign(n, 0);
+
+    // Home copies exist from time zero (zero-filled, read-only).
+    const PageId used_pages =
+        (sys.heap().used() + cfg().page_bytes - 1) / cfg().page_bytes;
+    for (PageId pg = 0; pg < used_pages; ++pg) {
+        dsm::NodePage &p = node(homeOf(pg)).pages.materialize(pg);
+        p.access = dsm::Access::read;
+    }
+}
+
+sim::Cycles
+TreadMarks::memLatency(NodeId n, unsigned words)
+{
+    dsm::Node &nd = node(n);
+    const Tick arrive = nd.cpu.localNow();
+    return nd.memory.access(arrive, words) - arrive;
+}
+
+std::uint64_t
+TreadMarks::vtSumOf(NodeId q, dsm::IntervalSeq seq) const
+{
+    const ProcState &ps = procs_[q];
+    if (seq == 0)
+        return 0;
+    if (seq <= ps.vt_sums.size())
+        return ps.vt_sums[seq - 1];
+    // Pseudo interval covering the still-open interval (validation).
+    std::uint64_t s = 1;
+    for (unsigned i = 0; i < ps.vt.size(); ++i)
+        s += ps.vt[i];
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// interval / write-notice machinery
+// ---------------------------------------------------------------------
+
+void
+TreadMarks::closeInterval(NodeId proc)
+{
+    ProcState &ps = procs_[proc];
+    if (ps.open_dirty.empty())
+        return;
+
+    const dsm::IntervalSeq seq = ++ps.vt[proc];
+    std::uint64_t sum = 0;
+    for (unsigned i = 0; i < ps.vt.size(); ++i)
+        sum += ps.vt[i];
+    ps.vt_sums.push_back(sum);
+
+    for (PageId page : ps.open_dirty) {
+        ps.logs[page].closed_seqs.push_back(seq);
+        dsm::NodePage &pg = node(proc).pages.page(page);
+        pg.dirty_in_interval = false;
+        // Write-protect so the next write in the new interval traps and
+        // registers the page again.
+        if (pg.access == dsm::Access::readwrite)
+            pg.access = dsm::Access::read;
+    }
+    ps.interval_pages.push_back(std::move(ps.open_dirty));
+    ps.open_dirty.clear();
+
+    ++stats_.intervals_closed;
+    stats_.write_notices += ps.interval_pages.back().size();
+    node(proc).cpu.advance(
+        cfg().list_cycles * ps.interval_pages.back().size(), Cat::synch);
+}
+
+std::uint64_t
+TreadMarks::noticeCount(const dsm::VectorClock &from,
+                        const dsm::VectorClock &to) const
+{
+    std::uint64_t count = 0;
+    for (unsigned q = 0; q < from.size(); ++q) {
+        const ProcState &ps = procs_[q];
+        for (dsm::IntervalSeq s = from[q] + 1; s <= to[q]; ++s)
+            count += ps.interval_pages[s - 1].size();
+    }
+    return count;
+}
+
+void
+TreadMarks::applyInvalidations(NodeId proc, const dsm::VectorClock &from,
+                               const dsm::VectorClock &to)
+{
+    ProcState &me = procs_[proc];
+    dsm::PageStore &store = node(proc).pages;
+    for (unsigned q = 0; q < from.size(); ++q) {
+        if (q == proc)
+            continue;
+        const ProcState &ps = procs_[q];
+        for (dsm::IntervalSeq s = from[q] + 1; s <= to[q]; ++s) {
+            for (PageId page : ps.interval_pages[s - 1]) {
+                dsm::NodePage &pg = store.page(page);
+                if (!pg.present() || pg.applied[q] >= s)
+                    continue;
+                if (pg.access == dsm::Access::none)
+                    continue;
+                pg.access = dsm::Access::none;
+                node(proc).tlb.invalidate(page);
+                ++stats_.invalidations;
+                if (pg.prefetched_unused) {
+                    ++stats_.prefetches_useless;
+                    pg.prefetched_unused = false;
+                    PrefetchHistory &h = prefetch_[proc].history[page];
+                    if (++h.useless_streak >= 1)
+                        h.banned = true; // adaptive strategy gives up
+                } else if (pg.referenced) {
+                    // Demand use resets the streak, but a page that was
+                    // ever prefetched uselessly stays banned: the
+                    // referenced bit already covers the optimistic case.
+                    prefetch_[proc].history[page].useless_streak = 0;
+                }
+                if (pg.referenced)
+                    me.invalidated.push_back(page);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// diff capture / shipment
+// ---------------------------------------------------------------------
+
+bool
+TreadMarks::captureNeeded(NodeId q, PageId page) const
+{
+    auto it = procs_[q].logs.find(page);
+    if (it == procs_[q].logs.end())
+        return false;
+    const PageLog &log = it->second;
+    return !log.closed_seqs.empty() &&
+           log.diffed_to < log.closed_seqs.back();
+}
+
+unsigned
+TreadMarks::captureDiff(NodeId q, PageId page, bool pseudo_open)
+{
+    ProcState &ps = procs_[q];
+    auto it = ps.logs.find(page);
+    if (it == ps.logs.end())
+        return 0;
+    PageLog &log = it->second;
+
+    dsm::IntervalSeq target =
+        log.closed_seqs.empty() ? 0 : log.closed_seqs.back();
+    dsm::PageStore &store = node(q).pages;
+    dsm::NodePage &pg = store.page(page);
+    if (pseudo_open && pg.dirty_in_interval)
+        target = ps.vt[q] + 1;
+    if (log.diffed_to >= target)
+        return 0;
+
+    dsm::Diff d;
+    if (mode_.hw_diffs) {
+        if (!pg.write_bits.empty() && dsm::PageStore::writtenWords(pg)) {
+            d = store.diffFromBits(page, pg);
+            std::fill(pg.write_bits.begin(), pg.write_bits.end(), 0);
+        }
+    } else if (pg.twin) {
+        d = store.diffFromTwin(page, pg);
+        store.dropTwin(pg);
+    }
+    // Software diffs drop the twin, so the page must be write-protected
+    // to re-twin on the next store. The hardware bit vector keeps
+    // accumulating, so no protection change is needed in mode D.
+    if (!pseudo_open && !mode_.hw_diffs &&
+        pg.access == dsm::Access::readwrite) {
+        pg.access = dsm::Access::read;
+    }
+
+    for (unsigned i = 0; i < d.words(); ++i) {
+        // Label with the word's true write interval (which may be the
+        // still-open one for a value leaking ahead of its notice).
+        dsm::IntervalSeq end = target;
+        if (!log.word_interval.empty()) {
+            const dsm::IntervalSeq wi = log.word_interval[d.idx[i]];
+            if (wi != 0)
+                end = wi;
+        }
+        log.cum[d.idx[i]] = WordRec{d.val[i], end};
+    }
+    log.diffed_to = target;
+
+    ++stats_.diffs_created;
+    if (d.words() == 0)
+        ++stats_.empty_diffs;
+    stats_.diff_words_moved += d.words();
+    return d.words();
+}
+
+std::vector<NodeId>
+TreadMarks::neededWriters(NodeId proc, PageId page) const
+{
+    std::vector<NodeId> out;
+    const dsm::NodePage &pg = sys_->node(proc).pages.page(page);
+    const dsm::VectorClock &vt = procs_[proc].vt;
+    for (unsigned q = 0; q < nprocs(); ++q) {
+        if (q == proc)
+            continue;
+        auto it = procs_[q].logs.find(page);
+        if (it == procs_[q].logs.end())
+            continue;
+        const auto &seqs = it->second.closed_seqs;
+        const dsm::IntervalSeq w = pg.present() ? pg.applied[q] : 0;
+        // Any closed interval of q in (w, vt[q]] that wrote the page?
+        auto pos = std::upper_bound(seqs.begin(), seqs.end(), w);
+        if (pos != seqs.end() && *pos <= vt[q])
+            out.push_back(q);
+    }
+    return out;
+}
+
+TreadMarks::Shipment
+TreadMarks::buildShipment(NodeId proc, NodeId q, PageId page) const
+{
+    Shipment s;
+    s.writer = q;
+    const auto it = procs_[q].logs.find(page);
+    if (it == procs_[q].logs.end())
+        return s;
+    const PageLog &log = it->second;
+    s.end = log.diffed_to;
+    s.order_key = vtSumOf(q, log.diffed_to);
+
+    const dsm::NodePage &req_pg = sys_->node(proc).pages.page(page);
+    const dsm::IntervalSeq w = req_pg.present() ? req_pg.applied[q] : 0;
+    for (const auto &[idx, rec] : log.cum) {
+        if (rec.end > w) {
+            s.idx.push_back(idx);
+            s.val.push_back(rec.val);
+            s.key.push_back(vtSumOf(q, rec.end));
+        }
+    }
+    return s;
+}
+
+void
+TreadMarks::applyShipment(NodeId proc, PageId page, const Shipment &s)
+{
+    dsm::NodePage &pg = node(proc).pages.page(page);
+    ncp2_assert(pg.present(), "applying a diff to an absent page");
+    // A shipment may have been built before a page fetch that the same
+    // transaction installed (requests run in parallel); if the install's
+    // watermark already covers it, the shipment is stale - applying it
+    // would roll fresh home bytes back (the home's own words carry no
+    // per-word keys to defend themselves).
+    if (s.end <= pg.applied[s.writer]) {
+        ++stats_.stale_shipments_dropped;
+        return;
+    }
+    if (!pg.word_keys && !s.idx.empty()) {
+        const unsigned words = node(proc).pages.pageWords();
+        pg.word_keys = std::make_unique<std::uint64_t[]>(words);
+        std::memset(pg.word_keys.get(), 0, words * 8);
+    }
+    auto *words = reinterpret_cast<std::uint32_t *>(pg.data.get());
+    auto *twin_words = pg.twin
+        ? reinterpret_cast<std::uint32_t *>(pg.twin.get()) : nullptr;
+    for (std::size_t i = 0; i < s.idx.size(); ++i) {
+        // Per-word happened-before merge: a writer's cumulative diff may
+        // carry a word value older than what another writer's diff (or
+        // the fetched copy) already provided here.
+        if (s.key[i] >= pg.word_keys[s.idx[i]]) {
+            pg.word_keys[s.idx[i]] = s.key[i];
+            words[s.idx[i]] = s.val[i];
+            // Keep the twin in sync so the next local diff does not
+            // re-export foreign words as our own modifications (the
+            // snoop bit vector needs no such care: only processor
+            // stores set bits).
+            if (twin_words)
+                twin_words[s.idx[i]] = s.val[i];
+        }
+    }
+    if (s.end > pg.applied[s.writer])
+        pg.applied[s.writer] = s.end;
+    ++stats_.diffs_applied;
+}
+
+void
+TreadMarks::sortShipments(std::vector<Shipment> &v)
+{
+    std::stable_sort(v.begin(), v.end(),
+                     [](const Shipment &a, const Shipment &b) {
+                         if (a.order_key != b.order_key)
+                             return a.order_key < b.order_key;
+                         return a.writer < b.writer;
+                     });
+}
+
+// ---------------------------------------------------------------------
+// message-send helpers (the overlap-mode matrix)
+// ---------------------------------------------------------------------
+
+void
+TreadMarks::fiberSend(NodeId proc, NodeId dst, std::uint32_t bytes,
+                      Cat cat, ctrl::Priority prio,
+                      std::function<void(Tick)> fn)
+{
+    dsm::Node &n = node(proc);
+    n.cpu.flush();
+    if (!mode_.offload) {
+        // The computation processor sets up the network interface.
+        n.cpu.advance(cfg().net.msg_overhead, cat);
+        n.cpu.flush();
+        const Tick dep = sys_->eq().now();
+        const Tick del = sys_->net().send(dep, proc, dst, bytes);
+        sys_->eq().schedule(del, [fn = std::move(fn), del]() { fn(del); });
+    } else {
+        // The CPU only enqueues a command; the controller pays the
+        // messaging overhead.
+        n.cpu.advance(cfg().cmd_issue_cycles, cat);
+        n.controller.submit(
+            prio,
+            [this](Tick) { return cfg().net.msg_overhead; },
+            [this, proc, dst, bytes, fn = std::move(fn)](Tick done) {
+                const Tick del = sys_->net().send(done, proc, dst, bytes);
+                sys_->eq().schedule(del,
+                                    [fn, del]() { fn(del); });
+            });
+    }
+}
+
+void
+TreadMarks::eventSend(NodeId src, NodeId dst, std::uint32_t bytes,
+                      ctrl::Priority prio, std::function<void(Tick)> fn)
+{
+    if (!mode_.offload) {
+        const Tick done =
+            node(src).cpu.interrupt(cfg().net.msg_overhead);
+        const Tick del = sys_->net().send(done, src, dst, bytes);
+        sys_->eq().schedule(del, [fn = std::move(fn), del]() { fn(del); });
+    } else {
+        node(src).controller.submit(
+            prio,
+            [this](Tick) { return cfg().net.msg_overhead; },
+            [this, src, dst, bytes, fn = std::move(fn)](Tick done) {
+                const Tick del = sys_->net().send(done, src, dst, bytes);
+                sys_->eq().schedule(del, [fn, del]() { fn(del); });
+            });
+    }
+}
+
+// ---------------------------------------------------------------------
+// access faults
+// ---------------------------------------------------------------------
+
+void
+TreadMarks::ensureAccess(NodeId proc, PageId page, bool for_write)
+{
+    dsm::Node &n = node(proc);
+    dsm::NodePage &pg = n.pages.page(page);
+
+    // Uniprocessor runs approximate plain sequential execution: no
+    // twins, no intervals, no faults beyond first-touch mapping.
+    if (nprocs() == 1) {
+        if (!pg.present()) {
+            n.pages.materialize(page);
+        }
+        pg.access = dsm::Access::readwrite;
+        return;
+    }
+
+    // Fast path.
+    if (pg.present() && pg.access != dsm::Access::none &&
+        (!for_write || pg.access == dsm::Access::readwrite)) {
+        return;
+    }
+
+    // A pending prefetch for this page: wait for it instead of faulting.
+    auto &pp = prefetch_[proc].pages;
+    auto pit = pp.find(page);
+    if (pit != pp.end()) {
+        ++stats_.prefetch_demand_waits;
+        pit->second.demand_wait = true;
+        n.cpu.block(Cat::data);
+    }
+
+    if (!pg.present() || pg.access == dsm::Access::none)
+        faultIn(proc, page);
+
+    if (for_write && pg.access != dsm::Access::readwrite) {
+        // Write fault: trap, then prepare modification tracking.
+        ++stats_.write_faults;
+        n.cpu.advance(cfg().interrupt_cycles, Cat::data);
+
+        if (mode_.hw_diffs) {
+            // Arm the snoop bit vector (passive hardware; the CPU just
+            // tells the controller the page went writable).
+            if (pg.write_bits.empty())
+                n.pages.armWriteBits(pg);
+            n.cpu.advance(cfg().cmd_issue_cycles, Cat::data);
+        } else if (!pg.twin) {
+            ++stats_.twins_created;
+            const sim::Cycles cpu_cycles =
+                cfg().twin_cycles_per_word * n.pages.pageWords();
+            if (!mode_.offload) {
+                // CPU copies the page (read + write cross the bus).
+                const sim::Cycles mem =
+                    memLatency(proc, 2 * n.pages.pageWords());
+                n.cpu.bd.diff_op_cycles += cpu_cycles + mem;
+                n.cpu.advance(cpu_cycles + mem, Cat::data);
+            } else {
+                // Controller performs the twin copy; the CPU must wait
+                // (the write cannot proceed before the snapshot).
+                n.cpu.advance(cfg().cmd_issue_cycles, Cat::data);
+                n.cpu.flush();
+                n.controller.submit(
+                    ctrl::Priority::high,
+                    [this, proc, cpu_cycles](Tick start) {
+                        dsm::Node &nd = node(proc);
+                        const Tick m = nd.memory.access(
+                            start, 2 * nd.pages.pageWords());
+                        const sim::Cycles t = cpu_cycles + (m - start);
+                        nd.cpu.bd.diff_op_ctrl_cycles += t;
+                        return t;
+                    },
+                    [this, proc](Tick) { node(proc).cpu.wake(); });
+                n.cpu.block(Cat::data);
+            }
+            n.pages.makeTwin(pg);
+        }
+
+        pg.access = dsm::Access::readwrite;
+        if (!pg.dirty_in_interval) {
+            pg.dirty_in_interval = true;
+            procs_[proc].open_dirty.push_back(page);
+        }
+    }
+}
+
+void
+TreadMarks::faultIn(NodeId proc, PageId page)
+{
+    dsm::Node &n = node(proc);
+    dsm::NodePage &pg = n.pages.page(page);
+
+    ++stats_.read_faults;
+    n.cpu.advance(cfg().interrupt_cycles, Cat::data); // VM trap
+
+    const bool cold = !pg.present();
+    const NodeId home = homeOf(page);
+
+    const std::vector<NodeId> writers = neededWriters(proc, page);
+
+    Txn &txn = txns_[proc];
+    txn = Txn{};
+    txn.cold = cold;
+    // Preset the reply count before issuing anything: fiberSend may
+    // yield the fiber, and early replies must not hit zero prematurely.
+    txn.outstanding =
+        (cold ? 1u : 0u) + static_cast<unsigned>(writers.size());
+    const bool expect_replies = txn.outstanding > 0;
+
+    // --- cold: fetch the full page from home, in parallel with diffs ---
+    if (cold) {
+        ++stats_.page_fetches;
+        fiberSend(proc, home, pageReqBytes(), Cat::data,
+                  ctrl::Priority::high, [this, proc, page, home](Tick) {
+            // At home: serve the page (basic task - controller in I).
+            const auto serve = [this, proc, page, home]() {
+                // Snapshot home's bytes + watermarks now; ship them.
+                dsm::Node &h = node(home);
+                dsm::NodePage &hp = h.pages.page(page);
+                auto bytes =
+                    std::make_shared<std::vector<std::uint8_t>>(
+                        hp.data.get(), hp.data.get() + cfg().page_bytes);
+                auto marks = std::make_shared<std::vector<dsm::IntervalSeq>>(
+                    hp.applied);
+                (*marks)[home] = procs_[home].vt[home];
+                eventSend(home, proc, pageReplyBytes(),
+                          ctrl::Priority::high,
+                          [this, proc, page, bytes, marks](Tick t) {
+                    // Page arrival at the faulting node: unload across
+                    // PCI into memory, install, then continue the txn.
+                    dsm::Node &me = node(proc);
+                    const unsigned words = cfg().pageWords();
+                    const Tick p1 = me.pci.transfer(t, words);
+                    const Tick p2 = me.memory.access(p1, words);
+                    sys_->eq().schedule(p2, [this, proc, page, bytes,
+                                             marks]() {
+                        dsm::Node &me2 = node(proc);
+                        dsm::NodePage &mp = me2.pages.materialize(page);
+                        std::memcpy(mp.data.get(), bytes->data(),
+                                    cfg().page_bytes);
+                        for (unsigned q = 0; q < nprocs(); ++q) {
+                            if ((*marks)[q] > mp.applied[q])
+                                mp.applied[q] = (*marks)[q];
+                        }
+                        // Inherit the home copy's per-word keys so that
+                        // a diff older than a fetched value cannot
+                        // regress it.
+                        const dsm::NodePage &hp2 =
+                            node(homeOf(page)).pages.page(page);
+                        if (hp2.word_keys) {
+                            const unsigned pw = me2.pages.pageWords();
+                            if (!mp.word_keys) {
+                                mp.word_keys = std::make_unique<
+                                    std::uint64_t[]>(pw);
+                            }
+                            std::memcpy(mp.word_keys.get(),
+                                        hp2.word_keys.get(), pw * 8);
+                        }
+                        Txn &tx = txns_[proc];
+                        tx.page_arrived = true;
+                        if (--tx.outstanding == 0)
+                            node(proc).cpu.wake();
+                    });
+                });
+            };
+            if (!mode_.offload) {
+                // Home CPU is interrupted to look up and send the page.
+                node(home).cpu.interrupt(cfg().interrupt_cycles +
+                                         cfg().list_cycles * 4);
+                serve();
+            } else {
+                // Controller handles page requests without the CPU.
+                node(home).controller.submit(
+                    ctrl::Priority::high,
+                    [this, home](Tick start) {
+                        // Lookup plus streaming the page from memory
+                        // across PCI to the NI.
+                        dsm::Node &h = node(home);
+                        const unsigned words = cfg().pageWords();
+                        const Tick m = h.memory.access(start + 50, words);
+                        const Tick p = h.pci.transfer(m, words);
+                        return static_cast<sim::Cycles>(p - start);
+                    },
+                    [serve](Tick) { serve(); });
+            }
+        });
+    }
+
+    // --- diff requests to every writer owing us intervals ---
+    for (NodeId q : writers) {
+        ++stats_.diff_requests;
+        fiberSend(proc, q, diffReqBytes(), Cat::data, ctrl::Priority::high,
+                  [this, proc, q, page](Tick) {
+                      serveDiffRequest(proc, q, page, false);
+                  });
+    }
+
+    if (expect_replies)
+        n.cpu.block(Cat::data);
+
+    // --- all replies arrived: apply diffs in timestamp order ---
+    if (!txn.shipments.empty()) {
+        sortShipments(txn.shipments);
+        for (const Shipment &s : txn.shipments) {
+            const unsigned words = static_cast<unsigned>(s.idx.size());
+            applyShipment(proc, page, s);
+            if (words == 0)
+                continue;
+            if (mode_.hw_diffs) {
+                // DMA scatter; CPU waits (demand fault critical path).
+                n.cpu.flush();
+                n.controller.submit(
+                    ctrl::Priority::high,
+                    [this, proc, words](Tick start) {
+                        const sim::Cycles t =
+                            node(proc).controller.dmaApplyDiff(start,
+                                                               words);
+                        node(proc).cpu.bd.diff_op_ctrl_cycles += t;
+                        return t;
+                    },
+                    [this, proc](Tick) { node(proc).cpu.wake(); });
+                n.cpu.block(Cat::data);
+            } else if (mode_.offload) {
+                n.cpu.flush();
+                n.controller.submit(
+                    ctrl::Priority::high,
+                    [this, proc, words](Tick start) {
+                        const sim::Cycles t =
+                            node(proc).controller.swApplyDiff(start,
+                                                              words);
+                        node(proc).cpu.bd.diff_op_ctrl_cycles += t;
+                        return t;
+                    },
+                    [this, proc](Tick) { node(proc).cpu.wake(); });
+                n.cpu.block(Cat::data);
+            } else {
+                const sim::Cycles t = cfg().diff_cycles_per_word * words +
+                                      memLatency(proc, 2 * words);
+                n.cpu.bd.diff_op_cycles += t;
+                n.cpu.advance(t, Cat::data);
+            }
+        }
+    }
+
+    // Revalidate.
+    pg.access = dsm::Access::read;
+    pg.referenced = false;
+    pg.prefetched_unused = false;
+    sys_->snoopInvalidatePage(proc, page);
+}
+
+void
+TreadMarks::serveDiffRequest(NodeId requester, NodeId q, PageId page,
+                             bool is_prefetch)
+{
+    // Interval processing always interrupts the computation processor
+    // (paper section 3.2); diff creation runs per the mode matrix.
+    dsm::Node &wn = node(q);
+    const bool create = captureNeeded(q, page);
+    unsigned created_words = 0;
+    if (create)
+        created_words = captureDiff(q, page, false);
+
+    Shipment ship = buildShipment(requester, q, page);
+    const unsigned ship_words = static_cast<unsigned>(ship.idx.size());
+    const std::uint32_t reply_bytes = diffReplyBytes(ship_words);
+
+    auto deliver = [this, requester, page, ship = std::move(ship),
+                    is_prefetch](Tick) {
+        if (is_prefetch) {
+            auto &pp = prefetch_[requester].pages;
+            auto it = pp.find(page);
+            if (it == pp.end())
+                return;
+            it->second.shipments.push_back(ship);
+            if (--it->second.outstanding == 0)
+                finishPrefetch(requester, page);
+        } else {
+            Txn &tx = txns_[requester];
+            tx.shipments.push_back(ship);
+            if (--tx.outstanding == 0)
+                node(requester).cpu.wake();
+        }
+    };
+
+    const ctrl::Priority prio =
+        is_prefetch ? ctrl::Priority::low : ctrl::Priority::high;
+
+    if (!mode_.offload) {
+        // Everything on the writer's CPU: trap, (twin-compare) diff
+        // creation, reply send.
+        sim::Cycles service = cfg().interrupt_cycles + cfg().list_cycles * 4;
+        if (create) {
+            const Tick now = sys_->eq().now();
+            const sim::Cycles c =
+                cfg().diff_cycles_per_word * cfg().pageWords() +
+                (wn.memory.access(now, 2 * cfg().pageWords()) - now);
+            service += c;
+            wn.cpu.bd.diff_op_cycles += c;
+        }
+        service += cfg().net.msg_overhead;
+        const Tick done = wn.cpu.interrupt(service);
+        const Tick del =
+            sys_->net().send(done, q, requester, reply_bytes);
+        sys_->eq().schedule(del, [deliver, del]() { deliver(del); });
+    } else {
+        // CPU interrupted only for interval processing; the controller
+        // creates the diff (DMA engine in mode D) and replies.
+        const Tick cpu_done =
+            wn.cpu.interrupt(cfg().interrupt_cycles + cfg().list_cycles * 4);
+        sys_->eq().schedule(cpu_done, [this, q, requester, reply_bytes,
+                                       create, created_words, prio,
+                                       deliver]() {
+            dsm::Node &w = node(q);
+            w.controller.submit(
+                prio,
+                [this, q, create, created_words](Tick start) {
+                    sim::Cycles t = 100; // request decode on the core
+                    if (create) {
+                        dsm::Node &w2 = node(q);
+                        const sim::Cycles c = mode_.hw_diffs
+                            ? w2.controller.dmaCreateDiff(start + t,
+                                                          created_words)
+                            : w2.controller.swCreateDiff(start + t,
+                                                         created_words);
+                        w2.cpu.bd.diff_op_ctrl_cycles += c;
+                        t += c;
+                    }
+                    t += cfg().net.msg_overhead;
+                    return t;
+                },
+                [this, q, requester, reply_bytes, deliver](Tick done) {
+                    const Tick del = sys_->net().send(done, q, requester,
+                                                      reply_bytes);
+                    sys_->eq().schedule(del,
+                                        [deliver, del]() { deliver(del); });
+                });
+        });
+    }
+}
+
+void
+TreadMarks::sharedWrite(NodeId proc, PageId page, unsigned word,
+                        unsigned words)
+{
+    // Bit-vector snooping is passive (PageStore::snoopWrite in the
+    // access path); here we record which interval stored each word so
+    // that lazily-merged diffs keep per-word ordering information.
+    if (nprocs() == 1)
+        return;
+    ProcState &ps = procs_[proc];
+    PageLog &log = ps.logs[page];
+    if (log.word_interval.empty())
+        log.word_interval.assign(node(proc).pages.pageWords(), 0);
+    const dsm::IntervalSeq open_seq = ps.vt[proc] + 1;
+    for (unsigned w = word; w < word + words; ++w)
+        log.word_interval[w] = open_seq;
+}
+
+// ---------------------------------------------------------------------
+// prefetching (mode P)
+// ---------------------------------------------------------------------
+
+void
+TreadMarks::issuePrefetches(NodeId proc)
+{
+    ProcState &ps = procs_[proc];
+    if (!mode_.prefetch) {
+        ps.invalidated.clear();
+        return;
+    }
+    std::vector<PageId> cands;
+    std::swap(cands, ps.invalidated);
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+    dsm::Node &n = node(proc);
+    unsigned issued_this_sync = 0;
+    for (PageId page : cands) {
+        dsm::NodePage &pg = n.pages.page(page);
+        if (!pg.present() || pg.access != dsm::Access::none ||
+            pg.prefetch_pending || !pg.referenced) {
+            continue;
+        }
+        // Strategy extensions (see dsm::PrefetchStrategy): the paper's
+        // heuristic prefetches every candidate; `adaptive` skips pages
+        // with a record of useless prefetches; `capped` bounds the
+        // per-synchronization burst.
+        if (mode_.prefetch_strategy == dsm::PrefetchStrategy::adaptive &&
+            prefetch_[proc].history[page].banned) {
+            continue;
+        }
+        if (mode_.prefetch_strategy == dsm::PrefetchStrategy::capped &&
+            issued_this_sync >= mode_.prefetch_cap) {
+            break;
+        }
+        const std::vector<NodeId> writers = neededWriters(proc, page);
+        if (writers.empty())
+            continue;
+
+        ++issued_this_sync;
+        pg.prefetch_pending = true;
+        PagePrefetch &pp = prefetch_[proc].pages[page];
+        pp = PagePrefetch{};
+        pp.outstanding = static_cast<unsigned>(writers.size());
+        ++stats_.prefetches_issued;
+
+        for (NodeId q : writers) {
+            fiberSend(proc, q, diffReqBytes(), Cat::synch,
+                      ctrl::Priority::low,
+                      [this, proc, q, page](Tick) {
+                          serveDiffRequest(proc, q, page, true);
+                      });
+        }
+    }
+}
+
+void
+TreadMarks::finishPrefetch(NodeId proc, PageId page)
+{
+    auto &pmap = prefetch_[proc].pages;
+    auto it = pmap.find(page);
+    ncp2_assert(it != pmap.end(), "finishPrefetch without state");
+
+    auto shipments =
+        std::make_shared<std::vector<Shipment>>(std::move(it->second.shipments));
+    sortShipments(*shipments);
+    unsigned total_words = 0;
+    for (const auto &s : *shipments)
+        total_words += static_cast<unsigned>(s.idx.size());
+
+    dsm::Node &n = node(proc);
+
+    auto complete = [this, proc, page]() {
+        auto &pm = prefetch_[proc].pages;
+        auto pit = pm.find(page);
+        if (pit == pm.end())
+            return;
+        const bool demand_wait = pit->second.demand_wait;
+        pm.erase(pit);
+
+        dsm::Node &nd = node(proc);
+        dsm::NodePage &pg = nd.pages.page(page);
+        pg.prefetch_pending = false;
+        // Revalidate only if no newer intervals arrived meanwhile.
+        if (pg.access == dsm::Access::none &&
+            neededWriters(proc, page).empty()) {
+            pg.access = dsm::Access::read;
+            pg.referenced = false;
+            pg.prefetched_unused = !demand_wait;
+            sys_->snoopInvalidatePage(proc, page);
+        }
+        if (demand_wait)
+            nd.cpu.wake();
+    };
+
+    auto apply_all = [this, proc, page, shipments]() {
+        for (const Shipment &s : *shipments)
+            applyShipment(proc, page, s);
+    };
+
+    if (!mode_.offload) {
+        // Plain P: the arriving diffs interrupt the computation
+        // processor, which applies them itself.
+        sim::Cycles service = cfg().interrupt_cycles;
+        if (total_words) {
+            const Tick now = sys_->eq().now();
+            const sim::Cycles c =
+                cfg().diff_cycles_per_word * total_words +
+                (n.memory.access(now, 2 * total_words) - now);
+            service += c;
+            n.cpu.bd.diff_op_cycles += c;
+        }
+        const Tick done = n.cpu.interrupt(service);
+        sys_->eq().schedule(done, [apply_all, complete]() {
+            apply_all();
+            complete();
+        });
+    } else {
+        n.controller.submit(
+            ctrl::Priority::low,
+            [this, proc, total_words](Tick start) {
+                dsm::Node &nd = node(proc);
+                const sim::Cycles t = mode_.hw_diffs
+                    ? nd.controller.dmaApplyDiff(start, total_words)
+                    : nd.controller.swApplyDiff(start, total_words);
+                nd.cpu.bd.diff_op_ctrl_cycles += t;
+                return t;
+            },
+            [apply_all, complete](Tick) {
+                apply_all();
+                complete();
+            });
+    }
+}
+
+// ---------------------------------------------------------------------
+// locks
+// ---------------------------------------------------------------------
+
+void
+TreadMarks::acquire(NodeId proc, unsigned lock_id)
+{
+    dsm::Node &n = node(proc);
+    ++stats_.lock_acquires;
+
+    if (nprocs() == 1) {
+        n.cpu.advance(20, Cat::synch);
+        return;
+    }
+
+    LockState &lk = locks_[lock_id];
+
+    // Re-acquiring a lock we already own with no contention: TreadMarks'
+    // cached-ownership fast path, no messages.
+    if (lk.has_owner && lk.owner == proc && !lk.held && !lk.granting &&
+        lk.waiters.empty()) {
+        ++stats_.lock_fast_grants;
+        n.cpu.advance(40, Cat::synch);
+        lk.held = true;
+        return;
+    }
+
+    const NodeId manager = static_cast<NodeId>(lock_id % nprocs());
+    fiberSend(proc, manager, lockReqBytes(), Cat::synch,
+              ctrl::Priority::high, [this, proc, lock_id, manager](Tick) {
+        LockState &l = locks_[lock_id];
+        dsm::Node &m = node(manager);
+        // Manager-side handling: forwarding is a basic task.
+        if (!mode_.offload)
+            m.cpu.interrupt(cfg().interrupt_cycles + cfg().list_cycles * 2);
+
+        l.waiters.push_back(proc);
+        pumpLock(lock_id, manager);
+    });
+    n.cpu.block(Cat::synch);
+
+    // Grant processing on the acquirer: write-notice handling, plus
+    // application of any piggybacked Lazy Hybrid diffs.
+    ProcState &ps = procs_[proc];
+    n.cpu.advance(cfg().list_cycles * ps.invalidated.size() +
+                  cfg().list_cycles, Cat::synch);
+    if (lh_pending_words_[proc]) {
+        const std::uint64_t w = lh_pending_words_[proc];
+        lh_pending_words_[proc] = 0;
+        const sim::Cycles c = cfg().diff_cycles_per_word * w +
+                              memLatency(proc, 2 * w);
+        n.cpu.bd.diff_op_cycles += c;
+        n.cpu.advance(c, Cat::synch);
+    }
+    issuePrefetches(proc);
+}
+
+std::uint64_t
+TreadMarks::buildGrantUpdates(
+    NodeId from, NodeId to, const dsm::VectorClock &grant_vt,
+    std::vector<std::pair<PageId, Shipment>> &out)
+{
+    // Only the granter's own modifications travel with the grant: it
+    // has up-to-date data for exactly those, and only for pages the
+    // acquirer already caches (the Lazy Hybrid "caches and is known to
+    // cache" condition; we read the acquirer's page table host-side
+    // where the real protocol keeps approximate copyset knowledge).
+    std::uint64_t words = 0;
+    const dsm::VectorClock &vt_to = procs_[to].vt;
+    ProcState &ps = procs_[from];
+    std::vector<PageId> seen;
+    for (dsm::IntervalSeq s2 = vt_to[from] + 1; s2 <= grant_vt[from];
+         ++s2) {
+        for (PageId page : ps.interval_pages[s2 - 1]) {
+            if (std::find(seen.begin(), seen.end(), page) != seen.end())
+                continue;
+            seen.push_back(page);
+            const dsm::NodePage &tp = node(to).pages.page(page);
+            if (!tp.present())
+                continue;
+            captureDiff(from, page, false);
+            Shipment ship = buildShipment(to, from, page);
+            words += ship.idx.size();
+            ++stats_.lh_updates;
+            stats_.lh_update_words += ship.idx.size();
+            out.emplace_back(page, std::move(ship));
+        }
+    }
+    return words;
+}
+
+void
+TreadMarks::pumpLock(unsigned lock_id, NodeId manager)
+{
+    LockState &l = locks_[lock_id];
+    if (l.held || l.granting || l.waiters.empty())
+        return;
+    l.granting = true;
+    const NodeId next = l.waiters.front();
+    l.waiters.pop_front();
+
+    if (!l.has_owner) {
+        // First acquisition ever: the manager grants directly.
+        l.has_owner = true;
+        grantLock(lock_id, manager, next, false);
+        return;
+    }
+    // Forward to the last owner, who computes the write notices. If the
+    // owner still holds the lock when the request arrives, it grants at
+    // its release.
+    const NodeId o = l.owner;
+    eventSend(manager, o, lockReqBytes(), ctrl::Priority::high,
+              [this, lock_id, o, next](Tick) {
+                  LockState &l2 = locks_[lock_id];
+                  if (l2.held) {
+                      l2.has_pending = true;
+                      l2.pending = next;
+                  } else {
+                      grantLock(lock_id, o, next, false);
+                  }
+              });
+}
+
+void
+TreadMarks::grantLock(unsigned lock_id, NodeId from, NodeId to,
+                      bool from_fiber)
+{
+    LockState &lk = locks_[lock_id];
+    // The grant carries the clock of the last release of this lock
+    // (zero before the first release ever).
+    dsm::VectorClock grant_vt = lk.release_vt.size()
+        ? lk.release_vt
+        : dsm::VectorClock(nprocs());
+    if (from == to)
+        grant_vt = procs_[from].vt;
+
+    // The grant carries write notices for intervals the acquirer has
+    // not seen; computing them is "complicated" work on the granter CPU.
+    const dsm::VectorClock &vt_to = procs_[to].vt;
+    dsm::VectorClock eff = grant_vt;
+    // Never grant a clock below the acquirer's own (merge semantics).
+    std::uint64_t notices = 0;
+    for (unsigned q = 0; q < eff.size(); ++q) {
+        for (dsm::IntervalSeq s = vt_to[q] + 1; s <= eff[q]; ++s)
+            notices += procs_[q].interval_pages[s - 1].size();
+    }
+
+    lk.held = true;
+    lk.owner = to;
+    lk.granting = false;
+
+    // Lazy Hybrid: attach the granter's own diffs for pages the
+    // acquirer caches; their application at delivery supersedes the
+    // invalidation (the per-writer watermark advances past the notice).
+    auto updates = std::make_shared<
+        std::vector<std::pair<PageId, Shipment>>>();
+    sim::Cycles lh_cost = 0;
+    std::uint32_t lh_bytes = 0;
+    if (mode_.lazy_hybrid && from != to) {
+        const std::uint64_t w =
+            buildGrantUpdates(from, to, eff, *updates);
+        // Creation runs on the granter (software diff costs; with mode
+        // D the DMA engine makes this cheaper, approximated by the scan
+        // formula) and the encoded words ride on the grant message.
+        for (const auto &[pg2, ship] : *updates) {
+            (void)pg2;
+            lh_bytes += diffReplyBytes(
+                static_cast<unsigned>(ship.idx.size()));
+        }
+        lh_cost = mode_.hw_diffs
+            ? node(from).controller.scanCycles(
+                  static_cast<unsigned>(w))
+            : cfg().diff_cycles_per_word * w;
+    }
+
+    const sim::Cycles proc_cost =
+        cfg().interrupt_cycles + cfg().list_cycles * notices + lh_cost;
+
+    if (from == to) {
+        // Granting to ourselves (e.g., first acquire by the manager).
+        deliverGrant(lock_id, to, eff, notices);
+        return;
+    }
+
+    if (from_fiber) {
+        // Called from the releaser's own release(): costs are inline.
+        node(from).cpu.advance(cfg().list_cycles * notices + lh_cost,
+                               Cat::synch);
+        fiberSend(from, to, grantBytes(notices) + lh_bytes, Cat::synch,
+                  ctrl::Priority::high,
+                  [this, lock_id, to, eff, notices, updates](Tick) {
+                      applyGrantUpdates(to, *updates);
+                      deliverGrant(lock_id, to, eff, notices);
+                  });
+    } else {
+        const Tick done = node(from).cpu.interrupt(proc_cost);
+        sys_->eq().schedule(done, [this, lock_id, from, to, eff,
+                                   notices, lh_bytes, updates]() {
+            eventSend(from, to, grantBytes(notices) + lh_bytes,
+                      ctrl::Priority::high,
+                      [this, lock_id, to, eff, notices, updates](Tick) {
+                          applyGrantUpdates(to, *updates);
+                          deliverGrant(lock_id, to, eff, notices);
+                      });
+        });
+    }
+}
+
+void
+TreadMarks::applyGrantUpdates(
+    NodeId to, const std::vector<std::pair<PageId, Shipment>> &updates)
+{
+    for (const auto &[page, ship] : updates) {
+        applyShipment(to, page, ship);
+        lh_pending_words_[to] += ship.idx.size();
+    }
+}
+
+void
+TreadMarks::deliverGrant(unsigned lock_id, NodeId to,
+                         dsm::VectorClock grant_vt, std::uint64_t)
+{
+    (void)lock_id;
+    ProcState &ps = procs_[to];
+    applyInvalidations(to, ps.vt, grant_vt);
+    ps.vt.merge(grant_vt);
+    node(to).cpu.wake();
+}
+
+void
+TreadMarks::release(NodeId proc, unsigned lock_id)
+{
+    dsm::Node &n = node(proc);
+    if (nprocs() == 1) {
+        n.cpu.advance(10, Cat::synch);
+        return;
+    }
+
+    closeInterval(proc);
+
+    LockState &lk = locks_[lock_id];
+    ncp2_assert(lk.held && lk.owner == proc,
+                "release of lock %u not held by %u", lock_id, proc);
+    lk.held = false;
+    lk.release_vt = procs_[proc].vt;
+
+    if (lk.has_pending) {
+        lk.has_pending = false;
+        grantLock(lock_id, proc, lk.pending, true);
+    } else if (!lk.waiters.empty() && !lk.granting) {
+        lk.granting = true;
+        const NodeId next = lk.waiters.front();
+        lk.waiters.pop_front();
+        grantLock(lock_id, proc, next, true);
+    } else {
+        n.cpu.advance(10, Cat::synch);
+    }
+}
+
+// ---------------------------------------------------------------------
+// barriers
+// ---------------------------------------------------------------------
+
+void
+TreadMarks::barrier(NodeId proc, unsigned barrier_id)
+{
+    dsm::Node &n = node(proc);
+    if (nprocs() == 1) {
+        n.cpu.advance(10, Cat::synch);
+        return;
+    }
+
+    closeInterval(proc);
+
+    if (mgr_known_vt_.size() == 0)
+        mgr_known_vt_ = dsm::VectorClock(nprocs());
+    auto &bar = barriers_[barrier_id];
+    if (bar.merged_vt.size() == 0)
+        bar.merged_vt = mgr_known_vt_;
+
+    const NodeId manager = 0;
+    ProcState &ps = procs_[proc];
+    // The arrival carries the intervals the manager does not yet know.
+    const std::uint64_t up_notices = noticeCount(mgr_known_vt_, ps.vt);
+
+    fiberSend(proc, manager, grantBytes(up_notices), Cat::synch,
+              ctrl::Priority::high,
+              [this, proc, barrier_id, up_notices](Tick) {
+        auto &b = barriers_[barrier_id];
+        dsm::Node &mgr = node(0);
+        const Tick done = mgr.cpu.interrupt(
+            cfg().interrupt_cycles + cfg().list_cycles * up_notices);
+        b.merged_vt.merge(procs_[proc].vt);
+        if (done > b.ready_at)
+            b.ready_at = done;
+        if (++b.arrived < nprocs())
+            return;
+
+        // All arrived: broadcast releases at ready_at.
+        ++stats_.barriers;
+        const dsm::VectorClock final_vt = b.merged_vt;
+        mgr_known_vt_.merge(final_vt);
+        sys_->eq().schedule(b.ready_at, [this, barrier_id, final_vt]() {
+            for (unsigned q = 0; q < nprocs(); ++q) {
+                const std::uint64_t down =
+                    noticeCount(procs_[q].vt, final_vt);
+                eventSend(0, q, grantBytes(down), ctrl::Priority::high,
+                          [this, q, final_vt](Tick) {
+                              ProcState &pq = procs_[q];
+                              applyInvalidations(q, pq.vt, final_vt);
+                              pq.vt.merge(final_vt);
+                              node(q).cpu.wake();
+                          });
+            }
+            barriers_.erase(barrier_id);
+        });
+    });
+    n.cpu.block(Cat::synch);
+
+    // Release processing: write-notice handling on the arriving CPU.
+    n.cpu.advance(cfg().list_cycles * (procs_[proc].invalidated.size() + 1),
+                  Cat::synch);
+    issuePrefetches(proc);
+}
+
+// ---------------------------------------------------------------------
+// validation-time reconstruction
+// ---------------------------------------------------------------------
+
+void
+TreadMarks::readCoherent(PageId page, std::uint8_t *out)
+{
+    const NodeId home = homeOf(page);
+    dsm::NodePage &hp = node(home).pages.page(page);
+    if (!hp.present()) {
+        std::memset(out, 0, cfg().page_bytes);
+        return;
+    }
+    std::memcpy(out, hp.data.get(), cfg().page_bytes);
+    if (nprocs() == 1)
+        return;
+
+    // Capture any still-uncaptured modifications (host-side, no timing).
+    for (unsigned q = 0; q < nprocs(); ++q)
+        captureDiff(q, page, true);
+
+    // Per word, take the value of the globally newest write: every shared
+    // store is captured in some writer's cumulative diff (the pseudo-open
+    // capture above folds in still-open intervals), so ranking all
+    // entries by their interval's vt-sum yields the final value. The home
+    // bytes only stand in for words never captured at all.
+    auto *words = reinterpret_cast<std::uint32_t *>(out);
+    std::unordered_map<std::uint16_t, std::uint64_t> best;
+    for (unsigned q = 0; q < nprocs(); ++q) {
+        auto it = procs_[q].logs.find(page);
+        if (it == procs_[q].logs.end())
+            continue;
+        for (const auto &[idx, rec] : it->second.cum) {
+            const std::uint64_t key = vtSumOf(q, rec.end);
+            auto bit = best.find(idx);
+            if (bit == best.end() || key >= bit->second) {
+                best[idx] = key;
+                words[idx] = rec.val;
+            }
+        }
+    }
+}
+
+void
+TreadMarks::finalize()
+{
+    // Pages prefetched but never referenced count as useless.
+    for (unsigned p = 0; p < nprocs(); ++p) {
+        dsm::PageStore &store = node(p).pages;
+        const PageId used_pages =
+            (sys_->heap().used() + cfg().page_bytes - 1) / cfg().page_bytes;
+        for (PageId pg = 0; pg < used_pages; ++pg) {
+            if (store.page(pg).prefetched_unused)
+                ++stats_.prefetches_useless;
+        }
+    }
+
+    auto &x = sys_->extra_stats;
+    x["tmk.read_faults"] = static_cast<double>(stats_.read_faults);
+    x["tmk.write_faults"] = static_cast<double>(stats_.write_faults);
+    x["tmk.page_fetches"] = static_cast<double>(stats_.page_fetches);
+    x["tmk.diff_requests"] = static_cast<double>(stats_.diff_requests);
+    x["tmk.diffs_created"] = static_cast<double>(stats_.diffs_created);
+    x["tmk.diffs_applied"] = static_cast<double>(stats_.diffs_applied);
+    x["tmk.diff_words"] = static_cast<double>(stats_.diff_words_moved);
+    x["tmk.twins"] = static_cast<double>(stats_.twins_created);
+    x["tmk.intervals"] = static_cast<double>(stats_.intervals_closed);
+    x["tmk.write_notices"] = static_cast<double>(stats_.write_notices);
+    x["tmk.lock_acquires"] = static_cast<double>(stats_.lock_acquires);
+    x["tmk.barriers"] = static_cast<double>(stats_.barriers);
+    x["tmk.invalidations"] = static_cast<double>(stats_.invalidations);
+    x["tmk.prefetches"] = static_cast<double>(stats_.prefetches_issued);
+    x["tmk.prefetches_useless"] =
+        static_cast<double>(stats_.prefetches_useless);
+    x["tmk.prefetch_demand_waits"] =
+        static_cast<double>(stats_.prefetch_demand_waits);
+    x["tmk.lh_updates"] = static_cast<double>(stats_.lh_updates);
+    x["tmk.lh_update_words"] =
+        static_cast<double>(stats_.lh_update_words);
+}
+
+} // namespace tmk

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * TreadMarks-style lazy release consistency, with the paper's overlap
+ * modes.
+ *
+ * Protocol summary (section 2 of the paper):
+ *  - execution is divided into intervals delimited by synchronization;
+ *  - page invalidation happens at lock acquires (and barriers) via write
+ *    notices computed from vector timestamps;
+ *  - modifications are shipped as diffs, created lazily at the first
+ *    request against a twin (software) or a snooped word bit vector and
+ *    DMA engine (hardware, mode D);
+ *  - a faulting processor collects the diffs of all intervals with
+ *    smaller vector timestamps than its own and applies them in
+ *    timestamp order (we use the vector-clock component sum, a linear
+ *    extension of happens-before, as the sort key).
+ *
+ * Overlap modes (section 3.2):
+ *  - Base: everything on the computation processor;
+ *  - I: controllers handle message send/receive, page/diff service and
+ *    diff creation/application; the CPU is interrupted only for
+ *    interval / write-notice processing;
+ *  - D: twins are eliminated; diffs are created/applied by the snoop
+ *    logic + DMA engine;
+ *  - P: at acquires/barriers, pages that were cached-and-referenced but
+ *    just got invalidated have their diffs prefetched at low priority.
+ *
+ * Diff representation: per (writer, page) we keep a *cumulative* diff
+ * (latest value + covering interval per word). Serving a request ships
+ * the words newer than the requester's per-writer watermark. Like real
+ * TreadMarks' lazily-created diffs, a shipment may include modifications
+ * from intervals newer than requested; this is harmless for data-race-
+ * free programs and keeps diff storage bounded without a garbage-
+ * collection phase.
+ *
+ * Data movement is real: diffs carry actual word values; the
+ * applications compute correct results only if this protocol is correct.
+ */
+
+#ifndef NCP2_TMK_TREADMARKS_HH
+#define NCP2_TMK_TREADMARKS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/config.hh"
+#include "dsm/page.hh"
+#include "dsm/protocol.hh"
+#include "dsm/system.hh"
+#include "dsm/vclock.hh"
+
+namespace tmk
+{
+
+/** TreadMarks protocol statistics (inputs to the paper's tables). */
+struct TmkStats
+{
+    std::uint64_t read_faults = 0;
+    std::uint64_t write_faults = 0;
+    std::uint64_t page_fetches = 0;     ///< full-page cold fetches
+    std::uint64_t diff_requests = 0;    ///< demand diff request messages
+    std::uint64_t diffs_created = 0;
+    std::uint64_t diffs_applied = 0;
+    std::uint64_t diff_words_moved = 0;
+    std::uint64_t empty_diffs = 0;
+    std::uint64_t twins_created = 0;
+    std::uint64_t intervals_closed = 0;
+    std::uint64_t write_notices = 0;
+    std::uint64_t lock_acquires = 0;
+    std::uint64_t lock_fast_grants = 0; ///< re-acquire of an owned lock
+    std::uint64_t barriers = 0;
+    std::uint64_t prefetches_issued = 0;   ///< page prefetches started
+    std::uint64_t prefetches_useless = 0;  ///< completed but never used
+    std::uint64_t prefetch_demand_waits = 0; ///< faults on pending prefetch
+    std::uint64_t invalidations = 0;
+    std::uint64_t stale_shipments_dropped = 0;
+    std::uint64_t lh_updates = 0;      ///< lazy-hybrid piggybacked diffs
+    std::uint64_t lh_update_words = 0;
+};
+
+/** The TreadMarks protocol with configurable overlap techniques. */
+class TreadMarks : public dsm::Protocol
+{
+  public:
+    explicit TreadMarks(dsm::OverlapMode mode) : mode_(mode) {}
+
+    void attach(dsm::System &sys) override;
+    void ensureAccess(sim::NodeId proc, sim::PageId page,
+                      bool for_write) override;
+    void sharedWrite(sim::NodeId proc, sim::PageId page, unsigned word,
+                     unsigned words) override;
+    void acquire(sim::NodeId proc, unsigned lock_id) override;
+    void release(sim::NodeId proc, unsigned lock_id) override;
+    void barrier(sim::NodeId proc, unsigned barrier_id) override;
+    std::string name() const override;
+    void readCoherent(sim::PageId page, std::uint8_t *out) override;
+    void finalize() override;
+
+    const TmkStats &stats() const { return stats_; }
+    const dsm::OverlapMode &mode() const { return mode_; }
+
+  private:
+    // ----- writer-side diff bookkeeping -----
+
+    /** Latest diffed value of one word and the interval it covers. */
+    struct WordRec
+    {
+        std::uint32_t val = 0;
+        dsm::IntervalSeq end = 0;
+    };
+
+    /** Per (writer, page): closed write intervals + cumulative diff. */
+    struct PageLog
+    {
+        std::vector<dsm::IntervalSeq> closed_seqs;
+        std::unordered_map<std::uint16_t, WordRec> cum;
+        dsm::IntervalSeq diffed_to = 0;
+        /// True interval in which each word was last stored (recorded at
+        /// write time): capture labels cumulative entries with this, so
+        /// a word written under a lock in an old interval cannot
+        /// masquerade as part of a newer concurrent interval and defeat
+        /// the per-word happened-before merge at receivers.
+        std::vector<dsm::IntervalSeq> word_interval;
+    };
+
+    /** Per-processor protocol state. */
+    struct ProcState
+    {
+        dsm::VectorClock vt;
+        /// vt_sums[s-1]: sum of the vector clock at close of interval s
+        /// (a linear extension of happens-before, used to order diffs).
+        std::vector<std::uint64_t> vt_sums;
+        /// interval_pages[s-1]: pages written during interval s.
+        std::vector<std::vector<sim::PageId>> interval_pages;
+        std::unordered_map<sim::PageId, PageLog> logs;
+        std::vector<sim::PageId> open_dirty;
+        /// pages invalidated by the last notice round (prefetch input)
+        std::vector<sim::PageId> invalidated;
+    };
+
+    struct LockState
+    {
+        bool held = false;
+        bool has_owner = false;
+        /// A grant is in flight (forwarded but not yet delivered); the
+        /// manager must not start a second one.
+        bool granting = false;
+        /// A forwarded request reached the owner while it still held the
+        /// lock; it is granted at the owner's release.
+        bool has_pending = false;
+        sim::NodeId pending = 0;
+        sim::NodeId owner = 0;
+        dsm::VectorClock release_vt;
+        std::deque<sim::NodeId> waiters;
+    };
+
+    struct BarrierState
+    {
+        unsigned arrived = 0;
+        sim::Tick ready_at = 0;      ///< manager finished all arrivals
+        dsm::VectorClock merged_vt;
+    };
+
+    /** One diff shipment inside a fault/prefetch transaction. */
+    struct Shipment
+    {
+        sim::NodeId writer = 0;
+        dsm::IntervalSeq end = 0;     ///< per-writer watermark after apply
+        std::uint64_t order_key = 0;  ///< vt-sum of the covering interval
+        std::vector<std::uint16_t> idx;
+        std::vector<std::uint32_t> val;
+        /// Per-word happened-before keys (vt-sum of the word's covering
+        /// interval): the receiver merges per word, newest-wins, which is
+        /// how interval-ordered diff application behaves in TreadMarks.
+        std::vector<std::uint64_t> key;
+    };
+
+    /** In-flight demand fault transaction (one per processor). */
+    struct Txn
+    {
+        unsigned outstanding = 0;
+        bool page_arrived = false;
+        bool cold = false;
+        std::vector<Shipment> shipments;
+    };
+
+    /** Per-page prefetch usefulness history (adaptive strategy). */
+    struct PrefetchHistory
+    {
+        std::uint8_t useless_streak = 0; ///< consecutive unused prefetches
+        bool banned = false;             ///< adaptive: stop prefetching
+    };
+
+    /** In-flight prefetch state for one (proc, page). */
+    struct PagePrefetch
+    {
+        unsigned outstanding = 0;
+        bool demand_wait = false;
+        std::vector<Shipment> shipments;
+    };
+
+    struct ProcPrefetch
+    {
+        std::unordered_map<sim::PageId, PagePrefetch> pages;
+        std::unordered_map<sim::PageId, PrefetchHistory> history;
+    };
+
+    // ----- helpers -----
+    unsigned nprocs() const { return sys_->nprocs(); }
+    sim::NodeId
+    homeOf(sim::PageId page) const
+    {
+        return static_cast<sim::NodeId>(page % nprocs());
+    }
+    dsm::Node &node(sim::NodeId n) { return sys_->node(n); }
+    const dsm::SysConfig &cfg() const { return sys_->cfg(); }
+
+    /** Close the open interval of @p proc (no-op if clean). */
+    void closeInterval(sim::NodeId proc);
+
+    /**
+     * Host-side content capture: fold the delta since the last capture
+     * (twin comparison or bit-vector gather) into writer @p q's
+     * cumulative diff for @p page.
+     * @param pseudo_open include the open interval (validation only).
+     * @return number of words captured (timing is charged by callers).
+     */
+    unsigned captureDiff(sim::NodeId q, sim::PageId page, bool pseudo_open);
+
+    /** True if @p q must run a capture to satisfy a request for @p page. */
+    bool captureNeeded(sim::NodeId q, sim::PageId page) const;
+
+    /** Count write notices carried between two vector clocks. */
+    std::uint64_t noticeCount(const dsm::VectorClock &from,
+                              const dsm::VectorClock &to) const;
+
+    /** Invalidate @p proc's stale copies for intervals in (from, to]. */
+    void applyInvalidations(sim::NodeId proc, const dsm::VectorClock &from,
+                            const dsm::VectorClock &to);
+
+    /** Writers owing diffs to @p proc for @p page (given its watermarks). */
+    std::vector<sim::NodeId> neededWriters(sim::NodeId proc,
+                                           sim::PageId page) const;
+
+    /** Build the shipment writer @p q owes @p proc for @p page. */
+    Shipment buildShipment(sim::NodeId proc, sim::NodeId q,
+                           sim::PageId page) const;
+
+    /** Apply a shipment's bytes to @p proc's copy (host-side). */
+    void applyShipment(sim::NodeId proc, sim::PageId page,
+                       const Shipment &s);
+
+    /** Sort shipments into a valid application order (vt-sum). */
+    static void sortShipments(std::vector<Shipment> &v);
+
+    /** Demand fault: fetch page/diffs, apply, revalidate. Blocks. */
+    void faultIn(sim::NodeId proc, sim::PageId page);
+
+    /** Handle a diff request at writer @p q (event context). */
+    void serveDiffRequest(sim::NodeId requester, sim::NodeId q,
+                          sim::PageId page, bool is_prefetch);
+
+    /** Issue prefetches after an invalidation round (mode P). */
+    void issuePrefetches(sim::NodeId proc);
+
+    /** Prefetch completion: apply shipments, maybe revalidate. */
+    void finishPrefetch(sim::NodeId proc, sim::PageId page);
+
+    /** Start the next grant of @p lock if it is free (manager side). */
+    void pumpLock(unsigned lock_id, sim::NodeId manager);
+
+    /** Grant @p lock to @p to from @p from. */
+    void grantLock(unsigned lock_id, sim::NodeId from, sim::NodeId to,
+                   bool from_fiber);
+
+    /** Deliver a lock grant at the acquirer (event context). */
+    void deliverGrant(unsigned lock_id, sim::NodeId to,
+                      dsm::VectorClock grant_vt, std::uint64_t notices);
+
+    /**
+     * Lazy Hybrid: build the shipments granter @p from piggybacks on a
+     * grant to @p to covering its own intervals in (vt_to, grant_vt].
+     * @return total words (for timing); shipments land in @p out.
+     */
+    std::uint64_t buildGrantUpdates(
+        sim::NodeId from, sim::NodeId to, const dsm::VectorClock &grant_vt,
+        std::vector<std::pair<sim::PageId, Shipment>> &out);
+
+    /** Apply piggybacked grant updates at the acquirer (host-side). */
+    void applyGrantUpdates(
+        sim::NodeId to,
+        const std::vector<std::pair<sim::PageId, Shipment>> &updates);
+
+    // ----- timing helpers (mode matrix lives here) -----
+
+    /**
+     * Send a message from the fiber of @p proc: charges the CPU (Base)
+     * or enqueues on the controller (mode I), then delivers @p fn at the
+     * network arrival tick.
+     */
+    void fiberSend(sim::NodeId proc, sim::NodeId dst, std::uint32_t bytes,
+                   dsm::Cat cat, ctrl::Priority prio,
+                   std::function<void(sim::Tick)> fn);
+
+    /** Send from event context at @p src (interrupting its CPU in Base). */
+    void eventSend(sim::NodeId src, sim::NodeId dst, std::uint32_t bytes,
+                   ctrl::Priority prio, std::function<void(sim::Tick)> fn);
+
+    /** Local-memory latency for @p words as seen by @p n's CPU. */
+    sim::Cycles memLatency(sim::NodeId n, unsigned words);
+
+    /** vt-sum order key of interval (q, seq). */
+    std::uint64_t vtSumOf(sim::NodeId q, dsm::IntervalSeq seq) const;
+
+    // message sizes (bytes)
+    std::uint32_t lockReqBytes() const { return 16 + 4 * nprocs(); }
+    std::uint32_t grantBytes(std::uint64_t notices) const
+    {
+        return 24 + 4 * nprocs() +
+               static_cast<std::uint32_t>(8 * notices);
+    }
+    std::uint32_t diffReqBytes() const { return 24; }
+    std::uint32_t
+    diffReplyBytes(unsigned words) const
+    {
+        return 32 + 4 * words + words / 2;
+    }
+    std::uint32_t pageReqBytes() const { return 16; }
+    std::uint32_t
+    pageReplyBytes() const
+    {
+        return cfg().page_bytes + 32 + 4 * nprocs();
+    }
+
+    dsm::OverlapMode mode_;
+    dsm::System *sys_ = nullptr;
+    std::vector<ProcState> procs_;
+    std::unordered_map<unsigned, LockState> locks_;
+    std::unordered_map<unsigned, BarrierState> barriers_;
+    dsm::VectorClock mgr_known_vt_; ///< barrier manager's knowledge
+    std::vector<Txn> txns_;
+    std::vector<ProcPrefetch> prefetch_;
+    /// Apply cost owed by an acquirer for piggybacked grant updates,
+    /// charged when its fiber resumes.
+    std::vector<std::uint64_t> lh_pending_words_;
+    TmkStats stats_;
+};
+
+/** Factory helper used by benches and tests. */
+std::unique_ptr<dsm::Protocol> makeTreadMarks(dsm::OverlapMode mode);
+
+} // namespace tmk
+
+#endif // NCP2_TMK_TREADMARKS_HH

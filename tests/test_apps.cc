@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Application end-to-end tests: every paper workload must compute a
+ * validated result under every protocol/overlap-mode combination. These
+ * are the strongest correctness tests in the suite - a coherence bug
+ * anywhere in the stack makes an application's self-validation fail.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "harness/runner.hh"
+
+using namespace dsm;
+
+namespace
+{
+
+struct Combo
+{
+    const char *app;
+    const char *proto; // "Base", "I", "I+D", "P", "I+P", "I+P+D",
+                       // "AURC", "AURC+P"
+};
+
+SysConfig
+configFor(const std::string &proto, unsigned procs)
+{
+    SysConfig cfg;
+    cfg.num_procs = procs;
+    cfg.heap_bytes = 16u << 20;
+    if (proto.rfind("AURC", 0) == 0) {
+        cfg.protocol = ProtocolKind::aurc;
+        cfg.mode.prefetch = proto == "AURC+P";
+    } else {
+        cfg.protocol = ProtocolKind::treadmarks;
+        cfg.mode.offload = proto.find('I') != std::string::npos;
+        cfg.mode.hw_diffs = proto.find('D') != std::string::npos;
+        cfg.mode.prefetch = proto.find('P') != std::string::npos;
+    }
+    return cfg;
+}
+
+std::string
+comboName(const ::testing::TestParamInfo<Combo> &info)
+{
+    std::string s = std::string(info.param.app) + "_" + info.param.proto;
+    for (auto &c : s)
+        if (c == '+')
+            c = '_';
+    return s;
+}
+
+} // namespace
+
+class AppProtocol : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(AppProtocol, ComputesValidatedResult)
+{
+    sim::setQuiet(true);
+    const Combo combo = GetParam();
+    auto w = apps::make(combo.app, apps::Scale::tiny);
+    const SysConfig cfg = configFor(combo.proto, 8);
+    // runOnce() invokes the workload's self-validation; any coherence
+    // bug throws.
+    const RunResult r = harness::runOnce(cfg, *w);
+    EXPECT_GT(r.exec_ticks, 0u);
+    EXPECT_GT(r.total().get(Cat::busy), 0u);
+}
+
+static std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> v;
+    static const char *protos[] = {"Base", "I",    "I+D",   "P",
+                                   "I+P",  "I+P+D", "AURC", "AURC+P"};
+    for (const auto &app : apps::names())
+        for (const char *p : protos)
+            v.push_back({app.c_str(), p});
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppProtocol,
+                         ::testing::ValuesIn(allCombos()), comboName);
+
+TEST(Apps, FactoryRejectsUnknownNames)
+{
+    EXPECT_THROW(apps::make("nonesuch", apps::Scale::tiny),
+                 std::runtime_error);
+}
+
+TEST(Apps, NamesListsThePaperSuite)
+{
+    EXPECT_EQ(apps::names().size(), 6u);
+    EXPECT_EQ(apps::names().front(), "TSP");
+    EXPECT_EQ(apps::names().back(), "Ocean");
+}

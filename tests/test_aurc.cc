@@ -1,0 +1,131 @@
+/**
+ * @file
+ * End-to-end tests of the AURC protocol: coherence through automatic
+ * updates, pairwise-sharing transitions, write-cache behaviour and the
+ * prefetch variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aurc/aurc.hh"
+#include "dsm/system.hh"
+#include "tests/workload_helpers.hh"
+
+using namespace dsm;
+using namespace aurc;
+
+namespace
+{
+
+SysConfig
+smallConfig(unsigned procs)
+{
+    SysConfig cfg;
+    cfg.num_procs = procs;
+    cfg.heap_bytes = 8u << 20;
+    cfg.protocol = ProtocolKind::aurc;
+    return cfg;
+}
+
+} // namespace
+
+class AurcModes : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(AurcModes, LockCounterIsCoherent)
+{
+    sim::setQuiet(true);
+    testutil::CounterWorkload w(6);
+    SysConfig cfg = smallConfig(8);
+    System sys(cfg, makeAurc(GetParam()));
+    const RunResult r = sys.run(w);
+    EXPECT_GT(r.exec_ticks, 0u);
+}
+
+TEST_P(AurcModes, BarrierStencilIsCoherent)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w(1024, 4);
+    SysConfig cfg = smallConfig(8);
+    System sys(cfg, makeAurc(GetParam()));
+    const RunResult r = sys.run(w);
+    EXPECT_GT(r.exec_ticks, 0u);
+}
+
+TEST_P(AurcModes, MigratoryTokenIsCoherent)
+{
+    sim::setQuiet(true);
+    testutil::TokenWorkload w(5);
+    SysConfig cfg = smallConfig(8);
+    System sys(cfg, makeAurc(GetParam()));
+    const RunResult r = sys.run(w);
+    EXPECT_GT(r.exec_ticks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PrefetchOnOff, AurcModes, ::testing::Bool(),
+                         [](const auto &info) {
+                             return info.param ? "AURC_P" : "AURC";
+                         });
+
+TEST(Aurc, SingleProcessorRunsWithoutTraffic)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w(512, 3);
+    SysConfig cfg = smallConfig(1);
+    System sys(cfg, makeAurc(false));
+    const RunResult r = sys.run(w);
+    EXPECT_EQ(r.net.messages, 0u);
+}
+
+TEST(Aurc, GeneratesAutomaticUpdateTraffic)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w(2048, 4);
+    SysConfig cfg = smallConfig(8);
+    System sys(cfg, makeAurc(false));
+    auto *au = static_cast<Aurc *>(&sys.protocol());
+    sys.run(w);
+    EXPECT_GT(au->stats().updates_sent, 0u);
+    EXPECT_GT(au->stats().update_words, 0u);
+    EXPECT_GT(au->stats().page_fetches, 0u);
+}
+
+TEST(Aurc, PairwiseSharingIsEstablishedAndReverts)
+{
+    sim::setQuiet(true);
+    // Stencil neighbour pages are shared by 2 procs (pairwise) while the
+    // init phase makes many pages touched by 3+ procs (reverted).
+    testutil::StencilWorkload w(4096, 3);
+    SysConfig cfg = smallConfig(8);
+    System sys(cfg, makeAurc(false));
+    auto *au = static_cast<Aurc *>(&sys.protocol());
+    sys.run(w);
+    EXPECT_GT(au->stats().pairwise_pages, 0u);
+    EXPECT_GT(au->stats().reverts_to_home, 0u);
+}
+
+TEST(Aurc, WriteCacheCombinesStores)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w(2048, 4);
+    SysConfig cfg = smallConfig(8);
+    System sys(cfg, makeAurc(false));
+    auto *au = static_cast<Aurc *>(&sys.protocol());
+    sys.run(w);
+    // Sequential writes to the same line combine, so updates on the wire
+    // must be (much) fewer than the words they carry.
+    EXPECT_GT(au->stats().wcache_hits, 0u);
+    EXPECT_GT(au->stats().update_words, au->stats().updates_sent);
+}
+
+TEST(Aurc, PrefetchVariantIssuesPrefetches)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w(4096, 4);
+    SysConfig cfg = smallConfig(8);
+    System sys(cfg, makeAurc(true));
+    auto *au = static_cast<Aurc *>(&sys.protocol());
+    sys.run(w);
+    EXPECT_GT(au->stats().prefetches_issued, 0u);
+}

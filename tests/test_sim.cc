@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering, fibers,
+ * RNG determinism, resources, stats and logging discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/fiber.hh"
+#include "sim/logging.hh"
+#include "sim/resource.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace sim;
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickRunsInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 100)
+            eq.scheduleIn(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.now(), 99u);
+}
+
+TEST(EventQueue, LimitStopsExecution)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(10, [&]() { ++ran; });
+    eq.schedule(100, [&]() { ++ran; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(5, []() {}), std::logic_error);
+}
+
+TEST(Fiber, RunsToCompletionAcrossYields)
+{
+    int steps = 0;
+    Fiber f([&]() {
+        for (int i = 0; i < 5; ++i) {
+            ++steps;
+            Fiber::yield();
+        }
+    });
+    int resumes = 0;
+    while (!f.finished()) {
+        f.resume();
+        ++resumes;
+    }
+    EXPECT_EQ(steps, 5);
+    EXPECT_EQ(resumes, 6); // 5 yields + final return
+}
+
+TEST(Fiber, PropagatesExceptionsToResumer)
+{
+    Fiber f([]() { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.resume(), std::runtime_error);
+    EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, CurrentTracksExecution)
+{
+    EXPECT_EQ(Fiber::current(), nullptr);
+    Fiber *seen = nullptr;
+    Fiber f([&]() { seen = Fiber::current(); });
+    f.resume();
+    EXPECT_EQ(seen, &f);
+    EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformStaysInUnitInterval)
+{
+    Rng r(7);
+    double mean = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        mean += u;
+    }
+    mean /= 10000;
+    EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(9);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(3, 7);
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 7);
+        lo |= v == 3;
+        hi |= v == 7;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Resource, QueuesBehindEarlierWork)
+{
+    Resource r("bus");
+    EXPECT_EQ(r.acquire(100, 10), 110u);
+    EXPECT_EQ(r.acquire(100, 10), 120u); // queued behind the first
+    EXPECT_EQ(r.acquire(200, 5), 205u);  // idle gap, starts immediately
+    EXPECT_EQ(r.requests(), 3u);
+    EXPECT_EQ(r.busyCycles(), 25u);
+    EXPECT_EQ(r.queueCycles(), 10u);
+}
+
+TEST(Resource, PeekDoesNotReserve)
+{
+    Resource r("bus");
+    EXPECT_EQ(r.peek(0, 10), 10u);
+    EXPECT_EQ(r.peek(0, 10), 10u);
+    EXPECT_EQ(r.freeAt(), 0u);
+}
+
+TEST(Stats, TableAlignsAndFormats)
+{
+    Table t({"a", "b"});
+    t.addRow({"x", Table::fmt(1.234, 2)});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("1.23"), std::string::npos);
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(Stats, HistogramBucketsAndMoments)
+{
+    Histogram h({10, 100});
+    h.sample(5);
+    h.sample(50);
+    h.sample(500);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.counts()[0], 1u);
+    EXPECT_EQ(h.counts()[1], 1u);
+    EXPECT_EQ(h.counts()[2], 1u);
+    EXPECT_DOUBLE_EQ(h.max(), 500.0);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    setQuiet(true);
+    EXPECT_THROW(ncp2_panic("x %d", 1), std::logic_error);
+    EXPECT_THROW(ncp2_fatal("y"), std::runtime_error);
+    EXPECT_THROW(ncp2_assert(false, "z"), std::logic_error);
+    ncp2_assert(true, "never printed");
+}

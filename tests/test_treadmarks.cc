@@ -1,0 +1,263 @@
+/**
+ * @file
+ * End-to-end tests of the TreadMarks protocol: correctness of lazy
+ * release consistency under every overlap mode, plus protocol-level
+ * invariants (faults, diffs, twins, prefetch bookkeeping).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsm/system.hh"
+#include "sim/logging.hh"
+#include "tests/workload_helpers.hh"
+#include "tmk/treadmarks.hh"
+
+using namespace dsm;
+using namespace tmk;
+
+namespace
+{
+
+SysConfig
+smallConfig(unsigned procs)
+{
+    SysConfig cfg;
+    cfg.num_procs = procs;
+    cfg.heap_bytes = 8u << 20;
+    return cfg;
+}
+
+OverlapMode
+modeFor(const char *label)
+{
+    OverlapMode m;
+    const std::string s(label);
+    m.offload = s.find('I') != std::string::npos;
+    m.hw_diffs = s.find('D') != std::string::npos;
+    m.prefetch = s.find('P') != std::string::npos;
+    return m;
+}
+
+RunResult
+runUnder(const char *label, Workload &w, unsigned procs = 8)
+{
+    sim::setQuiet(true);
+    SysConfig cfg = smallConfig(procs);
+    cfg.mode = modeFor(label);
+    System sys(cfg, makeTreadMarks(cfg.mode));
+    return sys.run(w); // run() validates the workload internally
+}
+
+} // namespace
+
+class TmkModes : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TmkModes, LockCounterIsCoherent)
+{
+    testutil::CounterWorkload w(6);
+    const RunResult r = runUnder(GetParam(), w);
+    EXPECT_GT(r.exec_ticks, 0u);
+}
+
+TEST_P(TmkModes, BarrierStencilIsCoherent)
+{
+    testutil::StencilWorkload w(1024, 4);
+    const RunResult r = runUnder(GetParam(), w);
+    EXPECT_GT(r.exec_ticks, 0u);
+}
+
+TEST_P(TmkModes, MigratoryTokenIsCoherent)
+{
+    testutil::TokenWorkload w(5);
+    const RunResult r = runUnder(GetParam(), w);
+    EXPECT_GT(r.exec_ticks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOverlapModes, TmkModes,
+                         ::testing::Values("Base", "I", "I+D", "P", "I+P",
+                                           "I+P+D"),
+                         [](const auto &info) {
+                             std::string s(info.param);
+                             for (auto &c : s)
+                                 if (c == '+')
+                                     c = '_';
+                             return s;
+                         });
+
+TEST(TreadMarks, SingleProcessorRunsWithoutProtocolTraffic)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w(512, 3);
+    SysConfig cfg = smallConfig(1);
+    System sys(cfg, makeTreadMarks(cfg.mode));
+    const RunResult r = sys.run(w);
+    EXPECT_EQ(r.net.messages, 0u);
+    EXPECT_GT(r.bd[0].get(Cat::busy), 0u);
+    EXPECT_EQ(r.bd[0].get(Cat::data), 0u);
+}
+
+TEST(TreadMarks, BreakdownCoversExecutionTime)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w(2048, 3);
+    SysConfig cfg = smallConfig(8);
+    System sys(cfg, makeTreadMarks(cfg.mode));
+    const RunResult r = sys.run(w);
+    for (unsigned p = 0; p < 8; ++p) {
+        // Each processor's categorized cycles must account for (almost)
+        // all of its finish time.
+        const double total = static_cast<double>(r.bd[p].total());
+        EXPECT_GT(total, 0.0);
+        EXPECT_LE(total, static_cast<double>(r.exec_ticks) * 1.02);
+    }
+}
+
+TEST(TreadMarks, BaseModeCreatesTwinsAndDiffs)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w(2048, 3);
+    SysConfig cfg = smallConfig(8);
+    System sys(cfg, makeTreadMarks(cfg.mode));
+    auto *tm = static_cast<TreadMarks *>(&sys.protocol());
+    sys.run(w);
+    EXPECT_GT(tm->stats().twins_created, 0u);
+    EXPECT_GT(tm->stats().diffs_created, 0u);
+    EXPECT_GT(tm->stats().diffs_applied, 0u);
+    EXPECT_GT(tm->stats().page_fetches, 0u);
+    EXPECT_GT(tm->stats().intervals_closed, 0u);
+}
+
+TEST(TreadMarks, HardwareDiffModeEliminatesTwins)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w(2048, 3);
+    SysConfig cfg = smallConfig(8);
+    cfg.mode = modeFor("I+D");
+    System sys(cfg, makeTreadMarks(cfg.mode));
+    auto *tm = static_cast<TreadMarks *>(&sys.protocol());
+    sys.run(w);
+    EXPECT_EQ(tm->stats().twins_created, 0u);
+    EXPECT_GT(tm->stats().diffs_created, 0u);
+}
+
+TEST(TreadMarks, HardwareDiffsReduceDiffOpTimeOnCpu)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w1(4096, 4), w2(4096, 4);
+
+    SysConfig base = smallConfig(8);
+    System s1(base, makeTreadMarks(base.mode));
+    const RunResult r1 = s1.run(w1);
+
+    SysConfig hw = smallConfig(8);
+    hw.mode = modeFor("I+D");
+    System s2(hw, makeTreadMarks(hw.mode));
+    const RunResult r2 = s2.run(w2);
+
+    EXPECT_GT(r1.total().diff_op_cycles, 0u);
+    // With hardware diffs, the computation processors do (nearly) no
+    // diff work themselves.
+    EXPECT_LT(r2.total().diff_op_cycles, r1.total().diff_op_cycles / 4);
+}
+
+class PrefetchStrategies
+    : public ::testing::TestWithParam<dsm::PrefetchStrategy>
+{
+};
+
+TEST_P(PrefetchStrategies, CoherenceHoldsUnderEveryStrategy)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w(4096, 4);
+    SysConfig cfg = smallConfig(8);
+    cfg.mode = modeFor("I+P+D");
+    cfg.mode.prefetch_strategy = GetParam();
+    System sys(cfg, makeTreadMarks(cfg.mode));
+    const RunResult r = sys.run(w); // self-validates
+    EXPECT_GT(r.exec_ticks, 0u);
+}
+
+TEST(TreadMarks, CappedStrategyLimitsBursts)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w1(8192, 4), w2(8192, 4);
+
+    SysConfig always = smallConfig(8);
+    always.mode = modeFor("I+P");
+    System s1(always, makeTreadMarks(always.mode));
+    auto *t1 = static_cast<TreadMarks *>(&s1.protocol());
+    s1.run(w1);
+
+    SysConfig capped = smallConfig(8);
+    capped.mode = modeFor("I+P");
+    capped.mode.prefetch_strategy = dsm::PrefetchStrategy::capped;
+    capped.mode.prefetch_cap = 2;
+    System s2(capped, makeTreadMarks(capped.mode));
+    auto *t2 = static_cast<TreadMarks *>(&s2.protocol());
+    s2.run(w2);
+
+    EXPECT_LE(t2->stats().prefetches_issued,
+              t1->stats().prefetches_issued);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, PrefetchStrategies,
+    ::testing::Values(dsm::PrefetchStrategy::always,
+                      dsm::PrefetchStrategy::adaptive,
+                      dsm::PrefetchStrategy::capped),
+    [](const auto &info) {
+        switch (info.param) {
+          case dsm::PrefetchStrategy::always: return "always";
+          case dsm::PrefetchStrategy::adaptive: return "adaptive";
+          default: return "capped";
+        }
+    });
+
+TEST(TreadMarks, LazyHybridPiggybacksDiffsOnGrants)
+{
+    sim::setQuiet(true);
+    testutil::TokenWorkload w1(6), w2(6);
+
+    SysConfig plain = smallConfig(8);
+    System s1(plain, makeTreadMarks(plain.mode));
+    auto *t1 = static_cast<TreadMarks *>(&s1.protocol());
+    s1.run(w1);
+
+    SysConfig lh = smallConfig(8);
+    lh.mode.lazy_hybrid = true;
+    System s2(lh, makeTreadMarks(lh.mode));
+    auto *t2 = static_cast<TreadMarks *>(&s2.protocol());
+    s2.run(w2); // self-validates: piggybacked diffs must be coherent
+
+    EXPECT_EQ(t1->stats().lh_updates, 0u);
+    EXPECT_GT(t2->stats().lh_updates, 0u);
+    // The whole point: updates-on-grant replace later demand faults.
+    EXPECT_LT(t2->stats().diff_requests, t1->stats().diff_requests);
+}
+
+TEST(TreadMarks, LazyHybridIsCoherentUnderAllModes)
+{
+    sim::setQuiet(true);
+    for (const char *m : {"Base", "I", "I+D", "I+P+D"}) {
+        testutil::CounterWorkload w(6);
+        SysConfig cfg = smallConfig(8);
+        cfg.mode = modeFor(m);
+        cfg.mode.lazy_hybrid = true;
+        System sys(cfg, makeTreadMarks(cfg.mode));
+        EXPECT_GT(sys.run(w).exec_ticks, 0u) << m;
+    }
+}
+
+TEST(TreadMarks, PrefetchModeIssuesPrefetches)
+{
+    sim::setQuiet(true);
+    testutil::StencilWorkload w(4096, 4);
+    SysConfig cfg = smallConfig(8);
+    cfg.mode = modeFor("I+P");
+    System sys(cfg, makeTreadMarks(cfg.mode));
+    auto *tm = static_cast<TreadMarks *>(&sys.protocol());
+    sys.run(w);
+    EXPECT_GT(tm->stats().prefetches_issued, 0u);
+}

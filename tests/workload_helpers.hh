@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Miniature SPMD workloads used across the test suite to exercise the
+ * protocols end to end: if coherence is wrong, these compute wrong
+ * values.
+ */
+
+#ifndef NCP2_TESTS_WORKLOAD_HELPERS_HH
+#define NCP2_TESTS_WORKLOAD_HELPERS_HH
+
+#include <cstdint>
+
+#include "dsm/system.hh"
+#include "dsm/workload.hh"
+#include "sim/logging.hh"
+
+namespace testutil
+{
+
+/** Every processor increments a lock-protected counter `rounds` times. */
+class CounterWorkload : public dsm::Workload
+{
+  public:
+    explicit CounterWorkload(unsigned rounds) : rounds_(rounds) {}
+
+    std::string name() const override { return "counter"; }
+
+    void
+    plan(dsm::GlobalHeap &heap, const dsm::SysConfig &) override
+    {
+        counter_ = heap.allocPages(8);
+    }
+
+    void
+    run(dsm::Proc &p) override
+    {
+        for (unsigned r = 0; r < rounds_; ++r) {
+            p.lock(0);
+            const auto v = p.get<std::uint64_t>(counter_);
+            p.compute(20);
+            p.put<std::uint64_t>(counter_, v + 1);
+            p.unlock(0);
+            p.compute(100);
+        }
+        p.barrier(0);
+    }
+
+    void
+    validate(dsm::System &sys) override
+    {
+        const auto v = sys.readGlobal<std::uint64_t>(counter_);
+        const std::uint64_t want =
+            static_cast<std::uint64_t>(rounds_) * sys.nprocs();
+        if (v != want) {
+            ncp2_fatal("counter mismatch: got %llu want %llu",
+                       static_cast<unsigned long long>(v),
+                       static_cast<unsigned long long>(want));
+        }
+    }
+
+    sim::GAddr counterAddr() const { return counter_; }
+
+  private:
+    unsigned rounds_;
+    sim::GAddr counter_ = 0;
+};
+
+/**
+ * Barrier-synchronized neighbour exchange: iteratively each processor
+ * updates its slice of an array from the previous iteration's neighbour
+ * values (a 1-D stencil). Exercises multi-writer pages, diffs across
+ * barriers, and cold page fetches.
+ */
+class StencilWorkload : public dsm::Workload
+{
+  public:
+    StencilWorkload(unsigned cells, unsigned iters)
+        : cells_(cells), iters_(iters) {}
+
+    std::string name() const override { return "stencil"; }
+
+    void
+    plan(dsm::GlobalHeap &heap, const dsm::SysConfig &) override
+    {
+        a_.base = heap.allocPages(cells_ * 8);
+        b_.base = heap.allocPages(cells_ * 8);
+    }
+
+    void
+    run(dsm::Proc &p) override
+    {
+        const unsigned n = p.nprocs();
+        const unsigned lo = cells_ * p.id() / n;
+        const unsigned hi = cells_ * (p.id() + 1) / n;
+
+        if (p.id() == 0) {
+            for (unsigned i = 0; i < cells_; ++i)
+                a_.put(p, i, static_cast<std::int64_t>(i % 7));
+        }
+        p.barrier(0);
+
+        const dsm::GArray<std::int64_t> *src = &a_, *dst = &b_;
+        for (unsigned it = 0; it < iters_; ++it) {
+            for (unsigned i = lo; i < hi; ++i) {
+                const std::int64_t left = i ? src->get(p, i - 1) : 0;
+                const std::int64_t right =
+                    i + 1 < cells_ ? src->get(p, i + 1) : 0;
+                const std::int64_t self = src->get(p, i);
+                dst->put(p, i, left + right + self);
+                p.compute(4);
+            }
+            p.barrier(1 + it);
+            std::swap(src, dst);
+        }
+        final_is_a_ = (src == &a_);
+    }
+
+    void
+    validate(dsm::System &sys) override
+    {
+        // Host-side reference computation.
+        std::vector<std::int64_t> ref(cells_), tmp(cells_);
+        for (unsigned i = 0; i < cells_; ++i)
+            ref[i] = static_cast<std::int64_t>(i % 7);
+        for (unsigned it = 0; it < iters_; ++it) {
+            for (unsigned i = 0; i < cells_; ++i) {
+                const std::int64_t left = i ? ref[i - 1] : 0;
+                const std::int64_t right = i + 1 < cells_ ? ref[i + 1] : 0;
+                tmp[i] = left + right + ref[i];
+            }
+            ref.swap(tmp);
+        }
+        const dsm::GArray<std::int64_t> &fin = final_is_a_ ? a_ : b_;
+        for (unsigned i = 0; i < cells_; ++i) {
+            const auto v = sys.readGlobal<std::int64_t>(fin.at(i));
+            if (v != ref[i]) {
+                ncp2_fatal("stencil mismatch at %u: got %lld want %lld",
+                           i, static_cast<long long>(v),
+                           static_cast<long long>(ref[i]));
+            }
+        }
+    }
+
+  private:
+    unsigned cells_;
+    unsigned iters_;
+    dsm::GArray<std::int64_t> a_, b_;
+    bool final_is_a_ = false;
+};
+
+/**
+ * Producer/consumer token passing through locks: checks that lock
+ * transfer carries coherence (migratory sharing).
+ */
+class TokenWorkload : public dsm::Workload
+{
+  public:
+    explicit TokenWorkload(unsigned rounds) : rounds_(rounds) {}
+
+    std::string name() const override { return "token"; }
+
+    void
+    plan(dsm::GlobalHeap &heap, const dsm::SysConfig &) override
+    {
+        slots_.base = heap.allocPages(64 * 8);
+    }
+
+    void
+    run(dsm::Proc &p) override
+    {
+        const unsigned n = p.nprocs();
+        // Each round, every processor adds its id into every slot of a
+        // shared page under a lock; total is checkable.
+        for (unsigned r = 0; r < rounds_; ++r) {
+            p.lock(7);
+            for (unsigned s = 0; s < 8; ++s) {
+                const auto v = slots_.get(p, s);
+                slots_.put(p, s, v + static_cast<std::int64_t>(p.id() + 1));
+            }
+            p.unlock(7);
+            p.compute(50 + 13 * p.id());
+        }
+        p.barrier(99);
+        (void)n;
+    }
+
+    void
+    validate(dsm::System &sys) override
+    {
+        std::int64_t per_slot = 0;
+        for (unsigned q = 0; q < sys.nprocs(); ++q)
+            per_slot += static_cast<std::int64_t>(q + 1) *
+                        static_cast<std::int64_t>(rounds_);
+        for (unsigned s = 0; s < 8; ++s) {
+            const auto v = sys.readGlobal<std::int64_t>(slots_.at(s));
+            if (v != per_slot) {
+                ncp2_fatal("token slot %u mismatch: got %lld want %lld", s,
+                           static_cast<long long>(v),
+                           static_cast<long long>(per_slot));
+            }
+        }
+    }
+
+  private:
+    unsigned rounds_;
+    dsm::GArray<std::int64_t> slots_;
+};
+
+} // namespace testutil
+
+#endif // NCP2_TESTS_WORKLOAD_HELPERS_HH
