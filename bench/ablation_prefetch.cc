@@ -30,19 +30,36 @@ main()
         {"capped(4)", dsm::PrefetchStrategy::capped},
     };
     const unsigned procs = fig::procsFromEnv();
+    const std::vector<std::string> app_list = {"Radix", "Water", "Em3d",
+                                               "Ocean"};
 
-    for (const std::string app : {"Radix", "Water", "Em3d", "Ocean"}) {
-        // Baseline: no prefetching at all (I+D).
-        const double no_pf = static_cast<double>(
-            fig::run(app, "I+D", procs).exec_ticks);
+    // Per app: the I+D (no-prefetch) baseline, the three prefetching
+    // strategies under I+P+D, and the Lazy Hybrid alternative.
+    std::vector<harness::Job> jobs;
+    for (const std::string &app : app_list) {
+        jobs.push_back(fig::job(app + "/I+D", app, "I+D", procs));
+        for (const Variant &v : variants) {
+            dsm::SysConfig cfg = fig::configFor("I+P+D", procs);
+            cfg.mode.prefetch_strategy = v.strategy;
+            jobs.push_back(fig::job(app + "/I+P+D/" + v.label, app,
+                                    "I+P+D", procs, &cfg));
+        }
+        dsm::SysConfig lh = fig::configFor("I+D", procs);
+        lh.mode.lazy_hybrid = true;
+        jobs.push_back(fig::job(app + "/I+D/lazy-hybrid", app, "I+D",
+                                procs, &lh));
+    }
+    const auto results = fig::runAll("ablation_prefetch", jobs);
+
+    std::size_t i = 0;
+    for (const std::string &app : app_list) {
+        const double no_pf =
+            static_cast<double>(results[i++].run.exec_ticks);
 
         sim::Table t({"strategy", "vs I+D", "prefetches",
                       "useless%"});
         for (const Variant &v : variants) {
-            dsm::SysConfig cfg = fig::configFor("I+P+D", procs);
-            cfg.mode.prefetch_strategy = v.strategy;
-            const dsm::RunResult r =
-                fig::run(app, "I+P+D", procs, &cfg);
+            const dsm::RunResult &r = results[i++].run;
             const double issued = r.extra.count("tmk.prefetches")
                 ? r.extra.at("tmk.prefetches") : 0;
             const double useless =
@@ -56,14 +73,11 @@ main()
                       sim::Table::fmt(
                           issued > 0 ? 100.0 * useless / issued : 0.0,
                           0)});
-            std::cout.flush();
         }
         // Section 6's alternative: Lazy Hybrid updates-on-grant
         // instead of prefetching (I+D plus piggybacked diffs).
         {
-            dsm::SysConfig cfg = fig::configFor("I+D", procs);
-            cfg.mode.lazy_hybrid = true;
-            const dsm::RunResult r = fig::run(app, "I+D", procs, &cfg);
+            const dsm::RunResult &r = results[i++].run;
             const double lh = r.extra.count("tmk.lh_updates")
                 ? r.extra.at("tmk.lh_updates") : 0;
             t.addRow({"lazy-hybrid",

@@ -14,24 +14,34 @@ main()
     fig::header("Figure 1: speedups under TreadMarks (Base)");
 
     const unsigned counts[] = {1, 2, 4, 8, 16};
+    const std::size_t ncounts = std::size(counts);
+
+    std::vector<harness::Job> jobs;
+    for (const auto &app : apps::names()) {
+        for (unsigned p : counts)
+            jobs.push_back(fig::job(app + "/p=" + std::to_string(p), app,
+                                    "Base", p));
+    }
+    const auto results = fig::runAll("fig01_speedups", jobs);
+
     sim::Table t({"app", "p=1", "p=2", "p=4", "p=8", "p=16",
                   "speedup@16"});
+    std::size_t i = 0;
     for (const auto &app : apps::names()) {
         std::vector<std::string> row{app};
         double t1 = 0;
         double t16 = 0;
-        for (unsigned p : counts) {
-            const dsm::RunResult r = fig::run(app, "Base", p);
-            const double ticks = static_cast<double>(r.exec_ticks);
-            if (p == 1)
+        for (std::size_t c = 0; c < ncounts; ++c, ++i) {
+            const double ticks =
+                static_cast<double>(results[i].run.exec_ticks);
+            if (counts[c] == 1)
                 t1 = ticks;
-            if (p == 16)
+            if (counts[c] == 16)
                 t16 = ticks;
             row.push_back(sim::Table::fmt(ticks / 1e6, 1) + "M");
         }
         row.push_back(sim::Table::fmt(t1 / t16, 2));
         t.addRow(row);
-        std::cout.flush();
     }
     t.print(std::cout);
     std::cout << "\n(paper shape: TSP ~9, Water ~6, Radix/Barnes ~4,"

@@ -14,13 +14,17 @@ main()
 {
     fig::header("Figure 2: TreadMarks (Base) breakdown on 16 processors");
 
+    const unsigned procs = fig::procsFromEnv();
+    std::vector<harness::Job> jobs;
+    for (const auto &app : apps::names())
+        jobs.push_back(fig::job(app, app, "Base", procs));
+    const auto results = fig::runAll("fig02_breakdown", jobs);
+
     std::vector<harness::BreakdownRow> rows;
-    for (const auto &app : apps::names()) {
-        const dsm::RunResult r = fig::run(app, "Base", fig::procsFromEnv());
+    for (const auto &jr : results) {
         harness::BreakdownRow row =
-            harness::BreakdownRow::from(app, r);
+            harness::BreakdownRow::from(jr.label, jr.run);
         rows.push_back(row.normalizedTo(row));
-        std::cout.flush();
     }
     harness::printBreakdownTable(std::cout,
                                  "normalized execution time (percent)",

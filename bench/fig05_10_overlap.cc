@@ -18,16 +18,26 @@ main()
     fig::header("Figures 5-10: overlap techniques under TreadMarks");
 
     const char *modes[] = {"Base", "I", "I+D", "P", "I+P", "I+P+D"};
+    const std::size_t nmodes = std::size(modes);
     const unsigned procs = fig::procsFromEnv();
 
+    std::vector<harness::Job> jobs;
+    for (const auto &app : apps::names()) {
+        for (const char *m : modes)
+            jobs.push_back(fig::job(app, m, procs));
+    }
+    const auto results = fig::runAll("fig05_10_overlap", jobs);
+
+    std::size_t i = 0;
     for (const auto &app : apps::names()) {
         std::vector<harness::BreakdownRow> rows;
         harness::BreakdownRow base;
         double base_diff_ops = 0, id_diff_ops = -1;
         double prefetch_useless = 0, prefetch_total = 0;
 
-        for (const char *m : modes) {
-            const dsm::RunResult r = fig::run(app, m, procs);
+        for (std::size_t mi = 0; mi < nmodes; ++mi, ++i) {
+            const char *m = modes[mi];
+            const dsm::RunResult &r = results[i].run;
             harness::BreakdownRow row = harness::BreakdownRow::from(m, r);
             if (!std::strcmp(m, "Base")) {
                 base = row;
@@ -48,7 +58,6 @@ main()
                 }
             }
             rows.push_back(row.normalizedTo(base));
-            std::cout.flush();
         }
         harness::printBreakdownTable(std::cout, app + " (percent of Base)",
                                      rows);

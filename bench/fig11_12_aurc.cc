@@ -15,19 +15,27 @@ main()
     fig::header("Figures 11-12: overlapping TreadMarks (I+D) vs AURC");
 
     const char *protos[] = {"I+D", "AURC", "AURC+P"};
+    const std::size_t nprotos = std::size(protos);
     const unsigned procs = fig::procsFromEnv();
 
+    std::vector<harness::Job> jobs;
+    for (const auto &app : apps::names()) {
+        for (const char *pr : protos)
+            jobs.push_back(fig::job(app, pr, procs));
+    }
+    const auto results = fig::runAll("fig11_12_aurc", jobs);
+
+    std::size_t i = 0;
     for (const auto &app : apps::names()) {
         std::vector<harness::BreakdownRow> rows;
         harness::BreakdownRow base;
-        for (const char *pr : protos) {
-            const dsm::RunResult r = fig::run(app, pr, procs);
+        for (std::size_t pi = 0; pi < nprotos; ++pi, ++i) {
+            const char *pr = protos[pi];
             harness::BreakdownRow row = harness::BreakdownRow::from(
-                std::string(pr) == "I+D" ? "TM-I+D" : pr, r);
+                std::string(pr) == "I+D" ? "TM-I+D" : pr, results[i].run);
             if (rows.empty())
                 base = row;
             rows.push_back(row.normalizedTo(base));
-            std::cout.flush();
         }
         harness::printBreakdownTable(std::cout,
                                      app + " (percent of TM-I+D)", rows);

@@ -21,33 +21,41 @@ main()
     // Per-message overheads in cycles (100 = 1us at 100 MHz).
     const sim::Cycles overheads[] = {100, 200, 300, 400};
 
-    // Baselines at the default 200-cycle (2 us) overhead.
-    const double tm_base = static_cast<double>(
-        fig::run("Em3d", "I+D", procs).exec_ticks);
-
-    sim::Table t({"overhead(us)", "TM-I+D", "AURC(1cy-updates)",
-                  "AURC(full-overhead-updates)"});
+    // Job 0 is the baseline at the default 200-cycle (2 us) overhead;
+    // then three variants per sweep point.
+    std::vector<harness::Job> jobs;
+    jobs.push_back(fig::job("Em3d/I+D/default", "Em3d", "I+D", procs));
     for (sim::Cycles oh : overheads) {
+        const std::string at = "@" + sim::Table::fmt(oh / 100.0, 1) + "us";
+
         dsm::SysConfig tm = fig::configFor("I+D", procs);
         tm.net.msg_overhead = oh;
-        const double tmt = static_cast<double>(
-            fig::run("Em3d", "I+D", procs, &tm).exec_ticks);
+        jobs.push_back(fig::job("Em3d/I+D" + at, "Em3d", "I+D", procs, &tm));
 
         dsm::SysConfig au = fig::configFor("AURC", procs);
         au.net.msg_overhead = oh;
-        const double aut = static_cast<double>(
-            fig::run("Em3d", "AURC", procs, &au).exec_ticks);
+        jobs.push_back(fig::job("Em3d/AURC" + at, "Em3d", "AURC", procs,
+                                &au));
 
         dsm::SysConfig auf = au;
         auf.update_overhead_cycles = oh; // updates pay full overhead
-        const double auft = static_cast<double>(
-            fig::run("Em3d", "AURC", procs, &auf).exec_ticks);
+        jobs.push_back(fig::job("Em3d/AURC-full" + at, "Em3d", "AURC",
+                                procs, &auf));
+    }
+    const auto results = fig::runAll("fig13_msg_overhead", jobs);
 
+    const double tm_base = static_cast<double>(results[0].run.exec_ticks);
+    sim::Table t({"overhead(us)", "TM-I+D", "AURC(1cy-updates)",
+                  "AURC(full-overhead-updates)"});
+    std::size_t i = 1;
+    for (sim::Cycles oh : overheads) {
+        const double tmt = static_cast<double>(results[i++].run.exec_ticks);
+        const double aut = static_cast<double>(results[i++].run.exec_ticks);
+        const double auft = static_cast<double>(results[i++].run.exec_ticks);
         t.addRow({sim::Table::fmt(oh / 100.0, 1),
                   sim::Table::fmt(tmt / tm_base, 2),
                   sim::Table::fmt(aut / tm_base, 2),
                   sim::Table::fmt(auft / tm_base, 2)});
-        std::cout.flush();
     }
     t.print(std::cout);
     std::cout << "\n(normalized to TM-I+D at 2us; paper: both flat with"

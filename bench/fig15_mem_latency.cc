@@ -17,24 +17,30 @@ main()
     const unsigned procs = fig::procsFromEnv();
     const double lat_ns[] = {40, 70, 100, 150, 200};
 
-    const double tm_base = static_cast<double>(
-        fig::run("Em3d", "I+D", procs).exec_ticks);
-
-    sim::Table t({"latency(ns)", "TM-I+D", "AURC"});
+    std::vector<harness::Job> jobs;
+    jobs.push_back(fig::job("Em3d/I+D/default", "Em3d", "I+D", procs));
     for (double ns : lat_ns) {
+        const std::string at = "@" + sim::Table::fmt(ns, 0) + "ns";
+
         dsm::SysConfig tm = fig::configFor("I+D", procs);
         tm.setMemLatencyNs(ns);
-        const double tmt = static_cast<double>(
-            fig::run("Em3d", "I+D", procs, &tm).exec_ticks);
+        jobs.push_back(fig::job("Em3d/I+D" + at, "Em3d", "I+D", procs, &tm));
 
         dsm::SysConfig au = fig::configFor("AURC", procs);
         au.setMemLatencyNs(ns);
-        const double aut = static_cast<double>(
-            fig::run("Em3d", "AURC", procs, &au).exec_ticks);
+        jobs.push_back(fig::job("Em3d/AURC" + at, "Em3d", "AURC", procs,
+                                &au));
+    }
+    const auto results = fig::runAll("fig15_mem_latency", jobs);
 
+    const double tm_base = static_cast<double>(results[0].run.exec_ticks);
+    sim::Table t({"latency(ns)", "TM-I+D", "AURC"});
+    std::size_t i = 1;
+    for (double ns : lat_ns) {
+        const double tmt = static_cast<double>(results[i++].run.exec_ticks);
+        const double aut = static_cast<double>(results[i++].run.exec_ticks);
         t.addRow({sim::Table::fmt(ns, 0), sim::Table::fmt(tmt / tm_base, 2),
                   sim::Table::fmt(aut / tm_base, 2)});
-        std::cout.flush();
     }
     t.print(std::cout);
     std::cout << "\n(normalized to TM-I+D at 100 ns; paper: TreadMarks"

@@ -16,24 +16,30 @@ main()
     const unsigned procs = fig::procsFromEnv();
     const double bw_mbs[] = {60, 80, 103, 150, 200};
 
-    const double tm_base = static_cast<double>(
-        fig::run("Em3d", "I+D", procs).exec_ticks);
-
-    sim::Table t({"bandwidth(MB/s)", "TM-I+D", "AURC"});
+    std::vector<harness::Job> jobs;
+    jobs.push_back(fig::job("Em3d/I+D/default", "Em3d", "I+D", procs));
     for (double bw : bw_mbs) {
+        const std::string at = "@" + sim::Table::fmt(bw, 0) + "MBs";
+
         dsm::SysConfig tm = fig::configFor("I+D", procs);
         tm.setMemBandwidthMBs(bw);
-        const double tmt = static_cast<double>(
-            fig::run("Em3d", "I+D", procs, &tm).exec_ticks);
+        jobs.push_back(fig::job("Em3d/I+D" + at, "Em3d", "I+D", procs, &tm));
 
         dsm::SysConfig au = fig::configFor("AURC", procs);
         au.setMemBandwidthMBs(bw);
-        const double aut = static_cast<double>(
-            fig::run("Em3d", "AURC", procs, &au).exec_ticks);
+        jobs.push_back(fig::job("Em3d/AURC" + at, "Em3d", "AURC", procs,
+                                &au));
+    }
+    const auto results = fig::runAll("fig16_mem_bandwidth", jobs);
 
+    const double tm_base = static_cast<double>(results[0].run.exec_ticks);
+    sim::Table t({"bandwidth(MB/s)", "TM-I+D", "AURC"});
+    std::size_t i = 1;
+    for (double bw : bw_mbs) {
+        const double tmt = static_cast<double>(results[i++].run.exec_ticks);
+        const double aut = static_cast<double>(results[i++].run.exec_ticks);
         t.addRow({sim::Table::fmt(bw, 0), sim::Table::fmt(tmt / tm_base, 2),
                   sim::Table::fmt(aut / tm_base, 2)});
-        std::cout.flush();
     }
     t.print(std::cout);
     std::cout << "\n(normalized to TM-I+D at ~103 MB/s; paper: both rise"

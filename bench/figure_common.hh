@@ -2,11 +2,18 @@
  * @file
  * Shared plumbing for the figure-regeneration benches: configuration
  * construction per protocol label, scale/processor-count overrides via
- * environment variables, and run helpers.
+ * environment variables, and the jobs-based run helpers.
+ *
+ * Every bench builds a list of harness::Jobs, runs them through the
+ * parallel ExperimentEngine (results come back in submission order and
+ * are identical to a serial run, whatever the worker count), prints the
+ * same tables as ever, and records the batch to results/<bench>.json.
  *
  * Environment knobs:
  *   NCP2_SCALE = tiny | small | standard   (default: standard)
- *   NCP2_PROCS = <n>                       (default: 16)
+ *   NCP2_PROCS = <n in [1,64]>             (default: 16)
+ *   NCP2_JOBS  = <worker threads>          (default: hardware concurrency)
+ *   NCP2_RESULTS_DIR = <dir>               (default: results)
  */
 
 #ifndef NCP2_BENCH_FIGURE_COMMON_HH
@@ -16,8 +23,11 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "apps/apps.hh"
+#include "harness/experiment.hh"
+#include "harness/json_out.hh"
 #include "harness/runner.hh"
 #include "sim/logging.hh"
 
@@ -41,7 +51,18 @@ inline unsigned
 procsFromEnv()
 {
     const char *s = std::getenv("NCP2_PROCS");
-    return s ? static_cast<unsigned>(std::atoi(s)) : 16u;
+    if (!s || !*s)
+        return 16u;
+    char *end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v <= 0)
+        ncp2_fatal("NCP2_PROCS='%s' is not a positive processor count", s);
+    if (v > 64) {
+        ncp2_warn("NCP2_PROCS=%ld exceeds the supported maximum; "
+                  "clamping to 64", v);
+        return 64u;
+    }
+    return static_cast<unsigned>(v);
 }
 
 /** Build a SysConfig for a protocol label: Base, I, I+D, P, I+P,
@@ -64,24 +85,49 @@ configFor(const std::string &proto, unsigned procs)
 }
 
 /**
- * Run one (app, protocol, procs) cell and return the result. When
- * @p cfg_override is given it must have been built with configFor() for
- * the same protocol label - the label is only used to construct the
- * default configuration.
+ * Build one (app, protocol, procs) job. When @p cfg_override is given
+ * it must have been built with configFor() for the same protocol label
+ * - the label is only used to construct the default configuration.
  */
-inline dsm::RunResult
-run(const std::string &app, const std::string &proto, unsigned procs,
-    dsm::SysConfig *cfg_override = nullptr)
+inline harness::Job
+job(const std::string &label, const std::string &app,
+    const std::string &proto, unsigned procs,
+    const dsm::SysConfig *cfg_override = nullptr)
 {
-    sim::setQuiet(true);
-    auto w = apps::make(app, scaleFromEnv());
-    dsm::SysConfig cfg =
-        cfg_override ? *cfg_override : configFor(proto, procs);
+    harness::Job j;
+    j.label = label;
+    j.cfg = cfg_override ? *cfg_override : configFor(proto, procs);
     ncp2_assert(!cfg_override ||
-                    cfg.protocol == configFor(proto, procs).protocol,
+                    j.cfg.protocol == configFor(proto, procs).protocol,
                 "cfg_override protocol does not match label '%s'",
                 proto.c_str());
-    return harness::runOnce(cfg, *w);
+    const apps::Scale scale = scaleFromEnv();
+    j.workload = [app, scale]() { return apps::make(app, scale); };
+    return j;
+}
+
+/** Shorthand when the label is just the protocol label. */
+inline harness::Job
+job(const std::string &app, const std::string &proto, unsigned procs,
+    const dsm::SysConfig *cfg_override = nullptr)
+{
+    return job(app + "/" + proto, app, proto, procs, cfg_override);
+}
+
+/**
+ * Run a bench's whole batch on the engine and record it to
+ * results/<bench>.json. Results are in submission order.
+ */
+inline std::vector<harness::JobResult>
+runAll(const char *bench, const std::vector<harness::Job> &jobs)
+{
+    const harness::ExperimentEngine engine;
+    std::vector<harness::JobResult> results = engine.runAll(jobs);
+    const std::string path =
+        harness::writeResultsJson(bench, results, engine.workers());
+    std::cerr << "[" << bench << ": " << jobs.size() << " simulations on "
+              << engine.workers() << " workers -> " << path << "]\n";
+    return results;
 }
 
 inline void

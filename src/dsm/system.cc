@@ -37,6 +37,10 @@ System::~System() = default;
 RunResult
 System::run(Workload &workload)
 {
+    sim::Context::Scope scope(ctx_);
+    if (ctx_.label.empty())
+        ctx_.label = workload.name();
+
     workload.plan(*heap_, cfg_);
     protocol_->attach(*this);
 

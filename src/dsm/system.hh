@@ -34,6 +34,7 @@
 #include "mem/write_buffer.hh"
 #include "net/mesh.hh"
 #include "pcib/pci_bus.hh"
+#include "sim/context.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 
@@ -91,6 +92,7 @@ class System
     const SysConfig &cfg() const { return cfg_; }
     unsigned nprocs() const { return cfg_.num_procs; }
     Node &node(sim::NodeId id) { return *nodes_[id]; }
+    sim::Context &ctx() { return ctx_; }
     sim::EventQueue &eq() { return eq_; }
     net::MeshNetwork &net() { return *net_; }
     GlobalHeap &heap() { return *heap_; }
@@ -139,6 +141,9 @@ class System
 
   private:
     SysConfig cfg_;
+    /// Per-simulation runtime state; installed on the running thread
+    /// for the duration of run(), keeping concurrent Systems confined.
+    sim::Context ctx_;
     std::unordered_map<sim::PageId, std::vector<std::uint8_t>>
         coherent_cache_; ///< validation-time page reconstructions
     sim::EventQueue eq_;

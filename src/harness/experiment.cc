@@ -1,0 +1,107 @@
+#include "harness/experiment.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "harness/runner.hh"
+#include "sim/context.hh"
+#include "sim/logging.hh"
+
+namespace harness
+{
+
+namespace
+{
+
+/** Run one job under its own sim::Context; the worker-side body. */
+JobResult
+runJob(const Job &job)
+{
+    sim::Context ctx;
+    ctx.quiet = job.quiet;
+    ctx.label = job.label;
+    sim::Context::Scope scope(ctx);
+
+    ncp2_assert(static_cast<bool>(job.workload),
+                "job '%s' has no workload factory", job.label.c_str());
+    std::unique_ptr<dsm::Workload> w = job.workload();
+    return JobResult{job.label, job.cfg, runOnce(job.cfg, *w)};
+}
+
+} // namespace
+
+ExperimentEngine::ExperimentEngine(unsigned workers) : workers_(workers)
+{
+    if (workers_ == 0)
+        workers_ = 1;
+}
+
+unsigned
+ExperimentEngine::workersFromEnv()
+{
+    const char *s = std::getenv("NCP2_JOBS");
+    if (!s || !*s) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1u;
+    }
+    char *end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v <= 0)
+        ncp2_fatal("NCP2_JOBS='%s' is not a positive integer", s);
+    if (v > 256)
+        return 256u;
+    return static_cast<unsigned>(v);
+}
+
+std::vector<JobResult>
+ExperimentEngine::runAll(const std::vector<Job> &jobs) const
+{
+    std::vector<JobResult> results(jobs.size());
+    std::vector<std::exception_ptr> errors(jobs.size());
+    std::atomic<std::size_t> next{0};
+
+    auto drain = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            try {
+                results[i] = runJob(jobs[i]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    const unsigned width = static_cast<unsigned>(
+        std::min<std::size_t>(workers_, jobs.size()));
+    if (width <= 1) {
+        drain();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(width);
+        for (unsigned t = 0; t < width; ++t)
+            pool.emplace_back(drain);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    for (auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
+}
+
+std::vector<JobResult>
+runSerial(const std::vector<Job> &jobs)
+{
+    std::vector<JobResult> results;
+    results.reserve(jobs.size());
+    for (const Job &job : jobs)
+        results.push_back(runJob(job));
+    return results;
+}
+
+} // namespace harness

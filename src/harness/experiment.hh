@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The parallel experiment engine.
+ *
+ * Every figure in the paper is a batch of completely independent,
+ * deterministic simulations (app x protocol x sweep point). The engine
+ * runs such a batch on a pool of host worker threads: each job builds
+ * its own Workload and System inside the worker (nothing simulated is
+ * shared between jobs), runs to completion under a per-job sim::Context,
+ * and deposits its result at the job's index. Results therefore come
+ * back in submission order and are bit-identical to a serial loop over
+ * the same jobs, whatever the worker count — only wall-clock changes.
+ *
+ * Worker count: NCP2_JOBS if set, else std::thread::hardware_concurrency.
+ */
+
+#ifndef NCP2_HARNESS_EXPERIMENT_HH
+#define NCP2_HARNESS_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/config.hh"
+#include "dsm/system.hh"
+#include "dsm/workload.hh"
+
+namespace harness
+{
+
+/** One independent simulation to run. */
+struct Job
+{
+    /** Display/result label, e.g. "Em3d/I+D" or "TSP/p=16". */
+    std::string label;
+    /** Full system configuration for the run. */
+    dsm::SysConfig cfg;
+    /**
+     * Builds the job's private Workload instance. Called inside the
+     * worker thread, so the factory must not capture mutable state
+     * shared with other jobs.
+     */
+    std::function<std::unique_ptr<dsm::Workload>()> workload;
+    /** Suppress warn()/inform() during the run (benches want quiet). */
+    bool quiet = true;
+};
+
+/** A finished job: its inputs plus the simulation result. */
+struct JobResult
+{
+    std::string label;
+    dsm::SysConfig cfg;
+    dsm::RunResult run;
+};
+
+/**
+ * Fixed-width worker pool over a job list. An engine is stateless
+ * between calls; construct once and reuse freely.
+ */
+class ExperimentEngine
+{
+  public:
+    /** @param workers pool width; 0 or 1 runs inline on the caller. */
+    explicit ExperimentEngine(unsigned workers = workersFromEnv());
+
+    /**
+     * Run every job and return results in submission order. The first
+     * exception thrown by a job (in job order) is rethrown after all
+     * workers have drained.
+     */
+    std::vector<JobResult> runAll(const std::vector<Job> &jobs) const;
+
+    unsigned workers() const { return workers_; }
+
+    /**
+     * NCP2_JOBS, validated (fatal on garbage or non-positive, clamped
+     * to 256); defaults to the hardware concurrency.
+     */
+    static unsigned workersFromEnv();
+
+  private:
+    unsigned workers_;
+};
+
+/** Serial reference implementation, for equivalence testing. */
+std::vector<JobResult> runSerial(const std::vector<Job> &jobs);
+
+} // namespace harness
+
+#endif // NCP2_HARNESS_EXPERIMENT_HH

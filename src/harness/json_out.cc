@@ -1,0 +1,194 @@
+#include "harness/json_out.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "harness/runner.hh"
+#include "sim/logging.hh"
+
+namespace harness
+{
+
+namespace
+{
+
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    // Round-trippable and integer-exact where possible.
+    std::ostringstream ss;
+    ss.precision(std::numeric_limits<double>::max_digits10);
+    ss << v;
+    os << ss.str();
+}
+
+const char *
+protocolName(dsm::ProtocolKind k)
+{
+    switch (k) {
+      case dsm::ProtocolKind::treadmarks: return "treadmarks";
+      case dsm::ProtocolKind::aurc: return "aurc";
+    }
+    return "?";
+}
+
+const char *
+strategyName(dsm::PrefetchStrategy s)
+{
+    switch (s) {
+      case dsm::PrefetchStrategy::always: return "always";
+      case dsm::PrefetchStrategy::adaptive: return "adaptive";
+      case dsm::PrefetchStrategy::capped: return "capped";
+    }
+    return "?";
+}
+
+void
+emitConfig(std::ostream &os, const dsm::SysConfig &cfg)
+{
+    os << "{\"protocol\":";
+    jsonString(os, protocolName(cfg.protocol));
+    os << ",\"mode\":";
+    jsonString(os, cfg.mode.label());
+    os << ",\"prefetch_strategy\":";
+    jsonString(os, strategyName(cfg.mode.prefetch_strategy));
+    os << ",\"lazy_hybrid\":" << (cfg.mode.lazy_hybrid ? "true" : "false")
+       << ",\"num_procs\":" << cfg.num_procs
+       << ",\"page_bytes\":" << cfg.page_bytes
+       << ",\"heap_bytes\":" << cfg.heap_bytes
+       << ",\"cache_bytes\":" << cfg.cache.size_bytes
+       << ",\"cache_line_bytes\":" << cfg.cache.line_bytes
+       << ",\"write_buffer_entries\":" << cfg.write_buffer_entries
+       << ",\"tlb_entries\":" << cfg.tlb_entries
+       << ",\"mem_setup_cycles\":" << cfg.memory.setup_cycles
+       << ",\"mem_word_cycles\":" << cfg.memory.word_cycles
+       << ",\"net_path_width_bits\":" << cfg.net.path_width_bits
+       << ",\"net_switch_cycles\":" << cfg.net.switch_cycles
+       << ",\"net_wire_cycles\":" << cfg.net.wire_cycles
+       << ",\"net_msg_overhead\":" << cfg.net.msg_overhead
+       << ",\"pci_setup_cycles\":" << cfg.pci.setup_cycles
+       << ",\"pci_word_cycles\":" << cfg.pci.word_cycles
+       << ",\"interrupt_cycles\":" << cfg.interrupt_cycles
+       << ",\"update_overhead_cycles\":" << cfg.update_overhead_cycles
+       << ",\"seed\":" << cfg.seed << "}";
+}
+
+void
+emitRun(std::ostream &os, const JobResult &jr)
+{
+    const BreakdownRow row = BreakdownRow::from(jr.label, jr.run);
+    os << "{\"label\":";
+    jsonString(os, jr.label);
+    os << ",\"config\":";
+    emitConfig(os, jr.cfg);
+    os << ",\"exec_ticks\":" << jr.run.exec_ticks << ",\"seconds\":";
+    jsonNumber(os, jr.run.seconds());
+    os << ",\"breakdown\":{\"busy\":";
+    jsonNumber(os, row.busy);
+    os << ",\"data\":";
+    jsonNumber(os, row.data);
+    os << ",\"synch\":";
+    jsonNumber(os, row.synch);
+    os << ",\"ipc\":";
+    jsonNumber(os, row.ipc);
+    os << ",\"others\":";
+    jsonNumber(os, row.others);
+    os << ",\"diff_pct\":";
+    jsonNumber(os, row.diff_pct);
+    os << "},\"net\":{\"messages\":" << jr.run.net.messages
+       << ",\"bytes\":" << jr.run.net.bytes
+       << ",\"latency_cycles\":" << jr.run.net.latency_cycles
+       << ",\"contention_cycles\":" << jr.run.net.contention_cycles
+       << "},\"extra\":{";
+    bool first = true;
+    for (const auto &[key, value] : jr.run.extra) {
+        if (!first)
+            os << ',';
+        first = false;
+        jsonString(os, key);
+        os << ':';
+        jsonNumber(os, value);
+    }
+    os << "}}";
+}
+
+} // namespace
+
+std::string
+resultsDir()
+{
+    const char *dir = std::getenv("NCP2_RESULTS_DIR");
+    return dir && *dir ? dir : "results";
+}
+
+void
+emitResultsJson(std::ostream &os, const std::string &bench,
+                const std::vector<JobResult> &results, unsigned workers)
+{
+    os << "{\"bench\":";
+    jsonString(os, bench);
+    os << ",\"schema_version\":1,\"workers\":" << workers << ",\"runs\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i)
+            os << ',';
+        os << "\n  ";
+        emitRun(os, results[i]);
+    }
+    os << "\n]}\n";
+}
+
+std::string
+writeResultsJson(const std::string &bench,
+                 const std::vector<JobResult> &results, unsigned workers)
+{
+    const std::filesystem::path dir(resultsDir());
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        ncp2_fatal("cannot create results dir '%s': %s",
+                   dir.string().c_str(), ec.message().c_str());
+
+    const std::filesystem::path path = dir / (bench + ".json");
+    std::ofstream os(path);
+    if (!os)
+        ncp2_fatal("cannot open '%s' for writing", path.string().c_str());
+    emitResultsJson(os, bench, results, workers);
+    os.flush();
+    if (!os)
+        ncp2_fatal("write to '%s' failed", path.string().c_str());
+    return path.string();
+}
+
+} // namespace harness

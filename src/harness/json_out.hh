@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Machine-readable experiment output.
+ *
+ * Every figure bench writes, next to its human-readable tables, a
+ * results/<bench>.json document so perf trajectories can be tracked
+ * across revisions without scraping stdout. Schema (version 1):
+ *
+ *   {
+ *     "bench": "<name>", "schema_version": 1,
+ *     "workers": <engine pool width>,
+ *     "runs": [
+ *       {
+ *         "label": "...",
+ *         "config": { protocol, mode, num_procs, page_bytes, seed, ... },
+ *         "exec_ticks": N, "seconds": S,
+ *         "breakdown": { busy, data, synch, ipc, others, diff_pct },
+ *         "net": { messages, bytes, latency_cycles, contention_cycles },
+ *         "extra": { "<protocol stat>": value, ... }
+ *       }, ...
+ *     ]
+ *   }
+ *
+ * breakdown values are mean cycles per processor (the same aggregation
+ * BreakdownRow uses); extra carries the protocol-specific stats
+ * (TreadMarks prefetch/diff counters, AURC update counters).
+ *
+ * The output directory defaults to "results" and can be moved with
+ * NCP2_RESULTS_DIR.
+ */
+
+#ifndef NCP2_HARNESS_JSON_OUT_HH
+#define NCP2_HARNESS_JSON_OUT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace harness
+{
+
+/** NCP2_RESULTS_DIR, or "results". */
+std::string resultsDir();
+
+/** Serialize one batch of finished jobs as the schema above. */
+void emitResultsJson(std::ostream &os, const std::string &bench,
+                     const std::vector<JobResult> &results,
+                     unsigned workers);
+
+/**
+ * Write resultsDir()/<bench>.json (creating the directory if needed)
+ * and return the path written. Fatal on I/O failure.
+ */
+std::string writeResultsJson(const std::string &bench,
+                             const std::vector<JobResult> &results,
+                             unsigned workers);
+
+} // namespace harness
+
+#endif // NCP2_HARNESS_JSON_OUT_HH

@@ -1,0 +1,34 @@
+#include "sim/context.hh"
+
+#include "sim/logging.hh"
+
+namespace sim
+{
+
+namespace
+{
+/// The simulation currently running on this host thread.
+thread_local Context *t_current = nullptr;
+} // namespace
+
+Context::Context() : quiet(sim::quiet())
+{
+}
+
+Context *
+Context::current()
+{
+    return t_current;
+}
+
+Context::Scope::Scope(Context &ctx) : prev_(t_current)
+{
+    t_current = &ctx;
+}
+
+Context::Scope::~Scope()
+{
+    t_current = prev_;
+}
+
+} // namespace sim

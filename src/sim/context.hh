@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-simulation runtime context.
+ *
+ * Historically the simulator kept cross-cutting run state (verbosity)
+ * in file-scope globals, which made it impossible to run two
+ * dsm::Systems on different host threads without races. A Context is
+ * the per-simulation home for that state: it is installed for the
+ * duration of a run with Context::Scope and looked up through a
+ * thread_local pointer, so each simulation is strictly thread-confined
+ * and concurrent simulations never observe each other's settings.
+ *
+ * The other piece of per-run mutable state, the fiber scheduler's
+ * current-fiber pointer, is thread_local in fiber.cc for the same
+ * reason (a simulation never migrates between host threads mid-run).
+ */
+
+#ifndef NCP2_SIM_CONTEXT_HH
+#define NCP2_SIM_CONTEXT_HH
+
+#include <string>
+
+namespace sim
+{
+
+/**
+ * Per-simulation state. Construction inherits the settings visible on
+ * the constructing thread (the enclosing Context if one is installed,
+ * the process-wide defaults otherwise), so nesting composes: an
+ * experiment engine installs a per-job Context, and the System built
+ * inside the job inherits its verbosity.
+ */
+class Context
+{
+  public:
+    Context();
+
+    /** Suppress warn()/inform() for this simulation. */
+    bool quiet = false;
+
+    /** Free-form run label, for diagnostics ("Em3d/I+D" and the like). */
+    std::string label;
+
+    /** The Context installed on this thread, or nullptr. */
+    static Context *current();
+
+    /** RAII installation of a Context on the calling thread. */
+    class Scope
+    {
+      public:
+        explicit Scope(Context &ctx);
+        ~Scope();
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Context *prev_;
+    };
+};
+
+} // namespace sim
+
+#endif // NCP2_SIM_CONTEXT_HH

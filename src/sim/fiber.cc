@@ -2,13 +2,42 @@
 
 #include "sim/logging.hh"
 
+// ThreadSanitizer does not understand ucontext switches by itself: it
+// would see one OS thread jumping between stacks and report phantom
+// races (or lose the happens-before history entirely). The fiber API in
+// <sanitizer/tsan_interface.h> lets us tell it about every switch.
+#if defined(__SANITIZE_THREAD__)
+#define NCP2_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NCP2_TSAN 1
+#endif
+#endif
+
+#ifdef NCP2_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace sim
 {
 
 namespace
 {
-/// The fiber currently executing on this (single) host thread.
+/// The fiber currently executing on this host thread. thread_local so
+/// each concurrently running simulation has its own scheduler state.
 thread_local Fiber *g_current = nullptr;
+
+#ifdef NCP2_TSAN
+/// TSan identity of the thread's scheduler context, captured by
+/// resume() so the fiber side can switch back to it.
+thread_local void *g_tsan_caller = nullptr;
+
+void
+tsanSwitch(void *to)
+{
+    __tsan_switch_to_fiber(to, 0);
+}
+#endif
 } // namespace
 
 Fiber::Fiber(Body body, std::size_t stack_bytes)
@@ -17,7 +46,13 @@ Fiber::Fiber(Body body, std::size_t stack_bytes)
     ncp2_assert(stack_bytes >= 16 * 1024, "fiber stack too small");
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber()
+{
+#ifdef NCP2_TSAN
+    if (tsan_fiber_)
+        __tsan_destroy_fiber(tsan_fiber_);
+#endif
+}
 
 Fiber *
 Fiber::current()
@@ -37,6 +72,9 @@ Fiber::trampoline()
     self->finished_ = true;
     // Return to the resumer; never comes back.
     g_current = nullptr;
+#ifdef NCP2_TSAN
+    tsanSwitch(g_tsan_caller);
+#endif
     swapcontext(&self->context_, &self->caller_);
     ncp2_panic("resumed a finished fiber");
 }
@@ -54,9 +92,16 @@ Fiber::resume()
         context_.uc_stack.ss_size = stack_.size();
         context_.uc_link = nullptr;
         makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline), 0);
+#ifdef NCP2_TSAN
+        tsan_fiber_ = __tsan_create_fiber(0);
+#endif
     }
 
     g_current = this;
+#ifdef NCP2_TSAN
+    g_tsan_caller = __tsan_get_current_fiber();
+    tsanSwitch(tsan_fiber_);
+#endif
     swapcontext(&caller_, &context_);
     g_current = nullptr;
 
@@ -73,6 +118,9 @@ Fiber::yield()
     Fiber *self = g_current;
     ncp2_assert(self, "Fiber::yield() outside any fiber");
     g_current = nullptr;
+#ifdef NCP2_TSAN
+    tsanSwitch(g_tsan_caller);
+#endif
     swapcontext(&self->context_, &self->caller_);
     g_current = self;
 }

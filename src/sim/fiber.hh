@@ -74,6 +74,10 @@ class Fiber
     ucontext_t context_;
     ucontext_t caller_;
     std::exception_ptr pending_exception_;
+    /// ThreadSanitizer fiber handle; TSan cannot follow swapcontext on
+    /// its own, so fiber.cc tells it about every switch. Unused (and
+    /// null) in non-TSan builds.
+    void *tsan_fiber_ = nullptr;
     bool started_ = false;
     bool finished_ = false;
 };

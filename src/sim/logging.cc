@@ -1,26 +1,36 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <stdexcept>
+
+#include "sim/context.hh"
 
 namespace sim
 {
 
 namespace
 {
-bool g_quiet = false;
+/// Process-wide default; per-simulation overrides live in sim::Context.
+/// Atomic so concurrent simulations can consult it without racing.
+std::atomic<bool> g_quiet{false};
 } // namespace
 
 void
 setQuiet(bool quiet)
 {
-    g_quiet = quiet;
+    if (Context *ctx = Context::current())
+        ctx->quiet = quiet;
+    else
+        g_quiet.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return g_quiet;
+    if (const Context *ctx = Context::current())
+        return ctx->quiet;
+    return g_quiet.load(std::memory_order_relaxed);
 }
 
 namespace detail
@@ -63,14 +73,14 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (!g_quiet)
+    if (!quiet())
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!g_quiet)
+    if (!quiet())
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

@@ -31,7 +31,12 @@ std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 } // namespace detail
 
-/** Suppress warn()/inform() output (used by tests and benches). */
+/**
+ * Suppress warn()/inform() output (used by tests and benches). With a
+ * sim::Context installed on the calling thread this toggles that
+ * simulation only; otherwise it sets the process-wide default that new
+ * Contexts inherit.
+ */
 void setQuiet(bool quiet);
 bool quiet();
 

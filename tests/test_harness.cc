@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Harness-level tests: simulation determinism across repeated runs,
+ * bit-equivalence of the parallel ExperimentEngine against a serial
+ * loop over the same jobs, worker-count plumbing, and the JSON results
+ * emitter. The equivalence test is the one the ThreadSanitizer CI job
+ * runs to catch cross-simulation data races mechanically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "harness/experiment.hh"
+#include "harness/json_out.hh"
+#include "harness/runner.hh"
+#include "tests/workload_helpers.hh"
+
+using namespace harness;
+
+namespace
+{
+
+dsm::SysConfig
+cfgFor(unsigned procs, bool offload, bool hw_diffs, bool prefetch,
+       dsm::ProtocolKind kind = dsm::ProtocolKind::treadmarks)
+{
+    dsm::SysConfig cfg;
+    cfg.num_procs = procs;
+    cfg.heap_bytes = 8u << 20;
+    cfg.protocol = kind;
+    cfg.mode.offload = offload;
+    cfg.mode.hw_diffs = hw_diffs;
+    cfg.mode.prefetch = prefetch;
+    return cfg;
+}
+
+/** A mixed job list spanning both protocols and all test workloads. */
+std::vector<Job>
+mixedJobs()
+{
+    std::vector<Job> jobs;
+    jobs.push_back({"counter/Base", cfgFor(4, false, false, false),
+                    []() { return std::make_unique<testutil::CounterWorkload>(6); },
+                    true});
+    jobs.push_back({"stencil/I+D", cfgFor(8, true, true, false),
+                    []() { return std::make_unique<testutil::StencilWorkload>(1024, 3); },
+                    true});
+    jobs.push_back({"token/AURC",
+                    cfgFor(4, false, false, false, dsm::ProtocolKind::aurc),
+                    []() { return std::make_unique<testutil::TokenWorkload>(4); },
+                    true});
+    jobs.push_back({"counter/I+P", cfgFor(4, true, false, true),
+                    []() { return std::make_unique<testutil::CounterWorkload>(5); },
+                    true});
+    jobs.push_back({"stencil/P", cfgFor(4, false, false, true),
+                    []() { return std::make_unique<testutil::StencilWorkload>(512, 2); },
+                    true});
+    jobs.push_back({"token/Base", cfgFor(8, false, false, false),
+                    []() { return std::make_unique<testutil::TokenWorkload>(3); },
+                    true});
+    return jobs;
+}
+
+void
+expectIdenticalRuns(const dsm::RunResult &a, const dsm::RunResult &b)
+{
+    EXPECT_EQ(a.exec_ticks, b.exec_ticks);
+    ASSERT_EQ(a.bd.size(), b.bd.size());
+    for (std::size_t p = 0; p < a.bd.size(); ++p) {
+        EXPECT_EQ(a.bd[p].cycles, b.bd[p].cycles) << "processor " << p;
+        EXPECT_EQ(a.bd[p].diff_op_cycles, b.bd[p].diff_op_cycles);
+        EXPECT_EQ(a.bd[p].diff_op_ctrl_cycles, b.bd[p].diff_op_ctrl_cycles);
+    }
+    EXPECT_EQ(a.net.messages, b.net.messages);
+    EXPECT_EQ(a.net.bytes, b.net.bytes);
+    EXPECT_EQ(a.net.latency_cycles, b.net.latency_cycles);
+    EXPECT_EQ(a.net.contention_cycles, b.net.contention_cycles);
+    EXPECT_EQ(a.extra, b.extra);
+}
+
+} // namespace
+
+TEST(Harness, RepeatedRunsAreIdentical)
+{
+    sim::setQuiet(true);
+    const dsm::SysConfig cfg = cfgFor(8, true, true, false);
+    dsm::RunResult first;
+    for (int i = 0; i < 2; ++i) {
+        testutil::StencilWorkload w(1024, 3);
+        const dsm::RunResult r = runOnce(cfg, w);
+        if (i == 0) {
+            first = r;
+            continue;
+        }
+        expectIdenticalRuns(first, r);
+        // The derived breakdown rows must match bit-for-bit too.
+        const BreakdownRow ra = BreakdownRow::from("x", first);
+        const BreakdownRow rb = BreakdownRow::from("x", r);
+        EXPECT_EQ(ra.exec_ticks, rb.exec_ticks);
+        EXPECT_EQ(ra.busy, rb.busy);
+        EXPECT_EQ(ra.data, rb.data);
+        EXPECT_EQ(ra.synch, rb.synch);
+        EXPECT_EQ(ra.ipc, rb.ipc);
+        EXPECT_EQ(ra.others, rb.others);
+        EXPECT_EQ(ra.diff_pct, rb.diff_pct);
+    }
+}
+
+TEST(Harness, EngineMatchesSerialLoop)
+{
+    sim::setQuiet(true);
+    const std::vector<Job> jobs = mixedJobs();
+
+    const std::vector<JobResult> serial = runSerial(jobs);
+    const std::vector<JobResult> pooled = ExperimentEngine(4).runAll(jobs);
+
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].label, pooled[i].label) << "job " << i;
+        expectIdenticalRuns(serial[i].run, pooled[i].run);
+    }
+}
+
+TEST(Harness, EngineKeepsSubmissionOrderWithMoreWorkersThanJobs)
+{
+    sim::setQuiet(true);
+    std::vector<Job> jobs;
+    for (unsigned n = 0; n < 3; ++n) {
+        jobs.push_back({"counter/" + std::to_string(n),
+                        cfgFor(2 + n, false, false, false),
+                        [n]() {
+                            return std::make_unique<testutil::CounterWorkload>(
+                                3 + n);
+                        },
+                        true});
+    }
+    const auto results = ExperimentEngine(16).runAll(jobs);
+    ASSERT_EQ(results.size(), 3u);
+    for (unsigned n = 0; n < 3; ++n) {
+        EXPECT_EQ(results[n].label, "counter/" + std::to_string(n));
+        EXPECT_EQ(results[n].cfg.num_procs, 2 + n);
+        EXPECT_GT(results[n].run.exec_ticks, 0u);
+    }
+}
+
+TEST(Harness, EnginePropagatesJobExceptions)
+{
+    sim::setQuiet(true);
+    std::vector<Job> jobs = mixedJobs();
+    Job bad;
+    bad.label = "bad/unknown-app";
+    bad.cfg = cfgFor(2, false, false, false);
+    bad.cfg.max_ticks = 1; // trip the watchdog immediately
+    bad.workload = []() {
+        return std::make_unique<testutil::CounterWorkload>(1000);
+    };
+    jobs.insert(jobs.begin() + 1, bad);
+    EXPECT_THROW(ExperimentEngine(4).runAll(jobs), std::runtime_error);
+}
+
+TEST(Harness, WorkersFromEnvValidates)
+{
+    ::setenv("NCP2_JOBS", "8", 1);
+    EXPECT_EQ(ExperimentEngine::workersFromEnv(), 8u);
+    ::setenv("NCP2_JOBS", "99999", 1);
+    EXPECT_EQ(ExperimentEngine::workersFromEnv(), 256u);
+    ::setenv("NCP2_JOBS", "0", 1);
+    EXPECT_THROW(ExperimentEngine::workersFromEnv(), std::runtime_error);
+    ::setenv("NCP2_JOBS", "abc", 1);
+    EXPECT_THROW(ExperimentEngine::workersFromEnv(), std::runtime_error);
+    ::setenv("NCP2_JOBS", "-3", 1);
+    EXPECT_THROW(ExperimentEngine::workersFromEnv(), std::runtime_error);
+    ::unsetenv("NCP2_JOBS");
+    EXPECT_GE(ExperimentEngine::workersFromEnv(), 1u);
+}
+
+TEST(Harness, JsonEmitterShapesDocument)
+{
+    sim::setQuiet(true);
+    std::vector<Job> jobs;
+    jobs.push_back({"counter/Base", cfgFor(2, false, false, false),
+                    []() { return std::make_unique<testutil::CounterWorkload>(2); },
+                    true});
+    const auto results = runSerial(jobs);
+
+    std::ostringstream ss;
+    emitResultsJson(ss, "unit_bench", results, 4);
+    const std::string doc = ss.str();
+
+    EXPECT_NE(doc.find("\"bench\":\"unit_bench\""), std::string::npos);
+    EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+    EXPECT_NE(doc.find("\"workers\":4"), std::string::npos);
+    EXPECT_NE(doc.find("\"label\":\"counter/Base\""), std::string::npos);
+    EXPECT_NE(doc.find("\"protocol\":\"treadmarks\""), std::string::npos);
+    EXPECT_NE(doc.find("\"mode\":\"Base\""), std::string::npos);
+    EXPECT_NE(doc.find("\"num_procs\":2"), std::string::npos);
+    EXPECT_NE(doc.find("\"exec_ticks\":"), std::string::npos);
+    EXPECT_NE(doc.find("\"breakdown\":{\"busy\":"), std::string::npos);
+    EXPECT_NE(doc.find("\"net\":{\"messages\":"), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check; no
+    // strings in the document contain brackets).
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+              std::count(doc.begin(), doc.end(), '}'));
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
+              std::count(doc.begin(), doc.end(), ']'));
+}
+
+TEST(Harness, WriteResultsJsonCreatesFile)
+{
+    sim::setQuiet(true);
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "ncp2_results_test";
+    std::filesystem::remove_all(dir);
+    ::setenv("NCP2_RESULTS_DIR", dir.string().c_str(), 1);
+
+    std::vector<Job> jobs;
+    jobs.push_back({"token/Base", cfgFor(2, false, false, false),
+                    []() { return std::make_unique<testutil::TokenWorkload>(2); },
+                    true});
+    const auto results = runSerial(jobs);
+    const std::string path = writeResultsJson("unit_bench", results, 1);
+
+    ::unsetenv("NCP2_RESULTS_DIR");
+    EXPECT_TRUE(std::filesystem::exists(path));
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("\"bench\":\"unit_bench\""), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Harness, ContextConfinesQuietPerSimulation)
+{
+    sim::setQuiet(false);
+    sim::Context loud;
+    loud.quiet = false;
+    sim::Context quiet_ctx;
+    quiet_ctx.quiet = true;
+    {
+        sim::Context::Scope scope(quiet_ctx);
+        EXPECT_TRUE(sim::quiet());
+        {
+            sim::Context::Scope inner(loud);
+            EXPECT_FALSE(sim::quiet());
+        }
+        EXPECT_TRUE(sim::quiet());
+    }
+    EXPECT_FALSE(sim::quiet());
+    sim::setQuiet(true); // leave the suite quiet, as other tests expect
+}
