@@ -9,12 +9,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "dsm/diff_pool.hh"
 #include "dsm/page.hh"
 #include "dsm/system.hh"
 #include "mem/cache.hh"
 #include "net/mesh.hh"
 #include "sim/event_queue.hh"
 #include "sim/fiber.hh"
+#include "sim/legacy_event_queue.hh"
 #include "sim/rng.hh"
 #include "tests/workload_helpers.hh"
 #include "tmk/treadmarks.hh"
@@ -36,6 +38,23 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+/// The pre-calendar-queue implementation, kept as the "before" side of
+/// the host-time comparison (perf_host reports the ratio).
+void
+BM_EventQueueScheduleRunLegacy(benchmark::State &state)
+{
+    sim::LegacyEventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1024; ++i)
+            eq.scheduleIn(static_cast<sim::Cycles>(i % 97), [&]() { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRunLegacy);
 
 void
 BM_FiberSwitch(benchmark::State &state)
@@ -102,6 +121,48 @@ BM_DiffFromTwin(benchmark::State &state)
 }
 BENCHMARK(BM_DiffFromTwin)->Arg(8)->Arg(128)->Arg(1024);
 
+/// Scalar word-at-a-time comparison into a pooled buffer: isolates the
+/// 64-bit fast path's gain from the allocation-removal gain.
+void
+BM_DiffFromTwinReference(benchmark::State &state)
+{
+    dsm::PageStore store(4096, 1 << 20, 4);
+    dsm::NodePage &pg = store.materialize(0);
+    store.makeTwin(pg);
+    auto *w = reinterpret_cast<std::uint32_t *>(pg.data.get());
+    const auto dirty = static_cast<unsigned>(state.range(0));
+    for (unsigned i = 0; i < dirty; ++i)
+        w[i * (1024 / (dirty ? dirty : 1))] = i + 1;
+    dsm::Diff d;
+    for (auto _ : state) {
+        store.diffFromTwinReference(0, pg, d);
+        benchmark::DoNotOptimize(d.words());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiffFromTwinReference)->Arg(8)->Arg(128)->Arg(1024);
+
+/// The protocol-side shape: 64-bit comparison into a pooled Diff, no
+/// per-call allocation after warm-up.
+void
+BM_DiffFromTwinPooled(benchmark::State &state)
+{
+    dsm::PageStore store(4096, 1 << 20, 4);
+    dsm::NodePage &pg = store.materialize(0);
+    store.makeTwin(pg);
+    auto *w = reinterpret_cast<std::uint32_t *>(pg.data.get());
+    const auto dirty = static_cast<unsigned>(state.range(0));
+    for (unsigned i = 0; i < dirty; ++i)
+        w[i * (1024 / (dirty ? dirty : 1))] = i + 1;
+    for (auto _ : state) {
+        dsm::PooledDiff d;
+        store.diffFromTwin(0, pg, *d);
+        benchmark::DoNotOptimize(d->words());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiffFromTwinPooled)->Arg(8)->Arg(128)->Arg(1024);
+
 void
 BM_DiffFromBits(benchmark::State &state)
 {
@@ -118,6 +179,25 @@ BM_DiffFromBits(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DiffFromBits)->Arg(8)->Arg(128)->Arg(1024);
+
+/// Bit-vector gather into a pooled Diff (the aurc hot path).
+void
+BM_DiffFromBitsPooled(benchmark::State &state)
+{
+    dsm::PageStore store(4096, 1 << 20, 4);
+    dsm::NodePage &pg = store.materialize(0);
+    store.armWriteBits(pg);
+    const auto dirty = static_cast<unsigned>(state.range(0));
+    for (unsigned i = 0; i < dirty; ++i)
+        dsm::PageStore::snoopWrite(pg, i * (1024 / (dirty ? dirty : 1)));
+    for (auto _ : state) {
+        dsm::PooledDiff d;
+        store.diffFromBits(0, pg, *d);
+        benchmark::DoNotOptimize(d->words());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiffFromBitsPooled)->Arg(8)->Arg(128)->Arg(1024);
 
 void
 BM_FullSmallSimulation(benchmark::State &state)

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Host-time regression harness for the simulator's hot substrates.
+ *
+ * Unlike micro_substrates (google-benchmark, interactive tuning), this
+ * binary exists to be run in CI and to leave a machine-comparable
+ * record: each kernel is timed twice, once through the pre-optimization
+ * implementation kept in-tree (LegacyEventQueue, diffFromTwinReference
+ * with per-call allocation) and once through the production path
+ * (calendar queue, 64-bit pooled diffs). The *ratio* of the two is
+ * host-independent to first order, so a regression gate can compare
+ * ratios across machines where absolute nanoseconds would be
+ * meaningless.
+ *
+ * Output: one JSON object appended per run (JSON Lines) to
+ * results/bench_host.json (directory overridable with
+ * NCP2_RESULTS_DIR), schema version 1:
+ *
+ *   { "bench": "perf_host", "schema_version": 1, "quick": false,
+ *     "kernels": [
+ *       { "name": "event_queue", "before_ns": B, "after_ns": A,
+ *         "speedup": B/A, "items": N }, ... ],
+ *     "sim_small_ms": M }
+ *
+ * before_ns/after_ns are the best-of-trials wall time for one kernel
+ * repetition; sim_small_ms is an absolute end-to-end figure recorded
+ * for trajectory tracking only (no "before" implementation survives
+ * for the full simulator, and absolute time is machine-dependent, so
+ * it is not gated).
+ *
+ * Usage: perf_host [--quick] [--no-append]
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dsm/diff_pool.hh"
+#include "dsm/page.hh"
+#include "dsm/system.hh"
+#include "harness/json_out.hh"
+#include "sim/event_queue.hh"
+#include "sim/legacy_event_queue.hh"
+#include "sim/logging.hh"
+#include "tests/workload_helpers.hh"
+#include "tmk/treadmarks.hh"
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct KernelResult
+{
+    std::string name;
+    double before_ns = 0;
+    double after_ns = 0;
+    std::uint64_t items = 0;
+
+    double speedup() const { return after_ns > 0 ? before_ns / after_ns : 0; }
+};
+
+/**
+ * Best-of-@p trials wall time of one @p fn() invocation, in ns. Each
+ * trial runs @p inner back-to-back invocations and divides, which
+ * amortizes clock resolution for sub-microsecond kernels; best-of (not
+ * mean) rejects scheduler noise, which only ever adds time.
+ */
+template <typename Fn>
+double
+timeKernel(unsigned trials, unsigned inner, Fn &&fn)
+{
+    double best = 1e300;
+    for (unsigned t = 0; t < trials; ++t) {
+        const auto start = Clock::now();
+        for (unsigned i = 0; i < inner; ++i)
+            fn();
+        const auto stop = Clock::now();
+        const double ns =
+            static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                     start)
+                    .count()) /
+            inner;
+        if (ns < best)
+            best = ns;
+    }
+    return best;
+}
+
+/** Schedule-and-drain 1024 events, mixed near/far delays. */
+template <typename Queue>
+std::uint64_t
+eventQueueKernel()
+{
+    Queue eq;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+        // Mostly near-future (ring tier), every 16th far enough out to
+        // exercise the calendar queue's overflow heap.
+        const auto delay = (i % 16 == 0) ? 8192 + i : i % 97;
+        eq.scheduleIn(static_cast<sim::Cycles>(delay), [&sink]() { ++sink; });
+    }
+    eq.run();
+    return sink;
+}
+
+KernelResult
+benchEventQueue(unsigned trials, unsigned inner)
+{
+    KernelResult r;
+    r.name = "event_queue";
+    r.items = 1024;
+    volatile std::uint64_t sink = 0;
+    r.before_ns = timeKernel(trials, inner, [&]() {
+        sink += eventQueueKernel<sim::LegacyEventQueue>();
+    });
+    r.after_ns = timeKernel(
+        trials, inner, [&]() { sink += eventQueueKernel<sim::EventQueue>(); });
+    return r;
+}
+
+/** A 4 KiB page with @p dirty words modified at a uniform stride. */
+struct DiffFixture
+{
+    dsm::PageStore store{4096, 1 << 20, 4};
+    dsm::NodePage *pg = nullptr;
+
+    explicit DiffFixture(unsigned dirty, bool bits)
+    {
+        pg = &store.materialize(0);
+        if (bits)
+            store.armWriteBits(*pg);
+        else
+            store.makeTwin(*pg);
+        auto *w = reinterpret_cast<std::uint32_t *>(pg->data.get());
+        const unsigned stride = 1024 / (dirty ? dirty : 1);
+        for (unsigned i = 0; i < dirty; ++i) {
+            w[i * stride] = i + 1;
+            if (bits)
+                dsm::PageStore::snoopWrite(*pg, i * stride);
+        }
+    }
+};
+
+KernelResult
+benchDiffTwin(unsigned trials, unsigned inner, unsigned dirty)
+{
+    KernelResult r;
+    r.name = "diff_twin_" + std::to_string(dirty);
+    r.items = dirty;
+    DiffFixture fx(dirty, /*bits=*/false);
+    volatile unsigned sink = 0;
+    // Before: scalar comparison, fresh vectors every call (the original
+    // protocol-side shape).
+    r.before_ns = timeKernel(trials, inner, [&]() {
+        dsm::Diff d;
+        fx.store.diffFromTwinReference(0, *fx.pg, d);
+        sink += d.words();
+    });
+    // After: 64-bit comparison into a pooled buffer.
+    r.after_ns = timeKernel(trials, inner, [&]() {
+        dsm::PooledDiff d;
+        fx.store.diffFromTwin(0, *fx.pg, *d);
+        sink += d->words();
+    });
+    return r;
+}
+
+KernelResult
+benchDiffBits(unsigned trials, unsigned inner, unsigned dirty)
+{
+    KernelResult r;
+    r.name = "diff_bits_" + std::to_string(dirty);
+    r.items = dirty;
+    DiffFixture fx(dirty, /*bits=*/true);
+    volatile unsigned sink = 0;
+    // Before: fresh vectors every call, grown by push_back.
+    r.before_ns = timeKernel(trials, inner, [&]() {
+        dsm::Diff d;
+        d.page = 0;
+        const auto *cur =
+            reinterpret_cast<const std::uint32_t *>(fx.pg->data.get());
+        for (std::size_t blk = 0; blk < fx.pg->write_bits.size(); ++blk) {
+            std::uint64_t bits = fx.pg->write_bits[blk];
+            while (bits) {
+                const unsigned bit =
+                    static_cast<unsigned>(__builtin_ctzll(bits));
+                bits &= bits - 1;
+                const unsigned w = static_cast<unsigned>(blk * 64 + bit);
+                d.idx.push_back(static_cast<std::uint16_t>(w));
+                d.val.push_back(cur[w]);
+            }
+        }
+        sink += d.words();
+    });
+    // After: popcount-reserved gather into a pooled buffer.
+    r.after_ns = timeKernel(trials, inner, [&]() {
+        dsm::PooledDiff d;
+        fx.store.diffFromBits(0, *fx.pg, *d);
+        sink += d->words();
+    });
+    return r;
+}
+
+/** Absolute end-to-end time of a small 8-proc stencil simulation. */
+double
+benchSimSmallMs(unsigned trials)
+{
+    sim::setQuiet(true);
+    const double ns = timeKernel(trials, 1, []() {
+        testutil::StencilWorkload w(1024, 3);
+        dsm::SysConfig cfg;
+        cfg.num_procs = 8;
+        cfg.heap_bytes = 4u << 20;
+        dsm::System sys(cfg, tmk::makeTreadMarks(cfg.mode));
+        const dsm::RunResult r = sys.run(w);
+        if (r.exec_ticks == 0)
+            std::abort();
+    });
+    return ns / 1e6;
+}
+
+void
+appendJson(const std::vector<KernelResult> &kernels, double sim_small_ms,
+           bool quick)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = harness::resultsDir();
+    fs::create_directories(dir);
+    const fs::path path = dir / "bench_host.json";
+    std::ofstream os(path, std::ios::app);
+    ncp2_assert(os.good(), "cannot open bench_host.json for append");
+    os << "{\"bench\":\"perf_host\",\"schema_version\":1,\"quick\":"
+       << (quick ? "true" : "false") << ",\"kernels\":[";
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const KernelResult &k = kernels[i];
+        os << (i ? "," : "") << "{\"name\":\"" << k.name
+           << "\",\"before_ns\":" << k.before_ns
+           << ",\"after_ns\":" << k.after_ns << ",\"speedup\":" << k.speedup()
+           << ",\"items\":" << k.items << "}";
+    }
+    os << "],\"sim_small_ms\":" << sim_small_ms << "}\n";
+    std::cout << "appended " << path.string() << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    bool append = true;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick"))
+            quick = true;
+        else if (!std::strcmp(argv[i], "--no-append"))
+            append = false;
+        else {
+            std::cerr << "usage: perf_host [--quick] [--no-append]\n";
+            return 2;
+        }
+    }
+
+    const unsigned trials = quick ? 5 : 15;
+    const unsigned inner = quick ? 200 : 1000;
+    const unsigned eq_inner = quick ? 20 : 100;
+
+    std::vector<KernelResult> kernels;
+    kernels.push_back(benchEventQueue(trials, eq_inner));
+    kernels.push_back(benchDiffTwin(trials, inner, 16));
+    kernels.push_back(benchDiffTwin(trials, inner, 128));
+    kernels.push_back(benchDiffBits(trials, inner, 16));
+    kernels.push_back(benchDiffBits(trials, inner, 128));
+    const double sim_small_ms = benchSimSmallMs(quick ? 3 : 10);
+
+    std::cout << "kernel            before_ns   after_ns  speedup\n";
+    for (const KernelResult &k : kernels) {
+        std::printf("%-16s %10.1f %10.1f %8.2fx\n", k.name.c_str(),
+                    k.before_ns, k.after_ns, k.speedup());
+    }
+    std::printf("sim_small        %10.2f ms\n", sim_small_ms);
+
+    if (append)
+        appendJson(kernels, sim_small_ms, quick);
+    return 0;
+}

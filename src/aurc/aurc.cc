@@ -164,7 +164,8 @@ Aurc::sharedWrite(NodeId proc, PageId page, unsigned word, unsigned words)
         (sh.mode != Mode::unshared)) {
         auto &stamps = copy_stamps_[proc][page];
         if (!stamps) {
-            stamps = std::make_unique<std::uint32_t[]>(cfg().pageWords());
+            stamps = std::make_unique_for_overwrite<std::uint32_t[]>(
+                cfg().pageWords());
             std::memset(stamps.get(), 0, cfg().pageWords() * 4);
         }
         for (unsigned w = word; w < word + words; ++w)
@@ -268,8 +269,8 @@ Aurc::sendUpdate(NodeId proc, const WcEntry &e)
             }
             auto &stamps = copy_stamps_[dst][snap.page];
             if (!stamps) {
-                stamps =
-                    std::make_unique<std::uint32_t[]>(cfg().pageWords());
+                stamps = std::make_unique_for_overwrite<
+                    std::uint32_t[]>(cfg().pageWords());
                 std::memset(stamps.get(), 0, cfg().pageWords() * 4);
             }
             auto *w = reinterpret_cast<std::uint32_t *>(pg.data.get());
@@ -521,8 +522,9 @@ Aurc::fetchPage(NodeId proc, NodeId src, PageId page, bool is_prefetch,
                     if (sit != copy_stamps_[src].end()) {
                         auto &mine = copy_stamps_[proc][page];
                         if (!mine) {
-                            mine = std::make_unique<std::uint32_t[]>(
-                                cfg().pageWords());
+                            // Fully overwritten by the memcpy below.
+                            mine = std::make_unique_for_overwrite<
+                                std::uint32_t[]>(cfg().pageWords());
                         }
                         std::memcpy(mine.get(), sit->second.get(),
                                     cfg().pageWords() * 4);

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Per-simulation recycling pool for Diff buffers.
+ *
+ * Diff creation and application are the hottest allocation sites in the
+ * TreadMarks-style protocols: every software or hardware diff used to
+ * construct (and immediately destroy) two vectors. The pool keeps
+ * released Diff objects - with their vector capacity - for reuse, so
+ * after warm-up the diff path performs no heap allocation at all.
+ *
+ * The pool lives in the per-simulation sim::Context (Context::of<
+ * DiffPool>()), which keeps it strictly thread-confined: concurrent
+ * simulations on the experiment engine each get their own pool, and it
+ * is destroyed with the Context. Code running without an installed
+ * Context (unit tests, tools) falls back to a thread_local pool.
+ */
+
+#ifndef NCP2_DSM_DIFF_POOL_HH
+#define NCP2_DSM_DIFF_POOL_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dsm/page.hh"
+#include "sim/context.hh"
+
+namespace dsm
+{
+
+/** A free list of Diff objects that preserves vector capacity. */
+class DiffPool
+{
+  public:
+    /** Take a cleared Diff, reusing a released one when available. */
+    Diff
+    acquire()
+    {
+        ++acquires_;
+        if (free_.empty())
+            return Diff{};
+        ++reuses_;
+        Diff d = std::move(free_.back());
+        free_.pop_back();
+        d.page = 0;
+        d.idx.clear();
+        d.val.clear();
+        return d;
+    }
+
+    /** Return a Diff (and its capacity) for reuse. */
+    void
+    release(Diff &&d)
+    {
+        free_.push_back(std::move(d));
+    }
+
+    /** Diffs currently sitting in the pool. */
+    std::size_t pooled() const { return free_.size(); }
+
+    /** Total acquire() calls. */
+    std::uint64_t acquires() const { return acquires_; }
+
+    /** acquire() calls served from the free list. */
+    std::uint64_t reuses() const { return reuses_; }
+
+    /**
+     * The calling simulation's pool: the installed sim::Context's slot,
+     * or a thread_local fallback outside any Context.
+     */
+    static DiffPool &
+    current()
+    {
+        if (sim::Context *ctx = sim::Context::current())
+            return ctx->of<DiffPool>();
+        thread_local DiffPool fallback;
+        return fallback;
+    }
+
+  private:
+    std::vector<Diff> free_;
+    std::uint64_t acquires_ = 0;
+    std::uint64_t reuses_ = 0;
+};
+
+/**
+ * RAII lease of a pooled Diff: acquires from the simulation's pool on
+ * construction, releases on destruction. Use the dereference operators
+ * to reach the Diff.
+ */
+class PooledDiff
+{
+  public:
+    PooledDiff() : pool_(&DiffPool::current()), d_(pool_->acquire()) {}
+    ~PooledDiff() { pool_->release(std::move(d_)); }
+
+    PooledDiff(const PooledDiff &) = delete;
+    PooledDiff &operator=(const PooledDiff &) = delete;
+
+    Diff &operator*() { return d_; }
+    Diff *operator->() { return &d_; }
+    const Diff &operator*() const { return d_; }
+    const Diff *operator->() const { return &d_; }
+
+  private:
+    DiffPool *pool_;
+    Diff d_;
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_DIFF_POOL_HH

@@ -32,31 +32,40 @@ class VectorClock
     VectorClock() = default;
     explicit VectorClock(unsigned nprocs) : v_(nprocs, 0) {}
 
-    IntervalSeq operator[](unsigned p) const { return v_[p]; }
-    IntervalSeq &operator[](unsigned p) { return v_[p]; }
-    unsigned size() const { return static_cast<unsigned>(v_.size()); }
+    [[nodiscard]] IntervalSeq operator[](unsigned p) const { return v_[p]; }
+    [[nodiscard]] IntervalSeq &operator[](unsigned p) { return v_[p]; }
+    [[nodiscard]] unsigned
+    size() const
+    {
+        return static_cast<unsigned>(v_.size());
+    }
 
-    /** Component-wise maximum (join). */
+    /**
+     * Component-wise maximum (join). All clocks in one simulation are
+     * created with the same width, so the size check is debug-only:
+     * merge() runs on every lock grant and barrier departure.
+     */
     void
     merge(const VectorClock &o)
     {
-        ncp2_assert(v_.size() == o.v_.size(), "vector clock size mismatch");
+        ncp2_dassert(v_.size() == o.v_.size(), "vector clock size mismatch");
         for (std::size_t i = 0; i < v_.size(); ++i)
             if (o.v_[i] > v_[i])
                 v_[i] = o.v_[i];
     }
 
     /** True if every component of *this <= o (happens-before or equal). */
-    bool
+    [[nodiscard]] bool
     dominatedBy(const VectorClock &o) const
     {
+        ncp2_dassert(v_.size() == o.v_.size(), "vector clock size mismatch");
         for (std::size_t i = 0; i < v_.size(); ++i)
             if (v_[i] > o.v_[i])
                 return false;
         return true;
     }
 
-    bool
+    [[nodiscard]] bool
     operator==(const VectorClock &o) const
     {
         return v_ == o.v_;

@@ -113,13 +113,19 @@ class Cache
         tags_.assign(tags_.size(), invalid_tag);
     }
 
-    std::uint32_t lineBytes() const { return geom_.line_bytes; }
-    std::uint32_t lineWords() const { return geom_.line_bytes / 4; }
-    std::uint64_t hits() const { return hits_; }
-    std::uint64_t misses() const { return misses_; }
-    std::uint64_t writeHits() const { return write_hits_; }
-    std::uint64_t writeMisses() const { return write_misses_; }
-    std::uint64_t snoopInvalidations() const { return snoop_invalidations_; }
+    [[nodiscard]] std::uint32_t lineBytes() const { return geom_.line_bytes; }
+    [[nodiscard]] std::uint32_t lineWords() const
+    {
+        return geom_.line_bytes / 4;
+    }
+    [[nodiscard]] std::uint64_t hits() const { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const { return misses_; }
+    [[nodiscard]] std::uint64_t writeHits() const { return write_hits_; }
+    [[nodiscard]] std::uint64_t writeMisses() const { return write_misses_; }
+    [[nodiscard]] std::uint64_t snoopInvalidations() const
+    {
+        return snoop_invalidations_;
+    }
 
   private:
     static constexpr std::uint64_t invalid_tag = ~std::uint64_t{0};

@@ -100,16 +100,17 @@ class MeshNetwork
                    std::uint32_t payload_bytes);
 
     /** Hop count of the dimension-order route src -> dst. */
-    unsigned hops(sim::NodeId src, sim::NodeId dst) const;
+    [[nodiscard]] unsigned hops(sim::NodeId src, sim::NodeId dst) const;
 
     /** Zero-contention latency of a @p payload_bytes message src -> dst. */
-    sim::Cycles uncontendedLatency(sim::NodeId src, sim::NodeId dst,
-                                   std::uint32_t payload_bytes) const;
+    [[nodiscard]] sim::Cycles
+    uncontendedLatency(sim::NodeId src, sim::NodeId dst,
+                       std::uint32_t payload_bytes) const;
 
-    const NetTiming &timing() const { return timing_; }
-    const NetStats &stats() const { return stats_; }
-    unsigned numNodes() const { return num_nodes_; }
-    unsigned width() const { return width_; }
+    [[nodiscard]] const NetTiming &timing() const { return timing_; }
+    [[nodiscard]] const NetStats &stats() const { return stats_; }
+    [[nodiscard]] unsigned numNodes() const { return num_nodes_; }
+    [[nodiscard]] unsigned width() const { return width_; }
 
     void reset();
 

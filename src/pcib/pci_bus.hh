@@ -32,7 +32,7 @@ class PciBus
     PciBus(std::string name, PciTiming timing)
         : bus_(std::move(name)), timing_(timing) {}
 
-    sim::Cycles
+    [[nodiscard]] sim::Cycles
     serviceTime(unsigned words) const
     {
         return timing_.setup_cycles + timing_.word_cycles * words;
@@ -45,8 +45,8 @@ class PciBus
         return bus_.acquire(arrival, serviceTime(words));
     }
 
-    const sim::Resource &bus() const { return bus_; }
-    const PciTiming &timing() const { return timing_; }
+    [[nodiscard]] const sim::Resource &bus() const { return bus_; }
+    [[nodiscard]] const PciTiming &timing() const { return timing_; }
 
     void reset() { bus_.reset(); }
 

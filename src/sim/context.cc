@@ -1,5 +1,7 @@
 #include "sim/context.hh"
 
+#include <atomic>
+
 #include "sim/logging.hh"
 
 namespace sim
@@ -11,8 +13,29 @@ namespace
 thread_local Context *t_current = nullptr;
 } // namespace
 
+namespace detail
+{
+
+std::size_t
+nextContextSlotId()
+{
+    static std::atomic<std::size_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
 Context::Context() : quiet(sim::quiet())
 {
+}
+
+Context::~Context()
+{
+    // Destroy in reverse creation order in case later slots reference
+    // earlier ones.
+    for (auto it = slots_.rbegin(); it != slots_.rend(); ++it)
+        if (it->obj)
+            it->destroy(it->obj);
 }
 
 Context *

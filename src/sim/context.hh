@@ -18,10 +18,26 @@
 #ifndef NCP2_SIM_CONTEXT_HH
 #define NCP2_SIM_CONTEXT_HH
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 namespace sim
 {
+
+namespace detail
+{
+/** Process-wide slot id allocator backing Context::of<T>(). */
+std::size_t nextContextSlotId();
+
+template <typename T>
+std::size_t
+contextSlotId()
+{
+    static const std::size_t id = nextContextSlotId();
+    return id;
+}
+} // namespace detail
 
 /**
  * Per-simulation state. Construction inherits the settings visible on
@@ -34,6 +50,10 @@ class Context
 {
   public:
     Context();
+    ~Context();
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
 
     /** Suppress warn()/inform() for this simulation. */
     bool quiet = false;
@@ -43,6 +63,29 @@ class Context
 
     /** The Context installed on this thread, or nullptr. */
     static Context *current();
+
+    /**
+     * The per-simulation singleton of type T, default-constructed on
+     * first use and destroyed with the Context. This is how modules
+     * keep thread-confined per-run caches (e.g. the dsm::DiffPool
+     * buffer pool) without threading them through every constructor:
+     * Context::current()->of<Pool>() is safe precisely because a
+     * simulation never migrates between host threads mid-run.
+     */
+    template <typename T>
+    T &
+    of()
+    {
+        const std::size_t id = detail::contextSlotId<T>();
+        if (slots_.size() <= id)
+            slots_.resize(id + 1);
+        Slot &s = slots_[id];
+        if (!s.obj) {
+            s.obj = new T();
+            s.destroy = [](void *p) { delete static_cast<T *>(p); };
+        }
+        return *static_cast<T *>(s.obj);
+    }
 
     /** RAII installation of a Context on the calling thread. */
     class Scope
@@ -57,6 +100,15 @@ class Context
       private:
         Context *prev_;
     };
+
+  private:
+    struct Slot
+    {
+        void *obj = nullptr;
+        void (*destroy)(void *) = nullptr;
+    };
+
+    std::vector<Slot> slots_;
 };
 
 } // namespace sim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Small-buffer type-erased event callback.
+ *
+ * The simulator schedules millions of closures per run; most capture a
+ * handful of pointers and integers. std::function heap-allocates any
+ * capture larger than its (typically 16-byte) small-object buffer, so
+ * the old event queue paid an allocation per scheduled event on the hot
+ * paths. InplaceEvent stores captures up to 48 bytes inline in the
+ * event node itself; larger or non-nothrow-movable callables fall back
+ * to a boxed std::function (copyable) or unique_ptr (move-only), which
+ * still fits the inline buffer.
+ */
+
+#ifndef NCP2_SIM_INPLACE_EVENT_HH
+#define NCP2_SIM_INPLACE_EVENT_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sim
+{
+
+namespace detail
+{
+/** True if Fn can live in an N-byte inline buffer. */
+template <typename Fn, std::size_t N>
+inline constexpr bool event_fits_inline =
+    sizeof(Fn) <= N && alignof(Fn) <= alignof(std::max_align_t) &&
+    std::is_nothrow_move_constructible_v<Fn>;
+} // namespace detail
+
+/**
+ * A move-only callable of signature void() with inline storage for
+ * small captures. Invoking an empty InplaceEvent is undefined; check
+ * with operator bool first if in doubt.
+ */
+class InplaceEvent
+{
+  public:
+    /** Captures up to this many bytes are stored without allocating. */
+    static constexpr std::size_t inline_bytes = 48;
+
+    InplaceEvent() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InplaceEvent> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InplaceEvent(F &&f)
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    InplaceEvent(InplaceEvent &&o) noexcept { moveFrom(o); }
+
+    InplaceEvent &
+    operator=(InplaceEvent &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InplaceEvent(const InplaceEvent &) = delete;
+    InplaceEvent &operator=(const InplaceEvent &) = delete;
+
+    ~InplaceEvent() { reset(); }
+
+    /** Destroy the current callable and construct @p f in its place. */
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        reset();
+        using Fn = std::decay_t<F>;
+        if constexpr (detail::event_fits_inline<Fn, inline_bytes>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &opsFor<Fn, true>();
+        } else if constexpr (std::is_copy_constructible_v<Fn>) {
+            // Oversized but copyable: box into a std::function, which
+            // itself fits the buffer (it heap-allocates the capture).
+            using Boxed = std::function<void()>;
+            static_assert(detail::event_fits_inline<Boxed, inline_bytes>);
+            ::new (static_cast<void *>(buf_)) Boxed(std::forward<F>(f));
+            ops_ = &opsFor<Boxed, false>();
+        } else {
+            // Oversized and move-only: box behind a unique_ptr.
+            auto boxed = [up = std::unique_ptr<Fn>(new Fn(
+                              std::forward<F>(f)))]() { (*up)(); };
+            using Boxed = decltype(boxed);
+            static_assert(detail::event_fits_inline<Boxed, inline_bytes>);
+            ::new (static_cast<void *>(buf_)) Boxed(std::move(boxed));
+            ops_ = &opsFor<Boxed, false>();
+        }
+    }
+
+    /** Invoke the stored callable (must be non-empty). */
+    void
+    operator()()
+    {
+        ops_->invoke(buf_);
+    }
+
+    /** Destroy the stored callable, leaving *this empty. */
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** True if the callable lives in the inline buffer (no box). */
+    bool inlineStored() const { return ops_ && ops_->inline_stored; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*destroy)(void *);
+        void (*relocate)(void *dst, void *src); ///< move-construct + destroy
+        bool inline_stored;
+    };
+
+    template <typename Fn, bool Inline>
+    static const Ops &
+    opsFor()
+    {
+        static constexpr Ops ops = {
+            [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+            [](void *p) { std::launder(reinterpret_cast<Fn *>(p))->~Fn(); },
+            [](void *dst, void *src) {
+                Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+                ::new (dst) Fn(std::move(*s));
+                s->~Fn();
+            },
+            Inline,
+        };
+        return ops;
+    }
+
+    void
+    moveFrom(InplaceEvent &o) noexcept
+    {
+        if (o.ops_) {
+            o.ops_->relocate(buf_, o.buf_);
+            ops_ = o.ops_;
+            o.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[inline_bytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace sim
+
+#endif // NCP2_SIM_INPLACE_EVENT_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The original std::priority_queue event scheduler, kept as the
+ * reference implementation.
+ *
+ * sim::EventQueue is now a calendar queue (see event_queue.hh); this
+ * class preserves the old binary-heap-of-std::function behaviour so
+ * that tests can prove the two produce the identical (tick, seq)
+ * execution order, and so bench/perf_host can report the speedup of
+ * the new kernel against the old one on the same machine.
+ */
+
+#ifndef NCP2_SIM_LEGACY_EVENT_QUEUE_HH
+#define NCP2_SIM_LEGACY_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace sim
+{
+
+/**
+ * A min-heap of (tick, seq) ordered events. Reference semantics for
+ * EventQueue: same API, same deterministic ordering, but O(log n)
+ * per event and one std::function per callback.
+ */
+class LegacyEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of events not yet executed. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * Scheduling in the past is an error.
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        ncp2_assert(when >= now_, "event scheduled in the past (%llu < %llu)",
+                    static_cast<unsigned long long>(when),
+                    static_cast<unsigned long long>(now_));
+        heap_.push(Item{when, seq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    scheduleIn(Cycles delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Run events until the queue drains or @p limit ticks is reached.
+     * @return true if the queue drained, false if the limit stopped us.
+     */
+    bool
+    run(Tick limit = tick_never)
+    {
+        while (!heap_.empty()) {
+            if (heap_.top().when > limit) {
+                now_ = limit;
+                return false;
+            }
+            // The callback may schedule new events, so move the item
+            // out and pop first. top() is const-qualified only because
+            // mutating it could break the heap order; we discard the
+            // element immediately, so moving from it is safe and saves
+            // a std::function copy per event.
+            Item item = std::move(const_cast<Item &>(heap_.top()));
+            heap_.pop();
+            ncp2_assert(item.when >= now_, "event queue time went backwards");
+            now_ = item.when;
+            ++executed_;
+            item.cb();
+        }
+        return true;
+    }
+
+    /** Execute exactly one event if present; returns false if empty. */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        Item item = std::move(const_cast<Item &>(heap_.top()));
+        heap_.pop();
+        now_ = item.when;
+        ++executed_;
+        item.cb();
+        return true;
+    }
+
+    /** Drop all pending events and reset time to zero. */
+    void
+    reset()
+    {
+        heap_ = {};
+        now_ = 0;
+        seq_ = 0;
+        executed_ = 0;
+    }
+
+  private:
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Item &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace sim
+
+#endif // NCP2_SIM_LEGACY_EVENT_QUEUE_HH

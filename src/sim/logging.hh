@@ -62,6 +62,22 @@ bool quiet();
         }                                                                    \
     } while (0)
 
+/**
+ * Assert an internal invariant on a hot path: checked in debug builds,
+ * compiled out (but still parsed, so it cannot rot) under NDEBUG. Use
+ * only where profiling shows the always-on form costs real time.
+ */
+#ifdef NDEBUG
+#define ncp2_dassert(cond, ...)                                              \
+    do {                                                                     \
+        if (false) {                                                         \
+            ncp2_assert(cond, __VA_ARGS__);                                  \
+        }                                                                    \
+    } while (0)
+#else
+#define ncp2_dassert(cond, ...) ncp2_assert(cond, __VA_ARGS__)
+#endif
+
 } // namespace sim
 
 #endif // NCP2_SIM_LOGGING_HH

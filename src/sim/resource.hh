@@ -46,7 +46,7 @@ class Resource
     }
 
     /** Like acquire() but does not advance free_at_ (a probe). */
-    Tick
+    [[nodiscard]] Tick
     peek(Tick arrival, Cycles service) const
     {
         Tick start = arrival > free_at_ ? arrival : free_at_;
@@ -54,12 +54,12 @@ class Resource
     }
 
     /** Earliest tick at which a new request could begin service. */
-    Tick freeAt() const { return free_at_; }
+    [[nodiscard]] Tick freeAt() const { return free_at_; }
 
-    const std::string &name() const { return name_; }
-    std::uint64_t requests() const { return requests_; }
-    std::uint64_t busyCycles() const { return busy_cycles_; }
-    std::uint64_t queueCycles() const { return queue_cycles_; }
+    [[nodiscard]] const std::string &name() const { return name_; }
+    [[nodiscard]] std::uint64_t requests() const { return requests_; }
+    [[nodiscard]] std::uint64_t busyCycles() const { return busy_cycles_; }
+    [[nodiscard]] std::uint64_t queueCycles() const { return queue_cycles_; }
 
     /** Fraction of time busy over [0, horizon]. */
     double

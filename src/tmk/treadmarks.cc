@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dsm/diff_pool.hh"
 #include "sim/logging.hh"
 
 namespace tmk
@@ -188,14 +189,16 @@ TreadMarks::captureDiff(NodeId q, PageId page, bool pseudo_open)
     if (log.diffed_to >= target)
         return 0;
 
-    dsm::Diff d;
+    // Lease the diff buffers from the simulation's pool: after warm-up
+    // diff creation allocates nothing.
+    dsm::PooledDiff d;
     if (mode_.hw_diffs) {
         if (!pg.write_bits.empty() && dsm::PageStore::writtenWords(pg)) {
-            d = store.diffFromBits(page, pg);
+            store.diffFromBits(page, pg, *d);
             std::fill(pg.write_bits.begin(), pg.write_bits.end(), 0);
         }
     } else if (pg.twin) {
-        d = store.diffFromTwin(page, pg);
+        store.diffFromTwin(page, pg, *d);
         store.dropTwin(pg);
     }
     // Software diffs drop the twin, so the page must be write-protected
@@ -206,24 +209,24 @@ TreadMarks::captureDiff(NodeId q, PageId page, bool pseudo_open)
         pg.access = dsm::Access::read;
     }
 
-    for (unsigned i = 0; i < d.words(); ++i) {
+    for (unsigned i = 0; i < d->words(); ++i) {
         // Label with the word's true write interval (which may be the
         // still-open one for a value leaking ahead of its notice).
         dsm::IntervalSeq end = target;
         if (!log.word_interval.empty()) {
-            const dsm::IntervalSeq wi = log.word_interval[d.idx[i]];
+            const dsm::IntervalSeq wi = log.word_interval[d->idx[i]];
             if (wi != 0)
                 end = wi;
         }
-        log.cum[d.idx[i]] = WordRec{d.val[i], end};
+        log.cum[d->idx[i]] = WordRec{d->val[i], end};
     }
     log.diffed_to = target;
 
     ++stats_.diffs_created;
-    if (d.words() == 0)
+    if (d->words() == 0)
         ++stats_.empty_diffs;
-    stats_.diff_words_moved += d.words();
-    return d.words();
+    stats_.diff_words_moved += d->words();
+    return d->words();
 }
 
 std::vector<NodeId>
@@ -288,7 +291,10 @@ TreadMarks::applyShipment(NodeId proc, PageId page, const Shipment &s)
     }
     if (!pg.word_keys && !s.idx.empty()) {
         const unsigned words = node(proc).pages.pageWords();
-        pg.word_keys = std::make_unique<std::uint64_t[]>(words);
+        // Single-pass zero-init (make_unique would zero, then memset
+        // would zero again).
+        pg.word_keys =
+            std::make_unique_for_overwrite<std::uint64_t[]>(words);
         std::memset(pg.word_keys.get(), 0, words * 8);
     }
     auto *words = reinterpret_cast<std::uint32_t *>(pg.data.get());
@@ -532,8 +538,11 @@ TreadMarks::faultIn(NodeId proc, PageId page)
                         if (hp2.word_keys) {
                             const unsigned pw = me2.pages.pageWords();
                             if (!mp.word_keys) {
-                                mp.word_keys = std::make_unique<
-                                    std::uint64_t[]>(pw);
+                                // Fully overwritten by the memcpy:
+                                // skip zero-init.
+                                mp.word_keys =
+                                    std::make_unique_for_overwrite<
+                                        std::uint64_t[]>(pw);
                             }
                             std::memcpy(mp.word_keys.get(),
                                         hp2.word_keys.get(), pw * 8);

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the allocation-free simulation kernel: calendar-queue
+ * equivalence against the original heap scheduler, the inline-storage
+ * event type, the 64-bit diff fast path against its scalar oracle, and
+ * the per-Context Diff buffer pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "dsm/diff_pool.hh"
+#include "dsm/page.hh"
+#include "sim/context.hh"
+#include "sim/event_queue.hh"
+#include "sim/inplace_event.hh"
+#include "sim/legacy_event_queue.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Calendar queue vs legacy heap
+// ---------------------------------------------------------------------
+
+/**
+ * Drive @p queue with a seeded random schedule and record the execution
+ * order as (id, tick) pairs. Delays span the ring tier, the overflow
+ * tier (>= EventQueue::ring_size), same-tick ties, and events that
+ * schedule further events.
+ */
+template <typename Queue>
+std::vector<std::pair<int, sim::Tick>>
+randomSchedule(Queue &queue, unsigned seed, int top_level, int children)
+{
+    std::vector<std::pair<int, sim::Tick>> order;
+    sim::Rng rng(seed);
+    int next_id = 0;
+    for (int i = 0; i < top_level; ++i) {
+        // Mix: mostly short delays, some at the ring horizon, some deep
+        // into the overflow tier, frequent exact ties.
+        sim::Cycles delay;
+        switch (rng.below(8)) {
+        case 0:
+            delay = 0;
+            break;
+        case 1:
+            delay = sim::EventQueue::ring_size - 1 + rng.below(3);
+            break;
+        case 2:
+            delay = sim::EventQueue::ring_size * (1 + rng.below(4));
+            break;
+        default:
+            delay = rng.below(97);
+            break;
+        }
+        const int id = next_id++;
+        queue.scheduleIn(delay, [&, id, children]() {
+            order.emplace_back(id, queue.now());
+            for (int c = 0; c < children; ++c) {
+                const int cid = next_id++;
+                const sim::Cycles cd = (c & 1)
+                                           ? sim::Cycles(c)
+                                           : sim::EventQueue::ring_size + c;
+                queue.scheduleIn(cd, [&, cid]() {
+                    order.emplace_back(cid, queue.now());
+                });
+            }
+        });
+    }
+    queue.run();
+    return order;
+}
+
+TEST(PerfKernel, CalendarMatchesLegacyHeapOrder)
+{
+    for (unsigned seed : {1u, 7u, 42u, 1234u}) {
+        sim::EventQueue cal;
+        sim::LegacyEventQueue heap;
+        const auto a = randomSchedule(cal, seed, 2000, 4);
+        const auto b = randomSchedule(heap, seed, 2000, 4);
+        ASSERT_EQ(a.size(), b.size());
+        ASSERT_GE(a.size(), 10000u); // 2000 * (1 + 4)
+        EXPECT_EQ(a, b) << "seed " << seed;
+        EXPECT_EQ(cal.now(), heap.now());
+        EXPECT_EQ(cal.executed(), heap.executed());
+    }
+}
+
+TEST(PerfKernel, RunLimitAdvancesTimeWithoutExecuting)
+{
+    sim::EventQueue eq;
+    int ran = 0;
+    eq.schedule(10, [&]() { ++ran; });
+    eq.schedule(100, [&]() { ++ran; });
+    eq.schedule(sim::EventQueue::ring_size + 500, [&]() { ++ran; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 2u);
+    // Resuming executes the rest, including the overflow-tier event.
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(ran, 3);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(PerfKernel, ResetDropsRingAndOverflowEvents)
+{
+    sim::EventQueue eq;
+    int ran = 0;
+    for (int i = 0; i < 64; ++i)
+        eq.scheduleIn(static_cast<sim::Cycles>(i), [&]() { ++ran; });
+    eq.scheduleIn(sim::EventQueue::ring_size * 2, [&]() { ++ran; });
+    EXPECT_EQ(eq.pending(), 65u);
+    eq.reset();
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(ran, 0);
+    // The queue remains usable after reset.
+    eq.schedule(5, [&]() { ++ran; });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(ran, 1);
+}
+
+// ---------------------------------------------------------------------
+// InplaceEvent
+// ---------------------------------------------------------------------
+
+TEST(PerfKernel, InplaceEventStoresSmallCapturesInline)
+{
+    int hits = 0;
+    std::uint64_t a = 1, b = 2, c = 3; // 24 bytes of capture
+    sim::InplaceEvent ev;
+    ev.emplace([&hits, a, b, c]() { hits += static_cast<int>(a + b + c); });
+    EXPECT_TRUE(ev.inlineStored());
+    ev();
+    EXPECT_EQ(hits, 6);
+}
+
+TEST(PerfKernel, InplaceEventFallsBackForLargeCaptures)
+{
+    char big[128] = {7};
+    int hits = 0;
+    sim::InplaceEvent ev;
+    ev.emplace([&hits, big]() { hits += big[0]; });
+    EXPECT_FALSE(ev.inlineStored());
+    ev();
+    EXPECT_EQ(hits, 7);
+}
+
+TEST(PerfKernel, InplaceEventHandlesMoveOnlyCallables)
+{
+    auto p = std::make_unique<int>(41);
+    sim::InplaceEvent ev;
+    int got = 0;
+    ev.emplace([&got, p = std::move(p)]() { got = *p + 1; });
+    // Move the event itself (what the queue's free list does implicitly
+    // via emplace/reset cycles).
+    sim::InplaceEvent moved = std::move(ev);
+    EXPECT_FALSE(static_cast<bool>(ev));
+    ASSERT_TRUE(static_cast<bool>(moved));
+    moved();
+    EXPECT_EQ(got, 42);
+}
+
+// ---------------------------------------------------------------------
+// Diff fast path vs scalar oracle
+// ---------------------------------------------------------------------
+
+/** Fill page and twin with seeded noise, then flip @p flips words. */
+void
+randomizePage(dsm::PageStore &store, dsm::NodePage &pg, unsigned seed,
+              unsigned flips)
+{
+    sim::Rng rng(seed);
+    auto *w = reinterpret_cast<std::uint32_t *>(pg.data.get());
+    const unsigned words = store.pageWords();
+    for (unsigned i = 0; i < words; ++i)
+        w[i] = static_cast<std::uint32_t>(rng.below(1u << 30));
+    store.makeTwin(pg);
+    for (unsigned f = 0; f < flips; ++f)
+        w[rng.below(words)] ^= 1u + static_cast<std::uint32_t>(rng.below(255));
+}
+
+TEST(PerfKernel, DiffFromTwinMatchesScalarReference)
+{
+    dsm::PageStore store(4096, 1 << 20, 4);
+    dsm::NodePage &pg = store.materialize(0);
+    // Random flip counts from empty to fully dirty, plus edge patterns.
+    for (unsigned flips : {0u, 1u, 2u, 7u, 64u, 333u, 1024u}) {
+        randomizePage(store, pg, 100 + flips, flips);
+        dsm::Diff fast, ref;
+        store.diffFromTwin(0, pg, fast);
+        store.diffFromTwinReference(0, pg, ref);
+        EXPECT_EQ(fast.idx, ref.idx) << "flips " << flips;
+        EXPECT_EQ(fast.val, ref.val) << "flips " << flips;
+    }
+    // Edges: first word, last word, adjacent word pairs.
+    auto *w = reinterpret_cast<std::uint32_t *>(pg.data.get());
+    store.makeTwin(pg);
+    w[0] ^= 1;
+    w[1023] ^= 1;
+    w[510] ^= 1;
+    w[511] ^= 1;
+    dsm::Diff fast, ref;
+    store.diffFromTwin(0, pg, fast);
+    store.diffFromTwinReference(0, pg, ref);
+    EXPECT_EQ(fast.idx, ref.idx);
+    EXPECT_EQ(fast.val, ref.val);
+    ASSERT_EQ(fast.words(), 4u);
+}
+
+TEST(PerfKernel, DiffFromBitsReservesExactlyThePopcount)
+{
+    dsm::PageStore store(4096, 1 << 20, 4);
+    dsm::NodePage &pg = store.materialize(0);
+    store.armWriteBits(pg);
+    auto *w = reinterpret_cast<std::uint32_t *>(pg.data.get());
+    sim::Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        const unsigned idx = static_cast<unsigned>(rng.below(1024));
+        w[idx] = idx;
+        dsm::PageStore::snoopWrite(pg, idx);
+    }
+    dsm::Diff d;
+    store.diffFromBits(0, pg, d);
+    EXPECT_EQ(d.words(), dsm::PageStore::writtenWords(pg));
+    EXPECT_EQ(d.idx.capacity(), d.idx.size()); // reserve was exact
+    for (unsigned i = 0; i < d.words(); ++i)
+        EXPECT_EQ(d.val[i], d.idx[i]);
+}
+
+// ---------------------------------------------------------------------
+// DiffPool
+// ---------------------------------------------------------------------
+
+TEST(PerfKernel, DiffPoolRecyclesBuffers)
+{
+    dsm::DiffPool pool;
+    dsm::Diff d = pool.acquire();
+    d.idx.resize(100);
+    d.val.resize(100);
+    const std::size_t cap = d.idx.capacity();
+    pool.release(std::move(d));
+    EXPECT_EQ(pool.pooled(), 1u);
+    dsm::Diff again = pool.acquire();
+    EXPECT_EQ(pool.pooled(), 0u);
+    EXPECT_EQ(again.idx.size(), 0u);         // handed out cleared...
+    EXPECT_GE(again.idx.capacity(), cap);    // ...but with capacity kept
+    EXPECT_EQ(pool.acquires(), 2u);
+    EXPECT_EQ(pool.reuses(), 1u);
+}
+
+TEST(PerfKernel, PooledDiffReturnsToTheInstalledContextsPool)
+{
+    sim::Context ctx;
+    sim::Context::Scope scope(ctx);
+    dsm::DiffPool &pool = dsm::DiffPool::current();
+    EXPECT_EQ(&pool, &ctx.of<dsm::DiffPool>());
+    {
+        dsm::PooledDiff d;
+        d->idx.push_back(1);
+    }
+    EXPECT_EQ(pool.pooled(), 1u);
+    {
+        dsm::PooledDiff d;
+        EXPECT_EQ(pool.pooled(), 0u); // reused the released buffer
+    }
+    EXPECT_EQ(pool.reuses(), 1u);
+}
+
+TEST(PerfKernel, ContextsKeepSeparatePoolsAndTearDownCleanly)
+{
+    auto a = std::make_unique<sim::Context>();
+    auto b = std::make_unique<sim::Context>();
+    {
+        sim::Context::Scope sa(*a);
+        dsm::PooledDiff d; // populates a's pool on release
+    }
+    {
+        sim::Context::Scope sb(*b);
+        EXPECT_EQ(dsm::DiffPool::current().pooled(), 0u);
+    }
+    {
+        sim::Context::Scope sa(*a);
+        EXPECT_EQ(dsm::DiffPool::current().pooled(), 1u);
+    }
+    // Destroying the Contexts frees the pools (ASan/valgrind would flag
+    // a leak here if slot teardown regressed).
+    a.reset();
+    b.reset();
+}
+
+} // namespace

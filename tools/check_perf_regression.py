@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Gate host-performance regressions from results/bench_host.json.
+
+The file is JSON Lines: each perf_host run appends one record (see
+bench/perf_host.cc for the schema). The first line is the committed
+baseline; the last line is the run under test. For every kernel present
+in both, the *speedup ratio* (legacy implementation vs current one,
+measured on the same machine in the same process) must not degrade by
+more than THRESHOLD relative to the baseline ratio. Ratios, unlike
+absolute nanoseconds, transfer across machines, so the committed
+baseline remains meaningful on any CI runner.
+
+Usage: check_perf_regression.py [path-to-bench_host.json]
+Exit status: 0 ok, 1 regression, 2 usage/format error.
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.25  # fail if a kernel loses >25% of its baseline speedup
+
+
+def load_runs(path):
+    runs = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                runs.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                sys.exit(f"{path}:{lineno}: bad JSON: {exc}")
+    return runs
+
+
+def kernel_map(run):
+    return {k["name"]: k for k in run.get("kernels", [])}
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "results/bench_host.json"
+    runs = load_runs(path)
+    if len(runs) < 2:
+        sys.exit(f"{path}: need a baseline line and a current line "
+                 f"(found {len(runs)} run(s); run bench/perf_host first)")
+
+    base, cur = kernel_map(runs[0]), kernel_map(runs[-1])
+    failed = False
+    print(f"{'kernel':<16} {'baseline':>9} {'current':>9} {'ratio':>7}")
+    for name, b in base.items():
+        c = cur.get(name)
+        if c is None:
+            print(f"{name:<16} {'-':>9} {'-':>9} MISSING")
+            failed = True
+            continue
+        rel = c["speedup"] / b["speedup"] if b["speedup"] else 0.0
+        verdict = "ok" if rel >= 1.0 - THRESHOLD else "REGRESSED"
+        print(f"{name:<16} {b['speedup']:>8.2f}x {c['speedup']:>8.2f}x "
+              f"{rel:>6.2f} {verdict}")
+        if verdict != "ok":
+            failed = True
+
+    if failed:
+        print(f"\nFAIL: a kernel's legacy-vs-current speedup dropped more "
+              f"than {THRESHOLD:.0%} below the committed baseline")
+        return 1
+    print("\nOK: no kernel degraded beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
