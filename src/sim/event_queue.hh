@@ -74,9 +74,16 @@ class EventQueue
                     static_cast<unsigned long long>(when),
                     static_cast<unsigned long long>(now_));
         Node *n = allocNode();
+        try {
+            n->cb.emplace(std::forward<F>(f));
+        } catch (...) {
+            // A failed emplace leaves the callback empty, so the node
+            // can go straight back on the free list.
+            recycle(n);
+            throw;
+        }
         n->when = when;
         n->seq = seq_++;
-        n->cb.emplace(std::forward<F>(f));
         ++pending_;
         if (when - now_ < ring_size)
             appendRing(n);

@@ -230,7 +230,10 @@ TEST(PerfKernel, DiffFromBitsReservesExactlyThePopcount)
     dsm::Diff d;
     store.diffFromBits(0, pg, d);
     EXPECT_EQ(d.words(), dsm::PageStore::writtenWords(pg));
-    EXPECT_EQ(d.idx.capacity(), d.idx.size()); // reserve was exact
+    // reserve() only guarantees capacity() >= n, so exactness is not
+    // portable across standard libraries; check the reservation covered
+    // the popcount (no growth needed while filling).
+    EXPECT_GE(d.idx.capacity(), dsm::PageStore::writtenWords(pg));
     for (unsigned i = 0; i < d.words(); ++i)
         EXPECT_EQ(d.val[i], d.idx[i]);
 }
