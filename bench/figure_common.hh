@@ -14,6 +14,9 @@
  *   NCP2_PROCS = <n in [1,64]>             (default: 16)
  *   NCP2_JOBS  = <worker threads>          (default: hardware concurrency)
  *   NCP2_RESULTS_DIR = <dir>               (default: results)
+ *   NCP2_FAST_PATH = 0                     (force the descriptor fast
+ *                                           path off; results must not
+ *                                           change, only host time)
  */
 
 #ifndef NCP2_BENCH_FIGURE_COMMON_HH
@@ -73,6 +76,11 @@ configFor(const std::string &proto, unsigned procs)
     dsm::SysConfig cfg;
     cfg.num_procs = procs;
     cfg.heap_bytes = 64ull << 20;
+    // Escape hatch for A/B-ing the access-descriptor fast path: any
+    // figure bench re-run with NCP2_FAST_PATH=0 must print identical
+    // tables (the simulated results are bit-identical by contract).
+    if (const char *fp = std::getenv("NCP2_FAST_PATH"))
+        cfg.fast_path = std::strcmp(fp, "0") != 0;
     if (proto.rfind("AURC", 0) == 0) {
         cfg.protocol = dsm::ProtocolKind::aurc;
         cfg.mode.prefetch = proto == "AURC+P";

@@ -6,11 +6,12 @@
  * binary exists to be run in CI and to leave a machine-comparable
  * record: each kernel is timed twice, once through the pre-optimization
  * implementation kept in-tree (LegacyEventQueue, diffFromTwinReference
- * with per-call allocation) and once through the production path
- * (calendar queue, 64-bit pooled diffs). The *ratio* of the two is
- * host-independent to first order, so a regression gate can compare
- * ratios across machines where absolute nanoseconds would be
- * meaningless.
+ * with per-call allocation, System::access with the descriptor fast
+ * path forced off) and once through the production path (calendar
+ * queue, 64-bit pooled diffs, descriptor-cache hits / putBlock). The
+ * *ratio* of the two is host-independent to first order, so a
+ * regression gate can compare ratios across machines where absolute
+ * nanoseconds would be meaningless.
  *
  * Output: one JSON object appended per run (JSON Lines) to
  * results/bench_host.json (directory overridable with
@@ -42,7 +43,9 @@
 
 #include "dsm/diff_pool.hh"
 #include "dsm/page.hh"
+#include "dsm/proc.hh"
 #include "dsm/system.hh"
+#include "dsm/workload.hh"
 #include "harness/json_out.hh"
 #include "sim/event_queue.hh"
 #include "sim/legacy_event_queue.hh"
@@ -208,6 +211,133 @@ benchDiffBits(unsigned trials, unsigned inner, unsigned dirty)
     return r;
 }
 
+/**
+ * Times raw shared-access throughput from inside a fiber (System::access
+ * asserts fiber context, so the clock has to run in the workload body).
+ * Proc 0 warms a 4-page array (faulting it in and installing access
+ * descriptors), then repeats timed passes over it; proc 1 idles so no
+ * invalidation ever lands and every pass after the first exercises pure
+ * hit paths. Best-of-passes lands in *best_ns (ns per full pass).
+ */
+class AccessKernelWorkload : public dsm::Workload
+{
+  public:
+    enum class Kind { put_loop, get_loop, put_block };
+    static constexpr unsigned elems = 4096; // uint32 -> 4 pages of 4 KiB
+
+    AccessKernelWorkload(Kind kind, unsigned passes, double *best_ns)
+        : kind_(kind), passes_(passes), best_ns_(best_ns)
+    {
+    }
+
+    std::string name() const override { return "access_kernel"; }
+
+    void validate(dsm::System &) override {}
+
+    void plan(dsm::GlobalHeap &heap, const dsm::SysConfig &) override
+    {
+        base_ = heap.allocPages(elems * 4);
+    }
+
+    void run(dsm::Proc &p) override
+    {
+        if (p.id() != 0)
+            return;
+        std::vector<std::uint32_t> buf(elems);
+        for (unsigned i = 0; i < elems; ++i)
+            buf[i] = i;
+        // Warm-up: fault the pages in and install write descriptors.
+        p.putBlock(base_, buf.data(), elems);
+        double best = 1e300;
+        for (unsigned pass = 0; pass < passes_; ++pass) {
+            const auto start = Clock::now();
+            switch (kind_) {
+              case Kind::put_loop:
+                for (unsigned i = 0; i < elems; ++i)
+                    p.put<std::uint32_t>(base_ + 4ull * i, buf[i]);
+                break;
+              case Kind::get_loop:
+                for (unsigned i = 0; i < elems; ++i)
+                    sink_ += p.get<std::uint32_t>(base_ + 4ull * i);
+                break;
+              case Kind::put_block:
+                p.putBlock(base_, buf.data(), elems);
+                break;
+            }
+            const auto stop = Clock::now();
+            const double ns = static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                     start)
+                    .count());
+            if (ns < best)
+                best = ns;
+        }
+        *best_ns_ = best;
+    }
+
+  private:
+    Kind kind_;
+    unsigned passes_;
+    double *best_ns_;
+    sim::GAddr base_ = 0;
+    volatile std::uint64_t sink_ = 0;
+};
+
+/** One timed run: best pass time (ns) for @p kind with @p fast. */
+double
+runAccessKernel(AccessKernelWorkload::Kind kind, bool fast, unsigned passes)
+{
+    sim::setQuiet(true);
+    double best = 0;
+    AccessKernelWorkload w(kind, passes, &best);
+    dsm::SysConfig cfg;
+    cfg.num_procs = 2;
+    cfg.heap_bytes = 1u << 20;
+    cfg.fast_path = fast;
+    dsm::System sys(cfg, tmk::makeTreadMarks(cfg.mode));
+    sys.run(w);
+    return best;
+}
+
+/**
+ * The access-path kernels. access_put/access_get compare the same
+ * element loop with the descriptor fast path forced off ("before") vs on
+ * ("after"); access_putrange compares the pre-PR shape of a range write
+ * (element loop, fast path off) against putBlock through the bulk fast
+ * loop — the full before/after of the shared-access engine. Simulated
+ * timing is bit-identical in every cell (the integration suite enforces
+ * it), so the ratio is pure host-time.
+ */
+std::vector<KernelResult>
+benchAccessPath(unsigned passes)
+{
+    using Kind = AccessKernelWorkload::Kind;
+    std::vector<KernelResult> out;
+
+    KernelResult put;
+    put.name = "access_put";
+    put.items = AccessKernelWorkload::elems;
+    put.before_ns = runAccessKernel(Kind::put_loop, false, passes);
+    put.after_ns = runAccessKernel(Kind::put_loop, true, passes);
+    out.push_back(put);
+
+    KernelResult get;
+    get.name = "access_get";
+    get.items = AccessKernelWorkload::elems;
+    get.before_ns = runAccessKernel(Kind::get_loop, false, passes);
+    get.after_ns = runAccessKernel(Kind::get_loop, true, passes);
+    out.push_back(get);
+
+    KernelResult rng;
+    rng.name = "access_putrange";
+    rng.items = AccessKernelWorkload::elems;
+    rng.before_ns = put.before_ns;
+    rng.after_ns = runAccessKernel(Kind::put_block, true, passes);
+    out.push_back(rng);
+
+    return out;
+}
+
 /** Absolute end-to-end time of a small 8-proc stencil simulation. */
 double
 benchSimSmallMs(unsigned trials)
@@ -282,6 +412,8 @@ main(int argc, char **argv)
     kernels.push_back(benchDiffTwin(trials, inner, 128));
     kernels.push_back(benchDiffBits(trials, inner, 16));
     kernels.push_back(benchDiffBits(trials, inner, 128));
+    for (KernelResult &k : benchAccessPath(quick ? 8u : 30u))
+        kernels.push_back(std::move(k));
     const double sim_small_ms = benchSimSmallMs(quick ? 3 : 10);
 
     std::cout << "kernel            before_ns   after_ns  speedup\n";

@@ -72,11 +72,10 @@ Em3d::run(dsm::Proc &p)
     const unsigned lo = n * p.id() / np;
     const unsigned hi = n * (p.id() + 1) / np;
 
-    // Owners initialize their blocks (first touch).
-    for (unsigned i = lo; i < hi; ++i) {
-        p.put<double>(e_val_ + 8ull * i, init_e_[i]);
-        p.put<double>(h_val_ + 8ull * i, init_h_[i]);
-    }
+    // Owners initialize their blocks (first touch), one bulk sweep per
+    // field array.
+    p.putBlock(e_val_ + 8ull * lo, &init_e_[lo], hi - lo);
+    p.putBlock(h_val_ + 8ull * lo, &init_h_[lo], hi - lo);
     p.barrier(0);
 
     for (unsigned it = 0; it < p_.iters; ++it) {

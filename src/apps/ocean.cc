@@ -120,9 +120,9 @@ Ocean::run(dsm::Proc &p)
             p.put<double>(at(0, i, 0), boundary_[2 * g0 + i]);
             p.put<double>(at(0, i, g0 - 1), boundary_[3 * g0 + i]);
         }
+        const std::vector<double> zrow(g0 - 2, 0.0);
         for (unsigned r = 1; r < g0 - 1; ++r)
-            for (unsigned c = 1; c < g0 - 1; ++c)
-                p.put<double>(at(0, r, c), 0.0);
+            p.putBlock(at(0, r, 1), zrow.data(), g0 - 2);
     }
     barrier();
 

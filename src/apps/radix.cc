@@ -41,10 +41,8 @@ Radix::run(dsm::Proc &p)
         return hist_ + static_cast<sim::GAddr>(q) * nb * 4;
     };
 
-    if (p.id() == 0) {
-        for (unsigned i = 0; i < n; ++i)
-            p.put<std::uint32_t>(a_ + 4ull * i, init_keys_[i]);
-    }
+    if (p.id() == 0)
+        p.putBlock(a_, init_keys_.data(), n);
     p.barrier(0);
 
     sim::GAddr src = a_, dst = b_;
@@ -61,8 +59,7 @@ Radix::run(dsm::Proc &p)
             ++counts[(k >> shift) & (nb - 1)];
             p.compute(30);
         }
-        for (unsigned d = 0; d < nb; ++d)
-            p.put<std::uint32_t>(row(p.id()) + 4ull * d, counts[d]);
+        p.putBlock(row(p.id()), counts.data(), nb);
         p.barrier(1 + pass * 3);
 
         // (2) proc 0 turns counts into global starting ranks:
@@ -70,9 +67,7 @@ Radix::run(dsm::Proc &p)
         if (p.id() == 0) {
             std::vector<std::uint32_t> all(np * nb);
             for (unsigned q = 0; q < np; ++q)
-                for (unsigned d = 0; d < nb; ++d)
-                    all[q * nb + d] =
-                        p.get<std::uint32_t>(row(q) + 4ull * d);
+                p.getBlock(row(q), &all[q * nb], nb);
             std::uint32_t base = 0;
             std::vector<std::uint32_t> rank(np * nb);
             for (unsigned d = 0; d < nb; ++d) {
@@ -83,16 +78,13 @@ Radix::run(dsm::Proc &p)
                 p.compute(2 * np);
             }
             for (unsigned q = 0; q < np; ++q)
-                for (unsigned d = 0; d < nb; ++d)
-                    p.put<std::uint32_t>(row(q) + 4ull * d,
-                                         rank[q * nb + d]);
+                p.putBlock(row(q), &rank[q * nb], nb);
         }
         p.barrier(2 + pass * 3);
 
         // (3) permute into the destination at global offsets (the
         //     false-sharing hotspot: neighbours' ranks interleave pages)
-        for (unsigned d = 0; d < nb; ++d)
-            counts[d] = p.get<std::uint32_t>(row(p.id()) + 4ull * d);
+        p.getBlock(row(p.id()), counts.data(), nb);
         for (unsigned i = lo; i < hi; ++i) {
             const std::uint32_t k = mykeys[i - lo];
             const unsigned d = (k >> shift) & (nb - 1);

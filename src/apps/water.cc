@@ -58,26 +58,23 @@ Water::run(dsm::Proc &p)
     const unsigned hi = n * (p.id() + 1) / np;
 
     if (p.id() == 0) {
-        for (unsigned i = 0; i < n * 3; ++i) {
-            p.put<double>(pos_ + 8 * i, init_pos_[i]);
-            p.put<double>(vel_ + 8 * i, 0.0);
-        }
+        const std::vector<double> zeros(n * 3, 0.0);
+        p.putBlock(pos_, init_pos_.data(), n * 3);
+        p.putBlock(vel_, zeros.data(), n * 3);
     }
     p.barrier(0);
 
     std::vector<double> local(n * 3);
     std::vector<double> mypos(n * 3);
+    const std::vector<double> fzero(3 * (hi - lo), 0.0);
 
     for (unsigned step = 0; step < p_.steps; ++step) {
         // (a) owners clear their force slots
-        for (unsigned i = lo; i < hi; ++i)
-            for (unsigned c = 0; c < 3; ++c)
-                p.put<double>(frc_ + 8 * (3 * i + c), 0.0);
+        p.putBlock(frc_ + 8ull * (3 * lo), fzero.data(), 3 * (hi - lo));
         p.barrier(100 + step * 4);
 
         // (b) read all positions, compute owned pairs (i in [lo,hi), j>i)
-        for (unsigned i = 0; i < n * 3; ++i)
-            mypos[i] = p.get<double>(pos_ + 8 * i);
+        p.getBlock(pos_, mypos.data(), n * 3);
         std::fill(local.begin(), local.end(), 0.0);
         for (unsigned i = lo; i < hi; ++i) {
             for (unsigned j = i + 1; j < n; ++j) {

@@ -86,6 +86,8 @@ Aurc::closeInterval(NodeId proc)
         pg.dirty_in_interval = false;
         if (pg.access == dsm::Access::readwrite)
             pg.access = dsm::Access::read;
+        // The next write must trap again to re-register the page.
+        node(proc).adesc.downgradeWrite(page);
     }
     ps.interval_pages.push_back(std::move(ps.open_dirty));
     ps.open_dirty.clear();
@@ -136,6 +138,7 @@ Aurc::applyInvalidations(NodeId proc, const dsm::VectorClock &from,
                     continue;
                 pg.access = dsm::Access::none;
                 node(proc).tlb.invalidate(page);
+                node(proc).adesc.invalidate(page);
                 ++stats_.invalidations;
                 if (pg.prefetched_unused) {
                     ++stats_.prefetches_useless;
@@ -190,6 +193,25 @@ Aurc::sharedWrite(NodeId proc, PageId page, unsigned word, unsigned words)
 
     for (unsigned w = word; w < word + words; ++w)
         writeCachePush(proc, page, w);
+}
+
+dsm::WriteDescInfo
+Aurc::writeDesc(NodeId proc, PageId page)
+{
+    // Uniprocessor pages stay unshared with no pair, so sharedWrite
+    // finds no destination and returns without touching anything.
+    if (nprocs() == 1)
+        return {dsm::WriteHook::none, nullptr, 0};
+    const PageShare &sh = pages_[page];
+    // The sole copy of an unshared page: no stamps (mode is unshared),
+    // no update routing — a proven no-op until the pairwise transition,
+    // which invalidates the owner's descriptor.
+    if (sh.mode == Mode::unshared && sh.pair[0] == proc)
+        return {dsm::WriteHook::none, nullptr, 0};
+    // Every other combination stamps merge copies and/or routes updates
+    // through the write cache; keep the virtual call, which re-reads the
+    // sharing state on every store.
+    return {};
 }
 
 void
@@ -408,6 +430,9 @@ Aurc::faultIn(NodeId proc, PageId page)
         // Second toucher: establish the bidirectional pair.
         sh.pair[1] = proc;
         sh.mode = Mode::pairwise;
+        // The owner's writes were proven no-ops while unshared; from now
+        // on they must propagate, so its write descriptor must go.
+        node(sh.pair[0]).adesc.invalidate(page);
         ++stats_.pairwise_pages;
         src = sh.pair[0];
         break;
@@ -430,6 +455,7 @@ Aurc::faultIn(NodeId proc, PageId page)
             dsm::NodePage &ev = node(evicted).pages.page(page);
             if (ev.present())
                 ev.access = dsm::Access::none;
+            node(evicted).adesc.invalidate(page);
             src = sh.pair[0];
         } else {
             // Further sharers: revert to write-through to a home node.

@@ -84,6 +84,8 @@ class Aurc : public dsm::Protocol
                       bool for_write) override;
     void sharedWrite(sim::NodeId proc, sim::PageId page, unsigned word,
                      unsigned words) override;
+    dsm::WriteDescInfo writeDesc(sim::NodeId proc,
+                                 sim::PageId page) override;
     void acquire(sim::NodeId proc, unsigned lock_id) override;
     void release(sim::NodeId proc, unsigned lock_id) override;
     void barrier(sim::NodeId proc, unsigned barrier_id) override;

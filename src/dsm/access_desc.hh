@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Per-node access descriptors: the fast path of the shared-access engine.
+ *
+ * A descriptor caches the outcome of the protocol's per-access check
+ * ("page mapped with sufficient permission, nothing to do") so the
+ * overwhelmingly common access completes inline in System::access with
+ * no virtual dispatch: one array probe replaces Protocol::ensureAccess,
+ * and the write-side protocol callback is either skipped (proven no-op)
+ * or inlined (TreadMarks interval stamping).
+ *
+ * Correctness contract: a descriptor may exist for (node, page) only
+ * while the node's page-table entry satisfies the protocol's own
+ * fast-path condition (present, access >= requested). Every protection
+ * transition in the protocols therefore flushes the descriptor
+ * (DescCache::invalidate on access -> none, DescCache::downgradeWrite on
+ * readwrite -> read); a debug-only cross-check in System::access asserts
+ * the invariant on every hit. Because write hooks are applied after
+ * timing advances that may yield the fiber, the hook site re-validates
+ * the slot and falls back to the virtual callback if it was flushed
+ * mid-access.
+ */
+
+#ifndef NCP2_DSM_ACCESS_DESC_HH
+#define NCP2_DSM_ACCESS_DESC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "dsm/page.hh"
+#include "dsm/vclock.hh"
+#include "sim/types.hh"
+
+namespace dsm
+{
+
+/** What a descriptor-hit write must do in place of Protocol::sharedWrite. */
+enum class WriteHook : std::uint8_t
+{
+    protocol,     ///< call the virtual Protocol::sharedWrite (always safe)
+    none,         ///< proven no-op for this (node, page) while valid
+    tmk_interval, ///< inline TreadMarks: stamp word_interval[w] = open_seq
+};
+
+/** One cached grant: everything a hit needs, nothing it must look up. */
+struct AccessDesc
+{
+    static constexpr sim::PageId invalid_page = ~sim::PageId{0};
+
+    sim::PageId page = invalid_page; ///< tag; invalid_page = empty slot
+    std::uint8_t *data = nullptr;    ///< pg->data.get() (stable: PageStore
+                                     ///< never frees a materialized page)
+    NodePage *pg = nullptr;          ///< page-table entry (stable address)
+    bool writable = false;           ///< granted mode is readwrite
+    WriteHook hook = WriteHook::protocol;
+    IntervalSeq *word_interval = nullptr; ///< tmk_interval: stamp target
+    IntervalSeq open_seq = 0;             ///< tmk_interval: stamp value
+};
+
+/**
+ * Small direct-mapped descriptor cache, one per node. Sized so the hot
+ * working set of a page-striped app maps without pathological aliasing;
+ * an aliased install simply evicts (the slow path remains correct).
+ */
+class DescCache
+{
+  public:
+    static constexpr unsigned entries = 64;
+
+    /** The slot @p page maps to (its tag may be another page). */
+    [[nodiscard]] AccessDesc &
+    slot(sim::PageId page)
+    {
+        return slots_[page & (entries - 1)];
+    }
+
+    /**
+     * Probe for a usable grant.
+     * @return the descriptor, or nullptr when the slot holds another
+     *         page or the granted mode is below what @p want_write needs.
+     */
+    [[nodiscard]] AccessDesc *
+    lookup(sim::PageId page, bool want_write)
+    {
+        AccessDesc &e = slot(page);
+        if (e.page != page || (want_write && !e.writable))
+            return nullptr;
+        return &e;
+    }
+
+    /** Flush on access -> none (invalidation, unmap, eviction). */
+    void
+    invalidate(sim::PageId page)
+    {
+        AccessDesc &e = slot(page);
+        if (e.page == page)
+            e = AccessDesc{};
+    }
+
+    /**
+     * Flush write permission on readwrite -> read (interval close, diff
+     * capture). The read grant survives; the write hook does not.
+     */
+    void
+    downgradeWrite(sim::PageId page)
+    {
+        AccessDesc &e = slot(page);
+        if (e.page == page) {
+            e.writable = false;
+            e.hook = WriteHook::protocol;
+            e.word_interval = nullptr;
+            e.open_seq = 0;
+        }
+    }
+
+    void
+    clear()
+    {
+        for (AccessDesc &e : slots_)
+            e = AccessDesc{};
+    }
+
+  private:
+    std::array<AccessDesc, entries> slots_{};
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_ACCESS_DESC_HH

@@ -10,6 +10,7 @@
 #ifndef NCP2_DSM_CONFIG_HH
 #define NCP2_DSM_CONFIG_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -133,6 +134,14 @@ struct SysConfig
     /// Fibers flush accumulated busy time to the event queue at this
     /// granularity; smaller = more precise interleaving, slower host run.
     sim::Cycles time_quantum = 200;
+    /// Consult the per-node access-descriptor cache before the virtual
+    /// protocol path. Host-time optimization only: simulated results are
+    /// bit-identical either way (tests/test_integration.cc enforces it).
+    bool fast_path = true;
+    /// Host stack bytes per simulated CPU fiber. 1 MB suits every
+    /// in-tree workload (deepest recursion: Barnes tree walks, TSP
+    /// branch-and-bound); raise it for workloads that recurse harder.
+    std::size_t fiber_stack_bytes = 1u << 20;
 
     unsigned pageWords() const { return page_bytes / 4; }
 

@@ -13,6 +13,10 @@ Cpu::Cpu(sim::NodeId id, sim::EventQueue &eq, const SysConfig &cfg)
 void
 Cpu::start(std::function<void()> body)
 {
+    // Floor below which even shallow workloads risk smashing the fiber
+    // stack (signal frames, library locals).
+    ncp2_assert(cfg_.fiber_stack_bytes >= (64u << 10),
+                "fiber_stack_bytes below the 64 KiB floor");
     fiber_ = std::make_unique<sim::Fiber>(
         [this, body = std::move(body)]() {
             body();
@@ -20,7 +24,7 @@ Cpu::start(std::function<void()> body)
             finished_ = true;
             finish_tick_ = eq_.now();
         },
-        4u << 20);
+        cfg_.fiber_stack_bytes);
     eq_.schedule(0, [this]() { fiber_->resume(); });
 }
 
@@ -28,7 +32,15 @@ void
 Cpu::sleepTo(sim::Tick t)
 {
     ncp2_assert(sim::Fiber::current(), "sleepTo outside the cpu fiber");
+    // When nothing is due at or before t the wake-up event would be the
+    // very next thing the queue runs; skip the schedule/yield/resume
+    // round-trip and advance time in place. Interleaving with other
+    // processors is untouched: their pending resume events make
+    // advanceIfIdle refuse.
+    if (eq_.advanceIfIdle(t))
+        return;
     eq_.schedule(t, [this]() { fiber_->resume(); });
+    ++yields_;
     sim::Fiber::yield();
 }
 
@@ -43,15 +55,6 @@ Cpu::absorbInterrupts()
         bd.add(Cat::ipc, s);
         sleepTo(eq_.now() + s);
     }
-}
-
-void
-Cpu::advance(sim::Cycles n, Cat c)
-{
-    bd.add(c, n);
-    lag_ += n;
-    if (lag_ >= cfg_.time_quantum)
-        flush();
 }
 
 void
@@ -84,6 +87,7 @@ Cpu::block(Cat c)
     const sim::Tick start = eq_.now();
     if (!wake_pending_) {
         blocked_ = true;
+        ++yields_;
         sim::Fiber::yield();
         blocked_ = false;
     }

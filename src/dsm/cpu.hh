@@ -56,7 +56,14 @@ class Cpu
     // ----- called from inside the fiber -----
 
     /** Accumulate @p n cycles of category @p c; flushes at the quantum. */
-    void advance(sim::Cycles n, Cat c);
+    void
+    advance(sim::Cycles n, Cat c)
+    {
+        bd.add(c, n);
+        lag_ += n;
+        if (lag_ >= cfg_.time_quantum) [[unlikely]]
+            flush();
+    }
 
     /** Synchronize the local clock with the event queue (may yield). */
     void flush();
@@ -87,6 +94,16 @@ class Cpu
     /** True if the fiber is currently blocked in block(). */
     bool blocked() const { return blocked_; }
 
+    /**
+     * Counts every time this fiber has yielded to the event loop.
+     * Protocol state observable from the fiber can only change across a
+     * yield (the simulator is single-threaded), so an unchanged count
+     * between two points proves cached protocol-derived state is still
+     * exact; the bulk access path uses this to hoist descriptor
+     * validation out of its inner loop.
+     */
+    std::uint64_t yields() const { return yields_; }
+
     /** Earliest tick the CPU is free of interrupt handlers. */
     sim::Tick interruptBusyUntil() const { return intr_busy_until_; }
 
@@ -113,6 +130,7 @@ class Cpu
 
     sim::Tick intr_busy_until_ = 0;    ///< interrupt-handler timeline
     sim::Cycles pending_intr_ = 0;     ///< service to inject at next flush
+    std::uint64_t yields_ = 0;         ///< yields to the event loop
     std::uint64_t ipc_hidden_ = 0;
     std::uint64_t interrupts_ = 0;
 };

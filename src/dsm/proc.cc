@@ -24,6 +24,13 @@ Proc::access(sim::GAddr addr, unsigned bytes, bool is_write, void *data)
 }
 
 void
+Proc::accessRange(sim::GAddr addr, unsigned elem_bytes, std::size_t count,
+                  bool is_write, void *data)
+{
+    sys_->accessRange(id_, addr, elem_bytes, count, is_write, data);
+}
+
+void
 Proc::lock(unsigned lock_id)
 {
     sys_->acquire(id_, lock_id);

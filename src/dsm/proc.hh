@@ -55,6 +55,31 @@ class Proc
         access(addr, sizeof(T), true, &v);
     }
 
+    /**
+     * Read @p count consecutive values starting at @p addr into @p out.
+     * Timing-identical to the equivalent get() loop (every element is
+     * charged individually); batching removes per-call host overhead.
+     */
+    template <typename T>
+    void
+    getBlock(sim::GAddr addr, T *out, std::size_t count)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        accessRange(addr, sizeof(T), count, false, out);
+    }
+
+    /** Write @p count consecutive values from @p src starting at @p addr. */
+    template <typename T>
+    void
+    putBlock(sim::GAddr addr, const T *src, std::size_t count)
+    {
+        static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+        // Writes only read from the buffer; const_cast crosses the
+        // shared void* plumbing of System::accessRange.
+        accessRange(addr, sizeof(T), count, true,
+                    const_cast<T *>(src));
+    }
+
     /** Acquire a global lock (blocks). */
     void lock(unsigned lock_id);
 
@@ -71,6 +96,8 @@ class Proc
 
   private:
     void access(sim::GAddr addr, unsigned bytes, bool is_write, void *data);
+    void accessRange(sim::GAddr addr, unsigned elem_bytes, std::size_t count,
+                     bool is_write, void *data);
 
     System *sys_;
     sim::NodeId id_;
@@ -88,6 +115,20 @@ struct GArray
     sim::GAddr at(std::uint64_t i) const { return base + i * sizeof(T); }
     T get(Proc &p, std::uint64_t i) const { return p.get<T>(at(i)); }
     void put(Proc &p, std::uint64_t i, T v) const { p.put<T>(at(i), v); }
+
+    /** Read elements [i, i + count) into @p out. */
+    void
+    getRange(Proc &p, std::uint64_t i, T *out, std::size_t count) const
+    {
+        p.getBlock(at(i), out, count);
+    }
+
+    /** Write elements [i, i + count) from @p src. */
+    void
+    putRange(Proc &p, std::uint64_t i, const T *src, std::size_t count) const
+    {
+        p.putBlock(at(i), src, count);
+    }
 };
 
 } // namespace dsm

@@ -18,12 +18,24 @@
 
 #include <string>
 
+#include "dsm/access_desc.hh"
 #include "sim/types.hh"
 
 namespace dsm
 {
 
 class System;
+
+/**
+ * What System::access may do in place of calling sharedWrite while a
+ * write descriptor for the page stays valid (see access_desc.hh).
+ */
+struct WriteDescInfo
+{
+    WriteHook hook = WriteHook::protocol;
+    IntervalSeq *word_interval = nullptr; ///< tmk_interval stamp target
+    IntervalSeq open_seq = 0;             ///< tmk_interval stamp value
+};
 
 /** Abstract software-DSM coherence protocol. */
 class Protocol
@@ -59,6 +71,21 @@ class Protocol
 
     /** Global barrier (blocks until all processors arrive). */
     virtual void barrier(sim::NodeId proc, unsigned barrier_id) = 0;
+
+    /**
+     * Describe the write hook a freshly installed write descriptor for
+     * (@p proc, @p page) may use. Called only right after a slow-path
+     * write completed (so sharedWrite has run at least once for the
+     * page). The default keeps the virtual callback, which is always
+     * correct; protocols override to skip or inline proven no-ops.
+     */
+    virtual WriteDescInfo
+    writeDesc(sim::NodeId proc, sim::PageId page)
+    {
+        (void)proc;
+        (void)page;
+        return {};
+    }
 
     /** Protocol display name ("TreadMarks/I+D", "AURC+P", ...). */
     virtual std::string name() const = 0;

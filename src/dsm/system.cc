@@ -87,7 +87,49 @@ System::access(sim::NodeId proc, sim::GAddr addr, unsigned bytes,
     ncp2_assert(addr + bytes <= heap_->used(),
                 "shared access beyond allocated heap");
 
+    accessOne(*nodes_[proc], proc, addr, bytes, is_write, data);
+}
+
+void
+System::accessRange(sim::NodeId proc, sim::GAddr addr, unsigned elem_bytes,
+                    std::size_t count, bool is_write, void *data)
+{
+    if (count == 0)
+        return;
+    ncp2_assert(elem_bytes >= 1 && elem_bytes <= 8,
+                "access size out of range");
+    ncp2_assert(addr % elem_bytes == 0, "unaligned shared access @%llu",
+                static_cast<unsigned long long>(addr));
+    ncp2_assert(addr + static_cast<sim::GAddr>(elem_bytes) * count <=
+                    heap_->used(),
+                "shared range beyond allocated heap");
+
     Node &n = *nodes_[proc];
+    auto *p = static_cast<std::uint8_t *>(data);
+    if (!cfg_.fast_path) {
+        for (std::size_t i = 0; i < count;
+             ++i, addr += elem_bytes, p += elem_bytes)
+            accessOne(n, proc, addr, elem_bytes, is_write, p);
+        return;
+    }
+    // Page-sized chunks through the bulk fast loop. Timing is charged
+    // per element exactly as the loop above would, so the two branches
+    // are bit-identical (the integration suite holds them to that).
+    while (count) {
+        const std::size_t run = std::min<std::size_t>(
+            count, (cfg_.page_bytes - pageOffset(addr)) / elem_bytes);
+        ncp2_assert(run, "shared-range element straddles a page boundary");
+        accessRunFast(n, proc, addr, elem_bytes, run, is_write, p);
+        addr += static_cast<sim::GAddr>(elem_bytes) * run;
+        p += static_cast<std::size_t>(elem_bytes) * run;
+        count -= run;
+    }
+}
+
+void
+System::accessOne(Node &n, sim::NodeId proc, sim::GAddr addr,
+                  unsigned bytes, bool is_write, void *data)
+{
     const sim::PageId page = pageOf(addr);
     const unsigned off = pageOffset(addr);
 
@@ -99,7 +141,59 @@ System::access(sim::NodeId proc, sim::GAddr addr, unsigned bytes,
     if (tlb_penalty)
         n.cpu.advance(tlb_penalty, Cat::other_tlb);
 
-    // VM protection / coherence.
+    // VM protection / coherence. A valid descriptor proves the
+    // protocol's own fast-path check would no-op, so the probe stands
+    // in for the virtual ensureAccess call; everything else falls back
+    // to the slow path below, unchanged.
+    if (cfg_.fast_path) {
+        if (AccessDesc *d = n.adesc.lookup(page, is_write)) {
+            NodePage &pg = *d->pg;
+            ncp2_dassert(pg.present() && pg.access != Access::none &&
+                             (!is_write || pg.access == Access::readwrite) &&
+                             d->data == pg.data.get(),
+                         "stale access descriptor for page %llu on node %u",
+                         static_cast<unsigned long long>(page), proc);
+            // The slot may be flushed while a timing charge below
+            // yields the fiber; the data/page pointers stay valid
+            // (PageStore never frees), so copy them out first.
+            std::uint8_t *pdata = d->data;
+            if (!is_write) {
+                if (!n.cache.accessRead(addr)) {
+                    const sim::Tick arrive = n.cpu.localNow();
+                    const sim::Tick done =
+                        n.memory.access(arrive, n.cache.lineWords());
+                    n.cpu.advance(done - arrive, Cat::other_cache);
+                }
+                std::memcpy(data, pdata + off, bytes);
+                pg.referenced = true;
+                pg.prefetched_unused = false;
+            } else {
+                n.cache.accessWrite(addr);
+                const sim::Cycles stall = n.wbuf.push(n.cpu.localNow());
+                if (stall)
+                    n.cpu.advance(stall, Cat::other_wb);
+                std::memcpy(pdata + off, data, bytes);
+
+                const unsigned word = off / 4;
+                const unsigned words = (off % 4 + bytes + 3) / 4;
+                for (unsigned w = word; w < word + words; ++w)
+                    PageStore::snoopWrite(pg, w);
+                pg.referenced = true;
+                pg.prefetched_unused = false;
+                applyWriteHook(n, proc, page, word, words);
+            }
+            return;
+        }
+    }
+
+    accessSlow(n, proc, page, addr, off, bytes, is_write, data);
+}
+
+void
+System::accessSlow(Node &n, sim::NodeId proc, sim::PageId page,
+                   sim::GAddr addr, unsigned off, unsigned bytes,
+                   bool is_write, void *data)
+{
     protocol_->ensureAccess(proc, page, is_write);
 
     NodePage &pg = n.pages.page(page);
@@ -132,6 +226,178 @@ System::access(sim::NodeId proc, sim::GAddr addr, unsigned bytes,
         pg.referenced = true;
         pg.prefetched_unused = false;
         protocol_->sharedWrite(proc, page, word, words);
+    }
+
+    if (cfg_.fast_path)
+        installDesc(n, proc, page, pg);
+}
+
+namespace
+{
+
+/** Fixed-size cases so the common element widths compile to one move. */
+inline void
+copyElem(void *dst, const void *src, unsigned bytes)
+{
+    switch (bytes) {
+      case 4: std::memcpy(dst, src, 4); break;
+      case 8: std::memcpy(dst, src, 8); break;
+      case 1: std::memcpy(dst, src, 1); break;
+      case 2: std::memcpy(dst, src, 2); break;
+      default: std::memcpy(dst, src, bytes); break;
+    }
+}
+
+} // namespace
+
+void
+System::accessRunFast(Node &n, sim::NodeId proc, sim::GAddr addr,
+                      unsigned elem_bytes, std::size_t count, bool is_write,
+                      std::uint8_t *p)
+{
+    const sim::PageId page = pageOf(addr);
+    unsigned off = pageOffset(addr);
+    Cpu &cpu = n.cpu;
+    AccessDesc &e = n.adesc.slot(page);
+
+    // Descriptor state hoisted into locals. Anything protocol-owned can
+    // change only while the fiber is yielded, so the locals are refreshed
+    // exactly when cpu.yields() moves; between yields, skipping the
+    // per-element slot probe that accessOne does is unobservable.
+    std::uint64_t stamp = cpu.yields() - 1; // forces the first refresh
+    bool valid = false;
+    std::uint8_t *pdata = nullptr;
+    NodePage *pg = nullptr;
+    WriteHook hook = WriteHook::protocol;
+    IntervalSeq *wi = nullptr;
+    IntervalSeq seq = 0;
+
+    for (std::size_t i = 0; i < count;
+         ++i, addr += elem_bytes, off += elem_bytes, p += elem_bytes) {
+        // Identical charge sequence to accessOne: issue slot, then
+        // address translation.
+        cpu.advance(1, Cat::busy);
+        const sim::Cycles tlb_penalty = n.tlb.access(page);
+        if (tlb_penalty)
+            cpu.advance(tlb_penalty, Cat::other_tlb);
+
+        // Protection sequence point.
+        if (stamp != cpu.yields()) {
+            stamp = cpu.yields();
+            valid = e.page == page && (!is_write || e.writable);
+            if (valid) {
+                ncp2_dassert(e.pg->present() &&
+                                 e.pg->access != Access::none &&
+                                 (!is_write ||
+                                  e.pg->access == Access::readwrite) &&
+                                 e.data == e.pg->data.get(),
+                             "stale access descriptor for page %llu on "
+                             "node %u",
+                             static_cast<unsigned long long>(page), proc);
+                pdata = e.data;
+                pg = e.pg;
+                hook = e.hook;
+                wi = e.word_interval;
+                seq = e.open_seq;
+            }
+        }
+        if (!valid) [[unlikely]] {
+            accessSlow(n, proc, page, addr, off, elem_bytes, is_write, p);
+            stamp = cpu.yields() - 1; // accessSlow may have installed
+            continue;
+        }
+
+        if (!is_write) {
+            if (!n.cache.accessRead(addr)) {
+                const sim::Tick arrive = cpu.localNow();
+                const sim::Tick done =
+                    n.memory.access(arrive, n.cache.lineWords());
+                cpu.advance(done - arrive, Cat::other_cache);
+            }
+            copyElem(p, pdata + off, elem_bytes);
+            pg->referenced = true;
+            pg->prefetched_unused = false;
+        } else {
+            n.cache.accessWrite(addr);
+            const sim::Cycles stall = n.wbuf.push(cpu.localNow());
+            if (stall)
+                cpu.advance(stall, Cat::other_wb);
+            copyElem(pdata + off, p, elem_bytes);
+            const unsigned word = off / 4;
+            const unsigned words = (off % 4 + elem_bytes + 3) / 4;
+            for (unsigned w = word; w < word + words; ++w)
+                PageStore::snoopWrite(*pg, w);
+            pg->referenced = true;
+            pg->prefetched_unused = false;
+            // sharedWrite sequence point: a charge above may have
+            // yielded and flushed the hook; otherwise apply it inline.
+            if (stamp != cpu.yields()) [[unlikely]] {
+                applyWriteHook(n, proc, page, word, words);
+                stamp = cpu.yields() - 1;
+            } else {
+                switch (hook) {
+                  case WriteHook::none:
+                    break;
+                  case WriteHook::tmk_interval:
+                    for (unsigned w = word; w < word + words; ++w)
+                        wi[w] = seq;
+                    break;
+                  case WriteHook::protocol:
+                    protocol_->sharedWrite(proc, page, word, words);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+System::applyWriteHook(Node &n, sim::NodeId proc, sim::PageId page,
+                       unsigned word, unsigned words)
+{
+    // Re-validate at the sharedWrite sequence point: the cache and
+    // write-buffer charges above can yield the fiber, and protocol
+    // activity during a yield may have flushed the descriptor. When the
+    // cached hook is gone, do what the slow path would do here.
+    const AccessDesc &e = n.adesc.slot(page);
+    if (e.page == page && e.writable) {
+        switch (e.hook) {
+          case WriteHook::none:
+            return;
+          case WriteHook::tmk_interval:
+            for (unsigned w = word; w < word + words; ++w)
+                e.word_interval[w] = e.open_seq;
+            return;
+          case WriteHook::protocol:
+            break;
+        }
+    }
+    protocol_->sharedWrite(proc, page, word, words);
+}
+
+void
+System::installDesc(Node &n, sim::NodeId proc, sim::PageId page, NodePage &pg)
+{
+    // The slow path's timing charges may have yielded the fiber, and
+    // the grant ensureAccess produced can be retracted during a yield;
+    // cache only what holds *now* (no yields between here and the
+    // checks — the event loop is single-threaded).
+    if (!pg.present() || pg.access == Access::none)
+        return;
+    AccessDesc &e = n.adesc.slot(page);
+    e.page = page;
+    e.data = pg.data.get();
+    e.pg = &pg;
+    e.writable = pg.access == Access::readwrite;
+    if (e.writable) {
+        const WriteDescInfo wd = protocol_->writeDesc(proc, page);
+        e.hook = wd.hook;
+        e.word_interval = wd.word_interval;
+        e.open_seq = wd.open_seq;
+    } else {
+        e.hook = WriteHook::protocol;
+        e.word_interval = nullptr;
+        e.open_seq = 0;
     }
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ctrl/controller.hh"
+#include "dsm/access_desc.hh"
 #include "dsm/breakdown.hh"
 #include "dsm/config.hh"
 #include "dsm/cpu.hh"
@@ -54,6 +55,7 @@ struct Node
     pcib::PciBus pci;
     ctrl::Controller controller;
     PageStore pages;
+    DescCache adesc; ///< fast-path access descriptors (access_desc.hh)
     sim::Rng rng;
 };
 
@@ -102,6 +104,17 @@ class System
     void access(sim::NodeId proc, sim::GAddr addr, unsigned bytes,
                 bool is_write, void *data);
 
+    /**
+     * @p count consecutive @p elem_bytes-sized accesses starting at
+     * @p addr, read into / written from the host buffer @p data. Each
+     * element is charged exactly like a standalone access() (identical
+     * advance sequence, TLB/cache/write-buffer probes and protocol
+     * callbacks), so results are bit-identical to the equivalent loop;
+     * the batching only removes per-call host overhead.
+     */
+    void accessRange(sim::NodeId proc, sim::GAddr addr, unsigned elem_bytes,
+                     std::size_t count, bool is_write, void *data);
+
     sim::PageId pageOf(sim::GAddr addr) const { return addr / cfg_.page_bytes; }
     unsigned pageOffset(sim::GAddr addr) const
     {
@@ -140,6 +153,31 @@ class System
     std::map<std::string, double> extra_stats;
 
   private:
+    /// One element of the shared-access path: issue + TLB charges, then
+    /// descriptor fast path or virtual slow path (+ descriptor install).
+    void accessOne(Node &n, sim::NodeId proc, sim::GAddr addr,
+                   unsigned bytes, bool is_write, void *data);
+    /// The protection-check-onward tail of accessOne when no descriptor
+    /// hit: virtual ensureAccess, cache/write-buffer/memory charges,
+    /// virtual sharedWrite, then descriptor install.
+    void accessSlow(Node &n, sim::NodeId proc, sim::PageId page,
+                    sim::GAddr addr, unsigned off, unsigned bytes,
+                    bool is_write, void *data);
+    /// Bulk fast path: @p count elements inside one page, charged
+    /// per element exactly like accessOne but with descriptor state
+    /// hoisted out of the loop (revalidated across fiber yields only).
+    void accessRunFast(Node &n, sim::NodeId proc, sim::GAddr addr,
+                       unsigned elem_bytes, std::size_t count, bool is_write,
+                       std::uint8_t *p);
+    /// Slow-path write tail: virtual sharedWrite — or the descriptor's
+    /// inlined/skipped hook if one is still valid at this sequence point.
+    void applyWriteHook(Node &n, sim::NodeId proc, sim::PageId page,
+                        unsigned word, unsigned words);
+    /// Cache the grant the slow path just obtained (no-op when the page
+    /// lost access again while the timing charges yielded the fiber).
+    void installDesc(Node &n, sim::NodeId proc, sim::PageId page,
+                     NodePage &pg);
+
     SysConfig cfg_;
     /// Per-simulation runtime state; installed on the running thread
     /// for the duration of run(), keeping concurrent Systems confined.

@@ -1,6 +1,7 @@
 #include "harness/experiment.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <thread>
 
@@ -25,8 +26,13 @@ runJob(const Job &job)
 
     ncp2_assert(static_cast<bool>(job.workload),
                 "job '%s' has no workload factory", job.label.c_str());
+    const auto t0 = std::chrono::steady_clock::now();
     std::unique_ptr<dsm::Workload> w = job.workload();
-    return JobResult{job.label, job.cfg, runOnce(job.cfg, *w)};
+    dsm::RunResult run = runOnce(job.cfg, *w);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return JobResult{job.label, job.cfg, std::move(run), wall};
 }
 
 } // namespace

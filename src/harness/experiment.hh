@@ -52,6 +52,10 @@ struct JobResult
     std::string label;
     dsm::SysConfig cfg;
     dsm::RunResult run;
+    /// Host wall-clock of the run (workload build + simulation), for
+    /// tracking simulator performance across revisions. Machine- and
+    /// load-dependent: recorded in results JSON, never in stdout tables.
+    double wall_seconds = 0;
 };
 
 /**

@@ -115,6 +115,8 @@ emitRun(std::ostream &os, const JobResult &jr)
     emitConfig(os, jr.cfg);
     os << ",\"exec_ticks\":" << jr.run.exec_ticks << ",\"seconds\":";
     jsonNumber(os, jr.run.seconds());
+    os << ",\"wall_seconds\":";
+    jsonNumber(os, jr.wall_seconds);
     os << ",\"breakdown\":{\"busy\":";
     jsonNumber(os, row.busy);
     os << ",\"data\":";

@@ -13,7 +13,7 @@
  *       {
  *         "label": "...",
  *         "config": { protocol, mode, num_procs, page_bytes, seed, ... },
- *         "exec_ticks": N, "seconds": S,
+ *         "exec_ticks": N, "seconds": S, "wall_seconds": W,
  *         "breakdown": { busy, data, synch, ipc, others, diff_pct },
  *         "net": { messages, bytes, latency_cycles, contention_cycles },
  *         "extra": { "<protocol stat>": value, ... }

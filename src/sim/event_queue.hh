@@ -100,6 +100,26 @@ class EventQueue
     }
 
     /**
+     * Advance now() straight to @p t when no pending event is due at or
+     * before @p t, and return true. Nothing can observe the skipped
+     * ticks in that case, so this is exactly equivalent to scheduling a
+     * wake-up at @p t and draining the queue to it - minus the host
+     * cost of the schedule/dispatch round-trip. Returns false (time
+     * untouched) when an event at tick <= @p t exists; the caller must
+     * then take the ordinary schedule-and-yield path so that event runs
+     * first.
+     */
+    bool
+    advanceIfIdle(Tick t)
+    {
+        ncp2_assert(t >= now_, "advanceIfIdle into the past");
+        if (pending_ && nextTick() <= t)
+            return false;
+        now_ = t;
+        return true;
+    }
+
+    /**
      * Run events until the queue drains or @p limit ticks is reached.
      * @return true if the queue drained, false if the limit stopped us.
      */

@@ -94,6 +94,10 @@ TreadMarks::closeInterval(NodeId proc)
         // registers the page again.
         if (pg.access == dsm::Access::readwrite)
             pg.access = dsm::Access::read;
+        // Flush the write descriptor unconditionally: even a page that
+        // stays writable would stamp the stale interval number now that
+        // vt[proc] advanced.
+        node(proc).adesc.downgradeWrite(page);
     }
     ps.interval_pages.push_back(std::move(ps.open_dirty));
     ps.open_dirty.clear();
@@ -136,6 +140,7 @@ TreadMarks::applyInvalidations(NodeId proc, const dsm::VectorClock &from,
                     continue;
                 pg.access = dsm::Access::none;
                 node(proc).tlb.invalidate(page);
+                node(proc).adesc.invalidate(page);
                 ++stats_.invalidations;
                 if (pg.prefetched_unused) {
                     ++stats_.prefetches_useless;
@@ -207,6 +212,9 @@ TreadMarks::captureDiff(NodeId q, PageId page, bool pseudo_open)
     if (!pseudo_open && !mode_.hw_diffs &&
         pg.access == dsm::Access::readwrite) {
         pg.access = dsm::Access::read;
+        // The dropped twin must be recreated by a write fault before the
+        // next store; a lingering write descriptor would skip it.
+        node(q).adesc.downgradeWrite(page);
     }
 
     for (unsigned i = 0; i < d->words(); ++i) {
@@ -746,6 +754,27 @@ TreadMarks::sharedWrite(NodeId proc, PageId page, unsigned word,
     const dsm::IntervalSeq open_seq = ps.vt[proc] + 1;
     for (unsigned w = word; w < word + words; ++w)
         log.word_interval[w] = open_seq;
+}
+
+dsm::WriteDescInfo
+TreadMarks::writeDesc(NodeId proc, PageId page)
+{
+    // Uniprocessor: sharedWrite is an unconditional early return.
+    if (nprocs() == 1)
+        return {dsm::WriteHook::none, nullptr, 0};
+    // Otherwise sharedWrite only stamps the open interval number into
+    // the page's word_interval log; both the stamp target and value are
+    // loop-invariant while the descriptor stays valid (vt[proc] only
+    // advances in closeInterval, which downgrades every dirty page's
+    // descriptor), so the stamping can be inlined. The vector's storage
+    // is stable: assigned once, indexed thereafter, and unordered_map
+    // never moves its elements.
+    ProcState &ps = procs_[proc];
+    auto it = ps.logs.find(page);
+    if (it == ps.logs.end() || it->second.word_interval.empty())
+        return {}; // unexpected; keep the always-correct virtual call
+    return {dsm::WriteHook::tmk_interval, it->second.word_interval.data(),
+            ps.vt[proc] + 1};
 }
 
 // ---------------------------------------------------------------------

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "aurc/aurc.hh"
 #include "dsm/system.hh"
 #include "harness/runner.hh"
@@ -221,3 +224,201 @@ TEST_P(HeapPressure, StencilValidatesAcrossSizes)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, HeapPressure,
                          ::testing::Values(64u, 512u, 4096u, 16384u));
+
+// ---------------------------------------------------------------------
+// Fast-path equivalence: the access-descriptor cache (cfg.fast_path) is
+// a host-time optimization only. Every simulated observable - execution
+// time, per-processor cycle attribution, network traffic, protocol
+// stats - must be bit-identical with it forced off. The CI runs these
+// under TSan with NDEBUG undefined, so the debug staleness cross-checks
+// in the fast path execute too.
+
+namespace
+{
+
+void
+expectIdenticalRuns(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.exec_ticks, b.exec_ticks);
+    ASSERT_EQ(a.bd.size(), b.bd.size());
+    for (std::size_t i = 0; i < a.bd.size(); ++i) {
+        for (unsigned c = 0; c < num_cats; ++c) {
+            EXPECT_EQ(a.bd[i].cycles[c], b.bd[i].cycles[c])
+                << "proc " << i << " cat "
+                << catName(static_cast<Cat>(c));
+        }
+        EXPECT_EQ(a.bd[i].diff_op_cycles, b.bd[i].diff_op_cycles)
+            << "proc " << i;
+        EXPECT_EQ(a.bd[i].diff_op_ctrl_cycles, b.bd[i].diff_op_ctrl_cycles)
+            << "proc " << i;
+    }
+    EXPECT_EQ(a.net.messages, b.net.messages);
+    EXPECT_EQ(a.net.bytes, b.net.bytes);
+    EXPECT_EQ(a.net.latency_cycles, b.net.latency_cycles);
+    EXPECT_EQ(a.net.contention_cycles, b.net.contention_cycles);
+    EXPECT_EQ(a.extra, b.extra);
+}
+
+struct ModeParam
+{
+    const char *tag; ///< gtest-safe name
+    ProtocolKind kind;
+    bool offload, hw_diffs, prefetch;
+};
+
+SysConfig
+modeCfg(const ModeParam &m, bool fast)
+{
+    SysConfig cfg = cfg8();
+    cfg.protocol = m.kind;
+    cfg.mode.offload = m.offload;
+    cfg.mode.hw_diffs = m.hw_diffs;
+    cfg.mode.prefetch = m.prefetch;
+    cfg.fast_path = fast;
+    return cfg;
+}
+
+} // namespace
+
+class FastPathModes : public ::testing::TestWithParam<ModeParam>
+{
+};
+
+TEST_P(FastPathModes, StencilIsBitIdenticalEitherPath)
+{
+    sim::setQuiet(true);
+    RunResult r[2];
+    for (int fast = 0; fast < 2; ++fast) {
+        testutil::StencilWorkload w(2048, 3);
+        SysConfig cfg = modeCfg(GetParam(), fast != 0);
+        System sys(cfg, harness::makeProtocol(cfg));
+        r[fast] = sys.run(w);
+    }
+    expectIdenticalRuns(r[0], r[1]);
+}
+
+TEST_P(FastPathModes, TokenIsBitIdenticalEitherPath)
+{
+    sim::setQuiet(true);
+    RunResult r[2];
+    for (int fast = 0; fast < 2; ++fast) {
+        testutil::TokenWorkload w(4);
+        SysConfig cfg = modeCfg(GetParam(), fast != 0);
+        System sys(cfg, harness::makeProtocol(cfg));
+        r[fast] = sys.run(w);
+    }
+    expectIdenticalRuns(r[0], r[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FastPathSweep, FastPathModes,
+    ::testing::Values(
+        ModeParam{"TmkBase", ProtocolKind::treadmarks, false, false, false},
+        ModeParam{"TmkI", ProtocolKind::treadmarks, true, false, false},
+        ModeParam{"TmkID", ProtocolKind::treadmarks, true, true, false},
+        ModeParam{"TmkP", ProtocolKind::treadmarks, false, false, true},
+        ModeParam{"TmkIP", ProtocolKind::treadmarks, true, false, true},
+        ModeParam{"TmkIPD", ProtocolKind::treadmarks, true, true, true},
+        ModeParam{"Aurc", ProtocolKind::aurc, false, false, false},
+        ModeParam{"AurcP", ProtocolKind::aurc, false, false, true}),
+    [](const ::testing::TestParamInfo<ModeParam> &info) {
+        return info.param.tag;
+    });
+
+namespace
+{
+
+/**
+ * Each processor fills its slice of a shared array and then sums the
+ * whole array, using either per-element get/put or the bulk
+ * getBlock/putBlock APIs. Both forms must produce bit-identical
+ * simulations (accessRange's contract).
+ */
+class SliceSumWorkload : public dsm::Workload
+{
+  public:
+    SliceSumWorkload(bool bulk, unsigned elems)
+        : bulk_(bulk), elems_(elems) {}
+
+    std::string name() const override { return "slicesum"; }
+
+    void
+    plan(GlobalHeap &heap, const SysConfig &) override
+    {
+        arr_.base = heap.allocPages(elems_ * 8);
+        out_.base = heap.allocPages(64 * 8);
+    }
+
+    void
+    run(Proc &p) override
+    {
+        const unsigned n = p.nprocs();
+        const unsigned lo = elems_ * p.id() / n;
+        const unsigned hi = elems_ * (p.id() + 1) / n;
+
+        std::vector<std::int64_t> mine(hi - lo);
+        for (unsigned i = lo; i < hi; ++i)
+            mine[i - lo] = static_cast<std::int64_t>(i) * 3 + 1;
+        if (bulk_) {
+            arr_.putRange(p, lo, mine.data(), mine.size());
+        } else {
+            for (unsigned i = lo; i < hi; ++i)
+                arr_.put(p, i, mine[i - lo]);
+        }
+        p.barrier(0);
+
+        std::int64_t sum = 0;
+        if (bulk_) {
+            std::vector<std::int64_t> all(elems_);
+            arr_.getRange(p, 0, all.data(), all.size());
+            for (const std::int64_t v : all)
+                sum += v;
+        } else {
+            for (unsigned i = 0; i < elems_; ++i)
+                sum += arr_.get(p, i);
+        }
+        out_.put(p, p.id(), sum);
+        p.barrier(1);
+    }
+
+    void
+    validate(System &sys) override
+    {
+        std::int64_t want = 0;
+        for (unsigned i = 0; i < elems_; ++i)
+            want += static_cast<std::int64_t>(i) * 3 + 1;
+        for (unsigned q = 0; q < sys.nprocs(); ++q) {
+            const auto v = sys.readGlobal<std::int64_t>(out_.at(q));
+            if (v != want)
+                ncp2_fatal("slice sum mismatch on proc %u", q);
+        }
+    }
+
+  private:
+    bool bulk_;
+    unsigned elems_;
+    GArray<std::int64_t> arr_, out_;
+};
+
+} // namespace
+
+TEST(FastPath, BulkAccessMatchesElementLoopExactly)
+{
+    // All four combinations of {element loop, bulk API} x {fast path
+    // off, on} must simulate identically.
+    sim::setQuiet(true);
+    RunResult runs[4];
+    unsigned i = 0;
+    for (const bool bulk : {false, true}) {
+        for (const bool fast : {false, true}) {
+            SliceSumWorkload w(bulk, 4096);
+            SysConfig cfg = cfg8();
+            cfg.fast_path = fast;
+            System sys(cfg, tmk::makeTreadMarks(cfg.mode));
+            runs[i++] = sys.run(w);
+        }
+    }
+    expectIdenticalRuns(runs[0], runs[1]);
+    expectIdenticalRuns(runs[0], runs[2]);
+    expectIdenticalRuns(runs[0], runs[3]);
+}

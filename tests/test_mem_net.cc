@@ -6,12 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include "dsm/system.hh"
+#include "dsm/workload.hh"
 #include "mem/cache.hh"
 #include "mem/memory.hh"
 #include "mem/tlb.hh"
 #include "mem/write_buffer.hh"
 #include "net/mesh.hh"
 #include "sim/rng.hh"
+#include "tmk/treadmarks.hh"
 
 using namespace mem;
 
@@ -101,6 +104,111 @@ TEST(Tlb, InvalidateForcesRefill)
     t.access(7);
     t.invalidate(7);
     EXPECT_EQ(t.access(7), 100u);
+}
+
+TEST(Tlb, CountersTrackEvictionAndRefill)
+{
+    Tlb t(16, 100);
+    EXPECT_EQ(t.access(3), 100u);      // cold miss installs
+    EXPECT_EQ(t.access(3), 0u);        // hit
+    EXPECT_EQ(t.access(3 + 16), 100u); // alias evicts the resident entry
+    EXPECT_EQ(t.access(3 + 16), 0u);   // the new occupant hits
+    EXPECT_EQ(t.access(3), 100u);      // refill after eviction
+    EXPECT_EQ(t.hits(), 2u);
+    EXPECT_EQ(t.misses(), 3u);
+}
+
+TEST(WriteBuffer, FullOccupancyStallArithmetic)
+{
+    // Exact drain arithmetic at full occupancy: single-word drains cost
+    // 13 cycles (setup 10 + 3) and serialize through the bus, so four
+    // stores at t=0 drain at 13/26/39/52. The fifth store must wait for
+    // the t=13 drain, and each drain it triggers starts only when the
+    // bus frees, pushing later slots out further (65/78/91).
+    MainMemory m("m", MemoryTiming{});
+    WriteBuffer wb(4, m);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(wb.push(0), 0u);
+    EXPECT_EQ(wb.push(0), 13u);
+    EXPECT_EQ(wb.push(0), 26u);
+    EXPECT_EQ(wb.push(0), 39u);
+    EXPECT_EQ(wb.stores(), 7u);
+    EXPECT_EQ(wb.fullStalls(), 3u);
+    EXPECT_EQ(wb.stallCycles(), 78u);
+    EXPECT_EQ(wb.drainedAt(), 91u);
+}
+
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Processor 0 issues three puts with deliberately awkward alignment on
+ * one page; everyone else idles. No synchronization follows, so the
+ * snooped write-bit vector survives to be inspected after the run.
+ */
+class SnoopBitWorkload : public dsm::Workload
+{
+  public:
+    std::string name() const override { return "snoopbits"; }
+
+    void
+    plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg) override
+    {
+        base_ = heap.allocPages(cfg.page_bytes);
+    }
+
+    void
+    run(dsm::Proc &p) override
+    {
+        if (p.id() != 0)
+            return;
+        p.put<std::uint64_t>(base_ + 8, 0x1122334455667788ull);
+        p.put<std::uint16_t>(base_ + 6, 0xbeefu);    // high half of word 1
+        p.put<std::uint16_t>(base_ + 4094, 0x7777u); // tail of the page
+    }
+
+    void validate(dsm::System &) override {}
+
+    sim::GAddr base_ = 0;
+};
+
+} // namespace
+
+TEST(SnoopBits, UnalignedPutsSpanTheRightWords)
+{
+    // The snoop logic marks every word a store touches: a put at byte
+    // offset o of b bytes covers (o%4 + b + 3)/4 words starting at o/4,
+    // so sub-word stores in a word's high half and multi-word stores
+    // both land on the right bits. Both access paths must agree.
+    sim::setQuiet(true);
+    for (const bool fast : {false, true}) {
+        SnoopBitWorkload w;
+        dsm::SysConfig cfg;
+        cfg.num_procs = 2;
+        cfg.heap_bytes = 1u << 20;
+        cfg.mode.offload = cfg.mode.hw_diffs = true; // arms write bits
+        cfg.fast_path = fast;
+        dsm::System sys(cfg, tmk::makeTreadMarks(cfg.mode));
+        sys.run(w);
+
+        const sim::PageId pid = w.base_ / cfg.page_bytes;
+        const dsm::NodePage &pg = sys.node(0).pages.page(pid);
+        ASSERT_FALSE(pg.write_bits.empty()) << "fast=" << fast;
+        auto set = [&pg](unsigned word) {
+            return (pg.write_bits[word >> 6] >> (word & 63)) & 1u;
+        };
+        // 8B @ 8 -> words 2,3; 2B @ 6 -> word 1; 2B @ 4094 -> word 1023.
+        EXPECT_FALSE(set(0)) << "fast=" << fast;
+        EXPECT_TRUE(set(1)) << "fast=" << fast;
+        EXPECT_TRUE(set(2)) << "fast=" << fast;
+        EXPECT_TRUE(set(3)) << "fast=" << fast;
+        EXPECT_FALSE(set(4)) << "fast=" << fast;
+        EXPECT_FALSE(set(1022)) << "fast=" << fast;
+        EXPECT_TRUE(set(1023)) << "fast=" << fast;
+        EXPECT_EQ(dsm::PageStore::writtenWords(pg), 4u) << "fast=" << fast;
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -10,7 +10,20 @@ more than THRESHOLD relative to the baseline ratio. Ratios, unlike
 absolute nanoseconds, transfer across machines, so the committed
 baseline remains meaningful on any CI runner.
 
-Usage: check_perf_regression.py [path-to-bench_host.json]
+Kernels only in the current run are reported as "new" (informational):
+a freshly added kernel has no committed ratio to compare against and
+must not fail the gate on machines whose baseline predates it. Kernels
+only in the baseline still fail - losing a kernel silently would mask a
+regression. A newly added kernel can be gated absolutely instead with
+--require (below) until its baseline lands.
+
+Usage: check_perf_regression.py [path] [--require NAME:MINSPEEDUP ...]
+
+--require NAME:MINSPEEDUP demands that kernel NAME exists in the current
+run with speedup >= MINSPEEDUP; use it to pin an absolute floor under a
+kernel whose win is the point of a change (e.g. --require
+access_putrange:2.0 keeps the bulk access path at >= 2x the slow loop).
+
 Exit status: 0 ok, 1 regression, 2 usage/format error.
 """
 
@@ -38,8 +51,32 @@ def kernel_map(run):
     return {k["name"]: k for k in run.get("kernels", [])}
 
 
+def parse_args(argv):
+    path = "results/bench_host.json"
+    requires = {}
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--require":
+            if not args:
+                sys.exit("--require needs a NAME:MINSPEEDUP argument")
+            arg = args.pop(0)
+            name, sep, floor = arg.partition(":")
+            if not sep or not name:
+                sys.exit(f"bad --require '{arg}': expected NAME:MINSPEEDUP")
+            try:
+                requires[name] = float(floor)
+            except ValueError:
+                sys.exit(f"bad --require '{arg}': '{floor}' is not a number")
+        elif arg.startswith("-"):
+            sys.exit(f"unknown option '{arg}'")
+        else:
+            path = arg
+    return path, requires
+
+
 def main(argv):
-    path = argv[1] if len(argv) > 1 else "results/bench_host.json"
+    path, requires = parse_args(argv)
     runs = load_runs(path)
     if len(runs) < 2:
         sys.exit(f"{path}: need a baseline line and a current line "
@@ -48,11 +85,16 @@ def main(argv):
     base, cur = kernel_map(runs[0]), kernel_map(runs[-1])
     failed = False
     print(f"{'kernel':<16} {'baseline':>9} {'current':>9} {'ratio':>7}")
-    for name, b in base.items():
-        c = cur.get(name)
+    for name in sorted(set(base) | set(cur), key=lambda n:
+                       (n not in base, n)):
+        b, c = base.get(name), cur.get(name)
         if c is None:
-            print(f"{name:<16} {'-':>9} {'-':>9} MISSING")
+            print(f"{name:<16} {b['speedup']:>8.2f}x {'-':>9} MISSING")
             failed = True
+            continue
+        if b is None:
+            print(f"{name:<16} {'-':>9} {c['speedup']:>8.2f}x "
+                  f"{'':>6} new")
             continue
         rel = c["speedup"] / b["speedup"] if b["speedup"] else 0.0
         verdict = "ok" if rel >= 1.0 - THRESHOLD else "REGRESSED"
@@ -61,9 +103,20 @@ def main(argv):
         if verdict != "ok":
             failed = True
 
+    for name, floor in sorted(requires.items()):
+        c = cur.get(name)
+        if c is None:
+            print(f"required kernel '{name}' missing from the current run")
+            failed = True
+        elif c["speedup"] < floor:
+            print(f"required kernel '{name}': speedup {c['speedup']:.2f}x "
+                  f"below the {floor:.2f}x floor")
+            failed = True
+
     if failed:
         print(f"\nFAIL: a kernel's legacy-vs-current speedup dropped more "
-              f"than {THRESHOLD:.0%} below the committed baseline")
+              f"than {THRESHOLD:.0%} below the committed baseline, "
+              f"disappeared, or missed a --require floor")
         return 1
     print("\nOK: no kernel degraded beyond threshold")
     return 0
