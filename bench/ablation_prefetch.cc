@@ -15,9 +15,11 @@
 #include "bench/figure_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fig::header("Ablation: prefetching strategies (extension)");
+    if (fig::header(argc, argv,
+                    "Ablation: prefetching strategies (extension)"))
+        return 0;
 
     struct Variant
     {
@@ -60,11 +62,8 @@ main()
                       "useless%"});
         for (const Variant &v : variants) {
             const dsm::RunResult &r = results[i++].run;
-            const double issued = r.extra.count("tmk.prefetches")
-                ? r.extra.at("tmk.prefetches") : 0;
-            const double useless =
-                r.extra.count("tmk.prefetches_useless")
-                    ? r.extra.at("tmk.prefetches_useless") : 0;
+            const double issued = r.stats.value("tmk.prefetches");
+            const double useless = r.stats.value("tmk.prefetches_useless");
             t.addRow({v.label,
                       sim::Table::fmt(
                           100.0 * static_cast<double>(r.exec_ticks) /
@@ -78,8 +77,7 @@ main()
         // instead of prefetching (I+D plus piggybacked diffs).
         {
             const dsm::RunResult &r = results[i++].run;
-            const double lh = r.extra.count("tmk.lh_updates")
-                ? r.extra.at("tmk.lh_updates") : 0;
+            const double lh = r.stats.value("tmk.lh_updates");
             t.addRow({"lazy-hybrid",
                       sim::Table::fmt(
                           100.0 * static_cast<double>(r.exec_ticks) /

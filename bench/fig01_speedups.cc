@@ -9,9 +9,11 @@
 #include "sim/stats.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fig::header("Figure 1: speedups under TreadMarks (Base)");
+    if (fig::header(argc, argv,
+                    "Figure 1: speedups under TreadMarks (Base)"))
+        return 0;
 
     const unsigned counts[] = {1, 2, 4, 8, 16};
     const std::size_t ncounts = std::size(counts);

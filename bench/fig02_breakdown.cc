@@ -10,9 +10,11 @@
 #include "bench/figure_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fig::header("Figure 2: TreadMarks (Base) breakdown on 16 processors");
+    if (fig::header(argc, argv,
+                    "Figure 2: TreadMarks (Base) breakdown on 16 processors"))
+        return 0;
 
     const unsigned procs = fig::procsFromEnv();
     std::vector<harness::Job> jobs;

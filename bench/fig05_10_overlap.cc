@@ -13,9 +13,11 @@
 #include "bench/figure_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fig::header("Figures 5-10: overlap techniques under TreadMarks");
+    if (fig::header(argc, argv,
+                    "Figures 5-10: overlap techniques under TreadMarks"))
+        return 0;
 
     const char *modes[] = {"Base", "I", "I+D", "P", "I+P", "I+P+D"};
     const std::size_t nmodes = std::size(modes);
@@ -49,13 +51,10 @@ main()
                     static_cast<double>(r.total().diff_op_cycles +
                                         r.total().diff_op_ctrl_cycles);
             }
-            if (!std::strcmp(m, "I+P")) {
-                auto it = r.extra.find("tmk.prefetches");
-                auto iu = r.extra.find("tmk.prefetches_useless");
-                if (it != r.extra.end() && iu != r.extra.end()) {
-                    prefetch_total = it->second;
-                    prefetch_useless = iu->second;
-                }
+            if (!std::strcmp(m, "I+P") &&
+                r.stats.has("tmk.prefetches")) {
+                prefetch_total = r.stats.value("tmk.prefetches");
+                prefetch_useless = r.stats.value("tmk.prefetches_useless");
             }
             rows.push_back(row.normalizedTo(base));
         }

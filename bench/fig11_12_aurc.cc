@@ -10,9 +10,11 @@
 #include "bench/figure_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fig::header("Figures 11-12: overlapping TreadMarks (I+D) vs AURC");
+    if (fig::header(argc, argv,
+                    "Figures 11-12: overlapping TreadMarks (I+D) vs AURC"))
+        return 0;
 
     const char *protos[] = {"I+D", "AURC", "AURC+P"};
     const std::size_t nprotos = std::size(protos);

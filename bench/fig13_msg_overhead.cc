@@ -13,9 +13,11 @@
 #include "bench/figure_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fig::header("Figure 13: messaging overhead sweep (Em3d)");
+    if (fig::header(argc, argv,
+                    "Figure 13: messaging overhead sweep (Em3d)"))
+        return 0;
 
     const unsigned procs = fig::procsFromEnv();
     // Per-message overheads in cycles (100 = 1us at 100 MHz).

@@ -9,9 +9,11 @@
 #include "bench/figure_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fig::header("Figure 14: network bandwidth sweep (Em3d)");
+    if (fig::header(argc, argv,
+                    "Figure 14: network bandwidth sweep (Em3d)"))
+        return 0;
 
     const unsigned procs = fig::procsFromEnv();
     const double bandwidths[] = {20, 50, 100, 150, 200};

@@ -10,9 +10,11 @@
 #include "bench/figure_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fig::header("Figure 15: memory latency sweep (Em3d)");
+    if (fig::header(argc, argv,
+                    "Figure 15: memory latency sweep (Em3d)"))
+        return 0;
 
     const unsigned procs = fig::procsFromEnv();
     const double lat_ns[] = {40, 70, 100, 150, 200};

@@ -9,9 +9,11 @@
 #include "bench/figure_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    fig::header("Figure 16: memory bandwidth sweep (Em3d)");
+    if (fig::header(argc, argv,
+                    "Figure 16: memory bandwidth sweep (Em3d)"))
+        return 0;
 
     const unsigned procs = fig::procsFromEnv();
     const double bw_mbs[] = {60, 80, 103, 150, 200};

@@ -9,21 +9,16 @@
  * are identical to a serial run, whatever the worker count), prints the
  * same tables as ever, and records the batch to results/<bench>.json.
  *
- * Environment knobs:
- *   NCP2_SCALE = tiny | small | standard   (default: standard)
- *   NCP2_PROCS = <n in [1,64]>             (default: 16)
- *   NCP2_JOBS  = <worker threads>          (default: hardware concurrency)
- *   NCP2_RESULTS_DIR = <dir>               (default: results)
- *   NCP2_FAST_PATH = 0                     (force the descriptor fast
- *                                           path off; results must not
- *                                           change, only host time)
+ * Environment knobs are owned by harness::knobs (run any bench with
+ * --knobs for the registry listing): NCP2_SCALE, NCP2_PROCS, NCP2_JOBS,
+ * NCP2_RESULTS_DIR, NCP2_FAST_PATH, NCP2_TRACE.
  */
 
 #ifndef NCP2_BENCH_FIGURE_COMMON_HH
 #define NCP2_BENCH_FIGURE_COMMON_HH
 
-#include <cstdlib>
-#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -31,8 +26,10 @@
 #include "apps/apps.hh"
 #include "harness/experiment.hh"
 #include "harness/json_out.hh"
+#include "harness/knobs.hh"
 #include "harness/runner.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace fig
 {
@@ -40,12 +37,10 @@ namespace fig
 inline apps::Scale
 scaleFromEnv()
 {
-    const char *s = std::getenv("NCP2_SCALE");
-    if (!s)
-        return apps::Scale::standard;
-    if (!std::strcmp(s, "tiny"))
+    const std::string s = harness::knobs::scale();
+    if (s == "tiny")
         return apps::Scale::tiny;
-    if (!std::strcmp(s, "small"))
+    if (s == "small")
         return apps::Scale::small;
     return apps::Scale::standard;
 }
@@ -53,19 +48,7 @@ scaleFromEnv()
 inline unsigned
 procsFromEnv()
 {
-    const char *s = std::getenv("NCP2_PROCS");
-    if (!s || !*s)
-        return 16u;
-    char *end = nullptr;
-    const long v = std::strtol(s, &end, 10);
-    if (end == s || *end != '\0' || v <= 0)
-        ncp2_fatal("NCP2_PROCS='%s' is not a positive processor count", s);
-    if (v > 64) {
-        ncp2_warn("NCP2_PROCS=%ld exceeds the supported maximum; "
-                  "clamping to 64", v);
-        return 64u;
-    }
-    return static_cast<unsigned>(v);
+    return harness::knobs::procs();
 }
 
 /** Build a SysConfig for a protocol label: Base, I, I+D, P, I+P,
@@ -79,8 +62,9 @@ configFor(const std::string &proto, unsigned procs)
     // Escape hatch for A/B-ing the access-descriptor fast path: any
     // figure bench re-run with NCP2_FAST_PATH=0 must print identical
     // tables (the simulated results are bit-identical by contract).
-    if (const char *fp = std::getenv("NCP2_FAST_PATH"))
-        cfg.fast_path = std::strcmp(fp, "0") != 0;
+    cfg.fast_path = harness::knobs::fastPath();
+    // Tracing likewise must not perturb results, only record them.
+    cfg.trace_capacity = harness::knobs::traceCapacity();
     if (proto.rfind("AURC", 0) == 0) {
         cfg.protocol = dsm::ProtocolKind::aurc;
         cfg.mode.prefetch = proto == "AURC+P";
@@ -135,6 +119,29 @@ runAll(const char *bench, const std::vector<harness::Job> &jobs)
         harness::writeResultsJson(bench, results, engine.workers());
     std::cerr << "[" << bench << ": " << jobs.size() << " simulations on "
               << engine.workers() << " workers -> " << path << "]\n";
+    if (harness::knobs::traceCapacity()) {
+        const std::string dir = harness::resultsDir() + "/trace";
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        if (ec)
+            ncp2_fatal("cannot create trace dir '%s': %s", dir.c_str(),
+                       ec.message().c_str());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const harness::JobResult &jr = results[i];
+            const std::string tpath = dir + "/" + bench + "_" +
+                                      std::to_string(i) + ".json";
+            std::ofstream os(tpath);
+            if (!os)
+                ncp2_fatal("cannot open '%s' for writing", tpath.c_str());
+            sim::writeChromeTrace(os, jr.run.trace, jr.run.trace_dropped,
+                                  jr.cfg.num_procs,
+                                  {{"bench", bench}, {"label", jr.label}});
+            if (!os.flush())
+                ncp2_fatal("write to '%s' failed", tpath.c_str());
+        }
+        std::cerr << "[" << bench << ": " << results.size()
+                  << " traces -> " << dir << "]\n";
+    }
     return results;
 }
 
@@ -147,6 +154,21 @@ header(const char *what)
     dsm::SysConfig def = configFor("Base", procsFromEnv());
     harness::printConfig(std::cout, def);
     std::cout << '\n';
+}
+
+/**
+ * CLI-aware header: handles --knobs (print the knob registry and exit)
+ * before printing the banner. Benches call this from main(argc, argv);
+ * the default stdout with no arguments is unchanged.
+ * @return true if the bench should exit immediately (flag handled).
+ */
+inline bool
+header(int argc, char **argv, const char *what)
+{
+    if (harness::knobs::handleCli(argc, argv, std::cout))
+        return true;
+    header(what);
+    return false;
 }
 
 } // namespace fig

@@ -338,6 +338,35 @@ benchAccessPath(unsigned passes)
     return out;
 }
 
+/**
+ * The tracing-disabled overhead gate: the same small 8-proc stencil
+ * simulation with the event-trace ring enabled ("before") and disabled
+ * ("after"). With tracing off every emission site reduces to one
+ * predictable never-taken branch, so disabled must never be slower than
+ * enabled; CI pins a floor just under 1.0 to allow timer noise.
+ */
+KernelResult
+benchTraceOverhead(unsigned trials)
+{
+    sim::setQuiet(true);
+    auto simOnce = [](std::size_t trace_capacity) {
+        testutil::StencilWorkload w(1024, 3);
+        dsm::SysConfig cfg;
+        cfg.num_procs = 8;
+        cfg.heap_bytes = 4u << 20;
+        cfg.trace_capacity = trace_capacity;
+        dsm::System sys(cfg, tmk::makeTreadMarks(cfg.mode));
+        if (sys.run(w).exec_ticks == 0)
+            std::abort();
+    };
+    KernelResult r;
+    r.name = "trace_off";
+    r.items = 1;
+    r.before_ns = timeKernel(trials, 1, [&]() { simOnce(1u << 18); });
+    r.after_ns = timeKernel(trials, 1, [&]() { simOnce(0); });
+    return r;
+}
+
 /** Absolute end-to-end time of a small 8-proc stencil simulation. */
 double
 benchSimSmallMs(unsigned trials)
@@ -414,6 +443,7 @@ main(int argc, char **argv)
     kernels.push_back(benchDiffBits(trials, inner, 128));
     for (KernelResult &k : benchAccessPath(quick ? 8u : 30u))
         kernels.push_back(std::move(k));
+    kernels.push_back(benchTraceOverhead(quick ? 3 : 10));
     const double sim_small_ms = benchSimSmallMs(quick ? 3 : 10);
 
     std::cout << "kernel            before_ns   after_ns  speedup\n";

@@ -44,7 +44,7 @@ main()
                                  {row.normalizedTo(row)});
 
     std::cout << "\nProtocol statistics:\n";
-    for (const auto &[k, v] : r.extra)
+    for (const auto &[k, v] : r.stats.flat())
         std::cout << "  " << k << " = " << v << '\n';
     return 0;
 }

@@ -19,6 +19,52 @@ makeAurc(bool prefetch)
     return std::make_unique<Aurc>(prefetch);
 }
 
+Aurc::Aurc(bool prefetch) : prefetch_enabled_(prefetch)
+{
+    // Names keep the flat keys the results JSON has always used
+    // ("aurc.prefetches", ...).
+    group_.addCounter("updates_sent", &stats_.updates_sent,
+                      "automatic-update messages on the wire");
+    group_.addCounter("update_words", &stats_.update_words,
+                      "words carried by automatic updates");
+    group_.addCounter("wcache_hits", &stats_.wcache_hits,
+                      "stores combined in the write cache");
+    group_.addCounter("wcache_evictions", &stats_.wcache_evictions,
+                      "write-cache entries evicted by capacity");
+    group_.addCounter("page_fetches", &stats_.page_fetches,
+                      "full-page demand fetches");
+    group_.addCounter("write_faults", &stats_.write_faults,
+                      "write access faults taken");
+    group_.addCounter("pairwise_pages", &stats_.pairwise_pages,
+                      "pages that ever became pairwise");
+    group_.addCounter("pair_replacements", &stats_.pair_replacements,
+                      "third-toucher pair replacements");
+    group_.addCounter("reverts_to_home", &stats_.reverts_to_home,
+                      "pages reverted to home-based write-through");
+    group_.addCounter("invalidations", &stats_.invalidations,
+                      "page invalidations from write notices");
+    group_.addCounter("lock_acquires", &stats_.lock_acquires,
+                      "lock acquire operations");
+    group_.addCounter("barriers", &stats_.barriers,
+                      "barrier episodes completed");
+    group_.addCounter("prefetches", &stats_.prefetches_issued,
+                      "page prefetches started");
+    group_.addCounter("prefetches_useless", &stats_.prefetches_useless,
+                      "prefetched pages invalidated or never used");
+    group_.addCounter("prefetch_demand_waits", &stats_.prefetch_demand_waits,
+                      "demand faults that waited on a pending prefetch");
+    group_.addCounter("update_drain_waits", &stats_.update_drain_waits,
+                      "deliveries delayed by in-flight updates");
+    group_.addCounter("updates_dropped_absent",
+                      &stats_.updates_dropped_absent,
+                      "updates that hit an unmapped copy");
+    group_.addCounter("updates_stamp_rejected",
+                      &stats_.updates_stamp_rejected,
+                      "update words older than the copy's stamp");
+    group_.addHistogram("update_size", &stats_.update_size,
+                        "words per automatic-update message");
+}
+
 std::string
 Aurc::name() const
 {
@@ -142,6 +188,10 @@ Aurc::applyInvalidations(NodeId proc, const dsm::VectorClock &from,
                 ++stats_.invalidations;
                 if (pg.prefetched_unused) {
                     ++stats_.prefetches_useless;
+                    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+                        tr->emit(sys_->eq().now(), proc,
+                                 sim::TraceEngine::cpu,
+                                 sim::TraceKind::prefetch_useless, page);
                     pg.prefetched_unused = false;
                 }
                 if (pg.referenced)
@@ -267,6 +317,7 @@ Aurc::sendUpdate(NodeId proc, const WcEntry &e)
         static_cast<unsigned>(__builtin_popcount(e.mask));
     ++stats_.updates_sent;
     stats_.update_words += words;
+    stats_.update_size.sample(words);
 
     // The Shrimp NI snoops and sends without processor involvement,
     // but each update occupies the NI pipeline for the per-message
@@ -379,6 +430,9 @@ Aurc::ensureAccess(NodeId proc, PageId page, bool for_write)
     if (pit != prefetch_[proc].end()) {
         ++stats_.prefetch_demand_waits;
         pit->second.demand_wait = true;
+        if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+            tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                     sim::TraceKind::prefetch_hit, page);
         n.cpu.block(Cat::data);
     }
 
@@ -389,6 +443,9 @@ Aurc::ensureAccess(NodeId proc, PageId page, bool for_write)
         // Write fault: cheap (no twins in AURC) - just the trap plus
         // interval registration.
         ++stats_.write_faults;
+        if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+            tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                     sim::TraceKind::page_fault, page, 1);
         n.cpu.advance(cfg().interrupt_cycles, Cat::data);
         pg.access = dsm::Access::readwrite;
         if (!pg.dirty_in_interval) {
@@ -403,6 +460,9 @@ Aurc::faultIn(NodeId proc, PageId page)
 {
     dsm::Node &n = node(proc);
     PageShare &sh = pages_[page];
+    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+        tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                 sim::TraceKind::page_fault, page, 0);
     n.cpu.advance(cfg().interrupt_cycles, Cat::data); // VM trap
 
     // Serialize transitions: wait while another fault is mid-fetch.
@@ -491,6 +551,9 @@ Aurc::faultIn(NodeId proc, PageId page)
     pg.referenced = false;
     pg.prefetched_unused = false;
     sys_->snoopInvalidatePage(proc, page);
+    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+        tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                 sim::TraceKind::fault_done, page);
 }
 
 void
@@ -594,6 +657,9 @@ Aurc::issuePrefetches(NodeId proc)
         pg.prefetch_pending = true;
         prefetch_[proc][page] = PagePrefetch{};
         ++stats_.prefetches_issued;
+        if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+            tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                     sim::TraceKind::prefetch_issue, page);
 
         fetchPage(proc, src, page, true, [this, proc, page]() {
             auto it = prefetch_[proc].find(page);
@@ -653,6 +719,9 @@ Aurc::acquire(NodeId proc, unsigned lock_id)
 {
     dsm::Node &n = node(proc);
     ++stats_.lock_acquires;
+    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+        tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                 sim::TraceKind::lock_acquire, lock_id);
 
     if (nprocs() == 1) {
         n.cpu.advance(20, Cat::synch);
@@ -764,7 +833,9 @@ Aurc::deliverGrant(unsigned lock_id, NodeId to, dsm::VectorClock grant_vt)
                             });
         return;
     }
-    (void)lock_id;
+    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+        tr->emit(now, to, sim::TraceEngine::cpu,
+                 sim::TraceKind::lock_grant, lock_id);
     ProcState &ps = procs_[to];
     applyInvalidations(to, ps.vt, grant_vt);
     ps.vt.merge(grant_vt);
@@ -940,27 +1011,8 @@ Aurc::finalize()
                 ++stats_.prefetches_useless;
         }
     }
-
-    auto &x = sys_->extra_stats;
-    x["aurc.updates_sent"] = static_cast<double>(stats_.updates_sent);
-    x["aurc.update_words"] = static_cast<double>(stats_.update_words);
-    x["aurc.wcache_hits"] = static_cast<double>(stats_.wcache_hits);
-    x["aurc.page_fetches"] = static_cast<double>(stats_.page_fetches);
-    x["aurc.pairwise_pages"] = static_cast<double>(stats_.pairwise_pages);
-    x["aurc.reverts_to_home"] =
-        static_cast<double>(stats_.reverts_to_home);
-    x["aurc.invalidations"] = static_cast<double>(stats_.invalidations);
-    x["aurc.lock_acquires"] = static_cast<double>(stats_.lock_acquires);
-    x["aurc.barriers"] = static_cast<double>(stats_.barriers);
-    x["aurc.prefetches"] = static_cast<double>(stats_.prefetches_issued);
-    x["aurc.prefetches_useless"] =
-        static_cast<double>(stats_.prefetches_useless);
-    x["aurc.updates_dropped_absent"] =
-        static_cast<double>(stats_.updates_dropped_absent);
-    x["aurc.updates_stamp_rejected"] =
-        static_cast<double>(stats_.updates_stamp_rejected);
-    x["aurc.update_drain_waits"] =
-        static_cast<double>(stats_.update_drain_waits);
+    // Counters are exported through statGroup(): System::run snapshots
+    // the group, so no hand-copy into an ad-hoc map is needed.
 }
 
 } // namespace aurc

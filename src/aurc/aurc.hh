@@ -46,6 +46,7 @@
 #include "dsm/system.hh"
 #include "dsm/vclock.hh"
 #include "sim/resource.hh"
+#include "sim/stats.hh"
 
 namespace aurc
 {
@@ -53,31 +54,33 @@ namespace aurc
 /** AURC statistics (inputs to figures 11-16). */
 struct AurcStats
 {
-    std::uint64_t updates_sent = 0;     ///< update messages on the wire
-    std::uint64_t update_words = 0;
-    std::uint64_t wcache_hits = 0;      ///< stores combined in the write cache
-    std::uint64_t wcache_evictions = 0;
-    std::uint64_t page_fetches = 0;
-    std::uint64_t write_faults = 0;
-    std::uint64_t pairwise_pages = 0;   ///< pages that ever became pairwise
-    std::uint64_t pair_replacements = 0;
-    std::uint64_t reverts_to_home = 0;
-    std::uint64_t invalidations = 0;
-    std::uint64_t lock_acquires = 0;
-    std::uint64_t barriers = 0;
-    std::uint64_t prefetches_issued = 0;
-    std::uint64_t prefetches_useless = 0;
-    std::uint64_t prefetch_demand_waits = 0;
-    std::uint64_t update_drain_waits = 0; ///< fetches delayed by in-flight updates
-    std::uint64_t updates_dropped_absent = 0; ///< update hit an unmapped copy
-    std::uint64_t updates_stamp_rejected = 0; ///< word older than the copy
+    sim::Counter updates_sent;     ///< update messages on the wire
+    sim::Counter update_words;
+    sim::Counter wcache_hits;      ///< stores combined in the write cache
+    sim::Counter wcache_evictions;
+    sim::Counter page_fetches;
+    sim::Counter write_faults;
+    sim::Counter pairwise_pages;   ///< pages that ever became pairwise
+    sim::Counter pair_replacements;
+    sim::Counter reverts_to_home;
+    sim::Counter invalidations;
+    sim::Counter lock_acquires;
+    sim::Counter barriers;
+    sim::Counter prefetches_issued;
+    sim::Counter prefetches_useless;
+    sim::Counter prefetch_demand_waits;
+    sim::Counter update_drain_waits; ///< fetches delayed by in-flight updates
+    sim::Counter updates_dropped_absent; ///< update hit an unmapped copy
+    sim::Counter updates_stamp_rejected; ///< word older than the copy
+    /// Update size distribution: words per automatic-update message.
+    sim::Histogram update_size{{1, 2, 4, 8}};
 };
 
 /** The AURC protocol (optionally with page prefetching). */
 class Aurc : public dsm::Protocol
 {
   public:
-    explicit Aurc(bool prefetch) : prefetch_enabled_(prefetch) {}
+    explicit Aurc(bool prefetch);
 
     void attach(dsm::System &sys) override;
     void ensureAccess(sim::NodeId proc, sim::PageId page,
@@ -92,6 +95,7 @@ class Aurc : public dsm::Protocol
     std::string name() const override;
     void readCoherent(sim::PageId page, std::uint8_t *out) override;
     void finalize() override;
+    const sim::StatGroup *statGroup() const override { return &group_; }
 
     const AurcStats &stats() const { return stats_; }
 
@@ -262,6 +266,7 @@ class Aurc : public dsm::Protocol
         std::unique_ptr<std::uint32_t[]>>> copy_stamps_;
     std::uint32_t write_stamp_ = 0;
     AurcStats stats_;
+    sim::StatGroup group_{"aurc"};
 };
 
 /** Factory helper used by benches and tests. */

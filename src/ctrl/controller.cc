@@ -22,6 +22,9 @@ Controller::submit(Priority prio, RunFn run, DoneFn done)
         high_.push_back(std::move(cmd));
     else
         low_.push_back(std::move(cmd));
+    if (trace_) [[unlikely]]
+        trace_->emit(eq_.now(), node_, sim::TraceEngine::ctrl,
+                     sim::TraceKind::ctrl_queue, queued());
     if (!busy_)
         startNext();
 }
@@ -41,6 +44,9 @@ Controller::startNext()
     busy_ = true;
     Command cmd = std::move(q->front());
     q->pop_front();
+    if (trace_) [[unlikely]]
+        trace_->emit(eq_.now(), node_, sim::TraceEngine::ctrl,
+                     sim::TraceKind::ctrl_queue, queued());
 
     const sim::Tick start = eq_.now();
     queue_cycles_ += start - cmd.submitted;

@@ -32,6 +32,7 @@
 #include "pcib/pci_bus.hh"
 #include "sim/event_queue.hh"
 #include "sim/resource.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace ctrl
@@ -104,6 +105,9 @@ class Controller
     std::uint64_t dmaBusyCycles() const { return dma_.busyCycles(); }
     std::size_t queued() const { return high_.size() + low_.size(); }
 
+    /** Enable event tracing: command-queue occupancy on the ctrl track. */
+    void setTrace(sim::Trace *t) { trace_ = t; }
+
   private:
     struct Command
     {
@@ -127,6 +131,7 @@ class Controller
     bool busy_ = false;
     std::uint64_t commands_run_ = 0;
     std::uint64_t queue_cycles_ = 0;
+    sim::Trace *trace_ = nullptr; ///< owned by the System; may be null
 };
 
 } // namespace ctrl

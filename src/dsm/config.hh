@@ -142,6 +142,12 @@ struct SysConfig
     /// in-tree workload (deepest recursion: Barnes tree walks, TSP
     /// branch-and-bound); raise it for workloads that recurse harder.
     std::size_t fiber_stack_bytes = 1u << 20;
+    /// Event-trace ring capacity in records; 0 (the default) disables
+    /// tracing entirely — the System then owns no sim::Trace and every
+    /// emission site reduces to one never-taken branch. Simulated
+    /// results are bit-identical with tracing on or off. The benches
+    /// set this from the NCP2_TRACE knob.
+    std::size_t trace_capacity = 0;
 
     unsigned pageWords() const { return page_bytes / 4; }
 

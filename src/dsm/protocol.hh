@@ -21,6 +21,11 @@
 #include "dsm/access_desc.hh"
 #include "sim/types.hh"
 
+namespace sim
+{
+class StatGroup;
+}
+
 namespace dsm
 {
 
@@ -89,6 +94,14 @@ class Protocol
 
     /** Protocol display name ("TreadMarks/I+D", "AURC+P", ...). */
     virtual std::string name() const = 0;
+
+    /**
+     * The protocol's statistics tree (counters, accums, histograms),
+     * or nullptr if it keeps none. System::run() snapshots it into the
+     * RunResult at end of run; the group and the stats it points at
+     * must stay alive until then.
+     */
+    virtual const sim::StatGroup *statGroup() const { return nullptr; }
 
     /**
      * Host-side (zero-time) reconstruction of the coherent contents of

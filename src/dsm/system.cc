@@ -30,6 +30,15 @@ System::System(SysConfig cfg, std::unique_ptr<Protocol> protocol)
     nodes_.reserve(cfg_.num_procs);
     for (unsigned i = 0; i < cfg_.num_procs; ++i)
         nodes_.push_back(std::make_unique<Node>(i, eq_, cfg_));
+    if (cfg_.trace_capacity) {
+        trace_ = std::make_unique<sim::Trace>(cfg_.trace_capacity);
+        barrier_epochs_.assign(cfg_.num_procs, 0);
+        // The controller and the mesh emit on their own tracks; hand
+        // them the tracer (null stays null when tracing is off).
+        net_->setTrace(trace_.get());
+        for (auto &n : nodes_)
+            n->controller.setTrace(trace_.get());
+    }
 }
 
 System::~System() = default;
@@ -73,8 +82,35 @@ System::run(Workload &workload)
         r.bd.push_back(n->cpu.bd);
     }
     r.net = net_->stats();
-    r.extra = extra_stats;
+    if (const sim::StatGroup *g = protocol_->statGroup())
+        r.stats = g->snapshot();
+    if (trace_) {
+        // Close the last barrier epoch with the exact end-of-run
+        // breakdowns (the same values r.bd carries), so per-epoch
+        // deltas reconstructed from the trace telescope to the
+        // BreakdownRow aggregates exactly.
+        for (unsigned i = 0; i < cfg_.num_procs; ++i)
+            emitBdSnapshot(i, r.exec_ticks);
+        r.trace = trace_->drain();
+        r.trace_dropped = trace_->dropped();
+    }
     return r;
+}
+
+void
+System::emitBdSnapshot(sim::NodeId proc, sim::Tick t)
+{
+    const Breakdown &b = nodes_[proc]->cpu.bd;
+    for (unsigned c = 0; c < num_cats; ++c) {
+        trace_->emit(t, proc, sim::TraceEngine::cpu,
+                     sim::TraceKind::bd_snapshot, b.cycles[c],
+                     static_cast<std::uint16_t>(c));
+    }
+    trace_->emit(t, proc, sim::TraceEngine::cpu, sim::TraceKind::bd_snapshot,
+                 b.diff_op_cycles, static_cast<std::uint16_t>(num_cats));
+    trace_->emit(t, proc, sim::TraceEngine::cpu, sim::TraceKind::bd_snapshot,
+                 b.diff_op_ctrl_cycles,
+                 static_cast<std::uint16_t>(num_cats + 1));
 }
 
 void
@@ -439,6 +475,18 @@ void
 System::barrier(sim::NodeId proc, unsigned barrier_id)
 {
     protocol_->barrier(proc, barrier_id);
+    if (trace_) [[unlikely]] {
+        // Epoch boundary: stamp the crossing and this processor's
+        // cumulative breakdown, so tools/trace_summary.py can
+        // difference consecutive snapshots into per-epoch breakdowns.
+        // (Breakdown cycles are accumulated eagerly in Cpu::advance, so
+        // they are exact here, not quantum-stale.)
+        const sim::Tick t = nodes_[proc]->cpu.localNow();
+        trace_->emit(t, proc, sim::TraceEngine::cpu,
+                     sim::TraceKind::barrier_epoch, barrier_epochs_[proc]++,
+                     static_cast<std::uint16_t>(barrier_id));
+        emitBdSnapshot(proc, t);
+    }
 }
 
 } // namespace dsm

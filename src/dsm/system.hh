@@ -13,7 +13,6 @@
 #ifndef NCP2_DSM_SYSTEM_HH
 #define NCP2_DSM_SYSTEM_HH
 
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -38,6 +37,8 @@
 #include "sim/context.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace dsm
 {
@@ -65,7 +66,14 @@ struct RunResult
     sim::Tick exec_ticks = 0;           ///< max processor finish tick
     std::vector<Breakdown> bd;          ///< per-processor breakdown
     net::NetStats net;                  ///< fabric traffic
-    std::map<std::string, double> extra; ///< protocol-specific stats
+    /// Snapshot of the protocol's stat tree (sim::StatGroup), taken at
+    /// end of run so it survives the System. Counter lookups go through
+    /// stats.value("tmk.lock_acquires")-style dotted paths.
+    sim::StatSnapshot stats;
+    /// Event trace (oldest surviving record first); empty unless
+    /// SysConfig::trace_capacity was non-zero.
+    std::vector<sim::TraceRecord> trace;
+    std::uint64_t trace_dropped = 0;    ///< records lost to ring overflow
 
     Breakdown
     total() const
@@ -99,6 +107,14 @@ class System
     net::MeshNetwork &net() { return *net_; }
     GlobalHeap &heap() { return *heap_; }
     Protocol &protocol() { return *protocol_; }
+
+    /**
+     * The event tracer, or nullptr when tracing is off
+     * (cfg().trace_capacity == 0). Emission sites guard on this
+     * pointer — the single predictable branch tracing costs when
+     * disabled.
+     */
+    sim::Trace *trace() { return trace_.get(); }
 
     // ----- shared-access path (called by Proc) -----
     void access(sim::NodeId proc, sim::GAddr addr, unsigned bytes,
@@ -149,10 +165,11 @@ class System
     void release(sim::NodeId proc, unsigned lock_id);
     void barrier(sim::NodeId proc, unsigned barrier_id);
 
-    // run-time stats the protocol can fill in finalize()
-    std::map<std::string, double> extra_stats;
-
   private:
+    /// Emit one bd_snapshot record per breakdown category (plus the two
+    /// diff-op accounts) for @p proc at tick @p t; tracing must be on.
+    void emitBdSnapshot(sim::NodeId proc, sim::Tick t);
+
     /// One element of the shared-access path: issue + TLB charges, then
     /// descriptor fast path or virtual slow path (+ descriptor install).
     void accessOne(Node &n, sim::NodeId proc, sim::GAddr addr,
@@ -189,6 +206,8 @@ class System
     std::unique_ptr<net::MeshNetwork> net_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::unique_ptr<Protocol> protocol_;
+    std::unique_ptr<sim::Trace> trace_; ///< non-null iff tracing is on
+    std::vector<unsigned> barrier_epochs_; ///< per-proc crossings (trace)
 };
 
 } // namespace dsm

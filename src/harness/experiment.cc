@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <thread>
 
+#include "harness/knobs.hh"
 #include "harness/runner.hh"
 #include "sim/context.hh"
 #include "sim/logging.hh"
@@ -46,18 +46,7 @@ ExperimentEngine::ExperimentEngine(unsigned workers) : workers_(workers)
 unsigned
 ExperimentEngine::workersFromEnv()
 {
-    const char *s = std::getenv("NCP2_JOBS");
-    if (!s || !*s) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        return hw ? hw : 1u;
-    }
-    char *end = nullptr;
-    const long v = std::strtol(s, &end, 10);
-    if (end == s || *end != '\0' || v <= 0)
-        ncp2_fatal("NCP2_JOBS='%s' is not a positive integer", s);
-    if (v > 256)
-        return 256u;
-    return static_cast<unsigned>(v);
+    return knobs::jobs();
 }
 
 std::vector<JobResult>

@@ -1,14 +1,15 @@
 #include "harness/json_out.hh"
 
 #include <cmath>
-#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
 
+#include "harness/knobs.hh"
 #include "harness/runner.hh"
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace harness
 {
@@ -106,6 +107,63 @@ emitConfig(std::ostream &os, const dsm::SysConfig &cfg)
 }
 
 void
+emitStats(std::ostream &os, const sim::StatSnapshot &s)
+{
+    os << "{\"counters\":{";
+    for (std::size_t i = 0; i < s.counters.size(); ++i) {
+        if (i)
+            os << ',';
+        jsonString(os, s.counters[i].name);
+        os << ':';
+        jsonNumber(os, s.counters[i].value);
+    }
+    os << "},\"accums\":{";
+    for (std::size_t i = 0; i < s.accums.size(); ++i) {
+        if (i)
+            os << ',';
+        jsonString(os, s.accums[i].name);
+        os << ":{\"sum\":";
+        jsonNumber(os, s.accums[i].sum);
+        os << ",\"samples\":" << s.accums[i].samples << ",\"mean\":";
+        jsonNumber(os, s.accums[i].mean);
+        os << '}';
+    }
+    os << "},\"histograms\":{";
+    for (std::size_t i = 0; i < s.hists.size(); ++i) {
+        const auto &h = s.hists[i];
+        if (i)
+            os << ',';
+        jsonString(os, h.name);
+        os << ":{\"total\":" << h.total << ",\"mean\":";
+        jsonNumber(os, h.mean);
+        os << ",\"max\":";
+        jsonNumber(os, h.max);
+        os << ",\"bounds\":[";
+        for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+            if (b)
+                os << ',';
+            jsonNumber(os, h.bounds[b]);
+        }
+        os << "],\"counts\":[";
+        for (std::size_t c = 0; c < h.counts.size(); ++c) {
+            if (c)
+                os << ',';
+            os << h.counts[c];
+        }
+        os << "]}";
+    }
+    os << "},\"children\":{";
+    for (std::size_t i = 0; i < s.children.size(); ++i) {
+        if (i)
+            os << ',';
+        jsonString(os, s.children[i].name);
+        os << ':';
+        emitStats(os, s.children[i]);
+    }
+    os << "}}";
+}
+
+void
 emitRun(std::ostream &os, const JobResult &jr)
 {
     const BreakdownRow row = BreakdownRow::from(jr.label, jr.run);
@@ -133,15 +191,14 @@ emitRun(std::ostream &os, const JobResult &jr)
        << ",\"bytes\":" << jr.run.net.bytes
        << ",\"latency_cycles\":" << jr.run.net.latency_cycles
        << ",\"contention_cycles\":" << jr.run.net.contention_cycles
-       << "},\"extra\":{";
-    bool first = true;
-    for (const auto &[key, value] : jr.run.extra) {
-        if (!first)
-            os << ',';
-        first = false;
-        jsonString(os, key);
+       << "},\"stats\":{";
+    // The root group is name-keyed like children, so flat "tmk.X" paths
+    // read straight off the document. Empty when the protocol exports
+    // no StatGroup.
+    if (!jr.run.stats.name.empty()) {
+        jsonString(os, jr.run.stats.name);
         os << ':';
-        jsonNumber(os, value);
+        emitStats(os, jr.run.stats);
     }
     os << "}}";
 }
@@ -151,8 +208,7 @@ emitRun(std::ostream &os, const JobResult &jr)
 std::string
 resultsDir()
 {
-    const char *dir = std::getenv("NCP2_RESULTS_DIR");
-    return dir && *dir ? dir : "results";
+    return knobs::resultsDir();
 }
 
 void
@@ -161,7 +217,16 @@ emitResultsJson(std::ostream &os, const std::string &bench,
 {
     os << "{\"bench\":";
     jsonString(os, bench);
-    os << ",\"schema_version\":1,\"workers\":" << workers << ",\"runs\":[";
+    os << ",\"schema_version\":2,\"workers\":" << workers << ",\"knobs\":{";
+    const auto knob_values = knobs::activeValues();
+    for (std::size_t i = 0; i < knob_values.size(); ++i) {
+        if (i)
+            os << ',';
+        jsonString(os, knob_values[i].first);
+        os << ':';
+        jsonString(os, knob_values[i].second);
+    }
+    os << "},\"runs\":[";
     for (std::size_t i = 0; i < results.size(); ++i) {
         if (i)
             os << ',';

@@ -4,11 +4,12 @@
  *
  * Every figure bench writes, next to its human-readable tables, a
  * results/<bench>.json document so perf trajectories can be tracked
- * across revisions without scraping stdout. Schema (version 1):
+ * across revisions without scraping stdout. Schema (version 2):
  *
  *   {
- *     "bench": "<name>", "schema_version": 1,
+ *     "bench": "<name>", "schema_version": 2,
  *     "workers": <engine pool width>,
+ *     "knobs": { "NCP2_SCALE": "standard", ... },   // active knob values
  *     "runs": [
  *       {
  *         "label": "...",
@@ -16,14 +17,25 @@
  *         "exec_ticks": N, "seconds": S, "wall_seconds": W,
  *         "breakdown": { busy, data, synch, ipc, others, diff_pct },
  *         "net": { messages, bytes, latency_cycles, contention_cycles },
- *         "extra": { "<protocol stat>": value, ... }
+ *         "stats": {                       // protocol StatGroup snapshot
+ *           "<group>": {                   // e.g. "tmk" or "aurc"
+ *             "counters": { "<name>": N, ... },
+ *             "accums": { "<name>": {sum, samples, mean}, ... },
+ *             "histograms": { "<name>":
+ *                 {total, mean, max, bounds: [...], counts: [...]}, ... },
+ *             "children": { "<group>": { ...same shape... } }
+ *           }
+ *         }
  *       }, ...
  *     ]
  *   }
  *
  * breakdown values are mean cycles per processor (the same aggregation
- * BreakdownRow uses); extra carries the protocol-specific stats
- * (TreadMarks prefetch/diff counters, AURC update counters).
+ * BreakdownRow uses). "stats" is the full sim::StatGroup tree the
+ * protocol registered (schema v1 hand-copied a flat "extra" map instead;
+ * the v1 "extra" keys survive as "<group>.<counter>" via
+ * StatSnapshot::flat()). "knobs" records every NCP2_* knob's active
+ * value at write time so a result is reproducible from its own file.
  *
  * The output directory defaults to "results" and can be moved with
  * NCP2_RESULTS_DIR.

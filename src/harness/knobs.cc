@@ -1,0 +1,164 @@
+#include "harness/knobs.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace harness::knobs
+{
+
+namespace
+{
+
+const char *
+raw(const char *name)
+{
+    return std::getenv(name);
+}
+
+/** Strict positive-integer parse; fatal with the knob's name on junk. */
+long
+parsePositive(const char *name, const char *s)
+{
+    char *end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v <= 0)
+        ncp2_fatal("%s='%s' is not a positive integer", name, s);
+    return v;
+}
+
+} // namespace
+
+const std::vector<KnobInfo> &
+registry()
+{
+    static const std::vector<KnobInfo> knobs = {
+        {"NCP2_SCALE", "enum", "standard",
+         "workload size preset: tiny | small | standard"},
+        {"NCP2_PROCS", "int", "16",
+         "simulated processor count for the benches, clamped to [1,64]"},
+        {"NCP2_JOBS", "int", "hardware concurrency",
+         "experiment-engine worker threads (max 256); results are "
+         "bit-identical at any width"},
+        {"NCP2_RESULTS_DIR", "path", "results",
+         "directory for results/<bench>.json and trace output"},
+        {"NCP2_FAST_PATH", "bool", "1",
+         "0 forces the access-descriptor fast path off (host-time A/B; "
+         "simulated results must not change)"},
+        {"NCP2_TRACE", "int", "0",
+         "event-trace ring capacity in records; 0 = off, 1 = default "
+         "capacity (1Mi records), N>1 = that capacity"},
+    };
+    return knobs;
+}
+
+unsigned
+jobs()
+{
+    const char *s = raw("NCP2_JOBS");
+    if (!s || !*s) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1u;
+    }
+    const long v = parsePositive("NCP2_JOBS", s);
+    if (v > 256)
+        return 256u;
+    return static_cast<unsigned>(v);
+}
+
+unsigned
+procs()
+{
+    const char *s = raw("NCP2_PROCS");
+    if (!s || !*s)
+        return 16u;
+    const long v = parsePositive("NCP2_PROCS", s);
+    if (v > 64) {
+        ncp2_warn("NCP2_PROCS=%ld exceeds the supported maximum; "
+                  "clamping to 64", v);
+        return 64u;
+    }
+    return static_cast<unsigned>(v);
+}
+
+std::string
+scale()
+{
+    const char *s = raw("NCP2_SCALE");
+    if (!s || !*s)
+        return "standard";
+    if (std::strcmp(s, "tiny") && std::strcmp(s, "small") &&
+        std::strcmp(s, "standard"))
+        ncp2_fatal("NCP2_SCALE='%s' is not tiny | small | standard", s);
+    return s;
+}
+
+bool
+fastPath()
+{
+    const char *s = raw("NCP2_FAST_PATH");
+    return !s || std::strcmp(s, "0") != 0;
+}
+
+std::string
+resultsDir()
+{
+    const char *s = raw("NCP2_RESULTS_DIR");
+    return s && *s ? s : "results";
+}
+
+std::size_t
+traceCapacity()
+{
+    const char *s = raw("NCP2_TRACE");
+    if (!s || !*s || !std::strcmp(s, "0"))
+        return 0;
+    const long v = parsePositive("NCP2_TRACE", s);
+    if (v == 1)
+        return default_trace_capacity;
+    return static_cast<std::size_t>(v);
+}
+
+void
+printListing(std::ostream &os)
+{
+    os << "NCP2_* environment knobs:\n";
+    const auto values = activeValues();
+    const auto &reg = registry();
+    for (std::size_t i = 0; i < reg.size(); ++i) {
+        os << "  " << reg[i].name << " (" << reg[i].type
+           << ", default: " << reg[i].def << ")\n      " << reg[i].doc
+           << "\n      active: " << values[i].second << "\n";
+    }
+}
+
+std::vector<std::pair<std::string, std::string>>
+activeValues()
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(registry().size());
+    out.emplace_back("NCP2_SCALE", scale());
+    out.emplace_back("NCP2_PROCS", std::to_string(procs()));
+    out.emplace_back("NCP2_JOBS", std::to_string(jobs()));
+    out.emplace_back("NCP2_RESULTS_DIR", resultsDir());
+    out.emplace_back("NCP2_FAST_PATH", fastPath() ? "1" : "0");
+    out.emplace_back("NCP2_TRACE", std::to_string(traceCapacity()));
+    return out;
+}
+
+bool
+handleCli(int argc, char **argv, std::ostream &os)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--knobs")) {
+            printListing(os);
+            return true;
+        }
+        ncp2_fatal("unknown argument '%s' (try --knobs)", argv[i]);
+    }
+    return false;
+}
+
+} // namespace harness::knobs

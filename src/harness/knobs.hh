@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The NCP2_* environment-knob registry.
+ *
+ * Every runtime tunable the harness and benches honour is declared here
+ * once, with its type, default and documentation, and read through a
+ * typed accessor that validates the raw environment string (fatal on
+ * garbage, clamping where a hard limit exists). Nothing outside this
+ * module calls std::getenv("NCP2_..."): call sites that used to parse
+ * ad-hoc — NCP2_JOBS in the experiment engine, NCP2_RESULTS_DIR in the
+ * JSON writer, NCP2_SCALE / NCP2_PROCS / NCP2_FAST_PATH in
+ * figure_common — now delegate to these accessors, so the parsing,
+ * limits and error messages are in one place.
+ *
+ * Accessors re-read the environment on every call (no memoization):
+ * they are off the simulation hot path, and tests legitimately flip
+ * knobs between runs within one process.
+ *
+ * `--knobs` on any figure bench prints printListing(); activeValues()
+ * records the effective settings into the results JSON (schema v2) so
+ * a results file is self-describing.
+ */
+
+#ifndef NCP2_HARNESS_KNOBS_HH
+#define NCP2_HARNESS_KNOBS_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace harness::knobs
+{
+
+/** One registry row (static metadata; values come from the accessors). */
+struct KnobInfo
+{
+    const char *name;      ///< environment variable
+    const char *type;      ///< human-readable type ("int", "bool", ...)
+    const char *def;       ///< rendered default
+    const char *doc;       ///< one-line description
+};
+
+/** Every knob, in presentation order. */
+const std::vector<KnobInfo> &registry();
+
+/** NCP2_JOBS: engine worker threads. Default: hardware concurrency. */
+unsigned jobs();
+
+/** NCP2_PROCS: simulated processor count for the benches, in [1,64]. */
+unsigned procs();
+
+/** NCP2_SCALE: workload size preset: tiny | small | standard. */
+std::string scale();
+
+/** NCP2_FAST_PATH: 0 disables the access-descriptor fast path. */
+bool fastPath();
+
+/** NCP2_RESULTS_DIR: where results JSON documents are written. */
+std::string resultsDir();
+
+/**
+ * NCP2_TRACE: event-trace ring capacity in records. 0/unset = tracing
+ * off; 1 = on with the default capacity; any other positive integer is
+ * the capacity itself.
+ */
+std::size_t traceCapacity();
+
+/** The default ring capacity NCP2_TRACE=1 selects. */
+inline constexpr std::size_t default_trace_capacity = 1u << 20;
+
+/** Render the registry as the --knobs listing. */
+void printListing(std::ostream &os);
+
+/**
+ * The effective value of every knob as a string, in registry order,
+ * for embedding in results JSON. Reads (and therefore validates) each
+ * knob.
+ */
+std::vector<std::pair<std::string, std::string>> activeValues();
+
+/**
+ * Handle a bench command line: if any argument is "--knobs", print the
+ * listing to @p os and return true (caller exits 0). Unknown arguments
+ * are fatal, so a typo cannot silently run the full bench.
+ */
+bool handleCli(int argc, char **argv, std::ostream &os);
+
+} // namespace harness::knobs
+
+#endif // NCP2_HARNESS_KNOBS_HH

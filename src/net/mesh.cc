@@ -101,10 +101,19 @@ MeshNetwork::send(sim::Tick departure, sim::NodeId src, sim::NodeId dst,
     ++stats_.messages;
     stats_.bytes += bytes;
 
+    if (trace_) [[unlikely]]
+        trace_->emit(departure, src, sim::TraceEngine::nic,
+                     sim::TraceKind::msg_send, payload_bytes,
+                     static_cast<std::uint16_t>(dst));
+
     if (src == dst) {
         // Loop-back through the local NI: transmission only.
         const sim::Tick done = departure + tx;
         stats_.latency_cycles += tx;
+        if (trace_) [[unlikely]]
+            trace_->emit(done, dst, sim::TraceEngine::nic,
+                         sim::TraceKind::msg_deliver, payload_bytes,
+                         static_cast<std::uint16_t>(src));
         return done;
     }
 
@@ -128,6 +137,10 @@ MeshNetwork::send(sim::Tick departure, sim::NodeId src, sim::NodeId dst,
     }
     const sim::Tick delivered = head + tx;
     stats_.latency_cycles += delivered - departure;
+    if (trace_) [[unlikely]]
+        trace_->emit(delivered, dst, sim::TraceEngine::nic,
+                     sim::TraceKind::msg_deliver, payload_bytes,
+                     static_cast<std::uint16_t>(src));
     return delivered;
 }
 

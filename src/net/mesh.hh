@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/resource.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace net
@@ -114,6 +115,9 @@ class MeshNetwork
 
     void reset();
 
+    /** Enable event tracing: msg_send/msg_deliver on the NIC tracks. */
+    void setTrace(sim::Trace *t) { trace_ = t; }
+
   private:
     /// Directed links: for each node, 4 outgoing (E, W, N, S) plus
     /// injection/ejection ports.
@@ -131,6 +135,7 @@ class MeshNetwork
     NetTiming timing_;
     std::vector<sim::Resource> links_;
     NetStats stats_;
+    sim::Trace *trace_ = nullptr; ///< owned by the System; may be null
     mutable std::vector<std::pair<sim::NodeId, Port>> scratch_path_;
 };
 

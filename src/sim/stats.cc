@@ -22,6 +22,13 @@ StatGroup::addAccum(const std::string &name, const Accum *a,
 }
 
 void
+StatGroup::addHistogram(const std::string &name, const Histogram *h,
+                        const std::string &desc)
+{
+    hists_.push_back({name, h, desc});
+}
+
+void
 StatGroup::addChild(const StatGroup *child)
 {
     children_.push_back(child);
@@ -38,8 +45,80 @@ StatGroup::dump(std::ostream &os) const
         os << name_ << '.' << e.name << ' ' << e.stat->sum()
            << "  # " << e.desc << '\n';
     }
+    for (const auto &e : hists_) {
+        os << name_ << '.' << e.name << " total=" << e.stat->total()
+           << " mean=" << e.stat->mean() << " max=" << e.stat->max()
+           << "  # " << e.desc << '\n';
+    }
     for (const StatGroup *child : children_)
         child->dump(os);
+}
+
+StatSnapshot
+StatGroup::snapshot() const
+{
+    StatSnapshot s;
+    s.name = name_;
+    s.counters.reserve(counters_.size());
+    for (const auto &e : counters_) {
+        s.counters.push_back(
+            {e.name, static_cast<double>(e.stat->value()), e.desc});
+    }
+    s.accums.reserve(accums_.size());
+    for (const auto &e : accums_) {
+        s.accums.push_back({e.name, e.stat->sum(), e.stat->samples(),
+                            e.stat->mean(), e.desc});
+    }
+    s.hists.reserve(hists_.size());
+    for (const auto &e : hists_) {
+        s.hists.push_back({e.name, e.stat->total(), e.stat->mean(),
+                           e.stat->max(), e.stat->bounds(),
+                           e.stat->counts(), e.desc});
+    }
+    s.children.reserve(children_.size());
+    for (const StatGroup *child : children_)
+        s.children.push_back(child->snapshot());
+    return s;
+}
+
+namespace
+{
+
+void
+flattenInto(const StatSnapshot &s, const std::string &prefix,
+            std::map<std::string, double> &out)
+{
+    const std::string base = prefix.empty() ? s.name : prefix + "." + s.name;
+    for (const auto &c : s.counters)
+        out[base + "." + c.name] = c.value;
+    for (const auto &a : s.accums)
+        out[base + "." + a.name] = a.sum;
+    for (const auto &child : s.children)
+        flattenInto(child, base, out);
+}
+
+} // namespace
+
+std::map<std::string, double>
+StatSnapshot::flat() const
+{
+    std::map<std::string, double> out;
+    flattenInto(*this, "", out);
+    return out;
+}
+
+bool
+StatSnapshot::has(const std::string &dotted) const
+{
+    return flat().count(dotted) != 0;
+}
+
+double
+StatSnapshot::value(const std::string &dotted) const
+{
+    const auto m = flat();
+    const auto it = m.find(dotted);
+    return it == m.end() ? 0.0 : it->second;
 }
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))

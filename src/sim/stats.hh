@@ -68,7 +68,10 @@ class Histogram
         ++counts_[i];
         sum_ += v;
         ++total_;
-        if (v > max_)
+        // The first sample seeds the maximum: max_ starts at 0, which is
+        // not a floor (all-negative sample streams must report their own
+        // largest element, not 0).
+        if (total_ == 1 || v > max_)
             max_ = v;
     }
 
@@ -96,6 +99,51 @@ class Histogram
 };
 
 /**
+ * A by-value copy of a StatGroup's contents at a point in time.
+ *
+ * StatGroups register raw pointers into live protocol objects, which die
+ * with the System; a snapshot taken at end-of-run survives into the
+ * RunResult and can be serialized long after the run is gone. Entries
+ * preserve registration order so any rendering of a snapshot is
+ * deterministic.
+ */
+struct StatSnapshot
+{
+    struct Scalar { std::string name; double value; std::string desc; };
+    struct AccumVal
+    {
+        std::string name;
+        double sum;
+        std::uint64_t samples;
+        double mean;
+        std::string desc;
+    };
+    struct HistVal
+    {
+        std::string name;
+        std::uint64_t total;
+        double mean;
+        double max;
+        std::vector<double> bounds;
+        std::vector<std::uint64_t> counts;
+        std::string desc;
+    };
+
+    std::string name;
+    std::vector<Scalar> counters;
+    std::vector<AccumVal> accums;
+    std::vector<HistVal> hists;
+    std::vector<StatSnapshot> children;
+
+    /** Flatten counters/accum sums into "group.sub.stat" -> value. */
+    std::map<std::string, double> flat() const;
+
+    /** Counter/accum-sum lookup by dotted path ("tmk.lock_acquires"). */
+    bool has(const std::string &dotted) const;
+    double value(const std::string &dotted) const;
+};
+
+/**
  * A named bag of stats for dumping. Members register a pointer plus
  * name/description; the group does not own the stats.
  */
@@ -108,20 +156,27 @@ class StatGroup
                     const std::string &desc);
     void addAccum(const std::string &name, const Accum *a,
                   const std::string &desc);
+    void addHistogram(const std::string &name, const Histogram *h,
+                      const std::string &desc);
     void addChild(const StatGroup *child);
 
     /** Render all registered stats to @p os, prefixed by the group name. */
     void dump(std::ostream &os) const;
+
+    /** Copy every registered stat (recursively) into a value tree. */
+    StatSnapshot snapshot() const;
 
     const std::string &name() const { return name_; }
 
   private:
     struct CounterEntry { std::string name; const Counter *stat; std::string desc; };
     struct AccumEntry { std::string name; const Accum *stat; std::string desc; };
+    struct HistEntry { std::string name; const Histogram *stat; std::string desc; };
 
     std::string name_;
     std::vector<CounterEntry> counters_;
     std::vector<AccumEntry> accums_;
+    std::vector<HistEntry> hists_;
     std::vector<const StatGroup *> children_;
 };
 

@@ -1,0 +1,119 @@
+#include "sim/trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace sim
+{
+
+Trace::Trace(std::size_t capacity) : ring_(capacity), cap_(capacity)
+{
+    ncp2_assert(capacity > 0, "trace capacity must be non-zero");
+}
+
+std::vector<TraceRecord>
+Trace::drain() const
+{
+    std::vector<TraceRecord> out;
+    const std::uint64_t n = head_ < cap_ ? head_ : cap_;
+    out.reserve(n);
+    const std::uint64_t first = head_ > cap_ ? head_ - cap_ : 0;
+    for (std::uint64_t i = first; i < head_; ++i)
+        out.push_back(ring_[i % cap_]);
+    return out;
+}
+
+namespace
+{
+
+/** JSON string escaping for metadata values (names are all literals). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Fixed-format microsecond timestamp: 1 tick = 10 ns = 0.01 us. */
+std::string
+tsString(Tick tick)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64 ".%02u", tick / 100,
+                  static_cast<unsigned>(tick % 100));
+    return buf;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<TraceRecord> &records,
+                 std::uint64_t dropped, unsigned num_nodes,
+                 const std::vector<std::pair<std::string, std::string>> &meta)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Track naming: one "process" per node, one "thread" per engine.
+    for (unsigned n = 0; n < num_nodes; ++n) {
+        sep();
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << n
+           << ",\"tid\":0,\"args\":{\"name\":\"node " << n << "\"}}";
+        for (unsigned e = 0;
+             e < static_cast<unsigned>(TraceEngine::num_engines); ++e) {
+            sep();
+            os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << n
+               << ",\"tid\":" << e << ",\"args\":{\"name\":\""
+               << traceEngineName(static_cast<TraceEngine>(e)) << "\"}}";
+        }
+    }
+
+    for (const TraceRecord &r : records) {
+        sep();
+        const unsigned tid = static_cast<unsigned>(r.engine);
+        if (r.kind == TraceKind::ctrl_queue) {
+            // Counter track: queue occupancy as a filled graph.
+            os << "{\"name\":\"ctrl_queue\",\"ph\":\"C\",\"pid\":" << r.node
+               << ",\"tid\":" << tid << ",\"ts\":" << tsString(r.tick)
+               << ",\"args\":{\"depth\":" << r.arg << "}}";
+            continue;
+        }
+        os << "{\"name\":\"" << traceKindName(r.kind)
+           << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << r.node
+           << ",\"tid\":" << tid << ",\"ts\":" << tsString(r.tick)
+           << ",\"args\":{\"arg\":" << r.arg << ",\"aux\":" << r.aux
+           << ",\"tick\":" << r.tick << "}}";
+    }
+
+    os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":"
+       << dropped;
+    for (const auto &[k, v] : meta)
+        os << ",\"" << jsonEscape(k) << "\":\"" << jsonEscape(v) << "\"";
+    os << "}}\n";
+}
+
+} // namespace sim

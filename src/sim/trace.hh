@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Cycle-accurate structured event tracing.
+ *
+ * A Trace is a fixed-capacity ring of POD records emitted from the DSM
+ * hot paths: page faults, diff create/apply, controller command-queue
+ * occupancy, lock acquire/grant, barrier epochs, mesh message
+ * send/deliver, prefetch issue/hit/useless, and cumulative breakdown
+ * snapshots at barrier-epoch boundaries. Each record carries the
+ * simulated tick, the node it happened on, the engine (track) within
+ * that node — CPU fiber, protocol controller, or NIC — an event kind,
+ * and a 64-bit argument plus a 16-bit auxiliary field whose meaning is
+ * per-kind (see TraceKind).
+ *
+ * Tracing is off by default: a System only owns a Trace when
+ * SysConfig::trace_capacity is non-zero, and every emission site guards
+ * on the trace pointer, so the disabled cost is one predictable
+ * never-taken branch. When the ring fills, the oldest records are
+ * overwritten and dropped() reports how many were lost; drain() returns
+ * the surviving records in emission order.
+ *
+ * Emission order is deterministic (the simulator is single-threaded per
+ * System and all arguments are simulated quantities), so a trace is
+ * byte-identical across repeated runs of the same configuration and
+ * across harness worker counts. writeChromeTrace() renders a record set
+ * as Chrome trace_event JSON loadable in Perfetto / chrome://tracing,
+ * with one process per node and one named thread per engine.
+ */
+
+#ifndef NCP2_SIM_TRACE_HH
+#define NCP2_SIM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sim
+{
+
+/** Which engine within a node a record belongs to (Perfetto track). */
+enum class TraceEngine : std::uint8_t
+{
+    cpu = 0,  ///< the computation processor's fiber
+    ctrl = 1, ///< the protocol controller
+    nic = 2,  ///< the network interface
+    num_engines
+};
+
+inline const char *
+traceEngineName(TraceEngine e)
+{
+    switch (e) {
+      case TraceEngine::cpu: return "cpu";
+      case TraceEngine::ctrl: return "ctrl";
+      case TraceEngine::nic: return "nic";
+      default: return "?";
+    }
+}
+
+/** What happened. The arg/aux meaning is listed per kind. */
+enum class TraceKind : std::uint8_t
+{
+    page_fault = 0,  ///< arg=page, aux=1 for write fault else 0
+    fault_done,      ///< arg=page
+    diff_create,     ///< arg=page, aux=words in the diff
+    diff_apply,      ///< arg=page, aux=words applied
+    ctrl_queue,      ///< arg=queue depth after the transition
+    lock_acquire,    ///< arg=lock id
+    lock_grant,      ///< arg=lock id
+    barrier_epoch,   ///< arg=per-proc epoch index, aux=barrier id
+    msg_send,        ///< arg=payload bytes, aux=destination node
+    msg_deliver,     ///< arg=payload bytes, aux=source node
+    prefetch_issue,  ///< arg=page
+    prefetch_hit,    ///< arg=page (demand access found prefetch in flight)
+    prefetch_useless,///< arg=page (invalidated before any reference)
+    bd_snapshot,     ///< arg=cumulative cycles, aux=category index
+    num_kinds
+};
+
+inline const char *
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::page_fault: return "page_fault";
+      case TraceKind::fault_done: return "fault_done";
+      case TraceKind::diff_create: return "diff_create";
+      case TraceKind::diff_apply: return "diff_apply";
+      case TraceKind::ctrl_queue: return "ctrl_queue";
+      case TraceKind::lock_acquire: return "lock_acquire";
+      case TraceKind::lock_grant: return "lock_grant";
+      case TraceKind::barrier_epoch: return "barrier_epoch";
+      case TraceKind::msg_send: return "msg_send";
+      case TraceKind::msg_deliver: return "msg_deliver";
+      case TraceKind::prefetch_issue: return "prefetch_issue";
+      case TraceKind::prefetch_hit: return "prefetch_hit";
+      case TraceKind::prefetch_useless: return "prefetch_useless";
+      case TraceKind::bd_snapshot: return "bd_snapshot";
+      default: return "?";
+    }
+}
+
+/** One trace event. POD; 24 bytes. */
+struct TraceRecord
+{
+    Tick tick;           ///< simulated time of the event
+    std::uint64_t arg;   ///< per-kind payload (see TraceKind)
+    std::uint32_t node;  ///< node the event happened on
+    std::uint16_t aux;   ///< per-kind secondary payload
+    TraceEngine engine;  ///< track within the node
+    TraceKind kind;
+
+    bool
+    operator==(const TraceRecord &o) const
+    {
+        return tick == o.tick && arg == o.arg && node == o.node &&
+               aux == o.aux && engine == o.engine && kind == o.kind;
+    }
+};
+
+static_assert(sizeof(TraceRecord) == 24, "TraceRecord must stay compact");
+
+/** The fixed-capacity ring of trace records. */
+class Trace
+{
+  public:
+    /** @p capacity must be non-zero; it bounds memory, not the run. */
+    explicit Trace(std::size_t capacity);
+
+    /** Append one record; overwrites the oldest once the ring is full. */
+    void
+    emit(Tick tick, std::uint32_t node, TraceEngine engine, TraceKind kind,
+         std::uint64_t arg, std::uint16_t aux = 0)
+    {
+        TraceRecord &r = ring_[head_ % cap_];
+        r.tick = tick;
+        r.arg = arg;
+        r.node = node;
+        r.aux = aux;
+        r.engine = engine;
+        r.kind = kind;
+        ++head_;
+    }
+
+    std::size_t capacity() const { return cap_; }
+
+    /** Records emitted over the whole run (including overwritten ones). */
+    std::uint64_t emitted() const { return head_; }
+
+    /** Records lost to ring overflow (oldest-first overwrite). */
+    std::uint64_t dropped() const { return head_ > cap_ ? head_ - cap_ : 0; }
+
+    /** The surviving records, oldest first. */
+    std::vector<TraceRecord> drain() const;
+
+  private:
+    std::vector<TraceRecord> ring_;
+    std::size_t cap_;
+    std::uint64_t head_ = 0;
+};
+
+/**
+ * Render @p records as a Chrome trace_event JSON document.
+ *
+ * Layout: pid = node, tid = engine; process/thread metadata events name
+ * the tracks. Most kinds become instant events ("ph":"i"); ctrl_queue
+ * becomes a counter track ("ph":"C") so queue occupancy plots as a
+ * filled graph. Timestamps are microseconds (1 tick = 10 ns = 0.01 us)
+ * with fixed two-decimal formatting, so the byte stream is a pure
+ * function of the record list. @p meta keys land in "otherData"
+ * verbatim (values are JSON-escaped); "dropped" is always included.
+ */
+void writeChromeTrace(
+    std::ostream &os, const std::vector<TraceRecord> &records,
+    std::uint64_t dropped, unsigned num_nodes,
+    const std::vector<std::pair<std::string, std::string>> &meta = {});
+
+} // namespace sim
+
+#endif // NCP2_SIM_TRACE_HH

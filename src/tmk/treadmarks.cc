@@ -19,6 +19,59 @@ makeTreadMarks(dsm::OverlapMode mode)
     return std::make_unique<TreadMarks>(mode);
 }
 
+TreadMarks::TreadMarks(dsm::OverlapMode mode) : mode_(mode)
+{
+    // Names keep the flat keys the results JSON has always used
+    // ("tmk.prefetches", "tmk.diff_words", ...).
+    group_.addCounter("read_faults", &stats_.read_faults,
+                      "read access faults taken");
+    group_.addCounter("write_faults", &stats_.write_faults,
+                      "write access faults taken");
+    group_.addCounter("page_fetches", &stats_.page_fetches,
+                      "full-page cold fetches");
+    group_.addCounter("diff_requests", &stats_.diff_requests,
+                      "demand diff request messages");
+    group_.addCounter("diffs_created", &stats_.diffs_created,
+                      "diffs captured at writers");
+    group_.addCounter("diffs_applied", &stats_.diffs_applied,
+                      "diff shipments applied");
+    group_.addCounter("diff_words", &stats_.diff_words_moved,
+                      "words moved in diffs");
+    group_.addCounter("empty_diffs", &stats_.empty_diffs,
+                      "captures that found no modified word");
+    group_.addCounter("twins", &stats_.twins_created,
+                      "twin pages created");
+    group_.addCounter("intervals", &stats_.intervals_closed,
+                      "intervals closed");
+    group_.addCounter("write_notices", &stats_.write_notices,
+                      "write notices generated");
+    group_.addCounter("lock_acquires", &stats_.lock_acquires,
+                      "lock acquire operations");
+    group_.addCounter("lock_fast_grants", &stats_.lock_fast_grants,
+                      "re-acquires of an owned, uncontended lock");
+    group_.addCounter("barriers", &stats_.barriers,
+                      "barrier episodes completed");
+    group_.addCounter("prefetches", &stats_.prefetches_issued,
+                      "page prefetches started");
+    group_.addCounter("prefetches_useless", &stats_.prefetches_useless,
+                      "prefetched pages invalidated or never used");
+    group_.addCounter("prefetch_demand_waits", &stats_.prefetch_demand_waits,
+                      "demand faults that waited on a pending prefetch");
+    group_.addCounter("invalidations", &stats_.invalidations,
+                      "page invalidations from write notices");
+    group_.addCounter("stale_shipments_dropped",
+                      &stats_.stale_shipments_dropped,
+                      "diff shipments superseded before application");
+    group_.addCounter("lh_updates", &stats_.lh_updates,
+                      "lazy-hybrid piggybacked diffs");
+    group_.addCounter("lh_update_words", &stats_.lh_update_words,
+                      "words in lazy-hybrid piggybacked diffs");
+    group_.addHistogram("diff_size", &stats_.diff_size,
+                        "words per captured diff");
+    group_.addAccum("grant_notices", &stats_.grant_notices,
+                    "write notices carried per lock grant");
+}
+
 std::string
 TreadMarks::name() const
 {
@@ -144,6 +197,10 @@ TreadMarks::applyInvalidations(NodeId proc, const dsm::VectorClock &from,
                 ++stats_.invalidations;
                 if (pg.prefetched_unused) {
                     ++stats_.prefetches_useless;
+                    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+                        tr->emit(sys_->eq().now(), proc,
+                                 sim::TraceEngine::cpu,
+                                 sim::TraceKind::prefetch_useless, page);
                     pg.prefetched_unused = false;
                     PrefetchHistory &h = prefetch_[proc].history[page];
                     if (++h.useless_streak >= 1)
@@ -234,6 +291,11 @@ TreadMarks::captureDiff(NodeId q, PageId page, bool pseudo_open)
     if (d->words() == 0)
         ++stats_.empty_diffs;
     stats_.diff_words_moved += d->words();
+    stats_.diff_size.sample(d->words());
+    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+        tr->emit(sys_->eq().now(), q, sim::TraceEngine::cpu,
+                 sim::TraceKind::diff_create, page,
+                 static_cast<std::uint16_t>(d->words()));
     return d->words();
 }
 
@@ -326,6 +388,10 @@ TreadMarks::applyShipment(NodeId proc, PageId page, const Shipment &s)
     if (s.end > pg.applied[s.writer])
         pg.applied[s.writer] = s.end;
     ++stats_.diffs_applied;
+    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+        tr->emit(sys_->eq().now(), proc, sim::TraceEngine::cpu,
+                 sim::TraceKind::diff_apply, page,
+                 static_cast<std::uint16_t>(s.idx.size()));
 }
 
 void
@@ -424,6 +490,9 @@ TreadMarks::ensureAccess(NodeId proc, PageId page, bool for_write)
     if (pit != pp.end()) {
         ++stats_.prefetch_demand_waits;
         pit->second.demand_wait = true;
+        if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+            tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                     sim::TraceKind::prefetch_hit, page);
         n.cpu.block(Cat::data);
     }
 
@@ -433,6 +502,9 @@ TreadMarks::ensureAccess(NodeId proc, PageId page, bool for_write)
     if (for_write && pg.access != dsm::Access::readwrite) {
         // Write fault: trap, then prepare modification tracking.
         ++stats_.write_faults;
+        if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+            tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                     sim::TraceKind::page_fault, page, 1);
         n.cpu.advance(cfg().interrupt_cycles, Cat::data);
 
         if (mode_.hw_diffs) {
@@ -487,6 +559,9 @@ TreadMarks::faultIn(NodeId proc, PageId page)
     dsm::NodePage &pg = n.pages.page(page);
 
     ++stats_.read_faults;
+    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+        tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                 sim::TraceKind::page_fault, page, 0);
     n.cpu.advance(cfg().interrupt_cycles, Cat::data); // VM trap
 
     const bool cold = !pg.present();
@@ -646,6 +721,9 @@ TreadMarks::faultIn(NodeId proc, PageId page)
     pg.referenced = false;
     pg.prefetched_unused = false;
     sys_->snoopInvalidatePage(proc, page);
+    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+        tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                 sim::TraceKind::fault_done, page);
 }
 
 void
@@ -824,6 +902,9 @@ TreadMarks::issuePrefetches(NodeId proc)
         pp = PagePrefetch{};
         pp.outstanding = static_cast<unsigned>(writers.size());
         ++stats_.prefetches_issued;
+        if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+            tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                     sim::TraceKind::prefetch_issue, page);
 
         for (NodeId q : writers) {
             fiberSend(proc, q, diffReqBytes(), Cat::synch,
@@ -923,6 +1004,9 @@ TreadMarks::acquire(NodeId proc, unsigned lock_id)
 {
     dsm::Node &n = node(proc);
     ++stats_.lock_acquires;
+    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+        tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                 sim::TraceKind::lock_acquire, lock_id);
 
     if (nprocs() == 1) {
         n.cpu.advance(20, Cat::synch);
@@ -1060,6 +1144,7 @@ TreadMarks::grantLock(unsigned lock_id, NodeId from, NodeId to,
         for (dsm::IntervalSeq s = vt_to[q] + 1; s <= eff[q]; ++s)
             notices += procs_[q].interval_pages[s - 1].size();
     }
+    stats_.grant_notices += static_cast<double>(notices);
 
     lk.held = true;
     lk.owner = to;
@@ -1136,7 +1221,9 @@ void
 TreadMarks::deliverGrant(unsigned lock_id, NodeId to,
                          dsm::VectorClock grant_vt, std::uint64_t)
 {
-    (void)lock_id;
+    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+        tr->emit(sys_->eq().now(), to, sim::TraceEngine::cpu,
+                 sim::TraceKind::lock_grant, lock_id);
     ProcState &ps = procs_[to];
     applyInvalidations(to, ps.vt, grant_vt);
     ps.vt.merge(grant_vt);
@@ -1295,29 +1382,8 @@ TreadMarks::finalize()
                 ++stats_.prefetches_useless;
         }
     }
-
-    auto &x = sys_->extra_stats;
-    x["tmk.read_faults"] = static_cast<double>(stats_.read_faults);
-    x["tmk.write_faults"] = static_cast<double>(stats_.write_faults);
-    x["tmk.page_fetches"] = static_cast<double>(stats_.page_fetches);
-    x["tmk.diff_requests"] = static_cast<double>(stats_.diff_requests);
-    x["tmk.diffs_created"] = static_cast<double>(stats_.diffs_created);
-    x["tmk.diffs_applied"] = static_cast<double>(stats_.diffs_applied);
-    x["tmk.diff_words"] = static_cast<double>(stats_.diff_words_moved);
-    x["tmk.twins"] = static_cast<double>(stats_.twins_created);
-    x["tmk.intervals"] = static_cast<double>(stats_.intervals_closed);
-    x["tmk.write_notices"] = static_cast<double>(stats_.write_notices);
-    x["tmk.lock_acquires"] = static_cast<double>(stats_.lock_acquires);
-    x["tmk.barriers"] = static_cast<double>(stats_.barriers);
-    x["tmk.invalidations"] = static_cast<double>(stats_.invalidations);
-    x["tmk.prefetches"] = static_cast<double>(stats_.prefetches_issued);
-    x["tmk.prefetches_useless"] =
-        static_cast<double>(stats_.prefetches_useless);
-    x["tmk.prefetch_demand_waits"] =
-        static_cast<double>(stats_.prefetch_demand_waits);
-    x["tmk.lh_updates"] = static_cast<double>(stats_.lh_updates);
-    x["tmk.lh_update_words"] =
-        static_cast<double>(stats_.lh_update_words);
+    // Counters are exported through statGroup(): System::run snapshots
+    // the group, so no hand-copy into an ad-hoc map is needed.
 }
 
 } // namespace tmk

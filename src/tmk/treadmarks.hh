@@ -52,6 +52,7 @@
 #include "dsm/protocol.hh"
 #include "dsm/system.hh"
 #include "dsm/vclock.hh"
+#include "sim/stats.hh"
 
 namespace tmk
 {
@@ -59,34 +60,38 @@ namespace tmk
 /** TreadMarks protocol statistics (inputs to the paper's tables). */
 struct TmkStats
 {
-    std::uint64_t read_faults = 0;
-    std::uint64_t write_faults = 0;
-    std::uint64_t page_fetches = 0;     ///< full-page cold fetches
-    std::uint64_t diff_requests = 0;    ///< demand diff request messages
-    std::uint64_t diffs_created = 0;
-    std::uint64_t diffs_applied = 0;
-    std::uint64_t diff_words_moved = 0;
-    std::uint64_t empty_diffs = 0;
-    std::uint64_t twins_created = 0;
-    std::uint64_t intervals_closed = 0;
-    std::uint64_t write_notices = 0;
-    std::uint64_t lock_acquires = 0;
-    std::uint64_t lock_fast_grants = 0; ///< re-acquire of an owned lock
-    std::uint64_t barriers = 0;
-    std::uint64_t prefetches_issued = 0;   ///< page prefetches started
-    std::uint64_t prefetches_useless = 0;  ///< completed but never used
-    std::uint64_t prefetch_demand_waits = 0; ///< faults on pending prefetch
-    std::uint64_t invalidations = 0;
-    std::uint64_t stale_shipments_dropped = 0;
-    std::uint64_t lh_updates = 0;      ///< lazy-hybrid piggybacked diffs
-    std::uint64_t lh_update_words = 0;
+    sim::Counter read_faults;
+    sim::Counter write_faults;
+    sim::Counter page_fetches;     ///< full-page cold fetches
+    sim::Counter diff_requests;    ///< demand diff request messages
+    sim::Counter diffs_created;
+    sim::Counter diffs_applied;
+    sim::Counter diff_words_moved;
+    sim::Counter empty_diffs;
+    sim::Counter twins_created;
+    sim::Counter intervals_closed;
+    sim::Counter write_notices;
+    sim::Counter lock_acquires;
+    sim::Counter lock_fast_grants; ///< re-acquire of an owned lock
+    sim::Counter barriers;
+    sim::Counter prefetches_issued;   ///< page prefetches started
+    sim::Counter prefetches_useless;  ///< completed but never used
+    sim::Counter prefetch_demand_waits; ///< faults on pending prefetch
+    sim::Counter invalidations;
+    sim::Counter stale_shipments_dropped;
+    sim::Counter lh_updates;      ///< lazy-hybrid piggybacked diffs
+    sim::Counter lh_update_words;
+    /// Diff size distribution: words per captured diff (empties included).
+    sim::Histogram diff_size{{1, 4, 16, 64, 256}};
+    /// Write notices carried per lock grant.
+    sim::Accum grant_notices;
 };
 
 /** The TreadMarks protocol with configurable overlap techniques. */
 class TreadMarks : public dsm::Protocol
 {
   public:
-    explicit TreadMarks(dsm::OverlapMode mode) : mode_(mode) {}
+    explicit TreadMarks(dsm::OverlapMode mode);
 
     void attach(dsm::System &sys) override;
     void ensureAccess(sim::NodeId proc, sim::PageId page,
@@ -101,6 +106,7 @@ class TreadMarks : public dsm::Protocol
     std::string name() const override;
     void readCoherent(sim::PageId page, std::uint8_t *out) override;
     void finalize() override;
+    const sim::StatGroup *statGroup() const override { return &group_; }
 
     const TmkStats &stats() const { return stats_; }
     const dsm::OverlapMode &mode() const { return mode_; }
@@ -350,6 +356,7 @@ class TreadMarks : public dsm::Protocol
     /// charged when its fiber resumes.
     std::vector<std::uint64_t> lh_pending_words_;
     TmkStats stats_;
+    sim::StatGroup group_{"tmk"};
 };
 
 /** Factory helper used by benches and tests. */

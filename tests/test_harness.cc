@@ -80,7 +80,9 @@ expectIdenticalRuns(const dsm::RunResult &a, const dsm::RunResult &b)
     EXPECT_EQ(a.net.bytes, b.net.bytes);
     EXPECT_EQ(a.net.latency_cycles, b.net.latency_cycles);
     EXPECT_EQ(a.net.contention_cycles, b.net.contention_cycles);
-    EXPECT_EQ(a.extra, b.extra);
+    EXPECT_EQ(a.stats.flat(), b.stats.flat());
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    EXPECT_EQ(a.trace_dropped, b.trace_dropped);
 }
 
 } // namespace
@@ -193,8 +195,12 @@ TEST(Harness, JsonEmitterShapesDocument)
     const std::string doc = ss.str();
 
     EXPECT_NE(doc.find("\"bench\":\"unit_bench\""), std::string::npos);
-    EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+    EXPECT_NE(doc.find("\"schema_version\":2"), std::string::npos);
     EXPECT_NE(doc.find("\"workers\":4"), std::string::npos);
+    EXPECT_NE(doc.find("\"knobs\":{"), std::string::npos);
+    EXPECT_NE(doc.find("\"NCP2_SCALE\":"), std::string::npos);
+    EXPECT_NE(doc.find("\"stats\":{"), std::string::npos);
+    EXPECT_NE(doc.find("\"tmk\":{\"counters\":{"), std::string::npos);
     EXPECT_NE(doc.find("\"label\":\"counter/Base\""), std::string::npos);
     EXPECT_NE(doc.find("\"protocol\":\"treadmarks\""), std::string::npos);
     EXPECT_NE(doc.find("\"mode\":\"Base\""), std::string::npos);

@@ -9,12 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "apps/apps.hh"
 #include "aurc/aurc.hh"
 #include "dsm/system.hh"
+#include "harness/experiment.hh"
 #include "harness/runner.hh"
+#include "sim/trace.hh"
 #include "tests/workload_helpers.hh"
 #include "tmk/treadmarks.hh"
 
@@ -168,14 +172,16 @@ TEST(Integration, NetworkBandwidthKnobSlowsBothProtocols)
     EXPECT_GT(au_ratio, 1.0);
 }
 
-TEST(Integration, RunResultExtraStatsArePopulated)
+TEST(Integration, RunResultStatsArePopulated)
 {
     sim::setQuiet(true);
     testutil::CounterWorkload w(4);
     System sys(cfg8(), tmk::makeTreadMarks({}));
     const RunResult r = sys.run(w);
-    EXPECT_TRUE(r.extra.count("tmk.lock_acquires"));
-    EXPECT_GE(r.extra.at("tmk.lock_acquires"), 32.0);
+    EXPECT_TRUE(r.stats.has("tmk.lock_acquires"));
+    EXPECT_GE(r.stats.value("tmk.lock_acquires"), 32.0);
+    // The snapshot keeps the group name so JSON emission can key on it.
+    EXPECT_EQ(r.stats.name, "tmk");
 }
 
 TEST(Integration, HarnessProtocolFactoryHonoursConfig)
@@ -256,7 +262,9 @@ expectIdenticalRuns(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.net.bytes, b.net.bytes);
     EXPECT_EQ(a.net.latency_cycles, b.net.latency_cycles);
     EXPECT_EQ(a.net.contention_cycles, b.net.contention_cycles);
-    EXPECT_EQ(a.extra, b.extra);
+    EXPECT_EQ(a.stats.flat(), b.stats.flat());
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.trace_dropped, b.trace_dropped);
 }
 
 struct ModeParam
@@ -421,4 +429,142 @@ TEST(FastPath, BulkAccessMatchesElementLoopExactly)
     expectIdenticalRuns(runs[0], runs[1]);
     expectIdenticalRuns(runs[0], runs[2]);
     expectIdenticalRuns(runs[0], runs[3]);
+}
+
+// ---------------------------------------------------------------------
+// Tracing: the event ring must be deterministic, count overflow drops
+// exactly, and its cumulative breakdown snapshots must agree with the
+// run's aggregate Breakdown rows.
+
+namespace
+{
+
+SysConfig
+tracedCfg(std::size_t capacity)
+{
+    SysConfig cfg = cfg8();
+    cfg.trace_capacity = capacity;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Trace, RepeatedRunsProduceIdenticalTraces)
+{
+    sim::setQuiet(true);
+    RunResult r[2];
+    for (int i = 0; i < 2; ++i) {
+        testutil::StencilWorkload w(2048, 3);
+        System sys(tracedCfg(1u << 18), tmk::makeTreadMarks({}));
+        r[i] = sys.run(w);
+    }
+    ASSERT_FALSE(r[0].trace.empty());
+    EXPECT_EQ(r[0].trace_dropped, 0u);
+    EXPECT_EQ(r[0].trace, r[1].trace);
+    // Emission order is not globally tick-sorted (fibers emit at their
+    // lag-adjusted local time), but each node's CPU track must be
+    // monotone: a fiber never emits into its own past.
+    std::vector<sim::Tick> last_cpu(8, 0);
+    for (const sim::TraceRecord &t : r[0].trace) {
+        if (t.engine != sim::TraceEngine::cpu)
+            continue;
+        ASSERT_GE(t.tick, last_cpu[t.node]);
+        last_cpu[t.node] = t.tick;
+    }
+}
+
+TEST(Trace, IdenticalAcrossHarnessWorkerCounts)
+{
+    sim::setQuiet(true);
+    auto jobs = []() {
+        std::vector<harness::Job> js;
+        for (unsigned n = 0; n < 3; ++n) {
+            js.push_back({"stencil/" + std::to_string(n),
+                          tracedCfg(1u << 16),
+                          []() {
+                              return std::make_unique<
+                                  testutil::StencilWorkload>(1024, 2);
+                          },
+                          true});
+        }
+        return js;
+    };
+    const auto narrow = harness::ExperimentEngine(1).runAll(jobs());
+    const auto wide = harness::ExperimentEngine(4).runAll(jobs());
+    ASSERT_EQ(narrow.size(), wide.size());
+    for (std::size_t i = 0; i < narrow.size(); ++i) {
+        ASSERT_FALSE(narrow[i].run.trace.empty()) << "job " << i;
+        EXPECT_EQ(narrow[i].run.trace, wide[i].run.trace) << "job " << i;
+        EXPECT_EQ(narrow[i].run.trace_dropped, wide[i].run.trace_dropped);
+    }
+}
+
+TEST(Trace, RingOverflowKeepsNewestAndCountsDrops)
+{
+    sim::setQuiet(true);
+    RunResult big, small;
+    {
+        testutil::StencilWorkload w(2048, 3);
+        System sys(tracedCfg(1u << 18), tmk::makeTreadMarks({}));
+        big = sys.run(w);
+    }
+    {
+        testutil::StencilWorkload w(2048, 3);
+        System sys(tracedCfg(64), tmk::makeTreadMarks({}));
+        small = sys.run(w);
+    }
+    ASSERT_EQ(big.trace_dropped, 0u);
+    ASSERT_GT(big.trace.size(), 64u);
+    ASSERT_EQ(small.trace.size(), 64u);
+    EXPECT_EQ(small.trace_dropped, big.trace.size() - 64u);
+    // The survivors are exactly the newest 64 records, oldest first.
+    const std::vector<sim::TraceRecord> tail(big.trace.end() - 64,
+                                             big.trace.end());
+    EXPECT_EQ(small.trace, tail);
+}
+
+TEST(Trace, BreakdownSnapshotsMatchAggregates)
+{
+    // The cross-check trace_summary.py automates for the figure benches,
+    // in-process on a small Water run: the final bd_snapshot per
+    // (proc, category) must equal the aggregate Breakdown, and snapshots
+    // must never decrease (per-epoch deltas are non-negative).
+    sim::setQuiet(true);
+    auto water = apps::make("Water", apps::Scale::tiny);
+    SysConfig cfg = tracedCfg(1u << 20);
+    cfg.mode.offload = cfg.mode.hw_diffs = true;
+    System sys(cfg, tmk::makeTreadMarks(cfg.mode));
+    const RunResult r = sys.run(*water);
+    ASSERT_EQ(r.trace_dropped, 0u);
+
+    constexpr unsigned slots = num_cats + 2; // + diff_op, diff_op_ctrl
+    std::vector<std::array<std::uint64_t, slots>> last(r.bd.size());
+    std::vector<std::array<bool, slots>> seen(r.bd.size());
+    for (auto &a : last)
+        a.fill(0);
+    for (auto &s : seen)
+        s.fill(false);
+    bool saw_epoch = false;
+    for (const sim::TraceRecord &t : r.trace) {
+        if (t.kind == sim::TraceKind::barrier_epoch)
+            saw_epoch = true;
+        if (t.kind != sim::TraceKind::bd_snapshot)
+            continue;
+        ASSERT_LT(t.node, last.size());
+        ASSERT_LT(t.aux, slots);
+        ASSERT_GE(t.arg, last[t.node][t.aux]) << "snapshot went backwards";
+        last[t.node][t.aux] = t.arg;
+        seen[t.node][t.aux] = true;
+    }
+    EXPECT_TRUE(saw_epoch);
+    for (std::size_t p = 0; p < r.bd.size(); ++p) {
+        for (unsigned c = 0; c < num_cats; ++c) {
+            ASSERT_TRUE(seen[p][c]) << "proc " << p << " cat " << c;
+            EXPECT_EQ(last[p][c], r.bd[p].cycles[c])
+                << "proc " << p << " cat " << catName(static_cast<Cat>(c));
+        }
+        EXPECT_EQ(last[p][num_cats], r.bd[p].diff_op_cycles) << "proc " << p;
+        EXPECT_EQ(last[p][num_cats + 1], r.bd[p].diff_op_ctrl_cycles)
+            << "proc " << p;
+    }
 }

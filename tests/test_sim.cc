@@ -10,8 +10,11 @@
 #include "sim/fiber.hh"
 #include "sim/logging.hh"
 #include "sim/resource.hh"
+#include <algorithm>
+
 #include "sim/rng.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 using namespace sim;
 
@@ -182,6 +185,73 @@ TEST(Stats, HistogramBucketsAndMoments)
     EXPECT_EQ(h.counts()[1], 1u);
     EXPECT_EQ(h.counts()[2], 1u);
     EXPECT_DOUBLE_EQ(h.max(), 500.0);
+}
+
+TEST(Stats, HistogramMaxOfAllNegativeSamples)
+{
+    // Regression: max_ used to start at 0, so an all-negative sample
+    // stream reported max() == 0 instead of its largest element.
+    Histogram h({-10, 0});
+    h.sample(-50);
+    h.sample(-3);
+    h.sample(-20);
+    EXPECT_DOUBLE_EQ(h.max(), -3.0);
+    h.reset();
+    h.sample(-7);
+    EXPECT_DOUBLE_EQ(h.max(), -7.0);
+}
+
+TEST(Trace, RingKeepsNewestAndCountsDrops)
+{
+    Trace tr(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        tr.emit(i * 100, static_cast<std::uint32_t>(i), TraceEngine::cpu,
+                TraceKind::page_fault, i, 1);
+    EXPECT_EQ(tr.capacity(), 4u);
+    EXPECT_EQ(tr.emitted(), 10u);
+    EXPECT_EQ(tr.dropped(), 6u);
+    const auto recs = tr.drain();
+    ASSERT_EQ(recs.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(recs[i].arg, 6 + i); // survivors are the newest four
+        EXPECT_EQ(recs[i].tick, (6 + i) * 100);
+        EXPECT_EQ(recs[i].aux, 1u);
+        EXPECT_EQ(recs[i].kind, TraceKind::page_fault);
+    }
+}
+
+TEST(Trace, NoDropsBelowCapacity)
+{
+    Trace tr(8);
+    tr.emit(1, 0, TraceEngine::nic, TraceKind::msg_send, 64, 3);
+    tr.emit(2, 3, TraceEngine::nic, TraceKind::msg_deliver, 64, 0);
+    EXPECT_EQ(tr.dropped(), 0u);
+    const auto recs = tr.drain();
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].engine, TraceEngine::nic);
+    EXPECT_EQ(recs[1].node, 3u);
+}
+
+TEST(Trace, ChromeExportIsWellFormedAndDeterministic)
+{
+    Trace tr(16);
+    tr.emit(150, 0, TraceEngine::cpu, TraceKind::page_fault, 42, 1);
+    tr.emit(250, 0, TraceEngine::ctrl, TraceKind::ctrl_queue, 2, 0);
+    tr.emit(350, 1, TraceEngine::nic, TraceKind::msg_send, 4096, 0);
+    std::ostringstream a, b;
+    writeChromeTrace(a, tr.drain(), tr.dropped(), 2, {{"bench", "unit"}});
+    writeChromeTrace(b, tr.drain(), tr.dropped(), 2, {{"bench", "unit"}});
+    EXPECT_EQ(a.str(), b.str());
+    const std::string doc = a.str();
+    EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"page_fault\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos); // queue counter
+    EXPECT_NE(doc.find("\"dropped\":0"), std::string::npos);
+    EXPECT_NE(doc.find("\"bench\":\"unit\""), std::string::npos);
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+              std::count(doc.begin(), doc.end(), '}'));
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
+              std::count(doc.begin(), doc.end(), ']'));
 }
 
 TEST(Logging, PanicThrowsLogicError)

@@ -122,11 +122,11 @@ TEST(TreadMarks, BaseModeCreatesTwinsAndDiffs)
     System sys(cfg, makeTreadMarks(cfg.mode));
     auto *tm = static_cast<TreadMarks *>(&sys.protocol());
     sys.run(w);
-    EXPECT_GT(tm->stats().twins_created, 0u);
-    EXPECT_GT(tm->stats().diffs_created, 0u);
-    EXPECT_GT(tm->stats().diffs_applied, 0u);
-    EXPECT_GT(tm->stats().page_fetches, 0u);
-    EXPECT_GT(tm->stats().intervals_closed, 0u);
+    EXPECT_GT(tm->stats().twins_created.value(), 0u);
+    EXPECT_GT(tm->stats().diffs_created.value(), 0u);
+    EXPECT_GT(tm->stats().diffs_applied.value(), 0u);
+    EXPECT_GT(tm->stats().page_fetches.value(), 0u);
+    EXPECT_GT(tm->stats().intervals_closed.value(), 0u);
 }
 
 TEST(TreadMarks, HardwareDiffModeEliminatesTwins)
@@ -138,8 +138,8 @@ TEST(TreadMarks, HardwareDiffModeEliminatesTwins)
     System sys(cfg, makeTreadMarks(cfg.mode));
     auto *tm = static_cast<TreadMarks *>(&sys.protocol());
     sys.run(w);
-    EXPECT_EQ(tm->stats().twins_created, 0u);
-    EXPECT_GT(tm->stats().diffs_created, 0u);
+    EXPECT_EQ(tm->stats().twins_created.value(), 0u);
+    EXPECT_GT(tm->stats().diffs_created.value(), 0u);
 }
 
 TEST(TreadMarks, HardwareDiffsReduceDiffOpTimeOnCpu)
@@ -198,8 +198,8 @@ TEST(TreadMarks, CappedStrategyLimitsBursts)
     auto *t2 = static_cast<TreadMarks *>(&s2.protocol());
     s2.run(w2);
 
-    EXPECT_LE(t2->stats().prefetches_issued,
-              t1->stats().prefetches_issued);
+    EXPECT_LE(t2->stats().prefetches_issued.value(),
+              t1->stats().prefetches_issued.value());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -231,10 +231,10 @@ TEST(TreadMarks, LazyHybridPiggybacksDiffsOnGrants)
     auto *t2 = static_cast<TreadMarks *>(&s2.protocol());
     s2.run(w2); // self-validates: piggybacked diffs must be coherent
 
-    EXPECT_EQ(t1->stats().lh_updates, 0u);
-    EXPECT_GT(t2->stats().lh_updates, 0u);
+    EXPECT_EQ(t1->stats().lh_updates.value(), 0u);
+    EXPECT_GT(t2->stats().lh_updates.value(), 0u);
     // The whole point: updates-on-grant replace later demand faults.
-    EXPECT_LT(t2->stats().diff_requests, t1->stats().diff_requests);
+    EXPECT_LT(t2->stats().diff_requests.value(), t1->stats().diff_requests.value());
 }
 
 TEST(TreadMarks, LazyHybridIsCoherentUnderAllModes)
@@ -259,5 +259,5 @@ TEST(TreadMarks, PrefetchModeIssuesPrefetches)
     System sys(cfg, makeTreadMarks(cfg.mode));
     auto *tm = static_cast<TreadMarks *>(&sys.protocol());
     sys.run(w);
-    EXPECT_GT(tm->stats().prefetches_issued, 0u);
+    EXPECT_GT(tm->stats().prefetches_issued.value(), 0u);
 }

@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""Validate and summarize NCP2 Chrome trace files (sim::writeChromeTrace).
+
+A trace file is Chrome trace_event JSON: one "process" per simulated
+node, one named "thread" per engine (cpu/ctrl/nic), instant events for
+protocol activity, a counter track for controller queue occupancy, and
+cumulative `bd_snapshot` instants at every barrier epoch (plus one final
+batch at end of run). Because the snapshots are cumulative and exact
+(the simulator accumulates breakdown cycles eagerly), per-epoch deltas
+telescope to the run's aggregate BreakdownRow - which is what the
+--results cross-check verifies against the schema-v2 results JSON the
+bench wrote alongside the trace.
+
+Usage:
+  trace_summary.py --validate trace.json...
+      Structural validation only (exit 1 on any violation).
+  trace_summary.py --summary trace.json
+      Validation + a per-barrier-epoch breakdown table reconstructed
+      from the bd_snapshot records (cycles, averaged over processors).
+  trace_summary.py --results results/<bench>.json [--label LABEL] trace.json
+      Validation + cross-check: the final cumulative snapshots must
+      reproduce the run's "breakdown" aggregates exactly. The run is
+      selected by LABEL, defaulting to the trace's otherData.label.
+
+Exit status: 0 ok, 1 validation/cross-check failure, 2 usage error.
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+# bd_snapshot aux slots, in emission order (dsm::Cat then the two
+# diff-op accounts); see System::emitBdSnapshot.
+CATS = ["busy", "data", "synch", "ipc", "other.cache", "other.tlb",
+        "other.wb", "other.int", "diff_op", "diff_op_ctrl"]
+
+KNOWN_EVENTS = {
+    "page_fault", "fault_done", "diff_create", "diff_apply", "ctrl_queue",
+    "lock_acquire", "lock_grant", "barrier_epoch", "msg_send",
+    "msg_deliver", "prefetch_issue", "prefetch_hit", "prefetch_useless",
+    "bd_snapshot",
+}
+ENGINES = {0: "cpu", 1: "ctrl", 2: "nic"}
+
+
+class TraceError(Exception):
+    pass
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TraceError(f"{path}: cannot load: {exc}") from exc
+
+
+def validate(path, doc):
+    """Structural checks; returns the list of non-metadata events."""
+
+    def fail(msg):
+        raise TraceError(f"{path}: {msg}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("missing or empty traceEvents")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or "dropped" not in other:
+        fail("otherData.dropped missing")
+
+    named_procs, named_threads, data_events = set(), set(), []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph, pid, tid = ev.get("ph"), ev.get("pid"), ev.get("tid")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            fail(f"event {i}: pid/tid missing")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                named_procs.add(pid)
+            elif ev.get("name") == "thread_name":
+                named_threads.add((pid, tid))
+                want = ENGINES.get(tid)
+                got = ev.get("args", {}).get("name")
+                if want and got != want:
+                    fail(f"event {i}: thread {tid} named {got!r}, "
+                         f"expected {want!r}")
+            continue
+        name = ev.get("name")
+        if name not in KNOWN_EVENTS:
+            fail(f"event {i}: unknown event name {name!r}")
+        if ph == "C":
+            if name != "ctrl_queue":
+                fail(f"event {i}: only ctrl_queue may be a counter")
+            if "depth" not in ev.get("args", {}):
+                fail(f"event {i}: ctrl_queue without args.depth")
+        elif ph == "i":
+            if ev.get("s") != "t":
+                fail(f"event {i}: instant without thread scope")
+        else:
+            fail(f"event {i}: unexpected phase {ph!r}")
+        if "ts" not in ev:
+            fail(f"event {i}: no timestamp")
+        data_events.append(ev)
+
+    for ev in data_events:
+        if ev["pid"] not in named_procs:
+            raise TraceError(f"{path}: pid {ev['pid']} has no "
+                             "process_name metadata")
+        if (ev["pid"], ev["tid"]) not in named_threads:
+            raise TraceError(f"{path}: pid {ev['pid']} tid {ev['tid']} "
+                             "has no thread_name metadata")
+
+    # Cumulative snapshots must never decrease per (proc, category).
+    last = {}
+    for ev in data_events:
+        if ev["name"] != "bd_snapshot":
+            continue
+        aux = ev["args"]["aux"]
+        if not 0 <= aux < len(CATS):
+            raise TraceError(f"{path}: bd_snapshot aux {aux} out of range")
+        key = (ev["pid"], aux)
+        if ev["args"]["arg"] < last.get(key, 0):
+            raise TraceError(f"{path}: cumulative snapshot decreased for "
+                             f"proc {ev['pid']} {CATS[aux]}")
+        last[key] = ev["args"]["arg"]
+    return data_events
+
+
+def snapshot_batches(data_events):
+    """Per proc: the list of complete {cat: cumulative} snapshot batches.
+
+    emitBdSnapshot writes all len(CATS) records back-to-back, so batches
+    are just consecutive runs of bd_snapshot records per pid, in file
+    (= emission) order.
+    """
+    batches, open_batch, last_aux = {}, {}, {}
+
+    def close(pid):
+        cur = open_batch.pop(pid, {})
+        # A partial batch can only be the oldest surviving one after a
+        # ring overflow truncated its head; drop it rather than merging
+        # it with its neighbour.
+        if len(cur) == len(CATS):
+            batches.setdefault(pid, []).append(
+                {CATS[a]: v for a, v in cur.items()})
+
+    for ev in data_events:
+        if ev["name"] != "bd_snapshot":
+            continue
+        pid, aux = ev["pid"], ev["args"]["aux"]
+        if aux <= last_aux.get(pid, -1):  # aux runs 0..9 within a batch
+            close(pid)
+        open_batch.setdefault(pid, {})[aux] = ev["args"]["arg"]
+        last_aux[pid] = aux
+    for pid in list(open_batch):
+        cur = open_batch[pid]
+        if len(cur) != len(CATS):
+            raise TraceError(f"proc {pid}: trailing incomplete snapshot "
+                             f"batch ({len(cur)}/{len(CATS)} slots)")
+        close(pid)
+    return batches
+
+
+def epoch_table(batches):
+    """Per-epoch deltas, averaged across processors, as rows of floats."""
+    if not batches:
+        return []
+    epochs = min(len(b) for b in batches.values())
+    nprocs = len(batches)
+    rows = []
+    for e in range(epochs):
+        row = {}
+        for cat in CATS:
+            total = 0.0
+            for per_proc in batches.values():
+                prev = per_proc[e - 1][cat] if e else 0
+                total += per_proc[e][cat] - prev
+            row[cat] = total / nprocs
+        rows.append(row)
+    return rows
+
+
+def print_summary(path, doc, data_events):
+    other = doc["otherData"]
+    batches = snapshot_batches(data_events)
+    kinds = {}
+    for ev in data_events:
+        kinds[ev["name"]] = kinds.get(ev["name"], 0) + 1
+    print(f"{path}: {len(data_events)} events, "
+          f"{len(batches)} procs, dropped={other['dropped']}")
+    for name in sorted(kinds):
+        print(f"  {name:16s} {kinds[name]}")
+    rows = epoch_table(batches)
+    if not rows:
+        return
+    print(f"  per-epoch breakdown (mean cycles over {len(batches)} procs):")
+    head = ["epoch"] + CATS
+    print("  " + "  ".join(f"{h:>12s}" for h in head))
+    for e, row in enumerate(rows):
+        cells = [f"{e:>12d}"] + [f"{row[c]:>12.1f}" for c in CATS]
+        print("  " + "  ".join(cells))
+
+
+def cross_check(path, doc, data_events, results_path, label):
+    """Final cumulative snapshots must equal the run's breakdown row."""
+    results = load(results_path)
+    if results.get("schema_version") != 2:
+        raise TraceError(f"{results_path}: expected schema_version 2, "
+                         f"got {results.get('schema_version')}")
+    label = label or doc["otherData"].get("label")
+    if not label:
+        raise TraceError(f"{path}: no --label and no otherData.label")
+    run = next((r for r in results.get("runs", [])
+                if r.get("label") == label), None)
+    if run is None:
+        raise TraceError(f"{results_path}: no run labelled {label!r}")
+
+    if int(doc["otherData"]["dropped"]):
+        print(f"{path}: note: ring overflowed; epochs are incomplete but "
+              "final snapshots survive, cross-check proceeds",
+              file=sys.stderr)
+
+    batches = snapshot_batches(data_events)
+    nprocs = run["config"]["num_procs"]
+    if len(batches) != nprocs:
+        raise TraceError(f"{path}: snapshots for {len(batches)} procs, "
+                         f"run has {nprocs}")
+    finals = {pid: per_proc[-1] for pid, per_proc in batches.items()}
+
+    def mean(cat):
+        return sum(f[cat] for f in finals.values()) / nprocs
+
+    got = {
+        "busy": mean("busy"),
+        "data": mean("data"),
+        "synch": mean("synch"),
+        "ipc": mean("ipc"),
+        "others": sum(mean(c) for c in
+                      ("other.cache", "other.tlb", "other.wb", "other.int")),
+    }
+    want = run["breakdown"]
+    failures = []
+    for cat, value in got.items():
+        ref = want[cat]
+        tol = 1e-9 * max(1.0, abs(ref))
+        if abs(value - ref) > tol:
+            failures.append(f"{cat}: trace {value} != results {ref}")
+    total = sum(got.values())
+    if total > 0:
+        diff_pct = 100.0 * mean("diff_op") / total
+        tol = 1e-6 * max(1.0, abs(want["diff_pct"]))
+        if abs(diff_pct - want["diff_pct"]) > tol:
+            failures.append(f"diff_pct: trace {diff_pct} != results "
+                            f"{want['diff_pct']}")
+    if failures:
+        raise TraceError(f"{path}: breakdown mismatch vs {results_path} "
+                         f"[{label}]:\n  " + "\n  ".join(failures))
+    print(f"{path}: breakdown cross-check OK vs {results_path} [{label}] "
+          f"({len(finals)} procs, {len(data_events)} events)")
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("traces", nargs="+", metavar="trace.json")
+    ap.add_argument("--validate", action="store_true",
+                    help="structural validation only")
+    ap.add_argument("--summary", action="store_true",
+                    help="print per-epoch breakdown reconstruction")
+    ap.add_argument("--results", metavar="FILE",
+                    help="schema-v2 results JSON to cross-check against")
+    ap.add_argument("--label", metavar="LABEL",
+                    help="run label (default: the trace's otherData.label)")
+    args = ap.parse_args(argv[1:])
+
+    status = 0
+    for path in args.traces:
+        try:
+            doc = load(path)
+            data_events = validate(path, doc)
+            if args.validate and not (args.summary or args.results):
+                print(f"{path}: OK ({len(data_events)} events, dropped="
+                      f"{doc['otherData']['dropped']})")
+            if args.summary:
+                print_summary(path, doc, data_events)
+            if args.results:
+                cross_check(path, doc, data_events, args.results, args.label)
+        except TraceError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
