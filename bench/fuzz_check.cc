@@ -1,0 +1,276 @@
+/**
+ * @file
+ * The conformance-fuzzing campaign driver.
+ *
+ * Sweeps the Torture workload (seed-deterministic random sharing, see
+ * src/apps/torture.hh) across {protocol variant x node count x seed}
+ * with the LRC oracle enabled on every run, through the parallel
+ * ExperimentEngine. A failing combination never takes the batch down:
+ * it is reported as a one-line repro command and recorded in
+ * <results>/fuzz_failures.txt (the CI artifact), and the driver exits
+ * non-zero.
+ *
+ * Usage:
+ *   fuzz_check                       # run the committed seed corpus
+ *   fuzz_check --corpus FILE         # a different corpus file
+ *   fuzz_check --seeds N [--start S] # sequential seeds instead
+ *   fuzz_check --smoke               # small subset (ctest -L fuzz)
+ *   fuzz_check --repro SEED PROTO P  # replay one failing combination
+ *
+ * Knobs: NCP2_JOBS (worker pool), NCP2_RESULTS_DIR. NCP2_CHECK is
+ * implied - a fuzz run without the oracle would only test the apps'
+ * own validate(), which the tier-1 suite already does.
+ *
+ * Adding a failing seed to the corpus: append the seed number to
+ * bench/fuzz_corpus.txt with a comment naming the bug it caught.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/torture.hh"
+#include "bench/figure_common.hh"
+
+namespace
+{
+
+const std::vector<std::string> &
+allVariants()
+{
+    static const std::vector<std::string> v = {"Base", "I",    "I+D",
+                                               "I+P+D", "AURC", "AURC+P"};
+    return v;
+}
+
+/** Fuzz-vary the workload shape from the seed (the op program itself
+ *  is further randomized per (seed, proc, round) inside Torture). */
+apps::Torture::Params
+tortureParams(std::uint64_t seed)
+{
+    sim::Rng g(seed * 0x9e3779b97f4a7c15ULL + 1);
+    apps::Torture::Params p;
+    p.seed = seed;
+    p.rounds = 6 + static_cast<unsigned>(g.below(8));
+    p.data_pages = 2 + static_cast<unsigned>(g.below(5));
+    p.counters = 4 + static_cast<unsigned>(g.below(12));
+    p.pc_slots = 4 + static_cast<unsigned>(g.below(12));
+    p.block_pct = static_cast<unsigned>(g.below(101));
+    p.singles_per_chunk = 2 + static_cast<unsigned>(g.below(10));
+    p.cadds_per_round = static_cast<unsigned>(g.below(4));
+    p.racy_per_round = static_cast<unsigned>(g.below(6));
+    p.max_compute = 50 + static_cast<unsigned>(g.below(400));
+    return p;
+}
+
+harness::Job
+makeJob(std::uint64_t seed, const std::string &proto, unsigned procs)
+{
+    harness::Job j;
+    j.label = "torture/s" + std::to_string(seed) + "/" + proto + "/p" +
+              std::to_string(procs);
+    j.cfg = fig::configFor(proto, procs);
+    j.cfg.check = true;
+    j.cfg.seed = seed;
+    const apps::Torture::Params prm = tortureParams(seed);
+    j.workload = [prm]() { return std::make_unique<apps::Torture>(prm); };
+    return j;
+}
+
+std::string
+reproCommand(std::uint64_t seed, const std::string &proto, unsigned procs)
+{
+    return "./build/bench/fuzz_check --repro " + std::to_string(seed) +
+           " '" + proto + "' " + std::to_string(procs);
+}
+
+std::vector<std::uint64_t>
+readCorpus(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        ncp2_fatal("cannot open corpus '%s'", path.c_str());
+    std::vector<std::uint64_t> seeds;
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::uint64_t s;
+        if (ls >> s)
+            seeds.push_back(s);
+    }
+    if (seeds.empty())
+        ncp2_fatal("corpus '%s' contains no seeds", path.c_str());
+    return seeds;
+}
+
+void
+usage()
+{
+    std::cout
+        << "fuzz_check: LRC-oracle fuzzing campaign over the Torture "
+           "workload\n"
+           "  (no args)               run the committed corpus "
+           "(bench/fuzz_corpus.txt)\n"
+           "  --corpus FILE           use FILE as the seed corpus\n"
+           "  --seeds N [--start S]   fuzz N sequential seeds from S "
+           "(default 1)\n"
+           "  --smoke                 reduced sweep for ctest -L fuzz\n"
+           "  --repro SEED PROTO P    replay one combination verbosely\n"
+           "  --nocheck               with --repro: oracle off (does the\n"
+           "                          workload's own validate() fire?)\n"
+           "  --knobs                 list the NCP2_* environment "
+           "knobs\n";
+}
+
+int
+repro(std::uint64_t seed, const std::string &proto, unsigned procs,
+      bool check)
+{
+    harness::Job j = makeJob(seed, proto, procs);
+    j.cfg.check = check;
+    j.quiet = false;
+    std::cout << "replaying " << j.label << "\n";
+    const auto results =
+        harness::ExperimentEngine(1).runAllNoThrow({j});
+    if (results[0].error.empty()) {
+        std::cout << "PASS " << j.label << " (exec_ticks="
+                  << results[0].run.exec_ticks << ")\n";
+        return 0;
+    }
+    std::cout << "FAIL " << j.label << "\n" << results[0].error << "\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string corpus_path = "bench/fuzz_corpus.txt";
+    std::uint64_t gen_seeds = 0;
+    std::uint64_t gen_start = 1;
+    bool smoke = false;
+    bool check = true;
+    std::uint64_t repro_seed = 0;
+    std::string repro_proto;
+    unsigned repro_procs = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                ncp2_fatal("%s expects an argument", what);
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        }
+        if (a == "--knobs") {
+            harness::knobs::printListing(std::cout);
+            return 0;
+        }
+        if (a == "--smoke") {
+            smoke = true;
+        } else if (a == "--corpus") {
+            corpus_path = next("--corpus");
+        } else if (a == "--seeds") {
+            gen_seeds = std::strtoull(next("--seeds").c_str(), nullptr, 10);
+            if (!gen_seeds)
+                ncp2_fatal("--seeds expects a positive count");
+        } else if (a == "--start") {
+            gen_start = std::strtoull(next("--start").c_str(), nullptr, 10);
+        } else if (a == "--repro") {
+            repro_seed = std::strtoull(next("--repro").c_str(), nullptr, 10);
+            repro_proto = next("--repro PROTO");
+            repro_procs = static_cast<unsigned>(
+                std::strtoul(next("--repro PROCS").c_str(), nullptr, 10));
+            if (!repro_procs)
+                ncp2_fatal("--repro expects SEED PROTO PROCS");
+        } else if (a == "--nocheck") {
+            // Replay without the oracle: shows whether the workload's
+            // own end-of-run validation also catches the bug.
+            check = false;
+        } else {
+            usage();
+            ncp2_fatal("unknown argument '%s'", a.c_str());
+        }
+    }
+
+    if (repro_procs)
+        return repro(repro_seed, repro_proto, repro_procs, check);
+
+    std::vector<std::uint64_t> seeds;
+    if (gen_seeds) {
+        for (std::uint64_t s = 0; s < gen_seeds; ++s)
+            seeds.push_back(gen_start + s);
+    } else {
+        seeds = readCorpus(corpus_path);
+    }
+
+    std::vector<std::string> variants = allVariants();
+    std::vector<unsigned> procs = {4, 8, 16};
+    if (smoke) {
+        // Enough to smoke every moving part (both protocols, the
+        // oracle, the engine's no-throw path) inside a ctest budget.
+        if (seeds.size() > 4)
+            seeds.resize(4);
+        variants = {"Base", "I+P+D", "AURC"};
+        procs = {4, 8};
+    }
+
+    std::vector<harness::Job> jobs;
+    for (const std::uint64_t s : seeds)
+        for (const auto &v : variants)
+            for (const unsigned p : procs)
+                jobs.push_back(makeJob(s, v, p));
+
+    const harness::ExperimentEngine engine;
+    std::cerr << "[fuzz_check: " << seeds.size() << " seeds x "
+              << variants.size() << " variants x " << procs.size()
+              << " node counts = " << jobs.size() << " runs on "
+              << engine.workers() << " workers]\n";
+    const auto results = engine.runAllNoThrow(jobs);
+
+    std::vector<std::string> failures;
+    std::size_t ji = 0;
+    for (const std::uint64_t s : seeds) {
+        for (const auto &v : variants) {
+            for (const unsigned p : procs) {
+                const harness::JobResult &r = results[ji++];
+                if (r.error.empty())
+                    continue;
+                const std::string first_line =
+                    r.error.substr(0, r.error.find('\n'));
+                std::cout << "FAIL " << r.label << ": " << first_line
+                          << "\n  repro: " << reproCommand(s, v, p) << "\n";
+                failures.push_back(reproCommand(s, v, p) + "  # " +
+                                   first_line);
+            }
+        }
+    }
+
+    if (!failures.empty()) {
+        const std::string dir = harness::resultsDir();
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        const std::string path = dir + "/fuzz_failures.txt";
+        std::ofstream os(path);
+        for (const auto &f : failures)
+            os << f << "\n";
+        std::cout << failures.size() << "/" << jobs.size()
+                  << " runs FAILED; repro commands in " << path << "\n";
+        return 1;
+    }
+    std::cout << "all " << jobs.size()
+              << " runs passed the LRC oracle and self-validation\n";
+    return 0;
+}

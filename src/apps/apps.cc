@@ -6,6 +6,7 @@
 #include "apps/em3d.hh"
 #include "apps/ocean.hh"
 #include "apps/radix.hh"
+#include "apps/torture.hh"
 #include "apps/tsp.hh"
 #include "apps/water.hh"
 #include "sim/logging.hh"
@@ -107,6 +108,23 @@ make(const std::string &name, Scale scale)
             p.sweeps = 12;
         }
         return std::make_unique<Ocean>(p);
+    }
+    // Not one of the six paper apps (and not in names()): the fuzzing
+    // campaign's random workload, runnable by hand for debugging.
+    if (n == "torture") {
+        Torture::Params p;
+        if (scale == Scale::tiny) {
+            p.rounds = 6;
+            p.data_pages = 2;
+        } else if (scale == Scale::small) {
+            p.rounds = 10;
+            p.data_pages = 4;
+        } else {
+            p.rounds = 16;
+            p.data_pages = 8;
+            p.counters = 16;
+        }
+        return std::make_unique<Torture>(p);
     }
     ncp2_fatal("unknown workload '%s'", name.c_str());
 }

@@ -1,0 +1,264 @@
+#include "apps/torture.hh"
+
+#include <algorithm>
+
+#include "dsm/system.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace apps
+{
+
+void
+Torture::plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg)
+{
+    nprocs_ = cfg.num_procs;
+    page_words_ = cfg.pageWords();
+    ncp2_assert(page_words_ % chunks_per_page == 0,
+                "page size not divisible into %u chunks", chunks_per_page);
+    chunk_words_ = page_words_ / chunks_per_page;
+    ncp2_assert(prm_.rounds && prm_.data_pages && prm_.counters &&
+                    prm_.pc_slots,
+                "torture parameters must be non-zero");
+
+    arena_.base =
+        heap.allocPages(std::uint64_t{prm_.data_pages} * cfg.page_bytes);
+    counters_.base = heap.allocPages(prm_.counters * 8ull);
+    pc_.base = heap.allocPages(2ull * prm_.pc_slots * 8ull);
+    checks_.base = heap.allocPages(nprocs_ * 8ull);
+
+    prog_.assign(nprocs_, {});
+    for (unsigned p = 0; p < nprocs_; ++p) {
+        prog_[p].reserve(prm_.rounds);
+        for (unsigned r = 0; r < prm_.rounds; ++r)
+            prog_[p].push_back(genRound(p, r));
+    }
+    replayReference();
+}
+
+std::vector<Torture::Op>
+Torture::genRound(unsigned proc, unsigned round) const
+{
+    // One generator per (seed, proc, round): programs depend on nothing
+    // else, so a failing {seed, protocol, nprocs} triple replays bit for
+    // bit from the command line.
+    sim::Rng g(prm_.seed ^
+               0x517cc1b727220a95ULL * (round * 1315423911ull + proc + 1));
+    std::vector<Op> ops;
+    const unsigned arena_words = prm_.data_pages * page_words_;
+
+    // False-sharing arena: this round's owned chunks. Reads checksum
+    // what the previous owner left (migratory hand-off), writes claim
+    // the chunk for this round; single-writer per word per round.
+    for (unsigned pg = 0; pg < prm_.data_pages; ++pg) {
+        for (unsigned c = 0; c < chunks_per_page; ++c) {
+            if ((c + round + pg) % nprocs_ != proc)
+                continue;
+            const std::uint32_t base = pg * page_words_ + c * chunk_words_;
+            if (g.below(100) < prm_.block_pct) {
+                ops.push_back({Op::K::creadblk, base, chunk_words_, 0});
+            } else {
+                for (unsigned i = 0; i < prm_.singles_per_chunk; ++i)
+                    ops.push_back(
+                        {Op::K::cread,
+                         base + static_cast<std::uint32_t>(
+                                    g.below(chunk_words_)),
+                         0, 0});
+            }
+            if (g.below(100) < prm_.block_pct) {
+                ops.push_back(
+                    {Op::K::cwriteblk, base, chunk_words_, g.next()});
+            } else {
+                for (unsigned i = 0; i < prm_.singles_per_chunk; ++i)
+                    ops.push_back(
+                        {Op::K::cwrite,
+                         base + static_cast<std::uint32_t>(
+                                    g.below(chunk_words_)),
+                         0, g.next() & 0xffffffffull});
+            }
+        }
+    }
+
+    // Migratory counters behind locks; deltas commute, so the final
+    // sums are schedule-independent.
+    for (unsigned i = 0; i < prm_.cadds_per_round; ++i)
+        ops.push_back({Op::K::cadd,
+                       static_cast<std::uint32_t>(g.below(prm_.counters)),
+                       0, g.next() & 0xffffull});
+
+    // Producer/consumer mailbox: the round-r producer fills half
+    // (r % 2); consumers checksum the half filled in round r-1, which
+    // nobody writes this round.
+    if (proc == round % nprocs_) {
+        for (unsigned s = 0; s < prm_.pc_slots; ++s)
+            ops.push_back({Op::K::pcwrite,
+                           (round % 2) * prm_.pc_slots + s, 0, g.next()});
+    } else if (round > 0) {
+        for (unsigned s = 0; s < prm_.pc_slots; ++s)
+            if (g.below(2))
+                ops.push_back({Op::K::pcread,
+                               ((round + 1) % 2) * prm_.pc_slots + s, 0,
+                               0});
+    }
+
+    // Racy reads: any arena word, mid-round. Legal under LRC (the
+    // oracle checks the observed value against concurrent writers);
+    // the result feeds the sink, never validated state.
+    for (unsigned i = 0; i < prm_.racy_per_round; ++i)
+        ops.push_back({Op::K::rread,
+                       static_cast<std::uint32_t>(g.below(arena_words)), 0,
+                       0});
+
+    if (prm_.max_compute)
+        ops.push_back({Op::K::comp,
+                       static_cast<std::uint32_t>(
+                           g.below(prm_.max_compute) + 1),
+                       0, 0});
+
+    // Shuffle: every op sequence is deterministic in program order
+    // whatever the interleaving (single-writer words, commutative adds,
+    // cross-round mailbox), so an arbitrary order is fair game and
+    // shakes out ordering assumptions in the protocols.
+    for (std::size_t i = ops.size(); i > 1; --i)
+        std::swap(ops[i - 1], ops[g.below(i)]);
+    return ops;
+}
+
+void
+Torture::replayReference()
+{
+    // Host replay in (round, proc, program) order. Any per-round proc
+    // order gives the same state: same-round writes never share a word,
+    // counter adds commute, and mailbox reads target the half written
+    // last round.
+    ref_arena_.assign(std::size_t{prm_.data_pages} * page_words_, 0);
+    ref_counters_.assign(prm_.counters, 0);
+    ref_pc_.assign(2ull * prm_.pc_slots, 0);
+    ref_checks_.assign(nprocs_, 0);
+    for (unsigned r = 0; r < prm_.rounds; ++r) {
+        for (unsigned p = 0; p < nprocs_; ++p) {
+            for (const Op &op : prog_[p][r]) {
+                switch (op.k) {
+                  case Op::K::cread:
+                    ref_checks_[p] = fold(ref_checks_[p], ref_arena_[op.a]);
+                    break;
+                  case Op::K::creadblk:
+                    for (unsigned i = 0; i < op.b; ++i)
+                        ref_checks_[p] =
+                            fold(ref_checks_[p], ref_arena_[op.a + i]);
+                    break;
+                  case Op::K::cwrite:
+                    ref_arena_[op.a] = static_cast<std::uint32_t>(op.v);
+                    break;
+                  case Op::K::cwriteblk:
+                    for (unsigned i = 0; i < op.b; ++i)
+                        ref_arena_[op.a + i] =
+                            static_cast<std::uint32_t>(op.v + i);
+                    break;
+                  case Op::K::cadd:
+                    ref_counters_[op.a] += op.v;
+                    break;
+                  case Op::K::pcwrite:
+                    ref_pc_[op.a] = op.v;
+                    break;
+                  case Op::K::pcread:
+                    ref_checks_[p] = fold(ref_checks_[p], ref_pc_[op.a]);
+                    break;
+                  case Op::K::rread:
+                  case Op::K::comp:
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+Torture::run(dsm::Proc &p)
+{
+    const unsigned me = p.id();
+    std::uint64_t chk = 0;
+    std::vector<std::uint32_t> buf(chunk_words_);
+    for (unsigned r = 0; r < prm_.rounds; ++r) {
+        for (const Op &op : prog_[me][r]) {
+            switch (op.k) {
+              case Op::K::cread:
+                chk = fold(chk, arena_.get(p, op.a));
+                break;
+              case Op::K::creadblk:
+                arena_.getRange(p, op.a, buf.data(), op.b);
+                for (unsigned i = 0; i < op.b; ++i)
+                    chk = fold(chk, buf[i]);
+                break;
+              case Op::K::cwrite:
+                arena_.put(p, op.a, static_cast<std::uint32_t>(op.v));
+                break;
+              case Op::K::cwriteblk:
+                for (unsigned i = 0; i < op.b; ++i)
+                    buf[i] = static_cast<std::uint32_t>(op.v + i);
+                arena_.putRange(p, op.a, buf.data(), op.b);
+                break;
+              case Op::K::cadd: {
+                p.lock(100 + op.a);
+                const std::uint64_t cur = counters_.get(p, op.a);
+                p.compute(20);
+                counters_.put(p, op.a, cur + op.v);
+                p.unlock(100 + op.a);
+                break;
+              }
+              case Op::K::pcwrite:
+                pc_.put(p, op.a, op.v);
+                break;
+              case Op::K::pcread:
+                chk = fold(chk, pc_.get(p, op.a));
+                break;
+              case Op::K::rread:
+                racy_sink_ += arena_.get(p, op.a);
+                break;
+              case Op::K::comp:
+                p.compute(op.a);
+                break;
+            }
+        }
+        // One reused barrier id on purpose: generation bookkeeping
+        // (protocol and oracle) must survive a processor racing a full
+        // round ahead before a laggard's fiber resumes.
+        p.barrier(3);
+    }
+    checks_.put(p, me, chk);
+    p.barrier(4);
+}
+
+void
+Torture::validate(dsm::System &sys)
+{
+    for (std::size_t w = 0; w < ref_arena_.size(); ++w) {
+        const auto got = sys.readGlobal<std::uint32_t>(arena_.at(w));
+        if (got != ref_arena_[w])
+            ncp2_fatal("torture seed %llu: arena word %zu = %u, expected "
+                       "%u",
+                       static_cast<unsigned long long>(prm_.seed), w, got,
+                       ref_arena_[w]);
+    }
+    for (std::size_t c = 0; c < ref_counters_.size(); ++c) {
+        const auto got = sys.readGlobal<std::uint64_t>(counters_.at(c));
+        if (got != ref_counters_[c])
+            ncp2_fatal("torture seed %llu: counter %zu = %llu, expected "
+                       "%llu",
+                       static_cast<unsigned long long>(prm_.seed), c,
+                       static_cast<unsigned long long>(got),
+                       static_cast<unsigned long long>(ref_counters_[c]));
+    }
+    for (unsigned p = 0; p < nprocs_; ++p) {
+        const auto got = sys.readGlobal<std::uint64_t>(checks_.at(p));
+        if (got != ref_checks_[p])
+            ncp2_fatal("torture seed %llu: proc %u checksum %llx, expected "
+                       "%llx (a read observed a value the reference replay "
+                       "never produced)",
+                       static_cast<unsigned long long>(prm_.seed), p,
+                       static_cast<unsigned long long>(got),
+                       static_cast<unsigned long long>(ref_checks_[p]));
+    }
+}
+
+} // namespace apps

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Torture: the seed-deterministic random workload behind the fuzzing
+ * campaign (bench/fuzz_check).
+ *
+ * The whole op program is generated host-side in plan() from
+ * Params::seed, so a failing seed replays exactly. Execution is split
+ * into barrier-delimited rounds mixing the sharing patterns the paper's
+ * protocols must get right:
+ *
+ *  - page-granularity false sharing: each shared arena page is split
+ *    into 16 word chunks whose ownership rotates every round, so every
+ *    page is concurrently written by several processors while no word
+ *    ever has two same-round writers;
+ *  - migratory data: chunk ownership rotation means each chunk's words
+ *    migrate processor to processor round after round (the new owner
+ *    reads what the previous owner wrote before overwriting);
+ *  - lock-protected counters packed on one hot page (migratory +
+ *    true sharing through acquire/release);
+ *  - producer/consumer: a rotating producer fills one half of a
+ *    double-buffered mailbox each round, consumers read the half
+ *    written the round before;
+ *  - racy reads of arbitrary arena words (legal under LRC - the value
+ *    feeds a sink, never the validated state) so the oracle's
+ *    concurrent-value acceptance is exercised, not just avoided.
+ *
+ * Every value that reaches validated state is deterministic by
+ * construction (single-writer words per round, commutative locked
+ * additions, read-after-barrier consumption), so validate() replays the
+ * program against host arrays and demands exact equality - on top of
+ * whatever the LRC oracle checks access by access.
+ */
+
+#ifndef NCP2_APPS_TORTURE_HH
+#define NCP2_APPS_TORTURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/workload.hh"
+
+namespace apps
+{
+
+class Torture : public dsm::Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t seed = 1;
+        unsigned rounds = 10;
+        unsigned data_pages = 4;       ///< false-sharing arena pages
+        unsigned counters = 8;         ///< lock-protected counters
+        unsigned pc_slots = 8;         ///< mailbox slots per buffer half
+        // --- op mix (fuzz-varied) ---
+        unsigned block_pct = 33;       ///< chance a chunk op is bulk
+        unsigned singles_per_chunk = 6;///< word ops when not bulk
+        unsigned cadds_per_round = 2;  ///< locked counter adds per proc
+        unsigned racy_per_round = 3;   ///< unvalidated racy reads
+        unsigned max_compute = 200;    ///< busy-cycles cap per round
+    };
+
+    Torture() : Torture(Params()) {}
+    explicit Torture(Params prm) : prm_(prm) {}
+
+    std::string name() const override { return "Torture"; }
+    void plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg) override;
+    void run(dsm::Proc &p) override;
+    void validate(dsm::System &sys) override;
+
+    const Params &params() const { return prm_; }
+
+  private:
+    struct Op
+    {
+        enum class K : std::uint8_t
+        {
+            cread,     ///< checksum one owned-chunk word
+            creadblk,  ///< checksum a whole chunk via getBlock
+            cwrite,    ///< write one owned-chunk word
+            cwriteblk, ///< write a whole chunk via putBlock
+            cadd,      ///< lock-protected counter += delta
+            pcwrite,   ///< producer fills one mailbox slot
+            pcread,    ///< consumer checksums one mailbox slot
+            rread,     ///< racy arena read into the sink
+            comp,      ///< charge busy cycles
+        };
+        K k;
+        std::uint32_t a = 0; ///< word / counter / slot index, or cycles
+        std::uint32_t b = 0; ///< element count for bulk ops
+        std::uint64_t v = 0; ///< write value / add delta
+    };
+
+    std::vector<Op> genRound(unsigned proc, unsigned round) const;
+    void replayReference();
+
+    static std::uint64_t
+    fold(std::uint64_t chk, std::uint64_t x)
+    {
+        return (chk ^ x) * 0x100000001b3ULL;
+    }
+
+    Params prm_;
+    unsigned nprocs_ = 0;
+    unsigned page_words_ = 0;
+    unsigned chunk_words_ = 0;
+    dsm::GArray<std::uint32_t> arena_;
+    dsm::GArray<std::uint64_t> counters_;
+    dsm::GArray<std::uint64_t> pc_;
+    dsm::GArray<std::uint64_t> checks_;
+    /// prog_[proc][round]: generated once in plan(), interpreted by run.
+    std::vector<std::vector<std::vector<Op>>> prog_;
+    std::vector<std::uint32_t> ref_arena_;
+    std::vector<std::uint64_t> ref_counters_;
+    std::vector<std::uint64_t> ref_pc_;
+    std::vector<std::uint64_t> ref_checks_;
+    /// Racy-read landing zone; fibers share one host thread, and the
+    /// value is deliberately never validated (it is timing-dependent).
+    std::uint64_t racy_sink_ = 0;
+
+    static constexpr unsigned chunks_per_page = 16;
+};
+
+} // namespace apps
+
+#endif // NCP2_APPS_TORTURE_HH

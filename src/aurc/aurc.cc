@@ -420,38 +420,50 @@ Aurc::ensureAccess(NodeId proc, PageId page, bool for_write)
         return;
     }
 
-    if (pg.present() && pg.access != dsm::Access::none &&
-        (!for_write || pg.access == dsm::Access::readwrite)) {
-        return;
-    }
-
-    // A pending prefetch: wait for it rather than faulting.
-    auto pit = prefetch_[proc].find(page);
-    if (pit != prefetch_[proc].end()) {
-        ++stats_.prefetch_demand_waits;
-        pit->second.demand_wait = true;
-        if (sim::Trace *tr = sys_->trace()) [[unlikely]]
-            tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
-                     sim::TraceKind::prefetch_hit, page);
-        n.cpu.block(Cat::data);
-    }
-
-    if (!pg.present() || pg.access == dsm::Access::none)
-        faultIn(proc, page);
-
-    if (for_write && pg.access != dsm::Access::readwrite) {
-        // Write fault: cheap (no twins in AURC) - just the trap plus
-        // interval registration.
-        ++stats_.write_faults;
-        if (sim::Trace *tr = sys_->trace()) [[unlikely]]
-            tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
-                     sim::TraceKind::page_fault, page, 1);
-        n.cpu.advance(cfg().interrupt_cycles, Cat::data);
-        pg.access = dsm::Access::readwrite;
-        if (!pg.dirty_in_interval) {
-            pg.dirty_in_interval = true;
-            procs_[proc].open_dirty.push_back(page);
+    for (;;) {
+        if (pg.present() && pg.access != dsm::Access::none &&
+            (!for_write || pg.access == dsm::Access::readwrite)) {
+            return;
         }
+
+        // A pending prefetch: wait for it rather than faulting.
+        auto pit = prefetch_[proc].find(page);
+        if (pit != prefetch_[proc].end()) {
+            ++stats_.prefetch_demand_waits;
+            pit->second.demand_wait = true;
+            if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+                tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                         sim::TraceKind::prefetch_hit, page);
+            n.cpu.block(Cat::data);
+        }
+
+        if (!pg.present() || pg.access == dsm::Access::none)
+            faultIn(proc, page);
+
+        if (for_write && pg.access != dsm::Access::readwrite) {
+            // Write fault: cheap (no twins in AURC) - just the trap plus
+            // interval registration.
+            ++stats_.write_faults;
+            if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+                tr->emit(n.cpu.localNow(), proc, sim::TraceEngine::cpu,
+                         sim::TraceKind::page_fault, page, 1);
+            n.cpu.advance(cfg().interrupt_cycles, Cat::data);
+            // The trap charge can yield the fiber, and a sharing-set
+            // transition during the yield (a pair eviction) may have
+            // revoked this copy. Granting write access anyway would let
+            // stores land in a zombie copy whose updates route nowhere
+            // - a silently lost write. Take the whole fault again.
+            if (!pg.present() || pg.access == dsm::Access::none)
+                [[unlikely]] {
+                continue;
+            }
+            pg.access = dsm::Access::readwrite;
+            if (!pg.dirty_in_interval) {
+                pg.dirty_in_interval = true;
+                procs_[proc].open_dirty.push_back(page);
+            }
+        }
+        return;
     }
 }
 
@@ -560,6 +572,13 @@ void
 Aurc::fetchPage(NodeId proc, NodeId src, PageId page, bool is_prefetch,
                 std::function<void()> on_done)
 {
+    // Our own combining-cache entries for this page must reach the
+    // merge copy before it can serve us a fresh one, or the fetched
+    // page silently rolls back our pre-invalidation stores (acquires
+    // invalidate without flushing the write cache). This is the fetch
+    // half of the flush-timestamp discipline: the updates_done_at wait
+    // below then orders the reply after their application.
+    flushPageEntries(proc, page);
     const Cat cat = is_prefetch ? Cat::synch : Cat::data;
     fiberSend(proc, src, pageReqBytes(), cat,
               [this, proc, src, page, is_prefetch,

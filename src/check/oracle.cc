@@ -1,0 +1,334 @@
+#include "check/oracle.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace check
+{
+
+namespace
+{
+
+/** History length at which an append triggers a GC pass. */
+constexpr std::size_t prune_threshold = 16;
+
+std::string
+fmtClock(const dsm::VectorClock &vt)
+{
+    std::string s = "[";
+    for (unsigned i = 0; i < vt.size(); ++i) {
+        if (i)
+            s += ' ';
+        s += std::to_string(vt[i]);
+    }
+    s += ']';
+    return s;
+}
+
+} // namespace
+
+LrcOracle::LrcOracle(unsigned nprocs, unsigned page_bytes)
+    : nprocs_(nprocs), page_bytes_(page_bytes), min_vt_(nprocs)
+{
+    ncp2_assert(nprocs_ >= 1, "oracle needs at least one processor");
+    vt_.reserve(nprocs_);
+    ivals_.resize(nprocs_);
+    for (unsigned p = 0; p < nprocs_; ++p) {
+        dsm::VectorClock vt(nprocs_);
+        vt[p] = 1; // interval 1 open from the start
+        ivals_[p].push_back(vt);
+        vt_.push_back(std::move(vt));
+    }
+    refreshMinClock();
+    on_violation_ = [](const std::string &report) {
+        ncp2_fatal("%s", report.c_str());
+    };
+}
+
+void
+LrcOracle::openNextInterval(sim::NodeId proc, const dsm::VectorClock *join)
+{
+    dsm::VectorClock &vt = vt_[proc];
+    ++vt[proc];
+    if (join)
+        vt.merge(*join);
+    ivals_[proc].push_back(vt);
+    ncp2_dassert(ivals_[proc].size() == vt[proc],
+                 "interval log out of step on proc %u", proc);
+}
+
+void
+LrcOracle::refreshMinClock()
+{
+    for (unsigned q = 0; q < nprocs_; ++q) {
+        dsm::IntervalSeq m = vt_[0][q];
+        for (unsigned p = 1; p < nprocs_; ++p)
+            m = std::min(m, vt_[p][q]);
+        min_vt_[q] = m;
+    }
+}
+
+void
+LrcOracle::onAcquire(sim::NodeId proc, unsigned lock_id)
+{
+    const auto it = locks_.find(lock_id);
+    // A virgin lock carries no release clock: no happens-before edge,
+    // and the interval need not close (the new clock would equal the
+    // old one except for the own component, which masks nothing).
+    if (it != locks_.end())
+        openNextInterval(proc, &it->second);
+    refreshMinClock();
+}
+
+void
+LrcOracle::onRelease(sim::NodeId proc, unsigned lock_id)
+{
+    // The release clock covers the interval being closed (own component
+    // = the closing interval), then the releaser moves on.
+    locks_[lock_id] = vt_[proc];
+    openNextInterval(proc, nullptr);
+    refreshMinClock();
+}
+
+void
+LrcOracle::onBarrierArrive(sim::NodeId proc, unsigned barrier_id)
+{
+    auto &gens = barriers_[barrier_id];
+    // Barrier ids are commonly reused; a proc racing ahead may arrive
+    // at the next generation before a laggard departed the previous
+    // one, so arrivals go to the youngest open generation.
+    if (gens.empty() || gens.back().arrived == nprocs_) {
+        gens.emplace_back();
+        gens.back().merged = dsm::VectorClock(nprocs_);
+    }
+    BarrierGen &g = gens.back();
+    g.merged.merge(vt_[proc]);
+    ++g.arrived;
+    // The pre-barrier interval stays open until departure; no writes
+    // can land while the processor blocks, so closing there is
+    // equivalent and keeps arrival/departure bookkeeping in one place.
+}
+
+void
+LrcOracle::onBarrierDepart(sim::NodeId proc, unsigned barrier_id)
+{
+    auto &gens = barriers_[barrier_id];
+    ncp2_assert(!gens.empty() && gens.front().arrived == nprocs_,
+                "barrier %u departed before all %u processors arrived",
+                barrier_id, nprocs_);
+    BarrierGen &g = gens.front();
+    openNextInterval(proc, &g.merged);
+    if (++g.departed == nprocs_)
+        gens.pop_front();
+    refreshMinClock();
+}
+
+LrcOracle::WordHist &
+LrcOracle::hist(sim::PageId page, unsigned word)
+{
+    auto it = pages_.find(page);
+    if (it == pages_.end())
+        it = pages_.emplace(page, std::vector<WordHist>(page_bytes_ / 4))
+                 .first;
+    return it->second[word];
+}
+
+bool
+LrcOracle::writeHb(const WriteRec &a, std::size_t ai, const WriteRec &b,
+                   std::size_t bi) const
+{
+    if (a.proc == b.proc)
+        return ai < bi; // append order is program order per proc
+    // a hb b iff b's interval clock covers a's interval.
+    return ivals_[b.proc][b.seq - 1][a.proc] >= a.seq;
+}
+
+void
+LrcOracle::recordWrite(sim::NodeId proc, sim::PageId page, unsigned word,
+                       std::uint32_t val)
+{
+    WordHist &h = hist(page, word);
+    h.push_back({val, vt_[proc][proc], static_cast<std::uint16_t>(proc)});
+    ++words_recorded_;
+    if (h.size() >= prune_threshold)
+        pruneHist(h);
+}
+
+void
+LrcOracle::pruneHist(WordHist &h)
+{
+    // A write covered by the componentwise-min clock is visible to
+    // every present and future reader; if another such write masks it,
+    // it can never be legally observed again and may be dropped.
+    // Anything not universally covered stays (it is still a permitted
+    // concurrent value for some reader).
+    const std::size_t n = h.size();
+    std::vector<bool> drop(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (h[i].seq > min_vt_[h[i].proc])
+            continue; // not universally covered
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i || h[j].seq > min_vt_[h[j].proc])
+                continue;
+            if (writeHb(h[i], i, h[j], j)) {
+                drop[i] = true;
+                break;
+            }
+        }
+    }
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (!drop[i])
+            h[out++] = h[i];
+    if (out != n) {
+        h.resize(out);
+        ++prunes_;
+    }
+}
+
+void
+LrcOracle::checkRead(sim::NodeId proc, sim::PageId page, unsigned word,
+                     std::uint32_t val)
+{
+    ++words_checked_;
+    const auto pit = pages_.find(page);
+    const WordHist *h =
+        pit == pages_.end() ? nullptr : &pit->second[word];
+    if (!h || h->empty()) {
+        if (val == 0)
+            return; // untouched word: initial zero contents
+        violation(proc, page, word, val, h);
+    }
+
+    const dsm::VectorClock &vt = vt_[proc];
+    const std::size_t n = h->size();
+    bool any_covered = false;
+    bool ok = false;
+    for (std::size_t i = 0; i < n && !ok; ++i) {
+        const WriteRec &w = (*h)[i];
+        if (w.seq > vt[w.proc]) {
+            // Concurrent with the reader: LRC propagates lazily, so
+            // the reader may or may not have received it — permitted.
+            ok = w.val == val;
+            continue;
+        }
+        any_covered = true;
+        if (w.val != val)
+            continue;
+        // Covered and value matches: legal unless masked by another
+        // covered write that happens-after it.
+        bool masked = false;
+        for (std::size_t j = 0; j < n && !masked; ++j) {
+            const WriteRec &m = (*h)[j];
+            if (j != i && m.seq <= vt[m.proc] && writeHb(w, i, m, j))
+                masked = true;
+        }
+        ok = !masked;
+    }
+    if (!ok && !any_covered && val == 0)
+        ok = true; // no visible writer yet: initial contents allowed
+    if (!ok)
+        violation(proc, page, word, val, h);
+}
+
+void
+LrcOracle::onWrite(sim::NodeId proc, sim::PageId page, unsigned word,
+                   unsigned words, const std::uint8_t *page_data)
+{
+    for (unsigned w = word; w < word + words; ++w) {
+        std::uint32_t v;
+        std::memcpy(&v, page_data + std::size_t{w} * 4, 4);
+        recordWrite(proc, page, w, v);
+    }
+}
+
+void
+LrcOracle::onRead(sim::NodeId proc, sim::PageId page, unsigned word,
+                  unsigned words, const std::uint8_t *page_data)
+{
+    for (unsigned w = word; w < word + words; ++w) {
+        std::uint32_t v;
+        std::memcpy(&v, page_data + std::size_t{w} * 4, 4);
+        checkRead(proc, page, w, v);
+    }
+}
+
+void
+LrcOracle::violation(sim::NodeId proc, sim::PageId page, unsigned word,
+                     std::uint32_t observed, const WordHist *h)
+{
+    const dsm::VectorClock &vt = vt_[proc];
+    std::ostringstream os;
+    os << "LRC conformance violation\n"
+       << "  read : proc " << proc << " @ page " << page << " word " << word
+       << " (byte offset " << word * 4 << ", gaddr "
+       << static_cast<std::uint64_t>(page) * page_bytes_ + word * 4u
+       << ")\n"
+       << "  observed value : " << observed << " (0x" << std::hex
+       << observed << std::dec << ")\n"
+       << "  reader clock   : " << fmtClock(vt) << "\n";
+
+    os << "  legal values:\n";
+    bool any_covered = false;
+    bool any_legal = false;
+    const std::size_t n = h ? h->size() : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const WriteRec &w = (*h)[i];
+        const bool covered = w.seq <= vt[w.proc];
+        any_covered |= covered;
+        bool masked = false;
+        if (covered) {
+            for (std::size_t j = 0; j < n && !masked; ++j) {
+                const WriteRec &m = (*h)[j];
+                if (j != i && m.seq <= vt[m.proc] && writeHb(w, i, m, j))
+                    masked = true;
+            }
+        }
+        if (masked)
+            continue;
+        any_legal = true;
+        os << "    " << w.val << " (0x" << std::hex << w.val << std::dec
+           << ") written by proc " << w.proc << " interval " << w.seq
+           << ", clock " << fmtClock(ivals_[w.proc][w.seq - 1])
+           << (covered ? " [visible]" : " [concurrent]") << "\n";
+    }
+    if (!any_covered) {
+        any_legal = true;
+        os << "    0 (initial page contents; no visible writer)\n";
+    }
+    if (!any_legal)
+        os << "    (none)\n";
+
+    os << "  observed-value provenance:";
+    bool found = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        const WriteRec &w = (*h)[i];
+        if (w.val != observed)
+            continue;
+        found = true;
+        os << "\n    written by proc " << w.proc << " interval " << w.seq
+           << ", clock " << fmtClock(ivals_[w.proc][w.seq - 1]);
+        for (std::size_t j = 0; j < n; ++j) {
+            const WriteRec &m = (*h)[j];
+            if (j != i && m.seq <= vt[m.proc] && writeHb(w, i, m, j)) {
+                os << " - masked by proc " << m.proc << " interval "
+                   << m.seq;
+                break;
+            }
+        }
+    }
+    if (!found)
+        os << " value was never written to this word (GC keeps every"
+              " still-observable write, so this is corruption)";
+    os << "\n";
+
+    on_violation_(os.str());
+    // A handler that returns would let an illegal value propagate
+    // unreported; insist on unwinding.
+    ncp2_fatal("LRC violation handler returned");
+}
+
+} // namespace check

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * LRC conformance oracle: ground-truth checking of every shared access.
+ *
+ * The oracle shadows the simulated protocol from the outside. It keeps
+ * its own per-processor vector clocks, advanced only at the
+ * synchronization operations the workload itself performs (acquire,
+ * release, barrier), and a per-word history of every shared write with
+ * its (proc, interval) provenance. At every shared read it decides
+ * whether the observed value is legal under lazy release consistency:
+ *
+ *   - a write W = (p, s) happens-before a read by q iff vt_q[p] >= s
+ *     (q synchronized with knowledge of p's interval s);
+ *   - among the happens-before writes to a word, one masks another iff
+ *     it also happens-after it (per the writers' interval clocks) —
+ *     a masked value must never be observed again by that reader;
+ *   - any write NOT ordered before the read is concurrent, and its
+ *     value is always permitted (LRC propagates updates lazily, so a
+ *     racing reader may or may not see it);
+ *   - the initial zero contents are permitted only while no
+ *     happens-before write to the word exists.
+ *
+ * This is exactly the LRC contract: it accepts every legal lazy
+ * propagation the TreadMarks and AURC variants perform (cumulative
+ * diffs, mid-interval automatic updates, combining write caches) while
+ * rejecting any stale value a reader was synchronized against.
+ *
+ * The oracle is pure host-side bookkeeping: it issues no simulated
+ * events and never perturbs timing, so simulated results are
+ * bit-identical with checking on or off.
+ *
+ * Word granularity (4 bytes) matches the protocols' diff/update grain;
+ * sub-word accesses are checked against the containing word(s).
+ */
+
+#ifndef NCP2_CHECK_ORACLE_HH
+#define NCP2_CHECK_ORACLE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/vclock.hh"
+#include "sim/types.hh"
+
+namespace check
+{
+
+/** The conformance checker. One instance shadows one simulated run. */
+class LrcOracle
+{
+  public:
+    LrcOracle(unsigned nprocs, unsigned page_bytes);
+
+    // ----- data hooks (called by dsm::System on the access path) -----
+
+    /**
+     * Record a shared write by @p proc covering words
+     * [word, word+words) of @p page. @p page_data is the writer's page
+     * copy *immediately after* the store landed: the oracle records the
+     * resulting whole-word values (what any reader could observe).
+     */
+    void onWrite(sim::NodeId proc, sim::PageId page, unsigned word,
+                 unsigned words, const std::uint8_t *page_data);
+
+    /**
+     * Validate a shared read by @p proc of words [word, word+words) of
+     * @p page, whose observed contents are in @p page_data (the
+     * reader's page copy at the access sequence point).
+     */
+    void onRead(sim::NodeId proc, sim::PageId page, unsigned word,
+                unsigned words, const std::uint8_t *page_data);
+
+    // ----- value-level core (unit tests drive these directly) -----
+
+    /** Record one word-sized write of @p val. */
+    void recordWrite(sim::NodeId proc, sim::PageId page, unsigned word,
+                     std::uint32_t val);
+
+    /** Check one word-sized read observing @p val. */
+    void checkRead(sim::NodeId proc, sim::PageId page, unsigned word,
+                   std::uint32_t val);
+
+    // ----- synchronization hooks -----
+
+    /** After a lock grant: merge the lock's last release clock. */
+    void onAcquire(sim::NodeId proc, unsigned lock_id);
+    /** Before the protocol release: snapshot the release clock. */
+    void onRelease(sim::NodeId proc, unsigned lock_id);
+    /** Before the protocol barrier call (closes the interval). */
+    void onBarrierArrive(sim::NodeId proc, unsigned barrier_id);
+    /** After the protocol barrier returns (joins all arrival clocks). */
+    void onBarrierDepart(sim::NodeId proc, unsigned barrier_id);
+
+    /**
+     * Called with the full provenance report when a read observes an
+     * illegal value. The default handler is ncp2_fatal(report); the
+     * System installs one that dumps the event trace first.
+     */
+    using ViolationHandler = std::function<void(const std::string &report)>;
+    void setViolationHandler(ViolationHandler h) { on_violation_ = std::move(h); }
+
+    // ----- introspection (tests / reporting) -----
+    std::uint64_t wordsChecked() const { return words_checked_; }
+    std::uint64_t wordsRecorded() const { return words_recorded_; }
+    std::uint64_t historyPrunes() const { return prunes_; }
+    const dsm::VectorClock &clockOf(sim::NodeId proc) const
+    {
+        return vt_[proc];
+    }
+
+  private:
+    /** One recorded write: the resulting word value + its provenance. */
+    struct WriteRec
+    {
+        std::uint32_t val;
+        dsm::IntervalSeq seq; ///< writer's interval (1-based)
+        std::uint16_t proc;
+    };
+
+    /** Append-ordered history of one word (append order = host
+     *  execution order, hence program order per processor). */
+    using WordHist = std::vector<WriteRec>;
+
+    /** One generation of one barrier id (ids may be reused). */
+    struct BarrierGen
+    {
+        dsm::VectorClock merged;
+        unsigned arrived = 0;
+        unsigned departed = 0;
+    };
+
+    /** Close @p proc's interval and open the next; @p join (may be
+     *  null) is merged into the new interval's clock. */
+    void openNextInterval(sim::NodeId proc, const dsm::VectorClock *join);
+    void refreshMinClock();
+
+    WordHist &hist(sim::PageId page, unsigned word);
+    /** Drop writes that are masked for every present and future reader
+     *  (covered by the componentwise-min clock and happens-before
+     *  another such write). */
+    void pruneHist(WordHist &h);
+
+    /** True iff write @p a happens-before write @p b (@p ai, @p bi are
+     *  their positions in the history; same-proc order is log order). */
+    bool writeHb(const WriteRec &a, std::size_t ai, const WriteRec &b,
+                 std::size_t bi) const;
+
+    [[noreturn]] void violation(sim::NodeId proc, sim::PageId page,
+                                unsigned word, std::uint32_t observed,
+                                const WordHist *h);
+
+    unsigned nprocs_;
+    unsigned page_bytes_;
+    std::vector<dsm::VectorClock> vt_;   ///< per-proc current clock
+    /// ivals_[p][s-1] = clock of p's interval s, constant from open
+    /// (intervals close at *every* sync op, so no later merge can leak
+    /// acquired knowledge into writes made before the acquire).
+    std::vector<std::vector<dsm::VectorClock>> ivals_;
+    dsm::VectorClock min_vt_;            ///< componentwise min of vt_
+    std::unordered_map<unsigned, dsm::VectorClock> locks_;
+    std::unordered_map<unsigned, std::deque<BarrierGen>> barriers_;
+    std::unordered_map<sim::PageId, std::vector<WordHist>> pages_;
+    ViolationHandler on_violation_;
+
+    std::uint64_t words_checked_ = 0;
+    std::uint64_t words_recorded_ = 0;
+    std::uint64_t prunes_ = 0;
+};
+
+} // namespace check
+
+#endif // NCP2_CHECK_ORACLE_HH

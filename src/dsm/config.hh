@@ -148,6 +148,16 @@ struct SysConfig
     /// results are bit-identical with tracing on or off. The benches
     /// set this from the NCP2_TRACE knob.
     std::size_t trace_capacity = 0;
+    /// Run the LRC conformance oracle (src/check) alongside the
+    /// simulation: every shared read is validated against the recorded
+    /// synchronization order, and an illegal value aborts the run with
+    /// a provenance report. Host-side bookkeeping only — simulated
+    /// results are bit-identical with the oracle on or off. The
+    /// benches set this from the NCP2_CHECK knob.
+    bool check = false;
+    /// Where the oracle's violation trace dump lands (one Chrome-trace
+    /// JSON per aborted run) when tracing is enabled as well.
+    std::string check_dump_dir = "results/check";
 
     unsigned pageWords() const { return page_bytes / 4; }
 

@@ -51,6 +51,14 @@ class GlobalHeap
         return alloc(bytes, page_bytes_);
     }
 
+    /**
+     * Forget every allocation and start again from address zero. Only
+     * meaningful host-side between runs (a Workload re-planning against
+     * a fresh System); the heap hands out addresses, not storage, so
+     * there is nothing else to release.
+     */
+    void reset() { next_ = 0; }
+
     std::uint64_t used() const { return next_; }
     std::uint64_t capacity() const { return bytes_; }
     unsigned pageBytes() const { return page_bytes_; }

@@ -1,6 +1,8 @@
 #include "dsm/system.hh"
 
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <unordered_map>
 
 #include "sim/logging.hh"
@@ -38,6 +40,36 @@ System::System(SysConfig cfg, std::unique_ptr<Protocol> protocol)
         net_->setTrace(trace_.get());
         for (auto &n : nodes_)
             n->controller.setTrace(trace_.get());
+    }
+    if (cfg_.check) {
+        check_ =
+            std::make_unique<check::LrcOracle>(cfg_.num_procs,
+                                               cfg_.page_bytes);
+        check_->setViolationHandler([this](const std::string &report) {
+            if (trace_) {
+                // Land the event trace next to the report so a failing
+                // fuzz seed can be replayed visually.
+                std::error_code ec;
+                std::filesystem::create_directories(cfg_.check_dump_dir,
+                                                    ec);
+                std::string name = ctx_.label.empty() ? "run" : ctx_.label;
+                for (char &c : name)
+                    if (c == '/' || c == ' ')
+                        c = '_';
+                const std::string path =
+                    cfg_.check_dump_dir + "/violation_" + name + ".json";
+                std::ofstream os(path);
+                if (!ec && os) {
+                    sim::writeChromeTrace(os, trace_->drain(),
+                                          trace_->dropped(),
+                                          cfg_.num_procs,
+                                          {{"violation", "1"}});
+                    ncp2_warn("LRC violation trace dumped to %s",
+                              path.c_str());
+                }
+            }
+            ncp2_fatal("%s", report.c_str());
+        });
     }
 }
 
@@ -203,11 +235,21 @@ System::accessOne(Node &n, sim::NodeId proc, sim::GAddr addr,
                 std::memcpy(data, pdata + off, bytes);
                 pg.referenced = true;
                 pg.prefetched_unused = false;
+                if (check_) [[unlikely]]
+                    checkAccess(proc, page, off, bytes, pdata, false);
             } else {
                 n.cache.accessWrite(addr);
                 const sim::Cycles stall = n.wbuf.push(n.cpu.localNow());
                 if (stall)
                     n.cpu.advance(stall, Cat::other_wb);
+                // The stall can yield the fiber, and an event (e.g. a
+                // diff-request service capturing this page) may have
+                // write-protected it meanwhile. The store retires after
+                // the stall, so it must re-fault: landing it anyway
+                // would slip it behind the protocol's twin snapshot and
+                // it would never be diffed.
+                if (pg.access != Access::readwrite) [[unlikely]]
+                    protocol_->ensureAccess(proc, page, true);
                 std::memcpy(pdata + off, data, bytes);
 
                 const unsigned word = off / 4;
@@ -216,6 +258,8 @@ System::accessOne(Node &n, sim::NodeId proc, sim::GAddr addr,
                     PageStore::snoopWrite(pg, w);
                 pg.referenced = true;
                 pg.prefetched_unused = false;
+                if (check_) [[unlikely]]
+                    checkAccess(proc, page, off, bytes, pdata, true);
                 applyWriteHook(n, proc, page, word, words);
             }
             return;
@@ -246,6 +290,8 @@ System::accessSlow(Node &n, sim::NodeId proc, sim::PageId page,
         std::memcpy(data, pg.data.get() + off, bytes);
         pg.referenced = true;
         pg.prefetched_unused = false;
+        if (check_) [[unlikely]]
+            checkAccess(proc, page, off, bytes, pg.data.get(), false);
     } else {
         // Write-through: probe/update the cache, push through the
         // write buffer, land in local memory.
@@ -253,6 +299,10 @@ System::accessSlow(Node &n, sim::NodeId proc, sim::PageId page,
         const sim::Cycles stall = n.wbuf.push(n.cpu.localNow());
         if (stall)
             n.cpu.advance(stall, Cat::other_wb);
+        // Same mid-stall revocation hazard as the fast path: re-fault
+        // if an event write-protected the page during the yield.
+        if (pg.access != Access::readwrite) [[unlikely]]
+            protocol_->ensureAccess(proc, page, true);
         std::memcpy(pg.data.get() + off, data, bytes);
 
         const unsigned word = off / 4;
@@ -261,6 +311,8 @@ System::accessSlow(Node &n, sim::NodeId proc, sim::PageId page,
             PageStore::snoopWrite(pg, w);
         pg.referenced = true;
         pg.prefetched_unused = false;
+        if (check_) [[unlikely]]
+            checkAccess(proc, page, off, bytes, pg.data.get(), true);
         protocol_->sharedWrite(proc, page, word, words);
     }
 
@@ -353,11 +405,21 @@ System::accessRunFast(Node &n, sim::NodeId proc, sim::GAddr addr,
             copyElem(p, pdata + off, elem_bytes);
             pg->referenced = true;
             pg->prefetched_unused = false;
+            if (check_) [[unlikely]]
+                checkAccess(proc, page, off, elem_bytes, pdata, false);
         } else {
             n.cache.accessWrite(addr);
             const sim::Cycles stall = n.wbuf.push(cpu.localNow());
             if (stall)
                 cpu.advance(stall, Cat::other_wb);
+            // Mid-stall revocation (see accessOne): if the stall
+            // yielded and the page lost write access, the store must
+            // re-fault before landing. The stamp check below already
+            // routes the hook through its re-validating slow path.
+            if (stamp != cpu.yields() &&
+                pg->access != Access::readwrite) [[unlikely]] {
+                protocol_->ensureAccess(proc, page, true);
+            }
             copyElem(pdata + off, p, elem_bytes);
             const unsigned word = off / 4;
             const unsigned words = (off % 4 + elem_bytes + 3) / 4;
@@ -365,6 +427,8 @@ System::accessRunFast(Node &n, sim::NodeId proc, sim::GAddr addr,
                 PageStore::snoopWrite(*pg, w);
             pg->referenced = true;
             pg->prefetched_unused = false;
+            if (check_) [[unlikely]]
+                checkAccess(proc, page, off, elem_bytes, pdata, true);
             // sharedWrite sequence point: a charge above may have
             // yielded and flushed the hook; otherwise apply it inline.
             if (stamp != cpu.yields()) [[unlikely]] {
@@ -460,21 +524,47 @@ System::readCoherentBytes(sim::GAddr addr, unsigned bytes, void *out)
 }
 
 void
+System::checkAccess(sim::NodeId proc, sim::PageId page, unsigned off,
+                    unsigned bytes, const std::uint8_t *pdata, bool is_write)
+{
+    const unsigned word = off / 4;
+    const unsigned words = (off % 4 + bytes + 3) / 4;
+    if (is_write)
+        check_->onWrite(proc, page, word, words, pdata);
+    else
+        check_->onRead(proc, page, word, words, pdata);
+}
+
+void
 System::acquire(sim::NodeId proc, unsigned lock_id)
 {
     protocol_->acquire(proc, lock_id);
+    // The grant carries the releaser's knowledge; the event loop is
+    // single-threaded, so the matching release hook already ran.
+    if (check_) [[unlikely]]
+        check_->onAcquire(proc, lock_id);
 }
 
 void
 System::release(sim::NodeId proc, unsigned lock_id)
 {
+    // Snapshot the release clock before the protocol can hand the lock
+    // (and the knowledge) to a waiting acquirer.
+    if (check_) [[unlikely]]
+        check_->onRelease(proc, lock_id);
     protocol_->release(proc, lock_id);
 }
 
 void
 System::barrier(sim::NodeId proc, unsigned barrier_id)
 {
+    // Every processor's arrival hook runs before any departure hook:
+    // the protocol barrier cannot return until all have arrived.
+    if (check_) [[unlikely]]
+        check_->onBarrierArrive(proc, barrier_id);
     protocol_->barrier(proc, barrier_id);
+    if (check_) [[unlikely]]
+        check_->onBarrierDepart(proc, barrier_id);
     if (trace_) [[unlikely]] {
         // Epoch boundary: stamp the crossing and this processor's
         // cumulative breakdown, so tools/trace_summary.py can

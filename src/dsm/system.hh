@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/oracle.hh"
 #include "ctrl/controller.hh"
 #include "dsm/access_desc.hh"
 #include "dsm/breakdown.hh"
@@ -116,6 +117,14 @@ class System
      */
     sim::Trace *trace() { return trace_.get(); }
 
+    /**
+     * The LRC conformance oracle, or nullptr when checking is off
+     * (cfg().check == false). Like the tracer, every hook site guards
+     * on this pointer, so a disabled oracle costs one predictable
+     * branch per access.
+     */
+    check::LrcOracle *oracle() { return check_.get(); }
+
     // ----- shared-access path (called by Proc) -----
     void access(sim::NodeId proc, sim::GAddr addr, unsigned bytes,
                 bool is_write, void *data);
@@ -194,6 +203,12 @@ class System
     /// lost access again while the timing charges yielded the fiber).
     void installDesc(Node &n, sim::NodeId proc, sim::PageId page,
                      NodePage &pg);
+    /// Feed one access to the conformance oracle (word-granularity);
+    /// @p pdata is the node's page copy at the access sequence point.
+    /// Callers guard on check_ being non-null.
+    void checkAccess(sim::NodeId proc, sim::PageId page, unsigned off,
+                     unsigned bytes, const std::uint8_t *pdata,
+                     bool is_write);
 
     SysConfig cfg_;
     /// Per-simulation runtime state; installed on the running thread
@@ -207,6 +222,7 @@ class System
     std::vector<std::unique_ptr<Node>> nodes_;
     std::unique_ptr<Protocol> protocol_;
     std::unique_ptr<sim::Trace> trace_; ///< non-null iff tracing is on
+    std::unique_ptr<check::LrcOracle> check_; ///< non-null iff checking
     std::vector<unsigned> barrier_epochs_; ///< per-proc crossings (trace)
 };
 

@@ -32,7 +32,7 @@ runJob(const Job &job)
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    return JobResult{job.label, job.cfg, std::move(run), wall};
+    return JobResult{job.label, job.cfg, std::move(run), wall, {}};
 }
 
 } // namespace
@@ -52,8 +52,43 @@ ExperimentEngine::workersFromEnv()
 std::vector<JobResult>
 ExperimentEngine::runAll(const std::vector<Job> &jobs) const
 {
-    std::vector<JobResult> results(jobs.size());
     std::vector<std::exception_ptr> errors(jobs.size());
+    std::vector<JobResult> results = runPool(jobs, errors);
+    for (auto &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
+}
+
+std::vector<JobResult>
+ExperimentEngine::runAllNoThrow(const std::vector<Job> &jobs) const
+{
+    std::vector<std::exception_ptr> errors(jobs.size());
+    std::vector<JobResult> results = runPool(jobs, errors);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!errors[i])
+            continue;
+        results[i].label = jobs[i].label;
+        results[i].cfg = jobs[i].cfg;
+        try {
+            std::rethrow_exception(errors[i]);
+        } catch (const std::exception &e) {
+            results[i].error = e.what();
+        } catch (...) {
+            results[i].error = "unknown exception";
+        }
+        if (results[i].error.empty())
+            results[i].error = "(empty exception message)";
+    }
+    return results;
+}
+
+std::vector<JobResult>
+ExperimentEngine::runPool(const std::vector<Job> &jobs,
+                          std::vector<std::exception_ptr> &errors) const
+{
+    std::vector<JobResult> results(jobs.size());
     std::atomic<std::size_t> next{0};
 
     auto drain = [&]() {
@@ -80,11 +115,6 @@ ExperimentEngine::runAll(const std::vector<Job> &jobs) const
             pool.emplace_back(drain);
         for (auto &t : pool)
             t.join();
-    }
-
-    for (auto &e : errors) {
-        if (e)
-            std::rethrow_exception(e);
     }
     return results;
 }

@@ -17,6 +17,7 @@
 #ifndef NCP2_HARNESS_EXPERIMENT_HH
 #define NCP2_HARNESS_EXPERIMENT_HH
 
+#include <exception>
 #include <functional>
 #include <memory>
 #include <string>
@@ -56,6 +57,10 @@ struct JobResult
     /// tracking simulator performance across revisions. Machine- and
     /// load-dependent: recorded in results JSON, never in stdout tables.
     double wall_seconds = 0;
+    /// Empty on success; runAllNoThrow() captures a failed job's
+    /// exception message here instead of rethrowing (run is then
+    /// default-constructed and must not be interpreted).
+    std::string error;
 };
 
 /**
@@ -75,6 +80,14 @@ class ExperimentEngine
      */
     std::vector<JobResult> runAll(const std::vector<Job> &jobs) const;
 
+    /**
+     * Like runAll(), but a failing job never takes the batch down:
+     * its exception message lands in JobResult::error and the other
+     * jobs keep running. The fuzzing campaign (bench/fuzz_check) needs
+     * every failing seed, not just the first.
+     */
+    std::vector<JobResult> runAllNoThrow(const std::vector<Job> &jobs) const;
+
     unsigned workers() const { return workers_; }
 
     /**
@@ -84,6 +97,10 @@ class ExperimentEngine
     static unsigned workersFromEnv();
 
   private:
+    std::vector<JobResult> runPool(const std::vector<Job> &jobs,
+                                   std::vector<std::exception_ptr> &errors)
+        const;
+
     unsigned workers_;
 };
 

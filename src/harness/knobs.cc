@@ -1,5 +1,6 @@
 #include "harness/knobs.hh"
 
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
@@ -29,6 +30,26 @@ parsePositive(const char *name, const char *s)
     return v;
 }
 
+/**
+ * Boolean knob parse: 0/false/off/no and 1/true/on/yes (any case) are
+ * accepted; anything else is fatal with the knob's name. Historically
+ * the bool knobs compared against "0" only, so NCP2_FAST_PATH=false
+ * silently meant *on* — garbage must be loud, not inverted.
+ */
+bool
+parseBool(const char *name, const char *s)
+{
+    std::string v(s);
+    for (char &c : v)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (v == "0" || v == "false" || v == "off" || v == "no")
+        return false;
+    if (v == "1" || v == "true" || v == "on" || v == "yes")
+        return true;
+    ncp2_fatal("%s='%s' is not a boolean (use 0/1, true/false, on/off)",
+               name, s);
+}
+
 } // namespace
 
 const std::vector<KnobInfo> &
@@ -50,6 +71,10 @@ registry()
         {"NCP2_TRACE", "int", "0",
          "event-trace ring capacity in records; 0 = off, 1 = default "
          "capacity (1Mi records), N>1 = that capacity"},
+        {"NCP2_CHECK", "bool", "0",
+         "run the LRC conformance oracle (src/check) on every shared "
+         "access; an illegal read aborts with a provenance report "
+         "(simulated results are unchanged either way)"},
     };
     return knobs;
 }
@@ -99,7 +124,14 @@ bool
 fastPath()
 {
     const char *s = raw("NCP2_FAST_PATH");
-    return !s || std::strcmp(s, "0") != 0;
+    return !s || !*s || parseBool("NCP2_FAST_PATH", s);
+}
+
+bool
+checkOracle()
+{
+    const char *s = raw("NCP2_CHECK");
+    return s && *s && parseBool("NCP2_CHECK", s);
 }
 
 std::string
@@ -145,6 +177,7 @@ activeValues()
     out.emplace_back("NCP2_RESULTS_DIR", resultsDir());
     out.emplace_back("NCP2_FAST_PATH", fastPath() ? "1" : "0");
     out.emplace_back("NCP2_TRACE", std::to_string(traceCapacity()));
+    out.emplace_back("NCP2_CHECK", checkOracle() ? "1" : "0");
     return out;
 }
 

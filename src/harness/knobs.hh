@@ -54,8 +54,12 @@ unsigned procs();
 /** NCP2_SCALE: workload size preset: tiny | small | standard. */
 std::string scale();
 
-/** NCP2_FAST_PATH: 0 disables the access-descriptor fast path. */
+/** NCP2_FAST_PATH: 0/false/off disables the access-descriptor fast
+ *  path (bool knobs accept 0/1, true/false, on/off; fatal on junk). */
 bool fastPath();
+
+/** NCP2_CHECK: enable the LRC conformance oracle (src/check). */
+bool checkOracle();
 
 /** NCP2_RESULTS_DIR: where results JSON documents are written. */
 std::string resultsDir();

@@ -370,7 +370,27 @@ TreadMarks::applyShipment(NodeId proc, PageId page, const Shipment &s)
     auto *words = reinterpret_cast<std::uint32_t *>(pg.data.get());
     auto *twin_words = pg.twin
         ? reinterpret_cast<std::uint32_t *>(pg.twin.get()) : nullptr;
+    // The receiver's own stores carry no word_keys entry, so they need
+    // their own floor: the vt-sum of the word's last local store
+    // interval (word_interval, maintained in every mode). Without it, a
+    // diff from an interval that happened-before a local store rolls
+    // the local value back - and the twin sync below then hides the
+    // local store from its own capture, so it is never exported at all
+    // (its write notice still goes out, wrongly advancing every
+    // receiver's watermark past the lost word). A local store the
+    // incoming interval happened-after is impossible while the local
+    // interval is still open, so strict > is exact.
+    const std::vector<dsm::IntervalSeq> *local_wi = nullptr;
+    if (const auto lit = procs_[proc].logs.find(page);
+        lit != procs_[proc].logs.end() &&
+        !lit->second.word_interval.empty()) {
+        local_wi = &lit->second.word_interval;
+    }
     for (std::size_t i = 0; i < s.idx.size(); ++i) {
+        if (local_wi && (*local_wi)[s.idx[i]] != 0 &&
+            s.key[i] <= vtSumOf(proc, (*local_wi)[s.idx[i]])) {
+            continue;
+        }
         // Per-word happened-before merge: a writer's cumulative diff may
         // carry a word value older than what another writer's diff (or
         // the fetched copy) already provided here.

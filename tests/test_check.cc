@@ -1,0 +1,795 @@
+/**
+ * @file
+ * The verification subsystem's own tests: the LRC oracle's legality
+ * rules at the value level, an injected-stale-read proof that the
+ * end-to-end hookup actually fires, oracle-on/off bit-identity of the
+ * simulated results, torture runs under the oracle across protocol
+ * variants, plus directed tests for the pieces the oracle leans on:
+ * the access-descriptor cache's flush-on-transition contract, the
+ * calendar queue's overflow-tier boundary, the global heap, vector
+ * clocks, and the boolean knob parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/torture.hh"
+#include "check/oracle.hh"
+#include "dsm/access_desc.hh"
+#include "dsm/heap.hh"
+#include "dsm/proc.hh"
+#include "dsm/system.hh"
+#include "dsm/vclock.hh"
+#include "dsm/workload.hh"
+#include "harness/experiment.hh"
+#include "harness/knobs.hh"
+#include "harness/runner.hh"
+#include "sim/event_queue.hh"
+#include "sim/legacy_event_queue.hh"
+#include "sim/rng.hh"
+#include "tests/workload_helpers.hh"
+
+using namespace dsm;
+
+// ---------------------------------------------------------------------
+// LRC oracle: value-level legality rules, driven through the same core
+// the System hooks call (recordWrite/checkRead + the sync hooks).
+
+namespace
+{
+
+/** Run @p read and return the violation report it raises ("" if none). */
+template <typename F>
+std::string
+violationOf(check::LrcOracle &oracle, F &&read)
+{
+    std::string captured;
+    oracle.setViolationHandler([&captured](const std::string &report) {
+        captured = report;
+        throw std::runtime_error("lrc violation");
+    });
+    try {
+        read();
+    } catch (const std::runtime_error &) {
+    }
+    return captured;
+}
+
+} // namespace
+
+TEST(Oracle, InitialZeroLegalUntilAVisibleWrite)
+{
+    check::LrcOracle o(2, 4096);
+    // Nothing written anywhere: the zero-filled initial contents are
+    // the only legal value.
+    o.checkRead(1, 3, 7, 0);
+    const std::string rep =
+        violationOf(o, [&] { o.checkRead(1, 3, 7, 42); });
+    ASSERT_FALSE(rep.empty());
+    EXPECT_NE(rep.find("LRC conformance violation"), std::string::npos);
+    EXPECT_NE(rep.find("never written to this word"), std::string::npos);
+}
+
+TEST(Oracle, ConcurrentWriteAndInitialValueBothLegal)
+{
+    check::LrcOracle o(2, 4096);
+    o.recordWrite(0, 5, 0, 111);
+    // No synchronization between proc 0 and proc 1: LRC propagates
+    // lazily, so proc 1 may see either the update or the old contents.
+    o.checkRead(1, 5, 0, 111);
+    o.checkRead(1, 5, 0, 0);
+    // The writer itself, however, must see its own store.
+    o.checkRead(0, 5, 0, 111);
+    const std::string rep =
+        violationOf(o, [&] { o.checkRead(0, 5, 0, 0); });
+    ASSERT_FALSE(rep.empty());
+    EXPECT_NE(rep.find("read : proc 0 @ page 5 word 0"), std::string::npos);
+}
+
+TEST(Oracle, LockTransferMakesWriteVisibleAndMasksOlderOnes)
+{
+    check::LrcOracle o(2, 4096);
+    o.recordWrite(0, 5, 0, 111);
+    o.onRelease(0, 7); // closes interval 1
+    o.recordWrite(0, 5, 0, 222);
+    o.onRelease(0, 7); // closes interval 2
+    o.onAcquire(1, 7); // proc 1 now covers both intervals
+
+    o.checkRead(1, 5, 0, 222);
+
+    const std::string masked =
+        violationOf(o, [&] { o.checkRead(1, 5, 0, 111); });
+    ASSERT_FALSE(masked.empty());
+    EXPECT_NE(masked.find("masked by proc 0 interval 2"),
+              std::string::npos);
+
+    // The initial zero is gone too: a visible writer exists.
+    const std::string stale =
+        violationOf(o, [&] { o.checkRead(1, 5, 0, 0); });
+    ASSERT_FALSE(stale.empty());
+    EXPECT_NE(stale.find("legal values:"), std::string::npos);
+    EXPECT_NE(stale.find("[visible]"), std::string::npos);
+}
+
+TEST(Oracle, AcquireWithoutMatchingReleaseTransfersNothing)
+{
+    check::LrcOracle o(2, 4096);
+    o.recordWrite(0, 5, 0, 111);
+    o.onRelease(0, 7);
+    o.onAcquire(1, 9); // a different lock: no happens-before edge
+    o.checkRead(1, 5, 0, 0);
+    o.checkRead(1, 5, 0, 111); // still legal - concurrent
+}
+
+TEST(Oracle, BarrierMakesAllArrivalWritesVisible)
+{
+    check::LrcOracle o(2, 4096);
+    o.recordWrite(0, 5, 0, 111);
+    o.onBarrierArrive(0, 0);
+    o.onBarrierArrive(1, 0);
+    o.onBarrierDepart(0, 0);
+    o.onBarrierDepart(1, 0);
+    o.checkRead(1, 5, 0, 111);
+    const std::string rep =
+        violationOf(o, [&] { o.checkRead(1, 5, 0, 0); });
+    ASSERT_FALSE(rep.empty());
+    EXPECT_NE(rep.find("written by proc 0 interval 1"), std::string::npos);
+}
+
+TEST(Oracle, ClocksAdvanceMonotonically)
+{
+    check::LrcOracle o(2, 4096);
+    const IntervalSeq self0 = o.clockOf(0)[0];
+    o.onRelease(0, 7);
+    EXPECT_GT(o.clockOf(0)[0], self0);
+    EXPECT_EQ(o.clockOf(1)[0], 0u); // nothing transferred yet
+    o.onAcquire(1, 7);
+    EXPECT_EQ(o.clockOf(1)[0], self0); // merged the closed interval
+}
+
+TEST(Oracle, CountersTrackRecordAndCheckVolume)
+{
+    check::LrcOracle o(2, 4096);
+    EXPECT_EQ(o.wordsRecorded(), 0u);
+    EXPECT_EQ(o.wordsChecked(), 0u);
+    o.recordWrite(0, 1, 0, 1);
+    o.recordWrite(0, 1, 1, 2);
+    o.checkRead(0, 1, 0, 1);
+    EXPECT_EQ(o.wordsRecorded(), 2u);
+    EXPECT_EQ(o.wordsChecked(), 1u);
+}
+
+TEST(Oracle, HistoryPrunesOnceWritesAreGloballyCovered)
+{
+    // Two procs ping-ponging a word through a lock: every older write
+    // becomes covered by the componentwise-min clock and must be GCed
+    // rather than accumulating forever.
+    check::LrcOracle o(2, 4096);
+    for (unsigned r = 0; r < 600; ++r) {
+        const sim::NodeId p = r & 1;
+        o.onAcquire(p, 3);
+        o.checkRead(p, 2, 0, r == 0 ? 0 : r - 1 + 1000);
+        o.recordWrite(p, 2, 0, r + 1000);
+        o.onRelease(p, 3);
+    }
+    EXPECT_GT(o.historyPrunes(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end negative test: corrupt one node's page copy mid-run and
+// prove the System-side hookup reports it. This is the test that shows
+// the oracle would actually catch a protocol bug (a stale read served
+// from an unupdated copy), not just that its math is right.
+
+namespace
+{
+
+/**
+ * Proc 0 publishes a word through a barrier; proc 1 reads it back,
+ * then (host-side, simulating a protocol bug) its own page copy is
+ * reverted to the initial zero and it reads again.
+ */
+class StaleReadInjector : public Workload
+{
+  public:
+    std::string name() const override { return "stale-read-injector"; }
+
+    void
+    plan(GlobalHeap &heap, const SysConfig &cfg) override
+    {
+        page_bytes_ = cfg.page_bytes;
+        addr_ = heap.allocPages(cfg.page_bytes);
+    }
+
+    void
+    run(Proc &p) override
+    {
+        if (p.id() == 0)
+            p.put<std::uint32_t>(addr_, 0xABCD1234u);
+        p.barrier(0);
+        if (p.id() == 1) {
+            const auto v = p.get<std::uint32_t>(addr_);
+            ncp2_assert(v == 0xABCD1234u, "barrier did not publish");
+            // The injected bug: node 1's copy silently loses the
+            // update (as an unflushed write cache or a mid-upgrade
+            // eviction would cause).
+            NodePage &np =
+                p.system().node(1).pages.page(addr_ / page_bytes_);
+            ncp2_assert(np.present(), "copy vanished");
+            std::memset(np.data.get(), 0, 4);
+            p.get<std::uint32_t>(addr_); // must trip the oracle
+        }
+        p.barrier(1);
+    }
+
+    void validate(System &) override {}
+
+  private:
+    sim::GAddr addr_ = 0;
+    unsigned page_bytes_ = 0;
+};
+
+SysConfig
+smallCfg(unsigned procs)
+{
+    SysConfig cfg;
+    cfg.num_procs = procs;
+    cfg.heap_bytes = 8u << 20;
+    return cfg;
+}
+
+} // namespace
+
+TEST(OracleEndToEnd, InjectedStaleReadFires)
+{
+    sim::setQuiet(true);
+    for (const ProtocolKind kind :
+         {ProtocolKind::treadmarks, ProtocolKind::aurc}) {
+        StaleReadInjector w;
+        SysConfig cfg = smallCfg(2);
+        cfg.protocol = kind;
+        cfg.check = true;
+        System sys(cfg, harness::makeProtocol(cfg));
+        ASSERT_NE(sys.oracle(), nullptr);
+        std::string captured;
+        sys.oracle()->setViolationHandler(
+            [&captured](const std::string &report) {
+                captured = report;
+                throw std::runtime_error("lrc violation");
+            });
+        EXPECT_THROW(sys.run(w), std::runtime_error);
+        ASSERT_FALSE(captured.empty());
+        EXPECT_NE(captured.find("LRC conformance violation"),
+                  std::string::npos);
+        EXPECT_NE(captured.find("read : proc 1"), std::string::npos);
+        EXPECT_NE(captured.find("written by proc 0 interval 1"),
+                  std::string::npos);
+    }
+}
+
+TEST(OracleEndToEnd, CleanRunsPassAndCountWords)
+{
+    sim::setQuiet(true);
+    testutil::CounterWorkload w(6);
+    SysConfig cfg = smallCfg(4);
+    cfg.check = true;
+    System sys(cfg, harness::makeProtocol(cfg));
+    ASSERT_NE(sys.oracle(), nullptr);
+    sys.run(w);
+    EXPECT_GT(sys.oracle()->wordsChecked(), 0u);
+    EXPECT_GT(sys.oracle()->wordsRecorded(), 0u);
+}
+
+TEST(OracleEndToEnd, OracleOffMeansNoOracle)
+{
+    sim::setQuiet(true);
+    testutil::CounterWorkload w(2);
+    SysConfig cfg = smallCfg(2);
+    System sys(cfg, harness::makeProtocol(cfg));
+    EXPECT_EQ(sys.oracle(), nullptr);
+    sys.run(w);
+}
+
+// ---------------------------------------------------------------------
+// Oracle on/off bit-identity: the oracle is pure observation. Every
+// simulated observable must be unchanged by cfg.check across protocol
+// variants (acceptance criterion for the whole subsystem).
+
+namespace
+{
+
+void
+expectIdenticalRuns(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.exec_ticks, b.exec_ticks);
+    ASSERT_EQ(a.bd.size(), b.bd.size());
+    for (std::size_t i = 0; i < a.bd.size(); ++i) {
+        for (unsigned c = 0; c < num_cats; ++c) {
+            EXPECT_EQ(a.bd[i].cycles[c], b.bd[i].cycles[c])
+                << "proc " << i << " cat "
+                << catName(static_cast<Cat>(c));
+        }
+        EXPECT_EQ(a.bd[i].diff_op_cycles, b.bd[i].diff_op_cycles)
+            << "proc " << i;
+        EXPECT_EQ(a.bd[i].diff_op_ctrl_cycles, b.bd[i].diff_op_ctrl_cycles)
+            << "proc " << i;
+    }
+    EXPECT_EQ(a.net.messages, b.net.messages);
+    EXPECT_EQ(a.net.bytes, b.net.bytes);
+    EXPECT_EQ(a.net.latency_cycles, b.net.latency_cycles);
+    EXPECT_EQ(a.net.contention_cycles, b.net.contention_cycles);
+    EXPECT_EQ(a.stats.flat(), b.stats.flat());
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.trace_dropped, b.trace_dropped);
+}
+
+struct CheckModeParam
+{
+    const char *tag;
+    ProtocolKind kind;
+    bool offload, hw_diffs, prefetch;
+};
+
+SysConfig
+checkModeCfg(const CheckModeParam &m, bool check)
+{
+    SysConfig cfg = smallCfg(8);
+    cfg.protocol = m.kind;
+    cfg.mode.offload = m.offload;
+    cfg.mode.hw_diffs = m.hw_diffs;
+    cfg.mode.prefetch = m.prefetch;
+    cfg.check = check;
+    return cfg;
+}
+
+} // namespace
+
+class OracleBitIdentity : public ::testing::TestWithParam<CheckModeParam>
+{
+};
+
+TEST_P(OracleBitIdentity, StencilUnchangedByCheck)
+{
+    sim::setQuiet(true);
+    RunResult r[2];
+    for (int check = 0; check < 2; ++check) {
+        testutil::StencilWorkload w(2048, 3);
+        const SysConfig cfg = checkModeCfg(GetParam(), check != 0);
+        r[check] = harness::runOnce(cfg, w);
+    }
+    expectIdenticalRuns(r[0], r[1]);
+}
+
+TEST_P(OracleBitIdentity, TortureUnchangedByCheck)
+{
+    sim::setQuiet(true);
+    apps::Torture::Params prm;
+    prm.seed = 11;
+    prm.rounds = 4;
+    prm.data_pages = 2;
+    prm.counters = 4;
+    prm.pc_slots = 4;
+    prm.max_compute = 100;
+    RunResult r[2];
+    for (int check = 0; check < 2; ++check) {
+        apps::Torture w(prm);
+        SysConfig cfg = checkModeCfg(GetParam(), check != 0);
+        cfg.num_procs = 4;
+        r[check] = harness::runOnce(cfg, w);
+    }
+    expectIdenticalRuns(r[0], r[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CheckSweep, OracleBitIdentity,
+    ::testing::Values(
+        CheckModeParam{"TmkBase", ProtocolKind::treadmarks, false, false,
+                       false},
+        CheckModeParam{"TmkIPD", ProtocolKind::treadmarks, true, true,
+                       true},
+        CheckModeParam{"Aurc", ProtocolKind::aurc, false, false, false},
+        CheckModeParam{"AurcP", ProtocolKind::aurc, false, false, true}),
+    [](const ::testing::TestParamInfo<CheckModeParam> &info) {
+        return info.param.tag;
+    });
+
+// ---------------------------------------------------------------------
+// Torture under the oracle: a slice of the fuzz campaign small enough
+// for tier 1 (the full corpus runs under ctest -L fuzz / CI).
+
+TEST(TortureCheck, PassesOracleAcrossVariantsAndFastPath)
+{
+    sim::setQuiet(true);
+    apps::Torture::Params prm;
+    prm.seed = 5;
+    prm.rounds = 5;
+    prm.data_pages = 3;
+    prm.counters = 6;
+    prm.pc_slots = 6;
+    prm.max_compute = 120;
+
+    const CheckModeParam modes[] = {
+        {"TmkBase", ProtocolKind::treadmarks, false, false, false},
+        {"TmkIPD", ProtocolKind::treadmarks, true, true, true},
+        {"Aurc", ProtocolKind::aurc, false, false, false},
+        {"AurcP", ProtocolKind::aurc, false, false, true},
+    };
+    for (const auto &m : modes) {
+        RunResult r[2];
+        for (int fast = 0; fast < 2; ++fast) {
+            apps::Torture w(prm);
+            SysConfig cfg = checkModeCfg(m, true);
+            cfg.num_procs = 4;
+            cfg.fast_path = fast != 0;
+            // runOnce validates the workload's own checksums too.
+            r[fast] = harness::runOnce(cfg, w);
+        }
+        // The descriptor fast path must be invisible with the oracle
+        // watching every access.
+        expectIdenticalRuns(r[0], r[1]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// DescCache: the flush-on-protection-transition contract (satellite).
+
+TEST(DescCache, LookupHonorsTagAndGrantedMode)
+{
+    DescCache dc;
+    EXPECT_EQ(dc.lookup(10, false), nullptr); // empty slot
+
+    AccessDesc &e = dc.slot(10);
+    e.page = 10;
+    e.writable = false;
+    EXPECT_NE(dc.lookup(10, false), nullptr);
+    EXPECT_EQ(dc.lookup(10, true), nullptr); // read grant can't serve writes
+
+    e.writable = true;
+    EXPECT_NE(dc.lookup(10, true), nullptr);
+    EXPECT_EQ(dc.lookup(11, false), nullptr); // different slot, empty
+}
+
+TEST(DescCache, DirectMappedAliasingEvicts)
+{
+    DescCache dc;
+    dc.slot(3).page = 3;
+    // page 3 + 64 maps to the same slot; installing it evicts page 3.
+    const sim::PageId alias = 3 + DescCache::entries;
+    EXPECT_EQ(&dc.slot(3), &dc.slot(alias));
+    dc.slot(alias).page = alias;
+    EXPECT_EQ(dc.lookup(3, false), nullptr);
+    EXPECT_NE(dc.lookup(alias, false), nullptr);
+}
+
+TEST(DescCache, InvalidateFlushesOnlyTheMatchingPage)
+{
+    DescCache dc;
+    dc.slot(7).page = 7;
+    dc.invalidate(7 + DescCache::entries); // aliased but wrong tag
+    EXPECT_NE(dc.lookup(7, false), nullptr);
+    dc.invalidate(7); // access -> none transition
+    EXPECT_EQ(dc.lookup(7, false), nullptr);
+    EXPECT_EQ(dc.slot(7).page, AccessDesc::invalid_page);
+}
+
+TEST(DescCache, DowngradeWriteKeepsReadGrantDropsWriteState)
+{
+    DescCache dc;
+    IntervalSeq ivals[4] = {};
+    AccessDesc &e = dc.slot(12);
+    e.page = 12;
+    e.writable = true;
+    e.hook = WriteHook::tmk_interval;
+    e.word_interval = ivals;
+    e.open_seq = 9;
+
+    dc.downgradeWrite(12 + DescCache::entries); // wrong tag: untouched
+    EXPECT_TRUE(dc.slot(12).writable);
+
+    dc.downgradeWrite(12); // readwrite -> read transition
+    AccessDesc *hit = dc.lookup(12, false);
+    ASSERT_NE(hit, nullptr); // read grant survives
+    EXPECT_EQ(dc.lookup(12, true), nullptr);
+    EXPECT_FALSE(hit->writable);
+    EXPECT_EQ(hit->hook, WriteHook::protocol);
+    EXPECT_EQ(hit->word_interval, nullptr);
+    EXPECT_EQ(hit->open_seq, 0u);
+}
+
+TEST(DescCache, ClearEmptiesEverySlot)
+{
+    DescCache dc;
+    for (sim::PageId p = 0; p < DescCache::entries; ++p)
+        dc.slot(p).page = p;
+    dc.clear();
+    for (sim::PageId p = 0; p < DescCache::entries; ++p)
+        EXPECT_EQ(dc.lookup(p, false), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// EventQueue: the calendar ring / overflow-heap boundary (satellite).
+
+TEST(EventQueueTier, BoundaryTicksExecuteInTickSeqOrder)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    // Straddle the ring horizon: ring_size - 1 is the last ring tick,
+    // ring_size and beyond start in the overflow heap.
+    const sim::Tick edge = sim::EventQueue::ring_size;
+    eq.schedule(edge + 1, [&] { order.push_back(3); });
+    eq.schedule(edge, [&] { order.push_back(1); });
+    eq.schedule(edge - 1, [&] { order.push_back(0); });
+    eq.schedule(edge, [&] { order.push_back(2); }); // same tick: seq order
+    EXPECT_EQ(eq.pending(), 4u);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.now(), edge + 1);
+    EXPECT_EQ(eq.executed(), 4u);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueueTier, OverflowEventsMergeBackAheadOfLaterRingEvents)
+{
+    sim::EventQueue eq;
+    std::vector<int> order;
+    const sim::Tick far = 3 * sim::EventQueue::ring_size + 17;
+    eq.schedule(far, [&] { order.push_back(0); });      // overflow tier
+    eq.schedule(far + 1, [&, far] {                     // also overflow
+        order.push_back(1);
+        // From inside the run the far tick is near: lands in the ring.
+        eq.schedule(far + 2, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueTier, RandomScheduleMatchesLegacyHeapExactly)
+{
+    // The calendar queue's contract: bit-identical execution order to
+    // the original binary heap, including ties and re-scheduling from
+    // inside callbacks, across both tiers.
+    sim::Rng rng(0xfeedULL);
+    std::vector<std::pair<sim::Tick, int>> plan;
+    for (int i = 0; i < 400; ++i) {
+        // Mix near (ring) and far (overflow) deltas, with repeats.
+        const std::uint64_t delta =
+            (i % 5 == 0) ? 4000 + rng.below(9000) : rng.below(64);
+        plan.emplace_back(delta, i);
+    }
+
+    auto drive = [&plan](auto &queue) {
+        std::vector<int> order;
+        std::size_t next = 0;
+        // Seed a pump that schedules the next few plan entries each
+        // time it runs, so scheduling interleaves with execution.
+        std::function<void()> pump = [&]() {
+            for (int k = 0; k < 3 && next < plan.size(); ++k) {
+                const auto [delta, id] = plan[next++];
+                queue.schedule(queue.now() + delta,
+                               [&order, id] { order.push_back(id); });
+            }
+            if (next < plan.size())
+                queue.schedule(queue.now() + 1, pump);
+        };
+        queue.schedule(0, pump);
+        queue.run();
+        return order;
+    };
+
+    sim::EventQueue calendar;
+    sim::LegacyEventQueue legacy;
+    EXPECT_EQ(drive(calendar), drive(legacy));
+    EXPECT_EQ(calendar.now(), legacy.now());
+    EXPECT_EQ(calendar.executed(), legacy.executed());
+}
+
+TEST(EventQueueTier, SchedulingInThePastPanics)
+{
+    sim::EventQueue eq;
+    eq.advanceIfIdle(100);
+    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_THROW(eq.schedule(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueueTier, ResetRestartsTheClockAndDropsEvents)
+{
+    sim::EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(5000, [&] { ++fired; }); // overflow tier too
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+// ---------------------------------------------------------------------
+// GlobalHeap (satellite): alignment, page allocation, exhaustion, reuse.
+
+TEST(Heap, AlignsAndBumps)
+{
+    GlobalHeap h(1u << 20, 4096);
+    EXPECT_EQ(h.alloc(13), 0u);
+    EXPECT_EQ(h.alloc(1), 16u); // 13 rounded up to the default align 8
+    EXPECT_EQ(h.alloc(4, 256), 256u);
+    EXPECT_EQ(h.used(), 260u);
+    EXPECT_EQ(h.capacity(), 1u << 20);
+    EXPECT_EQ(h.pageBytes(), 4096u);
+}
+
+TEST(Heap, AllocPagesStartsOnAFreshPage)
+{
+    GlobalHeap h(1u << 20, 4096);
+    h.alloc(100);
+    const sim::GAddr a = h.allocPages(10);
+    EXPECT_EQ(a % 4096, 0u);
+    const sim::GAddr b = h.allocPages(4097);
+    EXPECT_EQ(b % 4096, 0u);
+    EXPECT_EQ(b - a, 4096u);
+}
+
+TEST(Heap, RejectsNonPowerOfTwoAlignment)
+{
+    GlobalHeap h(1u << 20, 4096);
+    EXPECT_THROW(h.alloc(8, 3), std::logic_error);
+    EXPECT_THROW(h.alloc(8, 0), std::logic_error);
+}
+
+TEST(Heap, ExhaustionPanicsAndResetReuses)
+{
+    GlobalHeap h(8192, 4096);
+    EXPECT_EQ(h.alloc(8000), 0u);
+    EXPECT_THROW(h.alloc(8000), std::logic_error);
+    h.reset();
+    EXPECT_EQ(h.used(), 0u);
+    EXPECT_EQ(h.alloc(8000), 0u); // same addresses after reset
+}
+
+// ---------------------------------------------------------------------
+// VectorClock (satellite): merge/dominance edge cases.
+
+TEST(VClock, StartsAtZeroAndComparesByValue)
+{
+    VectorClock a(4), b(4);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(a[i], 0u);
+    EXPECT_TRUE(a == b);
+    b[2] = 1;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(VClock, MergeIsComponentwiseMaxAndMonotone)
+{
+    VectorClock a(3), b(3);
+    a[0] = 5;
+    a[2] = 1;
+    b[0] = 3;
+    b[1] = 7;
+    const VectorClock before = a;
+    a.merge(b);
+    EXPECT_EQ(a[0], 5u);
+    EXPECT_EQ(a[1], 7u);
+    EXPECT_EQ(a[2], 1u);
+    EXPECT_TRUE(before.dominatedBy(a)); // merge never loses knowledge
+    EXPECT_TRUE(b.dominatedBy(a));
+    // Merging disjoint clocks is a plain union.
+    VectorClock c(3), d(3);
+    c[0] = 2;
+    d[1] = 4;
+    c.merge(d);
+    EXPECT_EQ(c[0], 2u);
+    EXPECT_EQ(c[1], 4u);
+    EXPECT_EQ(c[2], 0u);
+}
+
+TEST(VClock, DominanceIsReflexiveAndStrictWhereItShouldBe)
+{
+    VectorClock a(2), b(2);
+    EXPECT_TRUE(a.dominatedBy(a));
+    a[0] = 1;
+    b[1] = 1;
+    EXPECT_FALSE(a.dominatedBy(b)); // concurrent
+    EXPECT_FALSE(b.dominatedBy(a));
+    b[0] = 1;
+    EXPECT_TRUE(a.dominatedBy(b));
+}
+
+TEST(VClock, SurvivesNearMaxIntervalCounts)
+{
+    VectorClock a(2), b(2);
+    a[0] = UINT32_MAX - 1;
+    b[0] = UINT32_MAX;
+    EXPECT_TRUE(a.dominatedBy(b));
+    a.merge(b);
+    EXPECT_EQ(a[0], UINT32_MAX);
+}
+
+// ---------------------------------------------------------------------
+// Knobs (satellite): boolean normalization. NCP2_FAST_PATH historically
+// compared against "0" only, so "false" silently meant *on*; the parser
+// must accept the common spellings and reject junk loudly.
+
+namespace
+{
+
+/** setenv/unsetenv guard restoring the prior value on destruction. */
+class EnvGuard
+{
+  public:
+    explicit EnvGuard(const char *name) : name_(name)
+    {
+        const char *v = std::getenv(name);
+        if (v) {
+            had_ = true;
+            old_ = v;
+        }
+    }
+
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+    void set(const char *v) { ::setenv(name_, v, 1); }
+    void unset() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+} // namespace
+
+TEST(Knobs, BoolKnobsAcceptCommonSpellings)
+{
+    EnvGuard fast("NCP2_FAST_PATH"), check("NCP2_CHECK");
+    for (const char *v : {"0", "false", "FALSE", "off", "No"}) {
+        fast.set(v);
+        check.set(v);
+        EXPECT_FALSE(harness::knobs::fastPath()) << v;
+        EXPECT_FALSE(harness::knobs::checkOracle()) << v;
+    }
+    for (const char *v : {"1", "true", "True", "ON", "yes"}) {
+        fast.set(v);
+        check.set(v);
+        EXPECT_TRUE(harness::knobs::fastPath()) << v;
+        EXPECT_TRUE(harness::knobs::checkOracle()) << v;
+    }
+}
+
+TEST(Knobs, BoolKnobsDefaultsDifferWhenUnset)
+{
+    EnvGuard fast("NCP2_FAST_PATH"), check("NCP2_CHECK");
+    fast.unset();
+    check.unset();
+    EXPECT_TRUE(harness::knobs::fastPath());    // opt-out knob
+    EXPECT_FALSE(harness::knobs::checkOracle()); // opt-in knob
+    fast.set("");
+    check.set("");
+    EXPECT_TRUE(harness::knobs::fastPath());
+    EXPECT_FALSE(harness::knobs::checkOracle());
+}
+
+TEST(Knobs, BoolKnobsRejectJunkLoudly)
+{
+    EnvGuard fast("NCP2_FAST_PATH"), check("NCP2_CHECK");
+    for (const char *v : {"2", "disabled", "ja", "0x1"}) {
+        fast.set(v);
+        EXPECT_THROW(harness::knobs::fastPath(), std::runtime_error) << v;
+        check.set(v);
+        EXPECT_THROW(harness::knobs::checkOracle(), std::runtime_error)
+            << v;
+    }
+}
