@@ -11,7 +11,7 @@
  *
  * Environment knobs are owned by harness::knobs (run any bench with
  * --knobs for the registry listing): NCP2_SCALE, NCP2_PROCS, NCP2_JOBS,
- * NCP2_RESULTS_DIR, NCP2_FAST_PATH, NCP2_TRACE, NCP2_CHECK.
+ * NCP2_RESULTS_DIR, NCP2_FAST_PATH, NCP2_TRACE, NCP2_CHECK, NCP2_PDES.
  */
 
 #ifndef NCP2_BENCH_FIGURE_COMMON_HH
@@ -67,6 +67,8 @@ configFor(const std::string &proto, unsigned procs)
     cfg.trace_capacity = harness::knobs::traceCapacity();
     // The conformance oracle validates without perturbing either.
     cfg.check = harness::knobs::checkOracle();
+    // In-run parallel execution (conservative-window PDES); 1 = serial.
+    cfg.pdes_workers = harness::knobs::pdesWorkers();
     if (proto.rfind("AURC", 0) == 0) {
         cfg.protocol = dsm::ProtocolKind::aurc;
         cfg.mode.prefetch = proto == "AURC+P";

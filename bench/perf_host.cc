@@ -367,6 +367,38 @@ benchTraceOverhead(unsigned trials)
     return r;
 }
 
+/**
+ * Multi-core scaling of the in-run parallel executor: the same 16-node
+ * stencil simulation on the serial reference scheduler ("before") and
+ * on the conservative-window parallel scheduler with 4 workers
+ * ("after"). Unlike every other kernel this one's speedup is *host
+ * dependent by nature* - on a single-core machine the parallel run only
+ * adds window-barrier overhead and the ratio sits below 1.0, while a
+ * 4-core host should clear 1.5x. CI therefore picks the --require floor
+ * from nproc (see ci.yml) instead of pinning one number.
+ */
+KernelResult
+benchPdesScaling(unsigned trials)
+{
+    sim::setQuiet(true);
+    auto simOnce = [](unsigned workers) {
+        testutil::StencilWorkload w(4096, 6);
+        dsm::SysConfig cfg;
+        cfg.num_procs = 16;
+        cfg.heap_bytes = 8u << 20;
+        cfg.pdes_workers = workers;
+        dsm::System sys(cfg, tmk::makeTreadMarks(cfg.mode));
+        if (sys.run(w).exec_ticks == 0)
+            std::abort();
+    };
+    KernelResult r;
+    r.name = "pdes_scaling";
+    r.items = 16;
+    r.before_ns = timeKernel(trials, 1, [&]() { simOnce(1); });
+    r.after_ns = timeKernel(trials, 1, [&]() { simOnce(4); });
+    return r;
+}
+
 /** Absolute end-to-end time of a small 8-proc stencil simulation. */
 double
 benchSimSmallMs(unsigned trials)
@@ -444,6 +476,7 @@ main(int argc, char **argv)
     for (KernelResult &k : benchAccessPath(quick ? 8u : 30u))
         kernels.push_back(std::move(k));
     kernels.push_back(benchTraceOverhead(quick ? 3 : 10));
+    kernels.push_back(benchPdesScaling(quick ? 3 : 10));
     const double sim_small_ms = benchSimSmallMs(quick ? 3 : 10);
 
     std::cout << "kernel            before_ns   after_ns  speedup\n";

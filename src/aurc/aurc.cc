@@ -325,12 +325,14 @@ Aurc::sendUpdate(NodeId proc, const WcEntry &e)
     // experiment raises it to the full messaging overhead).
     const Tick dep = ni_[proc].acquire(node(proc).cpu.localNow(),
                                        cfg().update_overhead_cycles);
-    const Tick del =
-        sys_->net().send(dep, proc, dst, updateBytes(words));
 
-    // Capture values now (write-cache contents are value snapshots).
+    // Capture values now (write-cache contents are value snapshots);
+    // the router delivers on the destination node's queue. AURC runs
+    // serially only, so the returned delivery tick is always known.
     const WcEntry snap = e;
-    sys_->eq().schedule(del, [this, dst, snap, words, del]() {
+    const Tick del = sys_->router().send(
+        dep, proc, dst, updateBytes(words),
+        [this, dst, snap, words](Tick del) {
         dsm::Node &d = node(dst);
         const Tick p = d.pci.transfer(del, words);
         const Tick m = d.memory.access(p, words);
@@ -533,6 +535,10 @@ Aurc::faultIn(NodeId proc, PageId page)
             // Further sharers: revert to write-through to a home node.
             sh.mode = Mode::home_based;
             sh.home = sh.pair[0];
+            // Record the new home in its node's heap-directory shard
+            // (AURC assigns homes dynamically, unlike TreadMarks; the
+            // unchecked accessor is fine: AURC always runs serially).
+            sys_->shardAt(sh.home).heap.registerHomePage(page);
             ++stats_.reverts_to_home;
             src = sh.home;
         }
@@ -715,9 +721,8 @@ Aurc::fiberSend(NodeId proc, NodeId dst, std::uint32_t bytes, Cat cat,
     n.cpu.flush();
     n.cpu.advance(cfg().net.msg_overhead, cat);
     n.cpu.flush();
-    const Tick dep = sys_->eq().now();
-    const Tick del = sys_->net().send(dep, proc, dst, bytes);
-    sys_->eq().schedule(del, [fn = std::move(fn), del]() { fn(del); });
+    sys_->router().send(sys_->eq().now(), proc, dst, bytes,
+                        std::move(fn));
 }
 
 void
@@ -725,8 +730,7 @@ Aurc::eventSend(NodeId src, NodeId dst, std::uint32_t bytes,
                 std::function<void(Tick)> fn)
 {
     const Tick done = node(src).cpu.interrupt(cfg().net.msg_overhead);
-    const Tick del = sys_->net().send(done, src, dst, bytes);
-    sys_->eq().schedule(del, [fn = std::move(fn), del]() { fn(del); });
+    sys_->router().send(done, src, dst, bytes, std::move(fn));
 }
 
 // ---------------------------------------------------------------------

@@ -158,6 +158,17 @@ struct SysConfig
     /// Where the oracle's violation trace dump lands (one Chrome-trace
     /// JSON per aborted run) when tracing is enabled as well.
     std::string check_dump_dir = "results/check";
+    /// Host worker threads for the in-run parallel executor
+    /// (sim/sched_group.hh): conservative-lookahead PDES over the
+    /// per-node event queues. 1 (the default) keeps the serial merged
+    /// scheduler, whose results are bit-identical to the historical
+    /// single-queue implementation. More workers require a protocol
+    /// that declares itself shard-safe (Protocol::pdesSafe) and force
+    /// tracing off; lock-grant rendezvous makes parallel runs
+    /// deterministic only up to same-window lock races (DESIGN.md
+    /// "Parallel in-run simulation"). The benches set this from the
+    /// NCP2_PDES knob.
+    unsigned pdes_workers = 1;
 
     unsigned pageWords() const { return page_bytes / 4; }
 

@@ -92,6 +92,13 @@ class PooledDiff
 {
   public:
     PooledDiff() : pool_(&DiffPool::current()), d_(pool_->acquire()) {}
+
+    /**
+     * Lease from an explicit pool — the per-node-shard pool
+     * (dsm/shard.hh) on protocol paths, where the Context-wide
+     * singleton would be shared across parallel-executor workers.
+     */
+    explicit PooledDiff(DiffPool &pool) : pool_(&pool), d_(pool.acquire()) {}
     ~PooledDiff() { pool_->release(std::move(d_)); }
 
     PooledDiff(const PooledDiff &) = delete;

@@ -96,6 +96,18 @@ class Protocol
     virtual std::string name() const = 0;
 
     /**
+     * True when the protocol's cross-node state accesses are confined
+     * to message edges, append-only logs and documented rendezvous
+     * points, so the conservative parallel executor may run it on
+     * several workers (SysConfig::pdes_workers > 1). The default is
+     * conservative: protocols that still read remote shards in place
+     * (AURC's live install-time copies and cross-node directory
+     * updates, TreadMarks lazy hybrid's remote page-presence probe)
+     * are forced onto the serial scheduler with a warning.
+     */
+    virtual bool pdesSafe() const { return false; }
+
+    /**
      * The protocol's statistics tree (counters, accums, histograms),
      * or nullptr if it keeps none. System::run() snapshots it into the
      * RunResult at end of run; the group and the stats it points at

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-node shards of what used to be system-global DSM state.
+ *
+ * The ownership rule the parallel executor depends on: every piece of
+ * simulated state lives in exactly one node's shard, and only events
+ * executing on that node's queue may touch it. Cross-node reads and
+ * updates travel as net::Router messages. The rule is enforced (in
+ * debug builds) by the owner assert in System::shard()/shardAt():
+ * the accessor checks the calling host thread's sim::current_exec_node
+ * against the shard's owner, with -1 (host-side planning/validation
+ * code) always admitted.
+ *
+ * The shard currently carries:
+ *  - the node's diff-buffer pool: diff capture/apply recycle buffers
+ *    per node, never across nodes, so workers do not contend on (or
+ *    corrupt) a shared free list;
+ *  - the node's slice of the global heap directory: which shared pages
+ *    are homed here, registered by the protocol at attach() time. The
+ *    GlobalHeap keeps assigning *addresses* (a host-side, pre-run bump
+ *    pointer — addresses must stay globally unique and identical to
+ *    the serial allocator's), but the per-page home/ownership record is
+ *    shard state.
+ */
+
+#ifndef NCP2_DSM_SHARD_HH
+#define NCP2_DSM_SHARD_HH
+
+#include <vector>
+
+#include "dsm/diff_pool.hh"
+#include "sim/types.hh"
+
+namespace dsm
+{
+
+/** The node-local slice of the heap directory: pages homed here. */
+class HeapShard
+{
+  public:
+    /** Record that @p page is homed on this shard's node. */
+    void registerHomePage(sim::PageId page) { home_pages_.push_back(page); }
+
+    /** Pages homed on this node, in registration order. */
+    const std::vector<sim::PageId> &homePages() const { return home_pages_; }
+
+    void reset() { home_pages_.clear(); }
+
+  private:
+    std::vector<sim::PageId> home_pages_;
+};
+
+/** Everything node-owned that used to hang off shared System state. */
+struct NodeShard
+{
+    explicit NodeShard(sim::NodeId id) : id(id) {}
+
+    NodeShard(const NodeShard &) = delete;
+    NodeShard &operator=(const NodeShard &) = delete;
+
+    const sim::NodeId id;
+    DiffPool diffs;
+    HeapShard heap;
+};
+
+} // namespace dsm
+
+#endif // NCP2_DSM_SHARD_HH

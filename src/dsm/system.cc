@@ -24,14 +24,19 @@ Node::Node(sim::NodeId id, sim::EventQueue &eq, const SysConfig &cfg)
 }
 
 System::System(SysConfig cfg, std::unique_ptr<Protocol> protocol)
-    : cfg_(cfg), protocol_(std::move(protocol))
+    : cfg_(cfg), sched_(cfg.num_procs >= 1 ? cfg.num_procs : 1),
+      protocol_(std::move(protocol))
 {
     ncp2_assert(cfg_.num_procs >= 1, "need at least one processor");
     heap_ = std::make_unique<GlobalHeap>(cfg_.heap_bytes, cfg_.page_bytes);
     net_ = std::make_unique<net::MeshNetwork>(cfg_.num_procs, cfg_.net);
+    router_ = std::make_unique<net::Router>(*net_, sched_);
+    shards_.reserve(cfg_.num_procs);
     nodes_.reserve(cfg_.num_procs);
-    for (unsigned i = 0; i < cfg_.num_procs; ++i)
-        nodes_.push_back(std::make_unique<Node>(i, eq_, cfg_));
+    for (unsigned i = 0; i < cfg_.num_procs; ++i) {
+        shards_.push_back(std::make_unique<NodeShard>(i));
+        nodes_.push_back(std::make_unique<Node>(i, sched_.queue(i), cfg_));
+    }
     if (cfg_.trace_capacity) {
         trace_ = std::make_unique<sim::Trace>(cfg_.trace_capacity);
         barrier_epochs_.assign(cfg_.num_procs, 0);
@@ -75,12 +80,41 @@ System::System(SysConfig cfg, std::unique_ptr<Protocol> protocol)
 
 System::~System() = default;
 
+unsigned
+System::effectiveWorkers() const
+{
+    unsigned workers = cfg_.pdes_workers ? cfg_.pdes_workers : 1;
+    if (workers <= 1)
+        return 1;
+    const char *why = nullptr;
+    if (!protocol_->pdesSafe())
+        why = "protocol is not shard-safe";
+    else if (trace_)
+        why = "event tracing is enabled";
+    else if (cfg_.num_procs < 2)
+        why = "single-node system";
+    else if (net_->minCrossLatency() == sim::tick_never ||
+             net_->minCrossLatency() == 0)
+        why = "mesh provides no lookahead";
+    if (why) {
+        ncp2_warn("pdes_workers=%u ignored (%s); running on the serial "
+                  "scheduler",
+                  workers, why);
+        return 1;
+    }
+    return workers;
+}
+
 RunResult
 System::run(Workload &workload)
 {
     sim::Context::Scope scope(ctx_);
     if (ctx_.label.empty())
         ctx_.label = workload.name();
+
+    const unsigned workers = effectiveWorkers();
+    pdes_active_ = workers > 1;
+    router_->setParallel(pdes_active_);
 
     workload.plan(*heap_, cfg_);
     protocol_->attach(*this);
@@ -93,7 +127,14 @@ System::run(Workload &workload)
         });
     }
 
-    const bool drained = eq_.run(cfg_.max_ticks);
+    const bool drained =
+        pdes_active_
+            ? sched_.runParallel(cfg_.max_ticks, workers,
+                                 net_->minCrossLatency(), &ctx_,
+                                 [this] { return router_->drain(); })
+            : sched_.run(cfg_.max_ticks);
+    pdes_active_ = false;
+    router_->setParallel(false);
     if (!drained)
         ncp2_fatal("simulation exceeded max_ticks watchdog (%llu)",
                    static_cast<unsigned long long>(cfg_.max_ticks));
@@ -529,6 +570,13 @@ System::checkAccess(sim::NodeId proc, sim::PageId page, unsigned off,
 {
     const unsigned word = off / 4;
     const unsigned words = (off % 4 + bytes + 3) / 4;
+    // The oracle is one global structure; parallel-executor workers
+    // feed it under a mutex (accesses racing inside one lookahead
+    // window are causally unrelated under LRC, so their hook order is
+    // free — for conforming workloads the updates commute).
+    std::unique_lock<std::mutex> guard(check_mu_, std::defer_lock);
+    if (pdes_active_)
+        guard.lock();
     if (is_write)
         check_->onWrite(proc, page, word, words, pdata);
     else
@@ -539,10 +587,14 @@ void
 System::acquire(sim::NodeId proc, unsigned lock_id)
 {
     protocol_->acquire(proc, lock_id);
-    // The grant carries the releaser's knowledge; the event loop is
-    // single-threaded, so the matching release hook already ran.
-    if (check_) [[unlikely]]
+    // The grant carries the releaser's knowledge; the protocol cannot
+    // return from acquire() before the matching release hook ran.
+    if (check_) [[unlikely]] {
+        std::unique_lock<std::mutex> guard(check_mu_, std::defer_lock);
+        if (pdes_active_)
+            guard.lock();
         check_->onAcquire(proc, lock_id);
+    }
 }
 
 void
@@ -550,8 +602,12 @@ System::release(sim::NodeId proc, unsigned lock_id)
 {
     // Snapshot the release clock before the protocol can hand the lock
     // (and the knowledge) to a waiting acquirer.
-    if (check_) [[unlikely]]
+    if (check_) [[unlikely]] {
+        std::unique_lock<std::mutex> guard(check_mu_, std::defer_lock);
+        if (pdes_active_)
+            guard.lock();
         check_->onRelease(proc, lock_id);
+    }
     protocol_->release(proc, lock_id);
 }
 
@@ -560,11 +616,19 @@ System::barrier(sim::NodeId proc, unsigned barrier_id)
 {
     // Every processor's arrival hook runs before any departure hook:
     // the protocol barrier cannot return until all have arrived.
-    if (check_) [[unlikely]]
+    if (check_) [[unlikely]] {
+        std::unique_lock<std::mutex> guard(check_mu_, std::defer_lock);
+        if (pdes_active_)
+            guard.lock();
         check_->onBarrierArrive(proc, barrier_id);
+    }
     protocol_->barrier(proc, barrier_id);
-    if (check_) [[unlikely]]
+    if (check_) [[unlikely]] {
+        std::unique_lock<std::mutex> guard(check_mu_, std::defer_lock);
+        if (pdes_active_)
+            guard.lock();
         check_->onBarrierDepart(proc, barrier_id);
+    }
     if (trace_) [[unlikely]] {
         // Epoch boundary: stamp the crossing and this processor's
         // cumulative breakdown, so tools/trace_summary.py can

@@ -18,6 +18,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include <mutex>
+
 #include "check/oracle.hh"
 #include "ctrl/controller.hh"
 #include "dsm/access_desc.hh"
@@ -28,16 +30,19 @@
 #include "dsm/page.hh"
 #include "dsm/proc.hh"
 #include "dsm/protocol.hh"
+#include "dsm/shard.hh"
 #include "dsm/workload.hh"
 #include "mem/cache.hh"
 #include "mem/memory.hh"
 #include "mem/tlb.hh"
 #include "mem/write_buffer.hh"
 #include "net/mesh.hh"
+#include "net/router.hh"
 #include "pcib/pci_bus.hh"
 #include "sim/context.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/sched_group.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -104,10 +109,67 @@ class System
     unsigned nprocs() const { return cfg_.num_procs; }
     Node &node(sim::NodeId id) { return *nodes_[id]; }
     sim::Context &ctx() { return ctx_; }
-    sim::EventQueue &eq() { return eq_; }
+
+    /**
+     * The event queue of the node whose event is executing on the
+     * calling thread (every simulated node owns one queue of the
+     * scheduler group); host-side callers get node 0's queue. Protocol
+     * code uses this for *node-local* scheduling only — anything
+     * crossing nodes goes through router().
+     */
+    sim::EventQueue &
+    eq()
+    {
+        const std::int32_t n = sim::current_exec_node;
+        return sched_.queue(n < 0 ? 0u : static_cast<unsigned>(n));
+    }
+
+    /** The partitioned scheduler (one queue per node). */
+    sim::SchedulerGroup &sched() { return sched_; }
+
     net::MeshNetwork &net() { return *net_; }
+
+    /** The one cross-node message edge (see net/router.hh). */
+    net::Router &router() { return *router_; }
+
     GlobalHeap &heap() { return *heap_; }
     Protocol &protocol() { return *protocol_; }
+
+    /**
+     * Node @p id's shard (diff pool, heap directory slice). Owner-
+     * asserted: only @p id's own event stream — or host-side code
+     * outside the run loop — may call this (see dsm/shard.hh).
+     */
+    NodeShard &
+    shard(sim::NodeId id)
+    {
+        ncp2_dassert(sim::current_exec_node < 0 ||
+                         sim::current_exec_node ==
+                             static_cast<std::int32_t>(id),
+                     "node %d dereferenced node %u's shard without a "
+                     "message edge",
+                     static_cast<int>(sim::current_exec_node),
+                     static_cast<unsigned>(id));
+        return *shards_[id];
+    }
+
+    /**
+     * Unchecked shard access for serial-only callers: a protocol that
+     * is not pdesSafe() always runs on the serial scheduler, where a
+     * cross-node directory update in place is safe (if inelegant).
+     * Refuses to run while the parallel executor is active.
+     */
+    NodeShard &
+    shardAt(sim::NodeId id)
+    {
+        ncp2_dassert(!pdes_active_,
+                     "shardAt() used while the parallel executor is "
+                     "active; use shard() behind a message edge");
+        return *shards_[id];
+    }
+
+    /** True while run() is executing on multiple PDES workers. */
+    bool pdesActive() const { return pdes_active_; }
 
     /**
      * The event tracer, or nullptr when tracing is off
@@ -210,20 +272,31 @@ class System
                      unsigned bytes, const std::uint8_t *pdata,
                      bool is_write);
 
+    /// Workers run() will actually use: cfg_.pdes_workers clamped by
+    /// protocol shard-safety, tracing and topology (warns when forced
+    /// down).
+    unsigned effectiveWorkers() const;
+
     SysConfig cfg_;
     /// Per-simulation runtime state; installed on the running thread
     /// for the duration of run(), keeping concurrent Systems confined.
     sim::Context ctx_;
     std::unordered_map<sim::PageId, std::vector<std::uint8_t>>
         coherent_cache_; ///< validation-time page reconstructions
-    sim::EventQueue eq_;
+    sim::SchedulerGroup sched_; ///< one event queue per node
     std::unique_ptr<GlobalHeap> heap_;
     std::unique_ptr<net::MeshNetwork> net_;
+    std::unique_ptr<net::Router> router_;
+    std::vector<std::unique_ptr<NodeShard>> shards_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::unique_ptr<Protocol> protocol_;
     std::unique_ptr<sim::Trace> trace_; ///< non-null iff tracing is on
     std::unique_ptr<check::LrcOracle> check_; ///< non-null iff checking
+    /// Serializes the (process-global-state) oracle under the parallel
+    /// executor; uncontended no-op in serial runs.
+    std::mutex check_mu_;
     std::vector<unsigned> barrier_epochs_; ///< per-proc crossings (trace)
+    bool pdes_active_ = false; ///< true while run() uses > 1 worker
 };
 
 } // namespace dsm

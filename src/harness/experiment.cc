@@ -104,8 +104,30 @@ ExperimentEngine::runPool(const std::vector<Job> &jobs,
         }
     };
 
-    const unsigned width = static_cast<unsigned>(
+    unsigned width = static_cast<unsigned>(
         std::min<std::size_t>(workers_, jobs.size()));
+
+    // Two layers of parallelism multiply: engine workers (NCP2_JOBS)
+    // each running a simulation that may itself spin up pdes_workers
+    // threads (NCP2_PDES). Oversubscribing the host does not change any
+    // simulated result, but it trades throughput for context-switch
+    // overhead, so clamp the pool so width x max(pdes_workers) stays
+    // within the hardware concurrency.
+    unsigned max_pdes = 1;
+    for (const Job &job : jobs)
+        max_pdes = std::max(max_pdes, std::max(1u, job.cfg.pdes_workers));
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    if (max_pdes > 1 && width > 1 && width * max_pdes > hw) {
+        const unsigned clamped = std::max(1u, hw / max_pdes);
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            ncp2_warn("NCP2_JOBS x NCP2_PDES (%u x %u) oversubscribes "
+                      "%u host cores; clamping the engine pool to %u "
+                      "workers",
+                      width, max_pdes, hw, clamped);
+        }
+        width = clamped;
+    }
     if (width <= 1) {
         drain();
     } else {

@@ -66,6 +66,11 @@ struct JobResult
 /**
  * Fixed-width worker pool over a job list. An engine is stateless
  * between calls; construct once and reuse freely.
+ *
+ * When jobs request in-run parallel execution (SysConfig::pdes_workers
+ * > 1) the effective pool width is clamped so that NCP2_JOBS x
+ * NCP2_PDES does not oversubscribe the host cores (warns once per
+ * process). Results are bit-identical at any width either way.
  */
 class ExperimentEngine
 {

@@ -75,6 +75,10 @@ registry()
          "run the LRC conformance oracle (src/check) on every shared "
          "access; an illegal read aborts with a provenance report "
          "(simulated results are unchanged either way)"},
+        {"NCP2_PDES", "int", "1",
+         "in-run parallel executor workers per simulation; 1 = serial "
+         "reference executor, >1 = conservative-window parallel "
+         "execution (forced serial with a warning where unsupported)"},
     };
     return knobs;
 }
@@ -134,6 +138,21 @@ checkOracle()
     return s && *s && parseBool("NCP2_CHECK", s);
 }
 
+unsigned
+pdesWorkers()
+{
+    const char *s = raw("NCP2_PDES");
+    if (!s || !*s)
+        return 1u;
+    const long v = parsePositive("NCP2_PDES", s);
+    if (v > 64) {
+        ncp2_warn("NCP2_PDES=%ld exceeds the supported maximum; "
+                  "clamping to 64", v);
+        return 64u;
+    }
+    return static_cast<unsigned>(v);
+}
+
 std::string
 resultsDir()
 {
@@ -178,6 +197,7 @@ activeValues()
     out.emplace_back("NCP2_FAST_PATH", fastPath() ? "1" : "0");
     out.emplace_back("NCP2_TRACE", std::to_string(traceCapacity()));
     out.emplace_back("NCP2_CHECK", checkOracle() ? "1" : "0");
+    out.emplace_back("NCP2_PDES", std::to_string(pdesWorkers()));
     return out;
 }
 

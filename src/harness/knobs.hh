@@ -61,6 +61,14 @@ bool fastPath();
 /** NCP2_CHECK: enable the LRC conformance oracle (src/check). */
 bool checkOracle();
 
+/**
+ * NCP2_PDES: in-run parallel executor worker threads per simulation.
+ * 1 (default) = the serial reference executor; >1 enables the
+ * conservative-window parallel executor where the protocol supports it
+ * (System clamps and warns otherwise).
+ */
+unsigned pdesWorkers();
+
 /** NCP2_RESULTS_DIR: where results JSON documents are written. */
 std::string resultsDir();
 

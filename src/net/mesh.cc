@@ -87,6 +87,25 @@ MeshNetwork::uncontendedLatency(sim::NodeId src, sim::NodeId dst,
     return h * (timing_.switch_cycles + timing_.wire_cycles) + tx;
 }
 
+sim::Cycles
+MeshNetwork::selfLatency(std::uint32_t payload_bytes) const
+{
+    const std::uint32_t bytes = payload_bytes + timing_.header_bytes;
+    return static_cast<sim::Cycles>(
+        std::ceil(bytes * timing_.cyclesPerByte()));
+}
+
+sim::Cycles
+MeshNetwork::minCrossLatency() const
+{
+    if (num_nodes_ < 2)
+        return sim::tick_never;
+    // Adjacent nodes (one hop) with an empty payload: every other
+    // src != dst pair has at least as many hops and at least as many
+    // payload bytes, and contention can only delay further.
+    return uncontendedLatency(0, 1, 0);
+}
+
 sim::Tick
 MeshNetwork::send(sim::Tick departure, sim::NodeId src, sim::NodeId dst,
                   std::uint32_t payload_bytes)

@@ -108,6 +108,24 @@ class MeshNetwork
     uncontendedLatency(sim::NodeId src, sim::NodeId dst,
                        std::uint32_t payload_bytes) const;
 
+    /**
+     * Latency of a loop-back (src == dst) message: transmission only,
+     * no links traversed. Pure — exactly what send() charges for a
+     * self-send, without the stats/link side effects.
+     */
+    [[nodiscard]] sim::Cycles selfLatency(std::uint32_t payload_bytes) const;
+
+    /**
+     * A lower bound on the latency of ANY cross-node (src != dst)
+     * message: the zero-payload latency over the minimum hop count.
+     * Contention and payload only add to it, so this is a safe
+     * conservative lookahead for the parallel executor — an event at
+     * tick T cannot cause a remote event before T + minCrossLatency().
+     * Returns tick_never when the mesh has a single node (no cross
+     * traffic exists).
+     */
+    [[nodiscard]] sim::Cycles minCrossLatency() const;
+
     [[nodiscard]] const NetTiming &timing() const { return timing_; }
     [[nodiscard]] const NetStats &stats() const { return stats_; }
     [[nodiscard]] unsigned numNodes() const { return num_nodes_; }

@@ -1,0 +1,57 @@
+#include "net/router.hh"
+
+#include <algorithm>
+
+namespace net
+{
+
+std::size_t
+Router::drain()
+{
+    // Merge the per-node outboxes into one deterministic issue order:
+    // by departure tick, then source node, then the source's own issue
+    // order. Link reservation (and therefore contention accounting)
+    // depends on this order, so it must not depend on which host
+    // thread finished its window first.
+    struct Ref
+    {
+        sim::Tick departure;
+        sim::NodeId src;
+        std::uint32_t idx;
+    };
+    std::vector<Ref> order;
+    std::size_t total = 0;
+    for (const auto &box : outbox_)
+        total += box.size();
+    if (!total)
+        return 0;
+    order.reserve(total);
+    for (sim::NodeId n = 0; n < outbox_.size(); ++n) {
+        for (std::uint32_t i = 0; i < outbox_[n].size(); ++i)
+            order.push_back({outbox_[n][i].departure, n, i});
+    }
+    std::sort(order.begin(), order.end(), [](const Ref &a, const Ref &b) {
+        if (a.departure != b.departure)
+            return a.departure < b.departure;
+        if (a.src != b.src)
+            return a.src < b.src;
+        return a.idx < b.idx;
+    });
+
+    for (const Ref &r : order) {
+        Pending &p = outbox_[r.src][r.idx];
+        const sim::Tick del =
+            mesh_.send(p.departure, p.src, p.dst, p.payload_bytes);
+        if (p.fn) {
+            sched_.queue(p.dst).schedule(
+                del, [fn = std::move(p.fn), del]() { fn(del); });
+        }
+        // Null fn: the self-send already delivered inline; mesh_.send
+        // just replayed its statistics on the coordinator.
+    }
+    for (auto &box : outbox_)
+        box.clear();
+    return total;
+}
+
+} // namespace net

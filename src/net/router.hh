@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The one cross-node message edge.
+ *
+ * Every cross-node interaction in the simulator — page fetch, diff
+ * request/reply, lock grant, barrier arrival/broadcast, automatic
+ * update — goes through Router::send(): timing from the mesh, delivery
+ * as an event on the *destination* node's queue. No protocol code
+ * schedules onto another node's queue directly, which is what makes
+ * node state shardable (dsm/shard.hh) and the conservative parallel
+ * executor sound (sim/sched_group.hh).
+ *
+ * Serial mode reproduces the historical behavior exactly: the mesh
+ * reserves links at call time and the delivery callback is scheduled
+ * at the returned tick — bit-identical results.
+ *
+ * Parallel mode defers: cross-node sends are appended to the sending
+ * node's outbox and flushed by the single-threaded coordinator between
+ * lookahead windows, sorted by (departure, src, issue order), so link
+ * reservation and NetStats stay deterministic for a fixed worker
+ * count. Self-sends (src == dst) touch no links and no remote state:
+ * they are delivered inline at the mesh's loop-back latency, with only
+ * their statistics deferred to the drain.
+ */
+
+#ifndef NCP2_NET_ROUTER_HH
+#define NCP2_NET_ROUTER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/mesh.hh"
+#include "sim/sched_group.hh"
+#include "sim/types.hh"
+
+namespace net
+{
+
+class Router
+{
+  public:
+    using DeliverFn = std::function<void(sim::Tick)>;
+
+    Router(MeshNetwork &mesh, sim::SchedulerGroup &sched)
+        : mesh_(mesh), sched_(sched), outbox_(sched.size())
+    {
+    }
+
+    /** Parallel (deferred) mode on/off; set by System::run. */
+    void setParallel(bool on) { parallel_ = on; }
+    bool parallel() const { return parallel_; }
+
+    /**
+     * Send @p payload_bytes from @p src to @p dst, first flit leaving
+     * at @p departure; @p fn runs on @p dst's event queue at the
+     * delivery tick (which it receives as its argument).
+     *
+     * @return the delivery tick when it is known at call time (serial
+     * mode, and self-sends in parallel mode), sim::tick_never for a
+     * deferred parallel cross-node send. Only serial-only protocols may
+     * rely on the return value.
+     */
+    sim::Tick
+    send(sim::Tick departure, sim::NodeId src, sim::NodeId dst,
+         std::uint32_t payload_bytes, DeliverFn fn)
+    {
+        if (!parallel_) {
+            const sim::Tick del =
+                mesh_.send(departure, src, dst, payload_bytes);
+            sched_.queue(dst).schedule(
+                del, [fn = std::move(fn), del]() { fn(del); });
+            return del;
+        }
+        ncp2_dassert(sim::current_exec_node ==
+                         static_cast<std::int32_t>(src),
+                     "parallel send from node %u off its own event stream",
+                     static_cast<unsigned>(src));
+        if (src == dst) {
+            // Loop-back: no links, no remote state. Deliver inline on
+            // the sender's own queue; only the fabric statistics are
+            // deferred (mesh_ is coordinator-only while parallel).
+            const sim::Tick del =
+                departure + mesh_.selfLatency(payload_bytes);
+            sched_.queue(src).schedule(
+                del, [fn = std::move(fn), del]() { fn(del); });
+            outbox_[src].push_back({departure, src, dst, payload_bytes,
+                                    nullptr});
+            return del;
+        }
+        outbox_[src].push_back({departure, src, dst, payload_bytes,
+                                std::move(fn)});
+        return sim::tick_never;
+    }
+
+    /**
+     * Deliver every deferred send (coordinator, between windows).
+     * @return the number of records flushed.
+     */
+    std::size_t drain();
+
+  private:
+    struct Pending
+    {
+        sim::Tick departure;
+        sim::NodeId src;
+        sim::NodeId dst;
+        std::uint32_t payload_bytes;
+        DeliverFn fn; ///< null = stats-only record of an inline self-send
+    };
+
+    MeshNetwork &mesh_;
+    sim::SchedulerGroup &sched_;
+    bool parallel_ = false;
+    /// Per-source-node outboxes: written only by the worker owning the
+    /// node during a window, read only by the coordinator between
+    /// windows (the window barrier orders the two).
+    std::vector<std::vector<Pending>> outbox_;
+};
+
+} // namespace net
+
+#endif // NCP2_NET_ROUTER_HH

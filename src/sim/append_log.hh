@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Single-writer append-only log with lock-free concurrent readers.
+ *
+ * The parallel executor (sim/sched_group.hh) lets different nodes'
+ * event streams run on different host threads inside one lookahead
+ * window. Most protocol state is owned by exactly one node and never
+ * observed cross-node within a window, but a few containers grow on
+ * one node while being *indexed* from another (TreadMarks interval
+ * page lists, per-page closed-interval sequences, vector-time sums):
+ * the values read are always entries that were published before the
+ * message that triggered the read was sent — properly ordered — but a
+ * std::vector would still invalidate them by reallocating under the
+ * reader's feet.
+ *
+ * AppendLog fixes exactly that: entries live in geometrically growing
+ * chunks that are never moved or freed while the log lives, the size
+ * is published with a release store and read with an acquire load, and
+ * entries are immutable once pushed. One writer, any number of
+ * readers; readers may only index below a size() they observed. Under
+ * the serial scheduler it behaves like (and costs the same as) a plain
+ * vector with stable element addresses.
+ */
+
+#ifndef NCP2_SIM_APPEND_LOG_HH
+#define NCP2_SIM_APPEND_LOG_HH
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace sim
+{
+
+template <typename T>
+class AppendLog
+{
+  public:
+    AppendLog() = default;
+
+    AppendLog(const AppendLog &) = delete;
+    AppendLog &operator=(const AppendLog &) = delete;
+
+    ~AppendLog()
+    {
+        for (auto &c : chunks_)
+            delete[] c.load(std::memory_order_relaxed);
+    }
+
+    /** Entries published so far (acquire: safe to index below this). */
+    std::size_t
+    size() const
+    {
+        return size_.load(std::memory_order_acquire);
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /** Entry @p i; @p i must be below an observed size(). */
+    const T &
+    operator[](std::size_t i) const
+    {
+        const T *c = chunks_[chunkOf(i)].load(std::memory_order_acquire);
+        return c[i - chunkStart(chunkOf(i))];
+    }
+
+    /**
+     * Cross-thread indexed read: performs the size() acquire itself, so
+     * callers that know entry @p i happened-before them (through a
+     * message chain) need no prior size() call to get the
+     * happens-before edge on the entry's bytes.
+     */
+    const T &
+    at(std::size_t i) const
+    {
+        const std::size_t n = size();
+        ncp2_dassert(i < n, "AppendLog read beyond published size "
+                            "(%zu >= %zu)", i, n);
+        (void)n;
+        return (*this)[i];
+    }
+
+    /** Writer-side mutable access (single writer only). */
+    T &
+    back()
+    {
+        const std::size_t i = size_.load(std::memory_order_relaxed) - 1;
+        return chunks_[chunkOf(i)].load(std::memory_order_relaxed)
+            [i - chunkStart(chunkOf(i))];
+    }
+
+    /** Append an entry (single writer only). */
+    void
+    push_back(T v)
+    {
+        const std::size_t i = size_.load(std::memory_order_relaxed);
+        const unsigned c = chunkOf(i);
+        T *chunk = chunks_[c].load(std::memory_order_relaxed);
+        if (!chunk) {
+            chunk = new T[chunkStart(c + 1) - chunkStart(c)];
+            chunks_[c].store(chunk, std::memory_order_release);
+        }
+        chunk[i - chunkStart(c)] = std::move(v);
+        size_.store(i + 1, std::memory_order_release);
+    }
+
+    /**
+     * First index in [0, @p limit) whose entry compares greater than
+     * @p v; the entries must be sorted ascending (they are: the logs
+     * record monotonic interval sequence numbers). Equivalent to
+     * std::upper_bound over the first @p limit entries.
+     */
+    std::size_t
+    upperBound(const T &v, std::size_t limit) const
+    {
+        std::size_t lo = 0, hi = limit;
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (v < (*this)[mid])
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return lo;
+    }
+
+  private:
+    /// First chunk holds 2^base_log2 entries; chunk c holds twice the
+    /// entries of chunk c-1, so 40 chunk slots cover ~2^42 entries.
+    static constexpr unsigned base_log2 = 3;
+    static constexpr unsigned num_chunks = 40;
+
+    static constexpr unsigned
+    chunkOf(std::size_t i)
+    {
+        return static_cast<unsigned>(
+                   std::bit_width((i >> base_log2) + 1)) - 1;
+    }
+
+    static constexpr std::size_t
+    chunkStart(unsigned c)
+    {
+        return ((std::size_t{1} << c) - 1) << base_log2;
+    }
+
+    std::atomic<T *> chunks_[num_chunks] = {};
+    std::atomic<std::size_t> size_{0};
+};
+
+} // namespace sim
+
+#endif // NCP2_SIM_APPEND_LOG_HH

@@ -37,10 +37,17 @@
 namespace sim
 {
 
+class SchedulerGroup;
+
 /**
- * A (tick, seq) ordered event scheduler. One EventQueue drives an
- * entire simulated system; it is not thread-safe (the simulator is
- * single-threaded by design).
+ * A (tick, seq) ordered event scheduler. A standalone EventQueue
+ * drives an entire simulated system single-threadedly. Bound to a
+ * SchedulerGroup (one queue per simulated node), it becomes one shard
+ * of a partitioned scheduler: sequence numbers come from the group's
+ * shared counter (so the merged execution order is the same global
+ * (tick, seq) order a single queue would produce) and run()/
+ * advanceIfIdle() are driven by the group's serial or parallel
+ * executor instead of being called directly.
  */
 class EventQueue
 {
@@ -52,6 +59,32 @@ class EventQueue
     static constexpr std::size_t ring_size = 4096;
 
     EventQueue() : buckets_(ring_size), occupied_(ring_size / 64, 0) {}
+
+    /** Identity of the next event to run: execution order is (when, seq). */
+    struct Key
+    {
+        Tick when;
+        std::uint64_t seq;
+
+        bool
+        operator<(const Key &o) const
+        {
+            return when != o.when ? when < o.when : seq < o.seq;
+        }
+    };
+
+    /**
+     * Become queue @p qid of @p group. Must happen before any event is
+     * scheduled; from then on sequence numbers are allocated from the
+     * group's shared counter and the group's executor drives the queue.
+     */
+    void
+    bindGroup(SchedulerGroup *group, std::uint32_t qid)
+    {
+        ncp2_assert(!pending_ && !executed_, "bindGroup on a live queue");
+        group_ = group;
+        qid_ = qid;
+    }
 
     /** Current simulated time. */
     Tick now() const { return now_; }
@@ -83,7 +116,7 @@ class EventQueue
             throw;
         }
         n->when = when;
-        n->seq = seq_++;
+        n->seq = group_ ? groupSchedule(when) : seq_++;
         ++pending_;
         if (when - now_ < ring_size)
             appendRing(n);
@@ -113,6 +146,8 @@ class EventQueue
     advanceIfIdle(Tick t)
     {
         ncp2_assert(t >= now_, "advanceIfIdle into the past");
+        if (group_)
+            return groupAdvanceIfIdle(t);
         if (pending_ && nextTick() <= t)
             return false;
         now_ = t;
@@ -147,6 +182,48 @@ class EventQueue
         return true;
     }
 
+    // ------------------------------------------------------------------
+    // scheduler-group surface (also usable standalone)
+    // ------------------------------------------------------------------
+
+    /**
+     * (tick, seq) of the next event to execute; requires pending() > 0.
+     * The ring bucket at the earliest occupied tick is seq-sorted, so
+     * its head is the bucket minimum; an overflow event at the same
+     * tick can still precede it.
+     */
+    Key
+    nextKey() const
+    {
+        Key k{tick_never, ~std::uint64_t{0}};
+        if (ring_count_) {
+            const Tick t = nextRingTick();
+            k = {t, buckets_[static_cast<std::size_t>(t) & mask_].head->seq};
+        }
+        if (!overflow_.empty()) {
+            const Node *top = overflow_.top();
+            if (top->when < k.when ||
+                (top->when == k.when && top->seq < k.seq))
+                k = {top->when, top->seq};
+        }
+        return k;
+    }
+
+    /** Execute the next event; requires pending() > 0. */
+    void executeNext() { executeFront(nextTick()); }
+
+    /**
+     * Move now() forward to @p t without running anything. Group
+     * executors use this to commit an idle advance; @p t must be below
+     * the queue's next event tick.
+     */
+    void
+    syncNow(Tick t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
     /** Drop all pending events and reset time to zero. */
     void
     reset()
@@ -172,6 +249,13 @@ class EventQueue
     }
 
   private:
+    /// Group-aware seq allocation + schedule notification; out of line
+    /// so this header does not depend on sched_group.hh (defined in
+    /// sim/sched_group.cc).
+    std::uint64_t groupSchedule(Tick when);
+    /// Idle-advance decision delegated to the group's executor.
+    bool groupAdvanceIfIdle(Tick t);
+
     static constexpr std::size_t mask_ = ring_size - 1;
     static constexpr std::size_t bitmap_words_ = ring_size / 64;
     static constexpr std::size_t block_nodes_ = 128;
@@ -353,6 +437,8 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;
+    SchedulerGroup *group_ = nullptr; ///< non-null once bound to a group
+    std::uint32_t qid_ = 0;           ///< this queue's index in the group
 };
 
 } // namespace sim

@@ -1,0 +1,253 @@
+#include "sim/sched_group.hh"
+
+#include "sim/context.hh"
+#include "sim/logging.hh"
+
+#include <optional>
+
+namespace sim
+{
+
+thread_local std::int32_t current_exec_node = -1;
+
+namespace
+{
+constexpr EventQueue::Key no_key{tick_never, ~std::uint64_t{0}};
+}
+
+// ----------------------------------------------------------------------
+// EventQueue group hooks (out of line so event_queue.hh stays free of a
+// sched_group.hh dependency)
+// ----------------------------------------------------------------------
+
+std::uint64_t
+EventQueue::groupSchedule(Tick when)
+{
+    const std::uint64_t s = group_->nextSeq();
+    group_->noteScheduled(qid_, when, s);
+    return s;
+}
+
+bool
+EventQueue::groupAdvanceIfIdle(Tick t)
+{
+    return group_->advanceIfIdle(qid_, t);
+}
+
+// ----------------------------------------------------------------------
+// SchedulerGroup
+// ----------------------------------------------------------------------
+
+SchedulerGroup::SchedulerGroup(unsigned nqueues) : nq_(nqueues)
+{
+    ncp2_assert(nq_ >= 1, "scheduler group needs at least one queue");
+    queues_.reserve(nq_);
+    for (unsigned i = 0; i < nq_; ++i) {
+        queues_.push_back(std::make_unique<EventQueue>());
+        queues_.back()->bindGroup(this, i);
+    }
+    cached_.assign(nq_, no_key);
+}
+
+std::size_t
+SchedulerGroup::pending() const
+{
+    std::size_t n = 0;
+    for (const auto &q : queues_)
+        n += q->pending();
+    return n;
+}
+
+EventQueue::Key
+SchedulerGroup::liveKey(unsigned qid) const
+{
+    const EventQueue &q = *queues_[qid];
+    return q.pending() ? q.nextKey() : no_key;
+}
+
+bool
+SchedulerGroup::run(Tick limit)
+{
+    for (unsigned i = 0; i < nq_; ++i)
+        cached_[i] = liveKey(i);
+    serial_running_ = true;
+    for (;;) {
+        unsigned best = nq_;
+        EventQueue::Key bk = no_key;
+        for (unsigned i = 0; i < nq_; ++i) {
+            if (cached_[i] < bk) {
+                bk = cached_[i];
+                best = i;
+            }
+        }
+        if (best == nq_) {
+            serial_running_ = false;
+            return true;
+        }
+        if (bk.when > limit) {
+            serial_running_ = false;
+            return false;
+        }
+        // Broadcast the global tick: bk.when is <= every pending event,
+        // so each queue's ring invariant survives the jump. Keeping all
+        // clocks at the global now preserves the single-queue semantics
+        // for code that still reads a *remote* node's clock in place
+        // (Cpu::wake on a lock grant, for one) instead of going through
+        // a message edge.
+        for (unsigned i = 0; i < nq_; ++i)
+            queues_[i]->syncNow(bk.when);
+        current_exec_node = static_cast<std::int32_t>(best);
+        queues_[best]->executeNext();
+        current_exec_node = -1;
+        cached_[best] = liveKey(best);
+    }
+}
+
+bool
+SchedulerGroup::advanceIfIdle(std::uint32_t qid, Tick t)
+{
+    EventQueue &q = *queues_[qid];
+    if (pdes_running_) {
+        // Within a window a node only needs to clear its own pending
+        // events: remote events cannot reach it before the window ends
+        // (that is the lookahead invariant), and t < win_end_ keeps the
+        // jump inside the window.
+        if (t >= win_end_)
+            return false;
+        if (q.pending() && q.nextKey().when <= t)
+            return false;
+        q.syncNow(t);
+        return true;
+    }
+    // Serial: exactly the single-queue rule — refuse if ANY pending
+    // event anywhere is due at or before t. The caller's own cached key
+    // is stale while its callback runs, so use the live key for it.
+    for (unsigned i = 0; i < nq_; ++i) {
+        const EventQueue::Key k = i == qid ? liveKey(i) : cached_[i];
+        if (k.when <= t)
+            return false;
+    }
+    // Commit the jump on every queue (t is below all pending events, so
+    // the ring invariants hold): the fiber keeps running at time t and
+    // may still touch remote nodes directly, whose clocks must agree.
+    for (unsigned i = 0; i < nq_; ++i)
+        queues_[i]->syncNow(t);
+    return true;
+}
+
+void
+SchedulerGroup::runWindow(unsigned worker)
+{
+    const unsigned lo = worker * nq_ / nworkers_;
+    const unsigned hi = (worker + 1) * nq_ / nworkers_;
+    for (;;) {
+        unsigned best = nq_;
+        EventQueue::Key bk = no_key;
+        for (unsigned i = lo; i < hi; ++i) {
+            const EventQueue::Key k = liveKey(i);
+            if (k < bk) {
+                bk = k;
+                best = i;
+            }
+        }
+        if (best == nq_ || bk.when >= win_end_)
+            return;
+        current_exec_node = static_cast<std::int32_t>(best);
+        queues_[best]->executeNext();
+        current_exec_node = -1;
+    }
+}
+
+void
+SchedulerGroup::workerLoop(unsigned worker, Context *ctx)
+{
+    std::optional<Context::Scope> scope;
+    if (ctx)
+        scope.emplace(*ctx);
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cv_start_.wait(lk, [&] { return stop_ || gen_ != seen; });
+            if (stop_)
+                return;
+            seen = gen_;
+        }
+        runWindow(worker);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (--running_ == 0)
+                cv_done_.notify_all();
+        }
+    }
+}
+
+bool
+SchedulerGroup::runParallel(Tick limit, unsigned workers, Cycles lookahead,
+                            Context *ctx,
+                            const std::function<std::size_t()> &drain)
+{
+    if (workers > nq_)
+        workers = nq_;
+    if (workers <= 1 || lookahead == 0)
+        return run(limit);
+
+    nworkers_ = workers;
+    pdes_running_ = true;
+    stop_ = false;
+    gen_ = 0;
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        pool.emplace_back(&SchedulerGroup::workerLoop, this, w, ctx);
+
+    bool drained = true;
+    for (;;) {
+        Tick t_min = tick_never;
+        for (unsigned i = 0; i < nq_; ++i) {
+            if (queues_[i]->pending()) {
+                const Tick t = queues_[i]->nextKey().when;
+                if (t < t_min)
+                    t_min = t;
+            }
+        }
+        if (t_min == tick_never) {
+            // Queues are dry; deferred sends may still carry work.
+            if (drain && drain())
+                continue;
+            break;
+        }
+        if (t_min > limit) {
+            drained = false;
+            break;
+        }
+        win_end_ = lookahead >= tick_never - t_min ? tick_never
+                                                   : t_min + lookahead;
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            running_ = workers - 1;
+            ++gen_;
+        }
+        cv_start_.notify_all();
+        runWindow(0);
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cv_done_.wait(lk, [&] { return running_ == 0; });
+        }
+        if (drain)
+            drain();
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto &t : pool)
+        t.join();
+    pdes_running_ = false;
+    return drained;
+}
+
+} // namespace sim

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Partitioned event scheduling: one EventQueue per simulated node,
+ * merged by a serial executor or run concurrently by a conservative
+ * parallel (PDES) executor.
+ *
+ * The group owns N per-node queues sharing one sequence counter, so
+ * the set of pending events is totally ordered by (tick, seq) exactly
+ * as if they all sat in a single queue.
+ *
+ * Serial executor (run()): repeatedly executes the globally minimal
+ * (tick, seq) event. Since sequence numbers are allocated in the same
+ * program order a single queue would allocate them, the execution
+ * order — and therefore every simulated result — is bit-identical to
+ * the historical single-queue scheduler, regardless of which queue
+ * each event was scheduled on. A per-queue cached-key array keeps the
+ * arg-min scan cheap: a queue's cached key is exact whenever the queue
+ * is not the one currently executing (keys are only lowered by
+ * schedule() notifications and recomputed after the queue runs).
+ *
+ * Parallel executor (runParallel()): conservative lookahead windows.
+ * All events in [T, T + L) are causally independent across nodes when
+ * L is a lower bound on the cross-node message latency and every
+ * cross-node interaction is a message (see net/router.hh): a message
+ * sent at tick >= T cannot be delivered before T + L, so each worker
+ * may run its nodes' sub-window without synchronizing. Cross-node
+ * sends are deferred to per-node outboxes and drained between windows
+ * by the single-threaded coordinator, which also forms the
+ * happens-before edges that make cross-window reads of remote state
+ * well-defined. Execution is deterministic for a fixed worker count
+ * except where nodes genuinely race inside one window (lock-grant
+ * rendezvous; see DESIGN.md).
+ */
+
+#ifndef NCP2_SIM_SCHED_GROUP_HH
+#define NCP2_SIM_SCHED_GROUP_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace sim
+{
+
+class Context;
+
+/**
+ * The simulated node whose event is executing on the calling host
+ * thread, or -1 between events (host-side code: planning, validation,
+ * result assembly). Set by the group executors around every callback;
+ * owner-asserting shard accessors (dsm/shard.hh) check against it.
+ */
+extern thread_local std::int32_t current_exec_node;
+
+class SchedulerGroup
+{
+  public:
+    explicit SchedulerGroup(unsigned nqueues);
+
+    SchedulerGroup(const SchedulerGroup &) = delete;
+    SchedulerGroup &operator=(const SchedulerGroup &) = delete;
+
+    EventQueue &queue(unsigned qid) { return *queues_[qid]; }
+    unsigned size() const { return nq_; }
+
+    /** Events pending across all queues. */
+    std::size_t pending() const;
+
+    /**
+     * Serial merged run: execute events in global (tick, seq) order
+     * until every queue drains or an event beyond @p limit comes up.
+     * @return true if drained, false if the limit stopped us.
+     */
+    bool run(Tick limit = tick_never);
+
+    /**
+     * Conservative-lookahead parallel run over @p workers host threads
+     * (clamped to the queue count; <= 1 falls back to run()). Workers
+     * own static, contiguous queue ranges — a node's events, and hence
+     * its fiber, always execute on the same host thread. @p lookahead
+     * is the safe horizon L (minimum cross-node message latency);
+     * @p drain is invoked between windows on the coordinator to flush
+     * deferred cross-node sends, returning how many it delivered.
+     * @p ctx, if non-null, is installed on every worker thread.
+     */
+    bool runParallel(Tick limit, unsigned workers, Cycles lookahead,
+                     Context *ctx, const std::function<std::size_t()> &drain);
+
+    // ----- called by bound queues -----
+
+    /** Allocate the next global sequence number. */
+    std::uint64_t
+    nextSeq()
+    {
+        return seq_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** schedule() notification: keeps the serial key cache exact. */
+    void
+    noteScheduled(std::uint32_t qid, Tick when, std::uint64_t seq)
+    {
+        if (!serial_running_)
+            return;
+        const EventQueue::Key k{when, seq};
+        if (k < cached_[qid])
+            cached_[qid] = k;
+    }
+
+    /** advanceIfIdle() decision for queue @p qid (see EventQueue). */
+    bool advanceIfIdle(std::uint32_t qid, Tick t);
+
+  private:
+    EventQueue::Key liveKey(unsigned qid) const;
+    void runWindow(unsigned worker);
+    void workerLoop(unsigned worker, Context *ctx);
+
+    unsigned nq_;
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+    std::atomic<std::uint64_t> seq_{0};
+
+    // serial executor state
+    std::vector<EventQueue::Key> cached_;
+    bool serial_running_ = false;
+
+    // parallel executor state (workers only touch it between the
+    // generation condvar hand-offs, which order every access)
+    bool pdes_running_ = false;
+    unsigned nworkers_ = 1;
+    Tick win_end_ = 0;
+    std::mutex m_;
+    std::condition_variable cv_start_, cv_done_;
+    std::uint64_t gen_ = 0;
+    unsigned running_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace sim
+
+#endif // NCP2_SIM_SCHED_GROUP_HH

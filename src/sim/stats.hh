@@ -11,6 +11,7 @@
 #ifndef NCP2_SIM_STATS_HH
 #define NCP2_SIM_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -23,32 +24,98 @@
 namespace sim
 {
 
-/** A monotonically increasing 64-bit event counter. */
+namespace detail
+{
+
+/** Relaxed add to an atomic double (no fetch_add for FP pre-C++20 ABI). */
+inline void
+atomicAdd(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed))
+        ;
+}
+
+/** Relaxed max of an atomic double. */
+inline void
+atomicMax(std::atomic<double> &a, double v)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed))
+        ;
+}
+
+} // namespace detail
+
+/**
+ * A monotonically increasing 64-bit event counter. Updates are relaxed
+ * atomics so the parallel in-run executor (sim/sched_group.hh) can bump
+ * protocol stats from several worker threads; the final values are
+ * order-independent sums, identical to a serial run's.
+ */
 class Counter
 {
   public:
-    Counter &operator++() { ++value_; return *this; }
-    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
-    void reset() { value_ = 0; }
-    std::uint64_t value() const { return value_; }
+    Counter &
+    operator++()
+    {
+        value_.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+        return *this;
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /** An accumulator of simulated cycles (or any additive scalar). */
 class Accum
 {
   public:
-    Accum &operator+=(double v) { sum_ += v; ++samples_; return *this; }
-    void reset() { sum_ = 0; samples_ = 0; }
-    double sum() const { return sum_; }
-    std::uint64_t samples() const { return samples_; }
-    double mean() const { return samples_ ? sum_ / static_cast<double>(samples_) : 0.0; }
+    Accum &
+    operator+=(double v)
+    {
+        detail::atomicAdd(sum_, v);
+        samples_.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+
+    void
+    reset()
+    {
+        sum_.store(0, std::memory_order_relaxed);
+        samples_.store(0, std::memory_order_relaxed);
+    }
+
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    std::uint64_t
+    samples() const
+    {
+        return samples_.load(std::memory_order_relaxed);
+    }
+    double mean() const
+    {
+        const std::uint64_t n = samples();
+        return n ? sum() / static_cast<double>(n) : 0.0;
+    }
 
   private:
-    double sum_ = 0;
-    std::uint64_t samples_ = 0;
+    std::atomic<double> sum_{0};
+    std::atomic<std::uint64_t> samples_{0};
 };
 
 /** A fixed-bucket histogram for distributions (latency, sizes). */
@@ -57,7 +124,12 @@ class Histogram
   public:
     /** Buckets are [bounds[i-1], bounds[i]); a final overflow bucket. */
     explicit Histogram(std::vector<double> bounds = {})
-        : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+        : bounds_(std::move(bounds)),
+          counts_(bounds_.size() + 1)
+    {
+        for (auto &c : counts_)
+            c.store(0, std::memory_order_relaxed);
+    }
 
     void
     sample(double v)
@@ -65,37 +137,61 @@ class Histogram
         std::size_t i = 0;
         while (i < bounds_.size() && v >= bounds_[i])
             ++i;
-        ++counts_[i];
-        sum_ += v;
-        ++total_;
-        // The first sample seeds the maximum: max_ starts at 0, which is
-        // not a floor (all-negative sample streams must report their own
-        // largest element, not 0).
-        if (total_ == 1 || v > max_)
-            max_ = v;
+        counts_[i].fetch_add(1, std::memory_order_relaxed);
+        detail::atomicAdd(sum_, v);
+        total_.fetch_add(1, std::memory_order_relaxed);
+        // max_ rests at -infinity, not 0, so all-negative sample
+        // streams report their own largest element; max() masks the
+        // sentinel while the histogram is empty.
+        detail::atomicMax(max_, v);
     }
 
-    std::uint64_t total() const { return total_; }
-    double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
-    double max() const { return max_; }
-    const std::vector<std::uint64_t> &counts() const { return counts_; }
+    std::uint64_t
+    total() const
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+    double mean() const
+    {
+        const std::uint64_t n = total();
+        return n ? sum_.load(std::memory_order_relaxed) /
+                       static_cast<double>(n)
+                 : 0.0;
+    }
+    double
+    max() const
+    {
+        return total() ? max_.load(std::memory_order_relaxed) : 0.0;
+    }
+
+    std::vector<std::uint64_t>
+    counts() const
+    {
+        std::vector<std::uint64_t> out(counts_.size());
+        for (std::size_t i = 0; i < counts_.size(); ++i)
+            out[i] = counts_[i].load(std::memory_order_relaxed);
+        return out;
+    }
     const std::vector<double> &bounds() const { return bounds_; }
 
     void
     reset()
     {
-        counts_.assign(counts_.size(), 0);
-        sum_ = 0;
-        total_ = 0;
-        max_ = 0;
+        for (auto &c : counts_)
+            c.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+        total_.store(0, std::memory_order_relaxed);
+        max_.store(lowest_, std::memory_order_relaxed);
     }
 
   private:
+    static constexpr double lowest_ = -1.7976931348623157e308;
+
     std::vector<double> bounds_;
-    std::vector<std::uint64_t> counts_;
-    double sum_ = 0;
-    std::uint64_t total_ = 0;
-    double max_ = 0;
+    std::vector<std::atomic<std::uint64_t>> counts_;
+    std::atomic<double> sum_{0};
+    std::atomic<std::uint64_t> total_{0};
+    std::atomic<double> max_{lowest_};
 };
 
 /**

@@ -83,19 +83,29 @@ TreadMarks::attach(dsm::System &sys)
 {
     sys_ = &sys;
     const unsigned n = nprocs();
-    procs_.assign(n, ProcState{});
-    for (auto &ps : procs_)
-        ps.vt = dsm::VectorClock(n);
+    procs_.clear();
+    procs_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        procs_.push_back(std::make_unique<ProcState>());
+        procs_.back()->vt = dsm::VectorClock(n);
+    }
     txns_.assign(n, Txn{});
     prefetch_.assign(n, ProcPrefetch{});
     lh_pending_words_.assign(n, 0);
+    // Manager knowledge starts at the zero clock (previously
+    // lazy-initialized by the first barrier arrival — same value, but
+    // host-side init keeps run-time writes owner-only).
+    mgr_known_vt_ = dsm::VectorClock(n);
 
-    // Home copies exist from time zero (zero-filled, read-only).
+    // Home copies exist from time zero (zero-filled, read-only); record
+    // each page in its home node's heap-directory shard.
     const PageId used_pages =
         (sys.heap().used() + cfg().page_bytes - 1) / cfg().page_bytes;
     for (PageId pg = 0; pg < used_pages; ++pg) {
-        dsm::NodePage &p = node(homeOf(pg)).pages.materialize(pg);
+        const NodeId home = homeOf(pg);
+        dsm::NodePage &p = node(home).pages.materialize(pg);
         p.access = dsm::Access::read;
+        sys.shard(home).heap.registerHomePage(pg);
     }
 }
 
@@ -110,7 +120,7 @@ TreadMarks::memLatency(NodeId n, unsigned words)
 std::uint64_t
 TreadMarks::vtSumOf(NodeId q, dsm::IntervalSeq seq) const
 {
-    const ProcState &ps = procs_[q];
+    const ProcState &ps = *procs_[q];
     if (seq == 0)
         return 0;
     if (seq <= ps.vt_sums.size())
@@ -129,7 +139,7 @@ TreadMarks::vtSumOf(NodeId q, dsm::IntervalSeq seq) const
 void
 TreadMarks::closeInterval(NodeId proc)
 {
-    ProcState &ps = procs_[proc];
+    ProcState &ps = *procs_[proc];
     if (ps.open_dirty.empty())
         return;
 
@@ -140,7 +150,7 @@ TreadMarks::closeInterval(NodeId proc)
     ps.vt_sums.push_back(sum);
 
     for (PageId page : ps.open_dirty) {
-        ps.logs[page].closed_seqs.push_back(seq);
+        logOf(proc, page).closed_seqs.push_back(seq);
         dsm::NodePage &pg = node(proc).pages.page(page);
         pg.dirty_in_interval = false;
         // Write-protect so the next write in the new interval traps and
@@ -167,9 +177,9 @@ TreadMarks::noticeCount(const dsm::VectorClock &from,
 {
     std::uint64_t count = 0;
     for (unsigned q = 0; q < from.size(); ++q) {
-        const ProcState &ps = procs_[q];
+        const ProcState &ps = *procs_[q];
         for (dsm::IntervalSeq s = from[q] + 1; s <= to[q]; ++s)
-            count += ps.interval_pages[s - 1].size();
+            count += ps.interval_pages.at(s - 1).size();
     }
     return count;
 }
@@ -178,14 +188,14 @@ void
 TreadMarks::applyInvalidations(NodeId proc, const dsm::VectorClock &from,
                                const dsm::VectorClock &to)
 {
-    ProcState &me = procs_[proc];
+    ProcState &me = *procs_[proc];
     dsm::PageStore &store = node(proc).pages;
     for (unsigned q = 0; q < from.size(); ++q) {
         if (q == proc)
             continue;
-        const ProcState &ps = procs_[q];
+        const ProcState &ps = *procs_[q];
         for (dsm::IntervalSeq s = from[q] + 1; s <= to[q]; ++s) {
-            for (PageId page : ps.interval_pages[s - 1]) {
+            for (PageId page : ps.interval_pages.at(s - 1)) {
                 dsm::NodePage &pg = store.page(page);
                 if (!pg.present() || pg.applied[q] >= s)
                     continue;
@@ -225,18 +235,19 @@ TreadMarks::applyInvalidations(NodeId proc, const dsm::VectorClock &from,
 bool
 TreadMarks::captureNeeded(NodeId q, PageId page) const
 {
-    auto it = procs_[q].logs.find(page);
-    if (it == procs_[q].logs.end())
+    const PageLog *log = peekLog(q, page);
+    if (!log)
         return false;
-    const PageLog &log = it->second;
-    return !log.closed_seqs.empty() &&
-           log.diffed_to < log.closed_seqs.back();
+    const std::size_t n = log->closed_seqs.size();
+    return n != 0 && log->diffed_to < log->closed_seqs[n - 1];
 }
 
 unsigned
 TreadMarks::captureDiff(NodeId q, PageId page, bool pseudo_open)
 {
-    ProcState &ps = procs_[q];
+    // Owner-side (or host-side, for validation): the owner never races
+    // its own inserts, so no logs_mu is needed here.
+    ProcState &ps = *procs_[q];
     auto it = ps.logs.find(page);
     if (it == ps.logs.end())
         return 0;
@@ -251,9 +262,10 @@ TreadMarks::captureDiff(NodeId q, PageId page, bool pseudo_open)
     if (log.diffed_to >= target)
         return 0;
 
-    // Lease the diff buffers from the simulation's pool: after warm-up
-    // diff creation allocates nothing.
-    dsm::PooledDiff d;
+    // Lease the diff buffers from the writer's own shard pool: after
+    // warm-up diff creation allocates nothing, and workers never share
+    // a free list.
+    dsm::PooledDiff d(sys_->shard(q).diffs);
     if (mode_.hw_diffs) {
         if (!pg.write_bits.empty() && dsm::PageStore::writtenWords(pg)) {
             store.diffFromBits(page, pg, *d);
@@ -303,38 +315,48 @@ std::vector<NodeId>
 TreadMarks::neededWriters(NodeId proc, PageId page) const
 {
     std::vector<NodeId> out;
-    const dsm::NodePage &pg = sys_->node(proc).pages.page(page);
-    const dsm::VectorClock &vt = procs_[proc].vt;
+    const dsm::VectorClock &vt = procs_[proc]->vt;
     for (unsigned q = 0; q < nprocs(); ++q) {
         if (q == proc)
             continue;
-        auto it = procs_[q].logs.find(page);
-        if (it == procs_[q].logs.end())
+        const PageLog *log = peekLog(q, page);
+        if (!log)
             continue;
-        const auto &seqs = it->second.closed_seqs;
-        const dsm::IntervalSeq w = pg.present() ? pg.applied[q] : 0;
+        const auto &seqs = log->closed_seqs;
+        const dsm::IntervalSeq w = watermarkOf(proc, q, page);
         // Any closed interval of q in (w, vt[q]] that wrote the page?
-        auto pos = std::upper_bound(seqs.begin(), seqs.end(), w);
-        if (pos != seqs.end() && *pos <= vt[q])
+        // Only entries below vt[q] are inspected: those were published
+        // before the notice that taught proc about them.
+        const std::size_t n = seqs.size();
+        const std::size_t pos = seqs.upperBound(w, n);
+        if (pos < n && seqs[pos] <= vt[q])
             out.push_back(q);
     }
     return out;
 }
 
+dsm::IntervalSeq
+TreadMarks::watermarkOf(NodeId proc, NodeId q, PageId page) const
+{
+    const dsm::NodePage &pg = sys_->node(proc).pages.page(page);
+    return pg.present() ? pg.applied[q] : 0;
+}
+
 TreadMarks::Shipment
-TreadMarks::buildShipment(NodeId proc, NodeId q, PageId page) const
+TreadMarks::buildShipment(NodeId, NodeId q, PageId page,
+                          dsm::IntervalSeq w) const
 {
     Shipment s;
     s.writer = q;
-    const auto it = procs_[q].logs.find(page);
-    if (it == procs_[q].logs.end())
+    // Runs at the writer q (or host-side), so the owner-only cum map and
+    // diffed_to are safe to read in place.
+    const auto it = procs_[q]->logs.find(page);
+    if (it == procs_[q]->logs.end())
         return s;
     const PageLog &log = it->second;
     s.end = log.diffed_to;
     s.order_key = vtSumOf(q, log.diffed_to);
 
-    const dsm::NodePage &req_pg = sys_->node(proc).pages.page(page);
-    const dsm::IntervalSeq w = req_pg.present() ? req_pg.applied[q] : 0;
     for (const auto &[idx, rec] : log.cum) {
         if (rec.end > w) {
             s.idx.push_back(idx);
@@ -381,8 +403,8 @@ TreadMarks::applyShipment(NodeId proc, PageId page, const Shipment &s)
     // incoming interval happened-after is impossible while the local
     // interval is still open, so strict > is exact.
     const std::vector<dsm::IntervalSeq> *local_wi = nullptr;
-    if (const auto lit = procs_[proc].logs.find(page);
-        lit != procs_[proc].logs.end() &&
+    if (const auto lit = procs_[proc]->logs.find(page);
+        lit != procs_[proc]->logs.end() &&
         !lit->second.word_interval.empty()) {
         local_wi = &lit->second.word_interval;
     }
@@ -440,9 +462,8 @@ TreadMarks::fiberSend(NodeId proc, NodeId dst, std::uint32_t bytes,
         // The computation processor sets up the network interface.
         n.cpu.advance(cfg().net.msg_overhead, cat);
         n.cpu.flush();
-        const Tick dep = sys_->eq().now();
-        const Tick del = sys_->net().send(dep, proc, dst, bytes);
-        sys_->eq().schedule(del, [fn = std::move(fn), del]() { fn(del); });
+        sys_->router().send(sys_->eq().now(), proc, dst, bytes,
+                            std::move(fn));
     } else {
         // The CPU only enqueues a command; the controller pays the
         // messaging overhead.
@@ -451,9 +472,7 @@ TreadMarks::fiberSend(NodeId proc, NodeId dst, std::uint32_t bytes,
             prio,
             [this](Tick) { return cfg().net.msg_overhead; },
             [this, proc, dst, bytes, fn = std::move(fn)](Tick done) {
-                const Tick del = sys_->net().send(done, proc, dst, bytes);
-                sys_->eq().schedule(del,
-                                    [fn, del]() { fn(del); });
+                sys_->router().send(done, proc, dst, bytes, fn);
             });
     }
 }
@@ -465,15 +484,13 @@ TreadMarks::eventSend(NodeId src, NodeId dst, std::uint32_t bytes,
     if (!mode_.offload) {
         const Tick done =
             node(src).cpu.interrupt(cfg().net.msg_overhead);
-        const Tick del = sys_->net().send(done, src, dst, bytes);
-        sys_->eq().schedule(del, [fn = std::move(fn), del]() { fn(del); });
+        sys_->router().send(done, src, dst, bytes, std::move(fn));
     } else {
         node(src).controller.submit(
             prio,
             [this](Tick) { return cfg().net.msg_overhead; },
             [this, src, dst, bytes, fn = std::move(fn)](Tick done) {
-                const Tick del = sys_->net().send(done, src, dst, bytes);
-                sys_->eq().schedule(del, [fn, del]() { fn(del); });
+                sys_->router().send(done, src, dst, bytes, fn);
             });
     }
 }
@@ -567,7 +584,7 @@ TreadMarks::ensureAccess(NodeId proc, PageId page, bool for_write)
         pg.access = dsm::Access::readwrite;
         if (!pg.dirty_in_interval) {
             pg.dirty_in_interval = true;
-            procs_[proc].open_dirty.push_back(page);
+            procs_[proc]->open_dirty.push_back(page);
         }
     }
 }
@@ -613,10 +630,21 @@ TreadMarks::faultIn(NodeId proc, PageId page)
                         hp.data.get(), hp.data.get() + cfg().page_bytes);
                 auto marks = std::make_shared<std::vector<dsm::IntervalSeq>>(
                     hp.applied);
-                (*marks)[home] = procs_[home].vt[home];
+                (*marks)[home] = ps(home).vt[home];
+                // Under the parallel executor the installer must not
+                // read the home copy's per-word keys in place (a later
+                // window may be rewriting them); snapshot them into the
+                // reply. Serially the live read at install time is kept,
+                // bit-identical to the historical behavior.
+                std::shared_ptr<std::vector<std::uint64_t>> keys;
+                if (sys_->pdesActive() && hp.word_keys) {
+                    keys = std::make_shared<std::vector<std::uint64_t>>(
+                        hp.word_keys.get(),
+                        hp.word_keys.get() + cfg().pageWords());
+                }
                 eventSend(home, proc, pageReplyBytes(),
                           ctrl::Priority::high,
-                          [this, proc, page, bytes, marks](Tick t) {
+                          [this, proc, page, bytes, marks, keys](Tick t) {
                     // Page arrival at the faulting node: unload across
                     // PCI into memory, install, then continue the txn.
                     dsm::Node &me = node(proc);
@@ -624,7 +652,7 @@ TreadMarks::faultIn(NodeId proc, PageId page)
                     const Tick p1 = me.pci.transfer(t, words);
                     const Tick p2 = me.memory.access(p1, words);
                     sys_->eq().schedule(p2, [this, proc, page, bytes,
-                                             marks]() {
+                                             marks, keys]() {
                         dsm::Node &me2 = node(proc);
                         dsm::NodePage &mp = me2.pages.materialize(page);
                         std::memcpy(mp.data.get(), bytes->data(),
@@ -635,10 +663,17 @@ TreadMarks::faultIn(NodeId proc, PageId page)
                         }
                         // Inherit the home copy's per-word keys so that
                         // a diff older than a fetched value cannot
-                        // regress it.
-                        const dsm::NodePage &hp2 =
-                            node(homeOf(page)).pages.page(page);
-                        if (hp2.word_keys) {
+                        // regress it (snapshotted at serve time under
+                        // the parallel executor, read live serially).
+                        const std::uint64_t *hk = nullptr;
+                        if (sys_->pdesActive()) {
+                            hk = keys ? keys->data() : nullptr;
+                        } else {
+                            const dsm::NodePage &hp2 =
+                                node(homeOf(page)).pages.page(page);
+                            hk = hp2.word_keys.get();
+                        }
+                        if (hk) {
                             const unsigned pw = me2.pages.pageWords();
                             if (!mp.word_keys) {
                                 // Fully overwritten by the memcpy:
@@ -647,8 +682,7 @@ TreadMarks::faultIn(NodeId proc, PageId page)
                                     std::make_unique_for_overwrite<
                                         std::uint64_t[]>(pw);
                             }
-                            std::memcpy(mp.word_keys.get(),
-                                        hp2.word_keys.get(), pw * 8);
+                            std::memcpy(mp.word_keys.get(), hk, pw * 8);
                         }
                         Txn &tx = txns_[proc];
                         tx.page_arrived = true;
@@ -683,9 +717,12 @@ TreadMarks::faultIn(NodeId proc, PageId page)
     // --- diff requests to every writer owing us intervals ---
     for (NodeId q : writers) {
         ++stats_.diff_requests;
+        // The request carries our applied[q] watermark: the serve side
+        // must not read our page table across shards.
+        const dsm::IntervalSeq mark = watermarkOf(proc, q, page);
         fiberSend(proc, q, diffReqBytes(), Cat::data, ctrl::Priority::high,
-                  [this, proc, q, page](Tick) {
-                      serveDiffRequest(proc, q, page, false);
+                  [this, proc, q, page, mark](Tick) {
+                      serveDiffRequest(proc, q, page, false, mark);
                   });
     }
 
@@ -748,7 +785,7 @@ TreadMarks::faultIn(NodeId proc, PageId page)
 
 void
 TreadMarks::serveDiffRequest(NodeId requester, NodeId q, PageId page,
-                             bool is_prefetch)
+                             bool is_prefetch, dsm::IntervalSeq req_mark)
 {
     // Interval processing always interrupts the computation processor
     // (paper section 3.2); diff creation runs per the mode matrix.
@@ -758,7 +795,14 @@ TreadMarks::serveDiffRequest(NodeId requester, NodeId q, PageId page,
     if (create)
         created_words = captureDiff(q, page, false);
 
-    Shipment ship = buildShipment(requester, q, page);
+    // Serial: read the requester's live watermark at serve time (the
+    // historical behavior, kept bit-identical). Parallel: the
+    // requester's page table is another shard, so use the mark carried
+    // in the request. A stale-low mark only ships extra words; the
+    // per-word keys and the stale-shipment drop keep application exact.
+    const dsm::IntervalSeq w = sys_->pdesActive()
+        ? req_mark : watermarkOf(requester, q, page);
+    Shipment ship = buildShipment(requester, q, page, w);
     const unsigned ship_words = static_cast<unsigned>(ship.idx.size());
     const std::uint32_t reply_bytes = diffReplyBytes(ship_words);
 
@@ -797,9 +841,7 @@ TreadMarks::serveDiffRequest(NodeId requester, NodeId q, PageId page,
         }
         service += cfg().net.msg_overhead;
         const Tick done = wn.cpu.interrupt(service);
-        const Tick del =
-            sys_->net().send(done, q, requester, reply_bytes);
-        sys_->eq().schedule(del, [deliver, del]() { deliver(del); });
+        sys_->router().send(done, q, requester, reply_bytes, deliver);
     } else {
         // CPU interrupted only for interval processing; the controller
         // creates the diff (DMA engine in mode D) and replies.
@@ -827,10 +869,8 @@ TreadMarks::serveDiffRequest(NodeId requester, NodeId q, PageId page,
                     return t;
                 },
                 [this, q, requester, reply_bytes, deliver](Tick done) {
-                    const Tick del = sys_->net().send(done, q, requester,
-                                                      reply_bytes);
-                    sys_->eq().schedule(del,
-                                        [deliver, del]() { deliver(del); });
+                    sys_->router().send(done, q, requester, reply_bytes,
+                                        deliver);
                 });
         });
     }
@@ -845,8 +885,8 @@ TreadMarks::sharedWrite(NodeId proc, PageId page, unsigned word,
     // that lazily-merged diffs keep per-word ordering information.
     if (nprocs() == 1)
         return;
-    ProcState &ps = procs_[proc];
-    PageLog &log = ps.logs[page];
+    ProcState &ps = *procs_[proc];
+    PageLog &log = logOf(proc, page);
     if (log.word_interval.empty())
         log.word_interval.assign(node(proc).pages.pageWords(), 0);
     const dsm::IntervalSeq open_seq = ps.vt[proc] + 1;
@@ -867,7 +907,7 @@ TreadMarks::writeDesc(NodeId proc, PageId page)
     // descriptor), so the stamping can be inlined. The vector's storage
     // is stable: assigned once, indexed thereafter, and unordered_map
     // never moves its elements.
-    ProcState &ps = procs_[proc];
+    ProcState &ps = *procs_[proc];
     auto it = ps.logs.find(page);
     if (it == ps.logs.end() || it->second.word_interval.empty())
         return {}; // unexpected; keep the always-correct virtual call
@@ -882,7 +922,7 @@ TreadMarks::writeDesc(NodeId proc, PageId page)
 void
 TreadMarks::issuePrefetches(NodeId proc)
 {
-    ProcState &ps = procs_[proc];
+    ProcState &ps = *procs_[proc];
     if (!mode_.prefetch) {
         ps.invalidated.clear();
         return;
@@ -927,10 +967,11 @@ TreadMarks::issuePrefetches(NodeId proc)
                      sim::TraceKind::prefetch_issue, page);
 
         for (NodeId q : writers) {
+            const dsm::IntervalSeq mark = watermarkOf(proc, q, page);
             fiberSend(proc, q, diffReqBytes(), Cat::synch,
                       ctrl::Priority::low,
-                      [this, proc, q, page](Tick) {
-                          serveDiffRequest(proc, q, page, true);
+                      [this, proc, q, page, mark](Tick) {
+                          serveDiffRequest(proc, q, page, true, mark);
                       });
         }
     }
@@ -1033,35 +1074,48 @@ TreadMarks::acquire(NodeId proc, unsigned lock_id)
         return;
     }
 
-    LockState &lk = locks_[lock_id];
-
     // Re-acquiring a lock we already own with no contention: TreadMarks'
     // cached-ownership fast path, no messages.
-    if (lk.has_owner && lk.owner == proc && !lk.held && !lk.granting &&
-        lk.waiters.empty()) {
+    bool fast = false;
+    {
+        auto g = lockGuard();
+        LockState &lk = locks_[lock_id];
+        if (lk.has_owner && lk.owner == proc && !lk.held && !lk.granting &&
+            lk.waiters.empty()) {
+            fast = true;
+            // Parallel: claim under the guard, before the charge below
+            // can let a manager pump in the same window hand the lock
+            // elsewhere. Serial keeps the historical claim-after-charge
+            // order (the fiber cannot be preempted there).
+            if (sys_->pdesActive())
+                lk.held = true;
+        }
+    }
+    if (fast) {
         ++stats_.lock_fast_grants;
         n.cpu.advance(40, Cat::synch);
-        lk.held = true;
+        if (!sys_->pdesActive())
+            locks_[lock_id].held = true;
         return;
     }
 
     const NodeId manager = static_cast<NodeId>(lock_id % nprocs());
     fiberSend(proc, manager, lockReqBytes(), Cat::synch,
               ctrl::Priority::high, [this, proc, lock_id, manager](Tick) {
-        LockState &l = locks_[lock_id];
         dsm::Node &m = node(manager);
         // Manager-side handling: forwarding is a basic task.
         if (!mode_.offload)
             m.cpu.interrupt(cfg().interrupt_cycles + cfg().list_cycles * 2);
 
-        l.waiters.push_back(proc);
+        auto g = lockGuard();
+        locks_[lock_id].waiters.push_back(proc);
         pumpLock(lock_id, manager);
     });
     n.cpu.block(Cat::synch);
 
     // Grant processing on the acquirer: write-notice handling, plus
     // application of any piggybacked Lazy Hybrid diffs.
-    ProcState &ps = procs_[proc];
+    ProcState &ps = *procs_[proc];
     n.cpu.advance(cfg().list_cycles * ps.invalidated.size() +
                   cfg().list_cycles, Cat::synch);
     if (lh_pending_words_[proc]) {
@@ -1086,12 +1140,12 @@ TreadMarks::buildGrantUpdates(
     // cache" condition; we read the acquirer's page table host-side
     // where the real protocol keeps approximate copyset knowledge).
     std::uint64_t words = 0;
-    const dsm::VectorClock &vt_to = procs_[to].vt;
-    ProcState &ps = procs_[from];
+    const dsm::VectorClock &vt_to = procs_[to]->vt;
+    ProcState &ps = *procs_[from];
     std::vector<PageId> seen;
     for (dsm::IntervalSeq s2 = vt_to[from] + 1; s2 <= grant_vt[from];
          ++s2) {
-        for (PageId page : ps.interval_pages[s2 - 1]) {
+        for (PageId page : ps.interval_pages.at(s2 - 1)) {
             if (std::find(seen.begin(), seen.end(), page) != seen.end())
                 continue;
             seen.push_back(page);
@@ -1099,7 +1153,8 @@ TreadMarks::buildGrantUpdates(
             if (!tp.present())
                 continue;
             captureDiff(from, page, false);
-            Shipment ship = buildShipment(to, from, page);
+            Shipment ship = buildShipment(
+                to, from, page, watermarkOf(to, from, page));
             words += ship.idx.size();
             ++stats_.lh_updates;
             stats_.lh_update_words += ship.idx.size();
@@ -1120,9 +1175,10 @@ TreadMarks::pumpLock(unsigned lock_id, NodeId manager)
     l.waiters.pop_front();
 
     if (!l.has_owner) {
-        // First acquisition ever: the manager grants directly.
+        // First acquisition ever: the manager grants directly. Event
+        // context, so execute inline under the caller's rendezvous.
         l.has_owner = true;
-        grantLock(lock_id, manager, next, false);
+        executeGrant(prepareGrant(lock_id, manager, next), false);
         return;
     }
     // Forward to the last owner, who computes the write notices. If the
@@ -1131,39 +1187,47 @@ TreadMarks::pumpLock(unsigned lock_id, NodeId manager)
     const NodeId o = l.owner;
     eventSend(manager, o, lockReqBytes(), ctrl::Priority::high,
               [this, lock_id, o, next](Tick) {
+                  auto g = lockGuard();
                   LockState &l2 = locks_[lock_id];
                   if (l2.held) {
                       l2.has_pending = true;
                       l2.pending = next;
                   } else {
-                      grantLock(lock_id, o, next, false);
+                      executeGrant(prepareGrant(lock_id, o, next), false);
                   }
               });
 }
 
-void
-TreadMarks::grantLock(unsigned lock_id, NodeId from, NodeId to,
-                      bool from_fiber)
+TreadMarks::GrantPlan
+TreadMarks::prepareGrant(unsigned lock_id, NodeId from, NodeId to)
 {
     LockState &lk = locks_[lock_id];
+    GrantPlan plan;
+    plan.lock_id = lock_id;
+    plan.from = from;
+    plan.to = to;
+
     // The grant carries the clock of the last release of this lock
     // (zero before the first release ever).
     dsm::VectorClock grant_vt = lk.release_vt.size()
         ? lk.release_vt
         : dsm::VectorClock(nprocs());
     if (from == to)
-        grant_vt = procs_[from].vt;
+        grant_vt = ps(from).vt;
 
     // The grant carries write notices for intervals the acquirer has
     // not seen; computing them is "complicated" work on the granter CPU.
-    const dsm::VectorClock &vt_to = procs_[to].vt;
-    dsm::VectorClock eff = grant_vt;
+    // The acquirer's clock is stable here: it is blocked in acquire()
+    // until this very grant is delivered.
+    const dsm::VectorClock &vt_to = ps(to).vt;
+    plan.eff = grant_vt;
     // Never grant a clock below the acquirer's own (merge semantics).
     std::uint64_t notices = 0;
-    for (unsigned q = 0; q < eff.size(); ++q) {
-        for (dsm::IntervalSeq s = vt_to[q] + 1; s <= eff[q]; ++s)
-            notices += procs_[q].interval_pages[s - 1].size();
+    for (unsigned q = 0; q < plan.eff.size(); ++q) {
+        for (dsm::IntervalSeq s = vt_to[q] + 1; s <= plan.eff[q]; ++s)
+            notices += ps(q).interval_pages.at(s - 1).size();
     }
+    plan.notices = notices;
     stats_.grant_notices += static_cast<double>(notices);
 
     lk.held = true;
@@ -1173,29 +1237,36 @@ TreadMarks::grantLock(unsigned lock_id, NodeId from, NodeId to,
     // Lazy Hybrid: attach the granter's own diffs for pages the
     // acquirer caches; their application at delivery supersedes the
     // invalidation (the per-writer watermark advances past the notice).
-    auto updates = std::make_shared<
+    plan.updates = std::make_shared<
         std::vector<std::pair<PageId, Shipment>>>();
-    sim::Cycles lh_cost = 0;
-    std::uint32_t lh_bytes = 0;
     if (mode_.lazy_hybrid && from != to) {
         const std::uint64_t w =
-            buildGrantUpdates(from, to, eff, *updates);
+            buildGrantUpdates(from, to, plan.eff, *plan.updates);
         // Creation runs on the granter (software diff costs; with mode
         // D the DMA engine makes this cheaper, approximated by the scan
         // formula) and the encoded words ride on the grant message.
-        for (const auto &[pg2, ship] : *updates) {
+        for (const auto &[pg2, ship] : *plan.updates) {
             (void)pg2;
-            lh_bytes += diffReplyBytes(
+            plan.lh_bytes += diffReplyBytes(
                 static_cast<unsigned>(ship.idx.size()));
         }
-        lh_cost = mode_.hw_diffs
+        plan.lh_cost = mode_.hw_diffs
             ? node(from).controller.scanCycles(
                   static_cast<unsigned>(w))
             : cfg().diff_cycles_per_word * w;
     }
+    return plan;
+}
 
-    const sim::Cycles proc_cost =
-        cfg().interrupt_cycles + cfg().list_cycles * notices + lh_cost;
+void
+TreadMarks::executeGrant(const GrantPlan &plan, bool from_fiber)
+{
+    const unsigned lock_id = plan.lock_id;
+    const NodeId from = plan.from;
+    const NodeId to = plan.to;
+    const dsm::VectorClock eff = plan.eff;
+    const std::uint64_t notices = plan.notices;
+    auto updates = plan.updates;
 
     if (from == to) {
         // Granting to ourselves (e.g., first acquire by the manager).
@@ -1205,18 +1276,21 @@ TreadMarks::grantLock(unsigned lock_id, NodeId from, NodeId to,
 
     if (from_fiber) {
         // Called from the releaser's own release(): costs are inline.
-        node(from).cpu.advance(cfg().list_cycles * notices + lh_cost,
+        node(from).cpu.advance(cfg().list_cycles * notices + plan.lh_cost,
                                Cat::synch);
-        fiberSend(from, to, grantBytes(notices) + lh_bytes, Cat::synch,
+        fiberSend(from, to, grantBytes(notices) + plan.lh_bytes, Cat::synch,
                   ctrl::Priority::high,
                   [this, lock_id, to, eff, notices, updates](Tick) {
                       applyGrantUpdates(to, *updates);
                       deliverGrant(lock_id, to, eff, notices);
                   });
     } else {
+        const sim::Cycles proc_cost = cfg().interrupt_cycles +
+                                      cfg().list_cycles * notices +
+                                      plan.lh_cost;
         const Tick done = node(from).cpu.interrupt(proc_cost);
-        sys_->eq().schedule(done, [this, lock_id, from, to, eff,
-                                   notices, lh_bytes, updates]() {
+        sys_->eq().schedule(done, [this, lock_id, from, to, eff, notices,
+                                   lh_bytes = plan.lh_bytes, updates]() {
             eventSend(from, to, grantBytes(notices) + lh_bytes,
                       ctrl::Priority::high,
                       [this, lock_id, to, eff, notices, updates](Tick) {
@@ -1244,7 +1318,7 @@ TreadMarks::deliverGrant(unsigned lock_id, NodeId to,
     if (sim::Trace *tr = sys_->trace()) [[unlikely]]
         tr->emit(sys_->eq().now(), to, sim::TraceEngine::cpu,
                  sim::TraceKind::lock_grant, lock_id);
-    ProcState &ps = procs_[to];
+    ProcState &ps = *procs_[to];
     applyInvalidations(to, ps.vt, grant_vt);
     ps.vt.merge(grant_vt);
     node(to).cpu.wake();
@@ -1261,23 +1335,37 @@ TreadMarks::release(NodeId proc, unsigned lock_id)
 
     closeInterval(proc);
 
-    LockState &lk = locks_[lock_id];
-    ncp2_assert(lk.held && lk.owner == proc,
-                "release of lock %u not held by %u", lock_id, proc);
-    lk.held = false;
-    lk.release_vt = procs_[proc].vt;
+    // Decide and claim the next grant under the rendezvous; the charge
+    // and send (which may yield the fiber) run outside it. prepareGrant
+    // sets held/owner back, so a manager pump racing the gap sees the
+    // lock taken and cannot start a second grant.
+    GrantPlan plan;
+    bool granted = false;
+    {
+        auto g = lockGuard();
+        LockState &lk = locks_[lock_id];
+        ncp2_assert(lk.held && lk.owner == proc,
+                    "release of lock %u not held by %u", lock_id, proc);
+        lk.held = false;
+        lk.release_vt = ps(proc).vt;
 
-    if (lk.has_pending) {
-        lk.has_pending = false;
-        grantLock(lock_id, proc, lk.pending, true);
-    } else if (!lk.waiters.empty() && !lk.granting) {
-        lk.granting = true;
-        const NodeId next = lk.waiters.front();
-        lk.waiters.pop_front();
-        grantLock(lock_id, proc, next, true);
-    } else {
-        n.cpu.advance(10, Cat::synch);
+        if (lk.has_pending) {
+            lk.has_pending = false;
+            const NodeId pend = lk.pending;
+            plan = prepareGrant(lock_id, proc, pend);
+            granted = true;
+        } else if (!lk.waiters.empty() && !lk.granting) {
+            lk.granting = true;
+            const NodeId next = lk.waiters.front();
+            lk.waiters.pop_front();
+            plan = prepareGrant(lock_id, proc, next);
+            granted = true;
+        }
     }
+    if (granted)
+        executeGrant(plan, true);
+    else
+        n.cpu.advance(10, Cat::synch);
 }
 
 // ---------------------------------------------------------------------
@@ -1295,25 +1383,26 @@ TreadMarks::barrier(NodeId proc, unsigned barrier_id)
 
     closeInterval(proc);
 
-    if (mgr_known_vt_.size() == 0)
-        mgr_known_vt_ = dsm::VectorClock(nprocs());
-    auto &bar = barriers_[barrier_id];
-    if (bar.merged_vt.size() == 0)
-        bar.merged_vt = mgr_known_vt_;
-
     const NodeId manager = 0;
-    ProcState &ps = procs_[proc];
+    ProcState &ps = *procs_[proc];
     // The arrival carries the intervals the manager does not yet know.
+    // Reading mgr_known_vt_ here is ordered: its last merge happened
+    // before the previous barrier's release message woke this fiber.
     const std::uint64_t up_notices = noticeCount(mgr_known_vt_, ps.vt);
 
     fiberSend(proc, manager, grantBytes(up_notices), Cat::synch,
               ctrl::Priority::high,
               [this, proc, barrier_id, up_notices](Tick) {
+        // Barrier bookkeeping lives in the manager's shard: the entry is
+        // created (seeded with the manager's current knowledge) and
+        // merged only by arrival events on node 0's queue.
         auto &b = barriers_[barrier_id];
+        if (b.merged_vt.size() == 0)
+            b.merged_vt = mgr_known_vt_;
         dsm::Node &mgr = node(0);
         const Tick done = mgr.cpu.interrupt(
             cfg().interrupt_cycles + cfg().list_cycles * up_notices);
-        b.merged_vt.merge(procs_[proc].vt);
+        b.merged_vt.merge(procs_[proc]->vt);
         if (done > b.ready_at)
             b.ready_at = done;
         if (++b.arrived < nprocs())
@@ -1325,11 +1414,12 @@ TreadMarks::barrier(NodeId proc, unsigned barrier_id)
         mgr_known_vt_.merge(final_vt);
         sys_->eq().schedule(b.ready_at, [this, barrier_id, final_vt]() {
             for (unsigned q = 0; q < nprocs(); ++q) {
+                // q's clock is frozen: it is blocked at this barrier.
                 const std::uint64_t down =
-                    noticeCount(procs_[q].vt, final_vt);
+                    noticeCount(procs_[q]->vt, final_vt);
                 eventSend(0, q, grantBytes(down), ctrl::Priority::high,
                           [this, q, final_vt](Tick) {
-                              ProcState &pq = procs_[q];
+                              ProcState &pq = *procs_[q];
                               applyInvalidations(q, pq.vt, final_vt);
                               pq.vt.merge(final_vt);
                               node(q).cpu.wake();
@@ -1341,7 +1431,7 @@ TreadMarks::barrier(NodeId proc, unsigned barrier_id)
     n.cpu.block(Cat::synch);
 
     // Release processing: write-notice handling on the arriving CPU.
-    n.cpu.advance(cfg().list_cycles * (procs_[proc].invalidated.size() + 1),
+    n.cpu.advance(cfg().list_cycles * (ps.invalidated.size() + 1),
                   Cat::synch);
     issuePrefetches(proc);
 }
@@ -1375,8 +1465,8 @@ TreadMarks::readCoherent(PageId page, std::uint8_t *out)
     auto *words = reinterpret_cast<std::uint32_t *>(out);
     std::unordered_map<std::uint16_t, std::uint64_t> best;
     for (unsigned q = 0; q < nprocs(); ++q) {
-        auto it = procs_[q].logs.find(page);
-        if (it == procs_[q].logs.end())
+        auto it = procs_[q]->logs.find(page);
+        if (it == procs_[q]->logs.end())
             continue;
         for (const auto &[idx, rec] : it->second.cum) {
             const std::uint64_t key = vtSumOf(q, rec.end);

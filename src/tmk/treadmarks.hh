@@ -44,6 +44,8 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +54,7 @@
 #include "dsm/protocol.hh"
 #include "dsm/system.hh"
 #include "dsm/vclock.hh"
+#include "sim/append_log.hh"
 #include "sim/stats.hh"
 
 namespace tmk
@@ -104,6 +107,15 @@ class TreadMarks : public dsm::Protocol
     void release(sim::NodeId proc, unsigned lock_id) override;
     void barrier(sim::NodeId proc, unsigned barrier_id) override;
     std::string name() const override;
+
+    /**
+     * Shard-safe for the parallel executor except under Lazy Hybrid,
+     * whose grant-update construction probes the acquirer's page
+     * presence live at the granter (a cross-node read that races with
+     * the acquirer's prefetch completions).
+     */
+    bool pdesSafe() const override { return !mode_.lazy_hybrid; }
+
     void readCoherent(sim::PageId page, std::uint8_t *out) override;
     void finalize() override;
     const sim::StatGroup *statGroup() const override { return &group_; }
@@ -121,10 +133,18 @@ class TreadMarks : public dsm::Protocol
         dsm::IntervalSeq end = 0;
     };
 
-    /** Per (writer, page): closed write intervals + cumulative diff. */
+    /**
+     * Per (writer, page): closed write intervals + cumulative diff.
+     * Sharding rule: every field is written only by its owning node's
+     * event stream; closed_seqs is additionally *read* cross-node
+     * (neededWriters at a faulting processor), which is why it is an
+     * append-only log — entries a reader indexes were published before
+     * the write notice that led it here, and AppendLog keeps their
+     * addresses stable while the owner keeps appending.
+     */
     struct PageLog
     {
-        std::vector<dsm::IntervalSeq> closed_seqs;
+        sim::AppendLog<dsm::IntervalSeq> closed_seqs;
         std::unordered_map<std::uint16_t, WordRec> cum;
         dsm::IntervalSeq diffed_to = 0;
         /// True interval in which each word was last stored (recorded at
@@ -135,21 +155,49 @@ class TreadMarks : public dsm::Protocol
         std::vector<dsm::IntervalSeq> word_interval;
     };
 
-    /** Per-processor protocol state. */
+    /**
+     * Per-processor protocol state — one shard per node. Writes are
+     * owner-only (the node's fiber or events on its queue). The
+     * documented cross-node *reads* the parallel executor admits:
+     *  - interval_pages / logs[page].closed_seqs: append-only logs,
+     *    indexed only below bounds learned through a message
+     *    (happens-before through the window barrier);
+     *  - vt: read by a lock granter / the barrier manager while this
+     *    processor is *blocked* on that very lock or barrier, so the
+     *    clock is frozen until the grant/release wakes it;
+     *  - the logs map structure: guarded by logs_mu under PDES
+     *    (owner inserts vs. cross-node finds; PageLog addresses are
+     *    stable, unordered_map never moves its nodes).
+     */
     struct ProcState
     {
         dsm::VectorClock vt;
         /// vt_sums[s-1]: sum of the vector clock at close of interval s
         /// (a linear extension of happens-before, used to order diffs).
+        /// Owner-read only (buildShipment at the writer, applyShipment's
+        /// local-floor lookup at the applier), so a plain vector.
         std::vector<std::uint64_t> vt_sums;
         /// interval_pages[s-1]: pages written during interval s.
-        std::vector<std::vector<sim::PageId>> interval_pages;
+        sim::AppendLog<std::vector<sim::PageId>> interval_pages;
         std::unordered_map<sim::PageId, PageLog> logs;
+        /// Guards the logs *map structure* against cross-node finds
+        /// racing owner inserts under the parallel executor; untaken
+        /// (and uncontended) on the serial scheduler.
+        mutable std::shared_mutex logs_mu;
         std::vector<sim::PageId> open_dirty;
         /// pages invalidated by the last notice round (prefetch input)
         std::vector<sim::PageId> invalidated;
     };
 
+    /**
+     * Lock rendezvous state. Locks are the one protocol structure that
+     * is *not* sharded: the manager's pump, the owner's release and the
+     * acquirer's fast path all read-modify it. Under the parallel
+     * executor every locks_ access runs under lock_mu_ (see lockGuard),
+     * which is also the documented source of run-to-run nondeterminism
+     * for parallel runs: two nodes reaching the same lock inside one
+     * lookahead window rendezvous in mutex-acquisition order.
+     */
     struct LockState
     {
         bool held = false;
@@ -217,8 +265,68 @@ class TreadMarks : public dsm::Protocol
         std::unordered_map<sim::PageId, PrefetchHistory> history;
     };
 
+    /**
+     * Everything grantLock used to mutate/read of shared lock + clock
+     * state, computed under the lock rendezvous so the yielding
+     * charge/send half (executeGrant) can run outside it.
+     */
+    struct GrantPlan
+    {
+        unsigned lock_id = 0;
+        sim::NodeId from = 0;
+        sim::NodeId to = 0;
+        dsm::VectorClock eff;
+        std::uint64_t notices = 0;
+        sim::Cycles lh_cost = 0;
+        std::uint32_t lh_bytes = 0;
+        std::shared_ptr<std::vector<std::pair<sim::PageId, Shipment>>>
+            updates;
+    };
+
     // ----- helpers -----
     unsigned nprocs() const { return sys_->nprocs(); }
+
+    /** Node @p q's protocol shard (write access is owner-only). */
+    ProcState &ps(sim::NodeId q) { return *procs_[q]; }
+    const ProcState &ps(sim::NodeId q) const { return *procs_[q]; }
+
+    /**
+     * The lock rendezvous: a real mutex hold under the parallel
+     * executor, a free no-op lock on the serial scheduler. Never held
+     * across anything that can yield the fiber (cpu.advance/flush/
+     * block, fiberSend).
+     */
+    std::unique_lock<std::mutex>
+    lockGuard()
+    {
+        return sys_->pdesActive()
+                   ? std::unique_lock<std::mutex>(lock_mu_)
+                   : std::unique_lock<std::mutex>();
+    }
+
+    /** Find @p q's PageLog for @p page; cross-node-safe (shared lock). */
+    const PageLog *
+    peekLog(sim::NodeId q, sim::PageId page) const
+    {
+        const ProcState &p = ps(q);
+        std::shared_lock<std::shared_mutex> g(p.logs_mu, std::defer_lock);
+        if (sys_->pdesActive())
+            g.lock();
+        auto it = p.logs.find(page);
+        return it == p.logs.end() ? nullptr : &it->second;
+    }
+
+    /** Insert-or-get @p q's PageLog for @p page (owner-only). */
+    PageLog &
+    logOf(sim::NodeId q, sim::PageId page)
+    {
+        ProcState &p = ps(q);
+        std::unique_lock<std::shared_mutex> g(p.logs_mu, std::defer_lock);
+        if (sys_->pdesActive())
+            g.lock();
+        return p.logs[page];
+    }
+
     sim::NodeId
     homeOf(sim::PageId page) const
     {
@@ -254,9 +362,24 @@ class TreadMarks : public dsm::Protocol
     std::vector<sim::NodeId> neededWriters(sim::NodeId proc,
                                            sim::PageId page) const;
 
-    /** Build the shipment writer @p q owes @p proc for @p page. */
+    /**
+     * @p proc's applied watermark for writer @p q on @p page (0 when
+     * the page is absent). Owner-read on @p proc's fiber at request
+     * time; the serial scheduler also reads it live at serve time.
+     */
+    dsm::IntervalSeq watermarkOf(sim::NodeId proc, sim::NodeId q,
+                                 sim::PageId page) const;
+
+    /**
+     * Build the shipment writer @p q owes @p proc for @p page: every
+     * cumulative word newer than watermark @p w (the requester's
+     * applied[q], read live on the serial scheduler and carried in the
+     * request message under the parallel executor — a stale-low mark
+     * only ships extra words, which the per-word keys and the stale-
+     * shipment drop at the receiver make harmless).
+     */
     Shipment buildShipment(sim::NodeId proc, sim::NodeId q,
-                           sim::PageId page) const;
+                           sim::PageId page, dsm::IntervalSeq w) const;
 
     /** Apply a shipment's bytes to @p proc's copy (host-side). */
     void applyShipment(sim::NodeId proc, sim::PageId page,
@@ -268,9 +391,15 @@ class TreadMarks : public dsm::Protocol
     /** Demand fault: fetch page/diffs, apply, revalidate. Blocks. */
     void faultIn(sim::NodeId proc, sim::PageId page);
 
-    /** Handle a diff request at writer @p q (event context). */
+    /**
+     * Handle a diff request at writer @p q (event context). @p req_mark
+     * is the requester's applied[q] watermark captured when the request
+     * was sent (used in place of a live read under the parallel
+     * executor).
+     */
     void serveDiffRequest(sim::NodeId requester, sim::NodeId q,
-                          sim::PageId page, bool is_prefetch);
+                          sim::PageId page, bool is_prefetch,
+                          dsm::IntervalSeq req_mark);
 
     /** Issue prefetches after an invalidation round (mode P). */
     void issuePrefetches(sim::NodeId proc);
@@ -278,12 +407,21 @@ class TreadMarks : public dsm::Protocol
     /** Prefetch completion: apply shipments, maybe revalidate. */
     void finishPrefetch(sim::NodeId proc, sim::PageId page);
 
-    /** Start the next grant of @p lock if it is free (manager side). */
+    /**
+     * Start the next grant of @p lock if it is free (manager side).
+     * Event context only; the caller holds the lock rendezvous.
+     */
     void pumpLock(unsigned lock_id, sim::NodeId manager);
 
-    /** Grant @p lock to @p to from @p from. */
-    void grantLock(unsigned lock_id, sim::NodeId from, sim::NodeId to,
-                   bool from_fiber);
+    /**
+     * Claim the grant of @p lock to @p to in shared lock/clock state
+     * (caller holds the lock rendezvous; no yields inside).
+     */
+    GrantPlan prepareGrant(unsigned lock_id, sim::NodeId from,
+                           sim::NodeId to);
+
+    /** Charge and send a prepared grant (may yield when @p from_fiber). */
+    void executeGrant(const GrantPlan &plan, bool from_fiber);
 
     /** Deliver a lock grant at the acquirer (event context). */
     void deliverGrant(unsigned lock_id, sim::NodeId to,
@@ -346,7 +484,12 @@ class TreadMarks : public dsm::Protocol
 
     dsm::OverlapMode mode_;
     dsm::System *sys_ = nullptr;
-    std::vector<ProcState> procs_;
+    /// One shard per node (unique_ptr: ProcState owns append-only logs,
+    /// which are neither copyable nor movable).
+    std::vector<std::unique_ptr<ProcState>> procs_;
+    /// Serializes every locks_ access under the parallel executor; see
+    /// LockState. Untaken on the serial scheduler.
+    std::mutex lock_mu_;
     std::unordered_map<unsigned, LockState> locks_;
     std::unordered_map<unsigned, BarrierState> barriers_;
     dsm::VectorClock mgr_known_vt_; ///< barrier manager's knowledge

@@ -333,6 +333,110 @@ INSTANTIATE_TEST_SUITE_P(
         return info.param.tag;
     });
 
+// ---------------------------------------------------------------------
+// Parallel-executor equivalence: SysConfig::pdes_workers > 1 runs the
+// same simulation on the conservative-window parallel scheduler. Every
+// *structural* observable - message counts, bytes on the wire, the full
+// protocol stat tree - must match the serial reference executor
+// exactly. Timing is equivalent but not guaranteed bit-identical: when
+// two messages from different nodes contend for the same link in the
+// same lookahead window, the deferred drain reserves links in
+// (departure, src) order where the serial executor reserves in global
+// event order, so contention cycles can shift slightly (DESIGN.md,
+// "Parallel in-run execution"). The figure benches happen to be
+// bit-identical under 2 and 4 workers; this stencil deliberately
+// synchronizes all nodes tightly enough to hit the residual case, so
+// it pins down what is and is not allowed to drift. AURC is included
+// deliberately - it is not shard-safe, so System must force it onto the
+// serial scheduler (trivially identical) rather than crash or diverge.
+
+namespace
+{
+
+void
+expectEquivalentRuns(const RunResult &serial, const RunResult &par)
+{
+    EXPECT_EQ(serial.net.messages, par.net.messages);
+    EXPECT_EQ(serial.net.bytes, par.net.bytes);
+    EXPECT_EQ(serial.stats.flat(), par.stats.flat());
+    ASSERT_EQ(serial.bd.size(), par.bd.size());
+    // Timing: same order of magnitude, small contention-order drift.
+    const double s = static_cast<double>(serial.exec_ticks);
+    const double p = static_cast<double>(par.exec_ticks);
+    EXPECT_LT(std::abs(s - p), 0.02 * s)
+        << "serial " << serial.exec_ticks << " vs parallel "
+        << par.exec_ticks;
+}
+
+} // namespace
+
+class PdesExecutor : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    static RunResult
+    runOne(const ModeParam &m, unsigned workers, bool token)
+    {
+        SysConfig cfg = modeCfg(m, true);
+        cfg.pdes_workers = workers;
+        System sys(cfg, harness::makeProtocol(cfg));
+        if (token) {
+            testutil::TokenWorkload w(4);
+            return sys.run(w);
+        }
+        testutil::StencilWorkload w(2048, 3);
+        return sys.run(w);
+    }
+};
+
+TEST_P(PdesExecutor, StencilStructureMatchesSerial)
+{
+    sim::setQuiet(true);
+    for (const ModeParam &m :
+         {ModeParam{"TmkBase", ProtocolKind::treadmarks, false, false,
+                    false},
+          ModeParam{"TmkIPD", ProtocolKind::treadmarks, true, true,
+                    true}}) {
+        const RunResult serial = runOne(m, 1, false);
+        const RunResult par = runOne(m, GetParam(), false);
+        SCOPED_TRACE(m.tag);
+        expectEquivalentRuns(serial, par);
+    }
+}
+
+TEST_P(PdesExecutor, LockTrafficMatchesSerialExactly)
+{
+    // TokenWorkload is lock-dominated: it drives the grant/forward
+    // machinery and the cross-window lock rendezvous hardest, and its
+    // traffic is sparse enough that no same-window link tie arises -
+    // so here the parallel run must be bit-identical, not merely
+    // equivalent.
+    sim::setQuiet(true);
+    for (const ModeParam &m :
+         {ModeParam{"TmkBase", ProtocolKind::treadmarks, false, false,
+                    false},
+          ModeParam{"TmkIPD", ProtocolKind::treadmarks, true, true,
+                    true}}) {
+        const RunResult serial = runOne(m, 1, true);
+        const RunResult par = runOne(m, GetParam(), true);
+        SCOPED_TRACE(m.tag);
+        expectIdenticalRuns(serial, par);
+    }
+}
+
+TEST_P(PdesExecutor, UnsafeProtocolFallsBackToSerial)
+{
+    // AURC inherits pdesSafe() == false: any worker count must produce
+    // the serial run, bit for bit.
+    sim::setQuiet(true);
+    const ModeParam aurc{"Aurc", ProtocolKind::aurc, false, false, false};
+    const RunResult serial = runOne(aurc, 1, false);
+    const RunResult par = runOne(aurc, GetParam(), false);
+    expectIdenticalRuns(serial, par);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, PdesExecutor,
+                         ::testing::Values(2u, 4u, 8u));
+
 namespace
 {
 

@@ -298,3 +298,74 @@ TEST_P(MeshDelivery, DeliveryNeverPrecedesUncontendedBound)
 
 INSTANTIATE_TEST_SUITE_P(Sizes, MeshDelivery,
                          ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(Mesh, MinCrossLatencyBoundsEveryPair)
+{
+    // The parallel executor's lookahead window is minCrossLatency():
+    // an event at T must not cause a remote event before T + L. That is
+    // only sound if L really is a lower bound over every cross pair,
+    // every payload, with or without contention.
+    for (const unsigned n : {2u, 3u, 8u, 16u}) {
+        MeshNetwork mesh(n, NetTiming{});
+        const sim::Cycles bound = mesh.minCrossLatency();
+        ASSERT_GT(bound, 0u) << "n=" << n;
+        for (sim::NodeId s = 0; s < n; ++s) {
+            for (sim::NodeId d = 0; d < n; ++d) {
+                if (s == d)
+                    continue;
+                EXPECT_LE(bound, mesh.uncontendedLatency(s, d, 0))
+                    << "n=" << n << " " << s << "->" << d;
+            }
+        }
+        // Contention and payload only add latency.
+        sim::Rng rng(n);
+        for (int i = 0; i < 500; ++i) {
+            const auto s = static_cast<sim::NodeId>(rng.below(n));
+            auto d = static_cast<sim::NodeId>(rng.below(n));
+            if (s == d)
+                d = static_cast<sim::NodeId>((d + 1) % n);
+            const sim::Tick dep = static_cast<sim::Tick>(i % 7);
+            const sim::Tick del =
+                mesh.send(dep, s, d,
+                          static_cast<std::uint32_t>(rng.below(4096)));
+            ASSERT_GE(del, dep + bound) << "n=" << n;
+        }
+    }
+    // A single-node mesh has no cross traffic: no finite lookahead.
+    MeshNetwork solo(1, NetTiming{});
+    EXPECT_EQ(solo.minCrossLatency(), sim::tick_never);
+}
+
+TEST(Mesh, SelfSendTouchesNoLinks)
+{
+    MeshNetwork mesh(16, NetTiming{});
+    // selfLatency() is the pure form of what send() charges loop-back.
+    const sim::Tick del = mesh.send(100, 5, 5, 256);
+    EXPECT_EQ(del, 100 + mesh.selfLatency(256));
+
+    // Hammering loop-back must leave the fabric untouched: a later
+    // cross message sees zero contention.
+    for (int i = 0; i < 64; ++i)
+        mesh.send(static_cast<sim::Tick>(i), 5, 5, 4096);
+    EXPECT_EQ(mesh.stats().contention_cycles, 0u);
+    const sim::Tick cross = mesh.send(0, 5, 6, 256);
+    EXPECT_EQ(cross - 0, mesh.uncontendedLatency(5, 6, 256));
+    EXPECT_EQ(mesh.stats().contention_cycles, 0u);
+}
+
+TEST(Mesh, ContendedLinkDeliversInFifoOrder)
+{
+    // Wormhole links are FIFO resources: messages injected on the same
+    // route in departure order come out in that order, however large
+    // the backlog grows.
+    MeshNetwork mesh(16, NetTiming{});
+    sim::Rng rng(7);
+    sim::Tick prev = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto bytes = static_cast<std::uint32_t>(1 + rng.below(4096));
+        const sim::Tick del =
+            mesh.send(static_cast<sim::Tick>(i), 0, 15, bytes);
+        ASSERT_GT(del, prev) << "message " << i << " overtook its elder";
+        prev = del;
+    }
+}
