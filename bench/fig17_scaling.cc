@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 17 (beyond the paper): node-count scaling of the simulated
+ * machine, 16 -> 1024 processors, under Base TreadMarks.
+ *
+ * Two machine variants per application and node count:
+ *   flat    - the paper's machine: flat manager barrier, flat mesh
+ *   scaled  - the scaling machinery: radix-8 combining-tree barrier
+ *             and a clustered hierarchical mesh (16-node clusters)
+ *
+ * The speedup table shows simulated speedup over the 1-processor run;
+ * the breakdown table shows where the protocol overhead goes as the
+ * machine grows (synchronization dominates at 1024 nodes on the flat
+ * machine - the tree barrier pushes that wall out). Node counts come
+ * from NCP2_SCALE_NODES (default 16,64,256,1024); results land in
+ * results/fig17_scaling.json (schema v2) with per-run wall_seconds for
+ * tracking host-side simulator cost.
+ */
+
+#include "bench/figure_common.hh"
+#include "sim/stats.hh"
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    unsigned barrier_radix;
+    unsigned mesh_cluster;
+};
+
+constexpr Variant variants[] = {
+    {"flat", 0, 0},
+    {"scaled", 8, 16},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (fig::header(argc, argv,
+                    "Figure 17: node-count scaling, flat vs tree/cluster "
+                    "machine (Base)"))
+        return 0;
+
+    const std::vector<unsigned> counts = harness::knobs::scaleNodes();
+    // The three paper applications spanning the sharing spectrum:
+    // coarse (Water), all-to-all exchange (Radix), nearest-neighbour
+    // with wide read sets (Em3d).
+    const std::vector<std::string> apps = {"Water", "Radix", "Em3d"};
+
+    std::vector<harness::Job> jobs;
+    for (const auto &app : apps)
+        jobs.push_back(fig::job(app + "/p=1", app, "Base", 1));
+    for (const auto &app : apps) {
+        for (const Variant &v : variants) {
+            for (unsigned p : counts) {
+                dsm::SysConfig cfg = fig::configFor("Base", p);
+                cfg.barrier_radix = v.barrier_radix;
+                cfg.mesh_cluster = v.mesh_cluster;
+                jobs.push_back(fig::job(app + "/" + v.name + "/p=" +
+                                            std::to_string(p),
+                                        app, "Base", p, &cfg));
+            }
+        }
+    }
+    const auto results = fig::runAll("fig17_scaling", jobs);
+
+    // results[0..apps) are the 1-proc baselines, then
+    // apps x variants x counts in nesting order.
+    std::vector<std::string> head{"app", "machine"};
+    for (unsigned p : counts)
+        head.push_back("p=" + std::to_string(p));
+    sim::Table t(head);
+    std::size_t i = apps.size();
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const double t1 =
+            static_cast<double>(results[a].run.exec_ticks);
+        for (const Variant &v : variants) {
+            std::vector<std::string> row{apps[a], v.name};
+            for (std::size_t c = 0; c < counts.size(); ++c, ++i) {
+                const double tn =
+                    static_cast<double>(results[i].run.exec_ticks);
+                row.push_back(sim::Table::fmt(t1 / tn, 2));
+            }
+            t.addRow(row);
+        }
+    }
+    std::cout << "== simulated speedup over 1 processor ==\n";
+    t.print(std::cout);
+
+    std::vector<harness::BreakdownRow> rows;
+    for (std::size_t r = apps.size(); r < results.size(); ++r) {
+        harness::BreakdownRow row =
+            harness::BreakdownRow::from(results[r].label, results[r].run);
+        rows.push_back(row.normalizedTo(row));
+    }
+    std::cout << "\n";
+    harness::printBreakdownTable(
+        std::cout, "normalized execution time vs node count (percent)",
+        rows);
+    std::cout << "\n(flat machine: synch% explodes with node count as "
+                 "every arrival serializes on the manager;\n the tree "
+                 "barrier + clustered mesh keep it bounded)\n";
+    return 0;
+}

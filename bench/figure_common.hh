@@ -11,7 +11,8 @@
  *
  * Environment knobs are owned by harness::knobs (run any bench with
  * --knobs for the registry listing): NCP2_SCALE, NCP2_PROCS, NCP2_JOBS,
- * NCP2_RESULTS_DIR, NCP2_FAST_PATH, NCP2_TRACE, NCP2_CHECK, NCP2_PDES.
+ * NCP2_RESULTS_DIR, NCP2_FAST_PATH, NCP2_TRACE, NCP2_CHECK, NCP2_PDES,
+ * NCP2_SPARSE_VT, NCP2_BARRIER_RADIX, NCP2_MESH_CLUSTER.
  */
 
 #ifndef NCP2_BENCH_FIGURE_COMMON_HH
@@ -69,6 +70,12 @@ configFor(const std::string &proto, unsigned procs)
     cfg.check = harness::knobs::checkOracle();
     // In-run parallel execution (conservative-window PDES); 1 = serial.
     cfg.pdes_workers = harness::knobs::pdesWorkers();
+    // Scaling machinery (sparse clocks, tree barrier, clustered mesh):
+    // the defaults keep the reference flat barrier and flat mesh;
+    // sparse clocks are on by default and bit-identical by contract.
+    cfg.sparse_clocks = harness::knobs::sparseClocks();
+    cfg.barrier_radix = harness::knobs::barrierRadix();
+    cfg.mesh_cluster = harness::knobs::meshCluster();
     if (proto.rfind("AURC", 0) == 0) {
         cfg.protocol = dsm::ProtocolKind::aurc;
         cfg.mode.prefetch = proto == "AURC+P";

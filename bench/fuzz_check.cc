@@ -233,6 +233,22 @@ main(int argc, char **argv)
             for (const unsigned p : procs)
                 jobs.push_back(makeJob(s, v, p));
 
+    // The 64-proc torture smoke of the scaling machinery: radix-8
+    // combining-tree barrier (TreadMarks; AURC keeps its flat barrier
+    // but shares the sparse clock paths) + 16-node clustered mesh, all
+    // under the oracle. Appended after the main sweep so the
+    // seed x variant x procs result indexing above stays positional.
+    std::vector<std::string> scaled_variants;
+    if (smoke)
+        scaled_variants = {"Base", "AURC"};
+    for (const auto &v : scaled_variants) {
+        harness::Job j = makeJob(seeds[0], v, 64);
+        j.label += "/scaled";
+        j.cfg.barrier_radix = 8;
+        j.cfg.mesh_cluster = 16;
+        jobs.push_back(std::move(j));
+    }
+
     const harness::ExperimentEngine engine;
     std::cerr << "[fuzz_check: " << seeds.size() << " seeds x "
               << variants.size() << " variants x " << procs.size()
@@ -256,6 +272,17 @@ main(int argc, char **argv)
                                    first_line);
             }
         }
+    }
+    for (const auto &v : scaled_variants) {
+        const harness::JobResult &r = results[ji++];
+        if (r.error.empty())
+            continue;
+        const std::string first_line = r.error.substr(0, r.error.find('\n'));
+        const std::string repro = "NCP2_BARRIER_RADIX=8 NCP2_MESH_CLUSTER=16 " +
+                                  reproCommand(seeds[0], v, 64);
+        std::cout << "FAIL " << r.label << ": " << first_line
+                  << "\n  repro: " << repro << "\n";
+        failures.push_back(repro + "  # " + first_line);
     }
 
     if (!failures.empty()) {

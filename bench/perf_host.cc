@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "dsm/diff_pool.hh"
+#include "dsm/vclock.hh"
 #include "dsm/page.hh"
 #include "dsm/proc.hh"
 #include "dsm/system.hh"
@@ -399,6 +400,118 @@ benchPdesScaling(unsigned trials)
     return r;
 }
 
+/**
+ * The 256-node barrier-release clock fan-out: "before" is the pre-PR
+ * dense shape (per receiver: O(n) write-notice scan, an O(n) clock copy
+ * captured by the release lambda, and an O(n) merge), "after" is the
+ * sparse-delta shape (one clockDelta against the manager watermark,
+ * then a narrowDelta + applyDelta per receiver, O(active writers)).
+ * Eight of 256 components moved since the watermark - the lock-grant /
+ * steady-state sharing pattern the sparse representation targets. The
+ * after-side restores the receiver clock through the same entries it
+ * applied, so both sides do identical per-iteration work.
+ */
+KernelResult
+benchVclockMerge256(unsigned trials, unsigned inner)
+{
+    constexpr unsigned n = 256;
+    constexpr unsigned writers = 8;
+    constexpr unsigned advance = 4;
+
+    KernelResult r;
+    r.name = "vclock_merge_256";
+    r.items = n;
+
+    dsm::VectorClock watermark(n);
+    for (unsigned q = 0; q < n; ++q)
+        watermark[q] = 100 + q % 13;
+    dsm::VectorClock final_vt = watermark;
+    std::vector<std::vector<std::uint32_t>> interval_sizes(n);
+    for (unsigned q = 0; q < n; ++q)
+        interval_sizes[q].assign(watermark[q] + advance + 1, 3);
+    for (unsigned w = 0; w < writers; ++w)
+        final_vt[w * (n / writers)] += advance;
+    // Receivers dominate the watermark (they merged the previous final
+    // clock) but trail the new final on the changed components.
+    std::vector<dsm::VectorClock> receivers(n, watermark);
+    for (unsigned q = 0; q < n; ++q)
+        receivers[q][q] = final_vt[q];
+
+    auto countDense = [&](const dsm::VectorClock &from,
+                          const dsm::VectorClock &to) {
+        std::uint64_t c = 0;
+        for (unsigned q = 0; q < n; ++q)
+            for (dsm::IntervalSeq s = from[q] + 1; s <= to[q]; ++s)
+                c += interval_sizes[q][s - 1];
+        return c;
+    };
+
+    volatile std::uint64_t sink = 0;
+    r.before_ns = timeKernel(trials, inner, [&]() {
+        std::uint64_t acc = 0;
+        for (unsigned q = 0; q < n; ++q) {
+            acc += countDense(receivers[q], final_vt);
+            dsm::VectorClock captured = final_vt; // the old lambda capture
+            dsm::VectorClock vt = receivers[q];
+            vt.merge(captured);
+            acc += vt[0];
+        }
+        sink += acc;
+    });
+
+    dsm::ClockDelta base, dq;
+    base.entries.reserve(n);
+    dq.entries.reserve(n);
+    r.after_ns = timeKernel(trials, inner, [&]() {
+        std::uint64_t acc = 0;
+        dsm::clockDelta(watermark, final_vt, base);
+        for (unsigned q = 0; q < n; ++q) {
+            dsm::VectorClock &vt = receivers[q];
+            dsm::narrowDelta(base, vt, dq);
+            for (const dsm::ClockDelta::Entry &e : dq.entries)
+                for (dsm::IntervalSeq s = e.from + 1; s <= e.to; ++s)
+                    acc += interval_sizes[e.proc][s - 1];
+            dsm::applyDelta(vt, dq);
+            acc += vt[0];
+            for (const dsm::ClockDelta::Entry &e : dq.entries)
+                vt[e.proc] = e.from; // restore for the next iteration
+        }
+        sink += acc;
+    });
+    return r;
+}
+
+/**
+ * The whole 256-node scaling package end-to-end: the same 256-proc
+ * barrier-heavy stencil simulated on the pre-PR machine (dense clocks,
+ * flat manager barrier) and on the scaled machine (sparse deltas,
+ * radix-8 combining tree). Simulated results differ (the tree is a
+ * different simulated machine), but both are oracle-clean; the ratio
+ * tracks the host-time win of the scaling machinery at 256 nodes.
+ */
+KernelResult
+benchBarrierTree256(unsigned trials)
+{
+    sim::setQuiet(true);
+    auto simOnce = [](bool scaled) {
+        testutil::StencilWorkload w(4096, 3);
+        dsm::SysConfig cfg;
+        cfg.num_procs = 256;
+        cfg.heap_bytes = 8u << 20;
+        cfg.sparse_clocks = scaled;
+        cfg.barrier_radix = scaled ? 8 : 0;
+        dsm::System sys(cfg, tmk::makeTreadMarks(cfg.mode));
+        if (sys.run(w).exec_ticks == 0)
+            std::abort();
+    };
+    KernelResult r;
+    r.name = "barrier_tree_256";
+    r.items = 256;
+    r.before_ns = timeKernel(trials, 1, [&]() { simOnce(false); });
+    r.after_ns = timeKernel(trials, 1, [&]() { simOnce(true); });
+    return r;
+}
+
 /** Absolute end-to-end time of a small 8-proc stencil simulation. */
 double
 benchSimSmallMs(unsigned trials)
@@ -477,6 +590,8 @@ main(int argc, char **argv)
         kernels.push_back(std::move(k));
     kernels.push_back(benchTraceOverhead(quick ? 3 : 10));
     kernels.push_back(benchPdesScaling(quick ? 3 : 10));
+    kernels.push_back(benchVclockMerge256(trials, quick ? 50 : 200));
+    kernels.push_back(benchBarrierTree256(quick ? 3 : 5));
     const double sim_small_ms = benchSimSmallMs(quick ? 3 : 10);
 
     std::cout << "kernel            before_ns   after_ns  speedup\n";

@@ -80,6 +80,12 @@ Aurc::attach(dsm::System &sys)
     for (auto &ps : procs_) {
         ps.vt = dsm::VectorClock(n);
         ps.wcache.assign(cfg().write_cache_entries, WcEntry{});
+        // Pre-size from machine geometry so interval bookkeeping never
+        // reallocates on the hot path at 256-1024 nodes.
+        ps.delta_scratch.entries.reserve(n);
+        ps.interval_pages.reserve(64);
+        ps.open_dirty.reserve(32);
+        ps.invalidated.reserve(32);
     }
     const PageId used_pages =
         (sys.heap().used() + cfg().page_bytes - 1) / cfg().page_bytes;
@@ -154,50 +160,111 @@ Aurc::noticeCount(const dsm::VectorClock &from,
     return count;
 }
 
+std::uint64_t
+Aurc::noticeCountDelta(const dsm::ClockDelta &d) const
+{
+    std::uint64_t count = 0;
+    for (const dsm::ClockDelta::Entry &e : d.entries) {
+        const ProcState &ps = procs_[e.proc];
+        for (dsm::IntervalSeq s = e.from + 1; s <= e.to; ++s)
+            count += ps.interval_pages[s - 1].size();
+    }
+    return count;
+}
+
+std::uint64_t
+Aurc::noticesBetween(const dsm::VectorClock &from,
+                     const dsm::VectorClock &to,
+                     dsm::ClockDelta &scratch) const
+{
+    if (!cfg().sparse_clocks)
+        return noticeCount(from, to);
+    dsm::clockDelta(from, to, scratch);
+    const std::uint64_t n = noticeCountDelta(scratch);
+    ncp2_dassert(n == noticeCount(from, to),
+                 "sparse notice count diverged from the dense oracle");
+    return n;
+}
+
+void
+Aurc::invalidateInterval(NodeId proc, unsigned q, dsm::IntervalSeq s)
+{
+    ProcState &me = procs_[proc];
+    dsm::PageStore &store = node(proc).pages;
+    const ProcState &ps = procs_[q];
+    for (PageId page : ps.interval_pages[s - 1]) {
+        const PageShare &sh = pages_[page];
+        // Pairwise mappings and the home's own copy are kept
+        // current by the automatic updates: never invalidated.
+        if (autoUpdated(sh, proc))
+            continue;
+        dsm::NodePage &pg = store.page(page);
+        if (!pg.present())
+            continue;
+        if (pg.prefetch_pending) {
+            auto it = prefetch_[proc].find(page);
+            if (it != prefetch_[proc].end())
+                it->second.invalidated_again = true;
+            continue;
+        }
+        if (pg.access == dsm::Access::none)
+            continue;
+        pg.access = dsm::Access::none;
+        node(proc).tlb.invalidate(page);
+        node(proc).adesc.invalidate(page);
+        ++stats_.invalidations;
+        if (pg.prefetched_unused) {
+            ++stats_.prefetches_useless;
+            if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+                tr->emit(sys_->eq().now(), proc,
+                         sim::TraceEngine::cpu,
+                         sim::TraceKind::prefetch_useless, page);
+            pg.prefetched_unused = false;
+        }
+        if (pg.referenced)
+            me.invalidated.push_back(page);
+    }
+}
+
 void
 Aurc::applyInvalidations(NodeId proc, const dsm::VectorClock &from,
                          const dsm::VectorClock &to)
 {
-    ProcState &me = procs_[proc];
-    dsm::PageStore &store = node(proc).pages;
     for (unsigned q = 0; q < from.size(); ++q) {
         if (q == proc)
             continue;
-        const ProcState &ps = procs_[q];
-        for (dsm::IntervalSeq s = from[q] + 1; s <= to[q]; ++s) {
-            for (PageId page : ps.interval_pages[s - 1]) {
-                const PageShare &sh = pages_[page];
-                // Pairwise mappings and the home's own copy are kept
-                // current by the automatic updates: never invalidated.
-                if (autoUpdated(sh, proc))
-                    continue;
-                dsm::NodePage &pg = store.page(page);
-                if (!pg.present())
-                    continue;
-                if (pg.prefetch_pending) {
-                    auto it = prefetch_[proc].find(page);
-                    if (it != prefetch_[proc].end())
-                        it->second.invalidated_again = true;
-                    continue;
-                }
-                if (pg.access == dsm::Access::none)
-                    continue;
-                pg.access = dsm::Access::none;
-                node(proc).tlb.invalidate(page);
-                node(proc).adesc.invalidate(page);
-                ++stats_.invalidations;
-                if (pg.prefetched_unused) {
-                    ++stats_.prefetches_useless;
-                    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
-                        tr->emit(sys_->eq().now(), proc,
-                                 sim::TraceEngine::cpu,
-                                 sim::TraceKind::prefetch_useless, page);
-                    pg.prefetched_unused = false;
-                }
-                if (pg.referenced)
-                    me.invalidated.push_back(page);
-            }
-        }
+        for (dsm::IntervalSeq s = from[q] + 1; s <= to[q]; ++s)
+            invalidateInterval(proc, q, s);
+    }
+}
+
+void
+Aurc::applyInvalidationsDelta(NodeId proc, const dsm::ClockDelta &d)
+{
+    // Entries are ascending by proc and cover exactly the components
+    // where the target clock leads, so this visits the same intervals
+    // in the same order as the dense scan.
+    for (const dsm::ClockDelta::Entry &e : d.entries) {
+        if (e.proc == proc)
+            continue;
+        for (dsm::IntervalSeq s = e.from + 1; s <= e.to; ++s)
+            invalidateInterval(proc, e.proc, s);
+    }
+}
+
+void
+Aurc::advanceClock(NodeId proc, const dsm::VectorClock &to,
+                   const dsm::ClockDelta &d)
+{
+    ProcState &me = procs_[proc];
+    if (cfg().sparse_clocks) {
+        applyInvalidationsDelta(proc, d);
+        dsm::applyDelta(me.vt, d);
+        ncp2_dassert(to.dominatedBy(me.vt),
+                     "sparse clock merge fell short of the target clock");
+    } else {
+        applyInvalidations(proc, me.vt, to);
+        me.vt.merge(to);
     }
 }
 
@@ -812,7 +879,8 @@ Aurc::grantLock(unsigned lock_id, NodeId from, NodeId to, bool from_fiber)
     if (from == to)
         grant_vt = procs_[from].vt;
 
-    const std::uint64_t notices = noticeCount(procs_[to].vt, grant_vt);
+    const std::uint64_t notices =
+        noticesBetween(procs_[to].vt, grant_vt, procs_[from].delta_scratch);
 
     lk.held = true;
     lk.owner = to;
@@ -860,8 +928,9 @@ Aurc::deliverGrant(unsigned lock_id, NodeId to, dsm::VectorClock grant_vt)
         tr->emit(now, to, sim::TraceEngine::cpu,
                  sim::TraceKind::lock_grant, lock_id);
     ProcState &ps = procs_[to];
-    applyInvalidations(to, ps.vt, grant_vt);
-    ps.vt.merge(grant_vt);
+    if (cfg().sparse_clocks)
+        dsm::clockDelta(ps.vt, grant_vt, ps.delta_scratch);
+    advanceClock(to, grant_vt, ps.delta_scratch);
     node(to).cpu.wake();
 }
 
@@ -917,7 +986,8 @@ Aurc::barrier(NodeId proc, unsigned barrier_id)
         bar.merged_vt = mgr_known_vt_;
 
     ProcState &ps = procs_[proc];
-    const std::uint64_t up_notices = noticeCount(mgr_known_vt_, ps.vt);
+    const std::uint64_t up_notices =
+        noticesBetween(mgr_known_vt_, ps.vt, ps.delta_scratch);
 
     fiberSend(proc, 0, grantBytes(up_notices), Cat::synch,
               [this, proc, barrier_id, up_notices](Tick) {
@@ -932,14 +1002,38 @@ Aurc::barrier(NodeId proc, unsigned barrier_id)
             return;
 
         ++stats_.barriers;
-        const dsm::VectorClock final_vt = b.merged_vt;
-        mgr_known_vt_.merge(final_vt);
-        sys_->eq().schedule(b.ready_at, [this, barrier_id, final_vt]() {
+        // One shared copy of the final clock plus a small per-receiver
+        // delta replaces the old n dense clock copies captured by the
+        // release lambdas (quadratic in machine size).
+        auto final_vt =
+            std::make_shared<const dsm::VectorClock>(b.merged_vt);
+        std::shared_ptr<dsm::ClockDelta> base;
+        if (cfg().sparse_clocks) {
+            // Every participant merged the previous barrier's final
+            // clock, so each vt dominates the pre-merge watermark and
+            // narrowDelta() is exact (see vclock.hh).
+            base = std::make_shared<dsm::ClockDelta>();
+            dsm::clockDelta(mgr_known_vt_, *final_vt, *base);
+        }
+        mgr_known_vt_.merge(*final_vt);
+        sys_->eq().schedule(b.ready_at, [this, barrier_id, final_vt,
+                                         base]() {
             for (unsigned q = 0; q < nprocs(); ++q) {
-                const std::uint64_t down =
-                    noticeCount(procs_[q].vt, final_vt);
+                dsm::ClockDelta dq;
+                std::uint64_t down;
+                if (base) {
+                    dsm::narrowDelta(*base, procs_[q].vt, dq);
+                    down = noticeCountDelta(dq);
+                    ncp2_dassert(down == noticeCount(procs_[q].vt,
+                                                     *final_vt),
+                                 "narrowed barrier delta diverged from "
+                                 "the dense oracle");
+                } else {
+                    down = noticeCount(procs_[q].vt, *final_vt);
+                }
                 eventSend(0, q, grantBytes(down),
-                          [this, q, final_vt](Tick t) {
+                          [this, q, final_vt,
+                           dq = std::move(dq)](Tick t) {
                               // Barrier releases obey the same
                               // flush-timestamp rule as lock grants.
                               const Tick ready =
@@ -947,10 +1041,9 @@ Aurc::barrier(NodeId proc, unsigned barrier_id)
                               if (ready > t)
                                   ++stats_.update_drain_waits;
                               sys_->eq().schedule(ready, [this, q,
-                                                          final_vt]() {
-                                  ProcState &pq = procs_[q];
-                                  applyInvalidations(q, pq.vt, final_vt);
-                                  pq.vt.merge(final_vt);
+                                                          final_vt,
+                                                          dq]() {
+                                  advanceClock(q, *final_vt, dq);
                                   node(q).cpu.wake();
                               });
                           });

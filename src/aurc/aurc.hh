@@ -142,6 +142,8 @@ class Aurc : public dsm::Protocol
         std::vector<std::vector<sim::PageId>> interval_pages;
         std::vector<sim::PageId> open_dirty;
         std::vector<sim::PageId> invalidated; ///< prefetch candidates
+        /// Sparse-clock scratch (owner-context only; pre-sized at attach).
+        dsm::ClockDelta delta_scratch;
         std::vector<WcEntry> wcache;
         unsigned wc_next = 0; ///< FIFO cursor
     };
@@ -189,6 +191,28 @@ class Aurc : public dsm::Protocol
                               const dsm::VectorClock &to) const;
     void applyInvalidations(sim::NodeId proc, const dsm::VectorClock &from,
                             const dsm::VectorClock &to);
+    /** Write-notice count covered by a sparse clock delta. */
+    std::uint64_t noticeCountDelta(const dsm::ClockDelta &d) const;
+    /**
+     * noticeCount(from, to) via the sparse representation (scratch
+     * receives the delta); falls back to the dense scan when sparse
+     * clocks are disabled, and dasserts the two agree otherwise.
+     */
+    std::uint64_t noticesBetween(const dsm::VectorClock &from,
+                                 const dsm::VectorClock &to,
+                                 dsm::ClockDelta &scratch) const;
+    /** Invalidate the pages written during interval @p s of proc @p q. */
+    void invalidateInterval(sim::NodeId proc, unsigned q,
+                            dsm::IntervalSeq s);
+    /** applyInvalidations over a sparse delta (same iteration order). */
+    void applyInvalidationsDelta(sim::NodeId proc,
+                                 const dsm::ClockDelta &d);
+    /**
+     * Apply invalidations and merge @p to into proc's clock — via the
+     * sparse delta @p d when sparse clocks are on, densely otherwise.
+     */
+    void advanceClock(sim::NodeId proc, const dsm::VectorClock &to,
+                      const dsm::ClockDelta &d);
 
     /** Push one word into the write cache, evicting as needed. */
     void writeCachePush(sim::NodeId proc, sim::PageId page, unsigned word);

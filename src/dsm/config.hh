@@ -102,6 +102,19 @@ struct SysConfig
 
     // --- interconnect and PCI ---
     net::NetTiming net;             ///< 8-bit mesh, switch 4, wire 2
+    /// Hierarchical mesh: nodes per cluster. 0 (the default) keeps the
+    /// paper's flat mesh, bit-identical to the historical model. N >= 2
+    /// groups nodes into clusters of N, each an internal sub-mesh using
+    /// `net` timing; clusters connect through their gateway node (local
+    /// node 0) over an outer mesh using `inter_net` timing. This keeps
+    /// the link count O(n) at 256-1024 nodes instead of a giant flat
+    /// grid, and models the machine-room reality of fast intra-rack,
+    /// slower inter-rack fabric.
+    unsigned mesh_cluster = 0;
+    /// Inter-cluster link timing (only read when mesh_cluster >= 2).
+    /// Default: the same 8-bit/50 MB/s links as the intra-cluster mesh;
+    /// benches widen it for backbone-style configurations.
+    net::NetTiming inter_net;
     pcib::PciTiming pci;            ///< 10 + 3/word
 
     // --- protocol costs ---
@@ -169,6 +182,23 @@ struct SysConfig
     /// "Parallel in-run simulation"). The benches set this from the
     /// NCP2_PDES knob.
     unsigned pdes_workers = 1;
+    /// Walk sparse clock deltas instead of dense n-wide vector clocks in
+    /// the protocols' notice-count / invalidation / merge hot paths.
+    /// Host representation only: the simulated wire format (and thus
+    /// every simulated result) is bit-identical either way, and debug
+    /// builds cross-check the sparse paths against the dense ones behind
+    /// ncp2_dassert. On by default; NCP2_SPARSE_VT=0 forces the dense
+    /// reference implementation.
+    bool sparse_clocks = true;
+    /// Barrier topology for TreadMarks: 0 (the default) keeps the flat
+    /// single-manager barrier, the reference implementation. r >= 2
+    /// arranges the processors as an r-ary combining tree rooted at node
+    /// 0 (parent(i) = (i-1)/r): arrivals combine write notices up the
+    /// tree, releases broadcast down it, so no single node serializes
+    /// all n arrival interrupts. r >= num_procs degenerates to a
+    /// single-level tree whose message pattern and timing charges are
+    /// exactly the flat barrier's (tests pin that bit-identity).
+    unsigned barrier_radix = 0;
 
     unsigned pageWords() const { return page_bytes / 4; }
 

@@ -29,7 +29,9 @@ System::System(SysConfig cfg, std::unique_ptr<Protocol> protocol)
 {
     ncp2_assert(cfg_.num_procs >= 1, "need at least one processor");
     heap_ = std::make_unique<GlobalHeap>(cfg_.heap_bytes, cfg_.page_bytes);
-    net_ = std::make_unique<net::MeshNetwork>(cfg_.num_procs, cfg_.net);
+    net_ = std::make_unique<net::MeshNetwork>(cfg_.num_procs, cfg_.net,
+                                              cfg_.mesh_cluster,
+                                              cfg_.inter_net);
     router_ = std::make_unique<net::Router>(*net_, sched_);
     shards_.reserve(cfg_.num_procs);
     nodes_.reserve(cfg_.num_procs);

@@ -103,6 +103,9 @@ emitConfig(std::ostream &os, const dsm::SysConfig &cfg)
        << ",\"pci_word_cycles\":" << cfg.pci.word_cycles
        << ",\"interrupt_cycles\":" << cfg.interrupt_cycles
        << ",\"update_overhead_cycles\":" << cfg.update_overhead_cycles
+       << ",\"sparse_clocks\":" << (cfg.sparse_clocks ? "true" : "false")
+       << ",\"barrier_radix\":" << cfg.barrier_radix
+       << ",\"mesh_cluster\":" << cfg.mesh_cluster
        << ",\"seed\":" << cfg.seed << "}";
 }
 

@@ -59,7 +59,8 @@ registry()
         {"NCP2_SCALE", "enum", "standard",
          "workload size preset: tiny | small | standard"},
         {"NCP2_PROCS", "int", "16",
-         "simulated processor count for the benches, clamped to [1,64]"},
+         "simulated processor count for the benches, in [1,1024] (fatal "
+         "above; warns above 256 with the flat barrier)"},
         {"NCP2_JOBS", "int", "hardware concurrency",
          "experiment-engine worker threads (max 256); results are "
          "bit-identical at any width"},
@@ -79,6 +80,18 @@ registry()
          "in-run parallel executor workers per simulation; 1 = serial "
          "reference executor, >1 = conservative-window parallel "
          "execution (forced serial with a warning where unsupported)"},
+        {"NCP2_SPARSE_VT", "bool", "1",
+         "0 forces the dense vector-clock reference paths in the "
+         "protocols (host-time A/B; simulated results must not change)"},
+        {"NCP2_BARRIER_RADIX", "int", "0",
+         "TreadMarks barrier topology: 0 = flat single-manager barrier, "
+         "r >= 1 = r-ary combining tree rooted at node 0"},
+        {"NCP2_MESH_CLUSTER", "int", "0",
+         "hierarchical mesh cluster size: 0 = flat mesh, N >= 2 = "
+         "clusters of N nodes bridged by gateway routers"},
+        {"NCP2_SCALE_NODES", "list", "16,64,256,1024",
+         "comma-separated node counts for the fig17_scaling bench, each "
+         "in [1,1024]"},
     };
     return knobs;
 }
@@ -104,10 +117,14 @@ procs()
     if (!s || !*s)
         return 16u;
     const long v = parsePositive("NCP2_PROCS", s);
-    if (v > 64) {
-        ncp2_warn("NCP2_PROCS=%ld exceeds the supported maximum; "
-                  "clamping to 64", v);
-        return 64u;
+    if (v > 1024) {
+        ncp2_fatal("NCP2_PROCS=%ld exceeds the supported maximum of 1024 "
+                   "(nothing in the model is sized beyond that)", v);
+    }
+    if (v > 256 && barrierRadix() == 0) {
+        ncp2_warn("NCP2_PROCS=%ld with the flat barrier: the single "
+                  "manager serializes all arrivals at this scale; set "
+                  "NCP2_BARRIER_RADIX (e.g. 8) for a combining tree", v);
     }
     return static_cast<unsigned>(v);
 }
@@ -151,6 +168,62 @@ pdesWorkers()
         return 64u;
     }
     return static_cast<unsigned>(v);
+}
+
+bool
+sparseClocks()
+{
+    const char *s = raw("NCP2_SPARSE_VT");
+    return !s || !*s || parseBool("NCP2_SPARSE_VT", s);
+}
+
+unsigned
+barrierRadix()
+{
+    const char *s = raw("NCP2_BARRIER_RADIX");
+    if (!s || !*s || !std::strcmp(s, "0"))
+        return 0u;
+    return static_cast<unsigned>(parsePositive("NCP2_BARRIER_RADIX", s));
+}
+
+unsigned
+meshCluster()
+{
+    const char *s = raw("NCP2_MESH_CLUSTER");
+    if (!s || !*s || !std::strcmp(s, "0"))
+        return 0u;
+    const long v = parsePositive("NCP2_MESH_CLUSTER", s);
+    if (v == 1) {
+        ncp2_warn("NCP2_MESH_CLUSTER=1 (clusters of one node) is the "
+                  "flat mesh; ignoring");
+        return 0u;
+    }
+    return static_cast<unsigned>(v);
+}
+
+std::vector<unsigned>
+scaleNodes()
+{
+    const char *s = raw("NCP2_SCALE_NODES");
+    if (!s || !*s)
+        return {16u, 64u, 256u, 1024u};
+    std::vector<unsigned> out;
+    std::string item;
+    for (const char *p = s;; ++p) {
+        if (*p && *p != ',') {
+            item += *p;
+            continue;
+        }
+        const long v = parsePositive("NCP2_SCALE_NODES", item.c_str());
+        if (v > 1024)
+            ncp2_fatal("NCP2_SCALE_NODES entry %ld exceeds the supported "
+                       "maximum of 1024", v);
+        out.push_back(static_cast<unsigned>(v));
+        item.clear();
+        if (!*p)
+            break;
+    }
+    return out;
 }
 
 std::string
@@ -198,6 +271,18 @@ activeValues()
     out.emplace_back("NCP2_TRACE", std::to_string(traceCapacity()));
     out.emplace_back("NCP2_CHECK", checkOracle() ? "1" : "0");
     out.emplace_back("NCP2_PDES", std::to_string(pdesWorkers()));
+    out.emplace_back("NCP2_SPARSE_VT", sparseClocks() ? "1" : "0");
+    out.emplace_back("NCP2_BARRIER_RADIX", std::to_string(barrierRadix()));
+    out.emplace_back("NCP2_MESH_CLUSTER", std::to_string(meshCluster()));
+    {
+        std::string nodes;
+        for (unsigned n : scaleNodes()) {
+            if (!nodes.empty())
+                nodes += ',';
+            nodes += std::to_string(n);
+        }
+        out.emplace_back("NCP2_SCALE_NODES", std::move(nodes));
+    }
     return out;
 }
 

@@ -48,7 +48,12 @@ const std::vector<KnobInfo> &registry();
 /** NCP2_JOBS: engine worker threads. Default: hardware concurrency. */
 unsigned jobs();
 
-/** NCP2_PROCS: simulated processor count for the benches, in [1,64]. */
+/**
+ * NCP2_PROCS: simulated processor count for the benches, in [1,1024].
+ * Fatal above 1024 (nothing in the model is sized for more); warns
+ * above 256 when NCP2_BARRIER_RADIX leaves the flat barrier in place,
+ * whose single manager serializes all arrivals at that scale.
+ */
 unsigned procs();
 
 /** NCP2_SCALE: workload size preset: tiny | small | standard. */
@@ -81,6 +86,29 @@ std::size_t traceCapacity();
 
 /** The default ring capacity NCP2_TRACE=1 selects. */
 inline constexpr std::size_t default_trace_capacity = 1u << 20;
+
+/** NCP2_SPARSE_VT: 0 forces the dense vector-clock reference paths
+ *  (host-time A/B; simulated results must not change). Default on. */
+bool sparseClocks();
+
+/**
+ * NCP2_BARRIER_RADIX: TreadMarks barrier topology. 0 (default) = the
+ * flat single-manager barrier; r >= 1 = an r-ary combining tree rooted
+ * at node 0 (r >= num_procs degenerates to the flat message pattern).
+ */
+unsigned barrierRadix();
+
+/**
+ * NCP2_MESH_CLUSTER: hierarchical mesh cluster size. 0 (default) = the
+ * flat mesh; N >= 2 = clusters of N nodes bridged by gateway routers.
+ */
+unsigned meshCluster();
+
+/**
+ * NCP2_SCALE_NODES: comma-separated simulated node counts for the
+ * fig17_scaling bench (each in [1,1024]). Default: 16,64,256,1024.
+ */
+std::vector<unsigned> scaleNodes();
 
 /** Render the registry as the --knobs listing. */
 void printListing(std::ostream &os);

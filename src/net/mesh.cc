@@ -1,5 +1,6 @@
 #include "net/mesh.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/logging.hh"
@@ -7,23 +8,73 @@
 namespace net
 {
 
-MeshNetwork::MeshNetwork(unsigned num_nodes, NetTiming timing)
-    : num_nodes_(num_nodes), timing_(timing)
+MeshNetwork::MeshNetwork(unsigned num_nodes, NetTiming timing,
+                         unsigned cluster_size, NetTiming inter_timing)
+    : num_nodes_(num_nodes), timing_(timing), inter_timing_(inter_timing)
 {
     ncp2_assert(num_nodes >= 1, "mesh needs at least one node");
+    // A cluster of one node, or one spanning the whole machine, is just
+    // the flat mesh; normalize here so every downstream branch has a
+    // single notion of "hierarchical".
+    cluster_size_ =
+        (cluster_size <= 1 || cluster_size >= num_nodes) ? 0 : cluster_size;
+
+    if (!hierarchical()) {
+        width_ = 1;
+        while (width_ * width_ < num_nodes)
+            ++width_;
+        // Allocate links for every grid position: dimension-order routes
+        // may traverse router positions that have no attached node.
+        const unsigned grid = width_ * width_;
+        links_.reserve(static_cast<std::size_t>(grid) * num_ports);
+        for (unsigned n = 0; n < grid; ++n) {
+            for (unsigned p = 0; p < num_ports; ++p) {
+                links_.emplace_back(
+                    sim::detail::format("link.n%u.p%u", n, p));
+            }
+        }
+        return;
+    }
+
+    clusters_ = (num_nodes_ + cluster_size_ - 1) / cluster_size_;
     width_ = 1;
-    while (width_ * width_ < num_nodes)
+    while (width_ * width_ < cluster_size_)
         ++width_;
-    // Allocate links for every grid position: dimension-order routes may
-    // traverse router positions that have no attached node.
-    const unsigned grid = width_ * width_;
-    links_.reserve(static_cast<std::size_t>(grid) * num_ports);
-    for (unsigned n = 0; n < grid; ++n) {
-        for (unsigned p = 0; p < num_ports; ++p) {
-            links_.emplace_back(
-                sim::detail::format("link.n%u.p%u", n, p));
+    outer_width_ = 1;
+    while (outer_width_ * outer_width_ < clusters_)
+        ++outer_width_;
+
+    const unsigned igrid = width_ * width_;
+    const unsigned ogrid = outer_width_ * outer_width_;
+    outer_base_ =
+        static_cast<std::size_t>(clusters_) * igrid * num_ports;
+    links_.reserve(outer_base_ +
+                   static_cast<std::size_t>(ogrid) * num_ports);
+    for (unsigned c = 0; c < clusters_; ++c) {
+        for (unsigned n = 0; n < igrid; ++n) {
+            for (unsigned p = 0; p < num_ports; ++p) {
+                links_.emplace_back(
+                    sim::detail::format("link.c%u.n%u.p%u", c, n, p));
+            }
         }
     }
+    for (unsigned n = 0; n < ogrid; ++n) {
+        for (unsigned p = 0; p < num_ports; ++p) {
+            links_.emplace_back(
+                sim::detail::format("xlink.n%u.p%u", n, p));
+        }
+    }
+
+    // Cache the cross-node latency bound. The minimum over all ordered
+    // pairs is attained either by an adjacent intra-cluster pair (nodes
+    // 0 and 1 of cluster 0: one hop, and cluster 0 is always full), or
+    // by two adjacent gateways (no intra segments at all: gateway of
+    // cluster 0 to gateway of cluster 1, one outer hop). Every other
+    // pair has at least as many hops in at least as many segments.
+    // tests/test_scale.cc brute-forces every pair against this.
+    min_cross_ = std::min(
+        uncontendedLatency(0, 1, 0),
+        uncontendedLatency(0, static_cast<sim::NodeId>(cluster_size_), 0));
 }
 
 sim::Resource &
@@ -32,19 +83,34 @@ MeshNetwork::link(sim::NodeId node, Port port)
     return links_[static_cast<std::size_t>(node) * num_ports + port];
 }
 
+sim::Resource &
+MeshNetwork::intraLink(unsigned c, unsigned pos, Port port)
+{
+    const std::size_t igrid =
+        static_cast<std::size_t>(width_) * width_;
+    return links_[(c * igrid + pos) * num_ports + port];
+}
+
+sim::Resource &
+MeshNetwork::outerLink(unsigned pos, Port port)
+{
+    return links_[outer_base_ +
+                  static_cast<std::size_t>(pos) * num_ports + port];
+}
+
 void
-MeshNetwork::route(sim::NodeId src, sim::NodeId dst,
-                   std::vector<std::pair<sim::NodeId, Port>> &path) const
+MeshNetwork::gridRoute(unsigned width, unsigned src, unsigned dst,
+                       std::vector<std::pair<sim::NodeId, Port>> &path)
 {
     path.clear();
-    unsigned x = src % width_;
-    unsigned y = src / width_;
-    const unsigned dx = dst % width_;
-    const unsigned dy = dst / width_;
+    unsigned x = src % width;
+    unsigned y = src / width;
+    const unsigned dx = dst % width;
+    const unsigned dy = dst / width;
 
     // Dimension order: X first, then Y.
     while (x != dx) {
-        const sim::NodeId here = y * width_ + x;
+        const sim::NodeId here = y * width + x;
         if (x < dx) {
             path.emplace_back(here, east);
             ++x;
@@ -54,7 +120,7 @@ MeshNetwork::route(sim::NodeId src, sim::NodeId dst,
         }
     }
     while (y != dy) {
-        const sim::NodeId here = y * width_ + x;
+        const sim::NodeId here = y * width + x;
         if (y < dy) {
             path.emplace_back(here, south);
             ++y;
@@ -67,19 +133,64 @@ MeshNetwork::route(sim::NodeId src, sim::NodeId dst,
 }
 
 unsigned
-MeshNetwork::hops(sim::NodeId src, sim::NodeId dst) const
+MeshNetwork::gridHops(unsigned width, unsigned src, unsigned dst)
 {
-    const unsigned x = src % width_, y = src / width_;
-    const unsigned dx = dst % width_, dy = dst / width_;
+    const unsigned x = src % width, y = src / width;
+    const unsigned dx = dst % width, dy = dst / width;
     const unsigned hx = x > dx ? x - dx : dx - x;
     const unsigned hy = y > dy ? y - dy : dy - y;
     return hx + hy;
 }
 
 sim::Cycles
+MeshNetwork::txCycles(const NetTiming &t, std::uint32_t bytes)
+{
+    return static_cast<sim::Cycles>(std::ceil(bytes * t.cyclesPerByte()));
+}
+
+unsigned
+MeshNetwork::hops(sim::NodeId src, sim::NodeId dst) const
+{
+    if (hierarchical()) {
+        const unsigned csrc = src / cluster_size_, cdst = dst / cluster_size_;
+        const unsigned lsrc = src % cluster_size_, ldst = dst % cluster_size_;
+        if (csrc == cdst)
+            return gridHops(width_, lsrc, ldst);
+        return gridHops(width_, lsrc, 0) +
+               gridHops(outer_width_, csrc, cdst) +
+               gridHops(width_, 0, ldst);
+    }
+    return gridHops(width_, src, dst);
+}
+
+sim::Cycles
 MeshNetwork::uncontendedLatency(sim::NodeId src, sim::NodeId dst,
                                 std::uint32_t payload_bytes) const
 {
+    if (hierarchical() && src != dst) {
+        const unsigned csrc = src / cluster_size_, cdst = dst / cluster_size_;
+        const unsigned lsrc = src % cluster_size_, ldst = dst % cluster_size_;
+        const sim::Cycles hop_i =
+            timing_.switch_cycles + timing_.wire_cycles;
+        const sim::Cycles tx_i =
+            txCycles(timing_, payload_bytes + timing_.header_bytes);
+        if (csrc == cdst)
+            return (gridHops(width_, lsrc, ldst) + 1) * hop_i + tx_i;
+        // Three store-and-forward segments (intra ones skipped when the
+        // endpoint is its cluster's gateway), each with its own
+        // head-latency and transmission charge.
+        sim::Cycles total = 0;
+        if (lsrc != 0)
+            total += (gridHops(width_, lsrc, 0) + 1) * hop_i + tx_i;
+        total += (gridHops(outer_width_, csrc, cdst) + 1) *
+                     (inter_timing_.switch_cycles +
+                      inter_timing_.wire_cycles) +
+                 txCycles(inter_timing_,
+                          payload_bytes + inter_timing_.header_bytes);
+        if (ldst != 0)
+            total += (gridHops(width_, 0, ldst) + 1) * hop_i + tx_i;
+        return total;
+    }
     const std::uint32_t bytes = payload_bytes + timing_.header_bytes;
     const auto tx = static_cast<sim::Cycles>(
         std::ceil(bytes * timing_.cyclesPerByte()));
@@ -100,10 +211,79 @@ MeshNetwork::minCrossLatency() const
 {
     if (num_nodes_ < 2)
         return sim::tick_never;
+    if (hierarchical())
+        return min_cross_;
     // Adjacent nodes (one hop) with an empty payload: every other
     // src != dst pair has at least as many hops and at least as many
     // payload bytes, and contention can only delay further.
     return uncontendedLatency(0, 1, 0);
+}
+
+sim::Tick
+MeshNetwork::traverseScratch(sim::Tick head, const NetTiming &t,
+                             sim::Cycles tx, bool outer, unsigned c)
+{
+    for (const auto &[node, port] : scratch_path_) {
+        sim::Resource &l =
+            outer ? outerLink(node, port) : intraLink(c, node, port);
+        const sim::Tick free = l.freeAt();
+        if (free > head) {
+            stats_.contention_cycles += free - head;
+            head = free;
+        }
+        l.acquire(head, tx);
+        head += t.switch_cycles + t.wire_cycles;
+    }
+    return head + tx;
+}
+
+sim::Tick
+MeshNetwork::sendHier(sim::Tick departure, sim::NodeId src,
+                      sim::NodeId dst, std::uint32_t payload_bytes)
+{
+    const unsigned csrc = src / cluster_size_, cdst = dst / cluster_size_;
+    const unsigned lsrc = src % cluster_size_, ldst = dst % cluster_size_;
+    const sim::Cycles tx_intra =
+        txCycles(timing_, payload_bytes + timing_.header_bytes);
+
+    ++stats_.messages;
+    if (trace_) [[unlikely]]
+        trace_->emit(departure, src, sim::TraceEngine::nic,
+                     sim::TraceKind::msg_send, payload_bytes,
+                     static_cast<std::uint16_t>(dst));
+
+    sim::Tick head = departure;
+    if (csrc == cdst) {
+        stats_.bytes += payload_bytes + timing_.header_bytes;
+        gridRoute(width_, lsrc, ldst, scratch_path_);
+        head = traverseScratch(head, timing_, tx_intra, false, csrc);
+    } else {
+        // Store-and-forward through the gateways: the tail must arrive
+        // at a gateway's bridge buffer before the next fabric's segment
+        // departs (the fabrics have different path widths, so the worm
+        // cannot straddle the boundary).
+        if (lsrc != 0) {
+            stats_.bytes += payload_bytes + timing_.header_bytes;
+            gridRoute(width_, lsrc, 0, scratch_path_);
+            head = traverseScratch(head, timing_, tx_intra, false, csrc);
+        }
+        stats_.bytes += payload_bytes + inter_timing_.header_bytes;
+        const sim::Cycles tx_inter = txCycles(
+            inter_timing_, payload_bytes + inter_timing_.header_bytes);
+        gridRoute(outer_width_, csrc, cdst, scratch_path_);
+        head = traverseScratch(head, inter_timing_, tx_inter, true, 0);
+        if (ldst != 0) {
+            stats_.bytes += payload_bytes + timing_.header_bytes;
+            gridRoute(width_, 0, ldst, scratch_path_);
+            head = traverseScratch(head, timing_, tx_intra, false, cdst);
+        }
+    }
+    stats_.latency_cycles += head - departure;
+    if (trace_) [[unlikely]]
+        trace_->emit(head, dst, sim::TraceEngine::nic,
+                     sim::TraceKind::msg_deliver, payload_bytes,
+                     static_cast<std::uint16_t>(src));
+    return head;
 }
 
 sim::Tick
@@ -112,6 +292,9 @@ MeshNetwork::send(sim::Tick departure, sim::NodeId src, sim::NodeId dst,
 {
     ncp2_assert(src < num_nodes_ && dst < num_nodes_,
                 "message endpoints out of range");
+
+    if (hierarchical() && src != dst)
+        return sendHier(departure, src, dst, payload_bytes);
 
     const std::uint32_t bytes = payload_bytes + timing_.header_bytes;
     const auto tx = static_cast<sim::Cycles>(
@@ -136,7 +319,7 @@ MeshNetwork::send(sim::Tick departure, sim::NodeId src, sim::NodeId dst,
         return done;
     }
 
-    route(src, dst, scratch_path_);
+    gridRoute(width_, src, dst, scratch_path_);
 
     // Wormhole: the head advances one hop per (switch + wire); each link
     // on the path is held for the whole transmission time starting when

@@ -81,14 +81,34 @@ struct NetStats
 };
 
 /**
- * The mesh fabric. Node i sits at (i % width, i / width) of the nearest
- * square mesh. send() computes the delivery tick of a message injected
- * at a given departure tick, updating link occupancy.
+ * The mesh fabric.
+ *
+ * Flat (cluster_size == 0, the default): node i sits at
+ * (i % width, i / width) of the nearest square mesh — the paper's
+ * machine, preserved bit-identically.
+ *
+ * Hierarchical (cluster_size >= 2): nodes are grouped into clusters of
+ * cluster_size; each cluster is its own square sub-mesh over `timing`
+ * links, and the clusters connect through their gateway routers (local
+ * node 0) over an outer square mesh of `inter_timing` links. A
+ * cross-cluster message travels store-and-forward through up to three
+ * wormhole segments (source sub-mesh -> outer mesh -> destination
+ * sub-mesh), each segment paying its own transmission time at that
+ * fabric's path width. This keeps per-node link counts constant at
+ * 256-1024 nodes and models fast intra-cluster / slower backbone
+ * machines; minCrossLatency() stays a sound conservative lookahead for
+ * the parallel executor (it is the brute-force minimum over every
+ * ordered node pair at zero payload, computed once at construction).
+ *
+ * send() computes the delivery tick of a message injected at a given
+ * departure tick, updating link occupancy.
  */
 class MeshNetwork
 {
   public:
-    MeshNetwork(unsigned num_nodes, NetTiming timing);
+    MeshNetwork(unsigned num_nodes, NetTiming timing,
+                unsigned cluster_size = 0,
+                NetTiming inter_timing = NetTiming{});
 
     /**
      * Inject a message.
@@ -127,9 +147,14 @@ class MeshNetwork
     [[nodiscard]] sim::Cycles minCrossLatency() const;
 
     [[nodiscard]] const NetTiming &timing() const { return timing_; }
+    [[nodiscard]] const NetTiming &interTiming() const { return inter_timing_; }
     [[nodiscard]] const NetStats &stats() const { return stats_; }
     [[nodiscard]] unsigned numNodes() const { return num_nodes_; }
+    /** Flat mesh width; intra-cluster sub-mesh width when clustered. */
     [[nodiscard]] unsigned width() const { return width_; }
+    /** Effective cluster size: 0 when the mesh is flat. */
+    [[nodiscard]] unsigned clusterSize() const { return cluster_size_; }
+    [[nodiscard]] unsigned numClusters() const { return clusters_; }
 
     void reset();
 
@@ -142,15 +167,44 @@ class MeshNetwork
     enum Port { east = 0, west = 1, north = 2, south = 3, eject = 4,
                 num_ports = 5 };
 
-    sim::Resource &link(sim::NodeId node, Port port);
+    [[nodiscard]] bool hierarchical() const { return cluster_size_ != 0; }
 
-    /** Append the dimension-order route to @p path as (node, port). */
-    void route(sim::NodeId src, sim::NodeId dst,
-               std::vector<std::pair<sim::NodeId, Port>> &path) const;
+    /** Flat-mesh link lookup (grid position, port). */
+    sim::Resource &link(sim::NodeId node, Port port);
+    /** Link inside cluster @p c's sub-mesh (intra grid position, port). */
+    sim::Resource &intraLink(unsigned c, unsigned pos, Port port);
+    /** Outer-mesh link (outer grid position = cluster index, port). */
+    sim::Resource &outerLink(unsigned pos, Port port);
+
+    /** Append the dimension-order route through a @p width-wide grid to
+     *  @p path as (grid position, port), ending with (dst, eject). */
+    static void gridRoute(unsigned width, unsigned src, unsigned dst,
+                          std::vector<std::pair<sim::NodeId, Port>> &path);
+    static unsigned gridHops(unsigned width, unsigned src, unsigned dst);
+    static sim::Cycles txCycles(const NetTiming &t, std::uint32_t bytes);
+
+    /**
+     * Advance a wormhole head over scratch_path_ within one fabric
+     * (cluster @p c's sub-mesh, or the outer mesh when @p outer),
+     * charging contention, and return the segment's delivery tick
+     * (head + @p tx).
+     */
+    sim::Tick traverseScratch(sim::Tick head, const NetTiming &t,
+                              sim::Cycles tx, bool outer, unsigned c);
+
+    /** send() for a hierarchical cross-node message (src != dst). */
+    sim::Tick sendHier(sim::Tick departure, sim::NodeId src,
+                       sim::NodeId dst, std::uint32_t payload_bytes);
 
     unsigned num_nodes_;
-    unsigned width_;
+    unsigned width_;            ///< flat width, or intra-cluster width
     NetTiming timing_;
+    unsigned cluster_size_ = 0; ///< 0 = flat (normalized in constructor)
+    NetTiming inter_timing_;
+    unsigned clusters_ = 1;
+    unsigned outer_width_ = 1;
+    std::size_t outer_base_ = 0;      ///< index of the first outer link
+    sim::Cycles min_cross_ = 0;       ///< cached bound (hierarchical)
     std::vector<sim::Resource> links_;
     NetStats stats_;
     sim::Trace *trace_ = nullptr; ///< owned by the System; may be null

@@ -87,11 +87,22 @@ TreadMarks::attach(dsm::System &sys)
     procs_.reserve(n);
     for (unsigned i = 0; i < n; ++i) {
         procs_.push_back(std::make_unique<ProcState>());
-        procs_.back()->vt = dsm::VectorClock(n);
+        ProcState &p = *procs_.back();
+        p.vt = dsm::VectorClock(n);
+        // Pre-size the per-epoch containers once, from the machine
+        // geometry: at 256-1024 nodes the old grow-as-you-go pattern
+        // reallocated these inside every interval close / notice round.
+        p.delta_scratch.entries.reserve(n);
+        p.vt_sums.reserve(64);
+        p.open_dirty.reserve(32);
+        p.invalidated.reserve(32);
     }
     txns_.assign(n, Txn{});
     prefetch_.assign(n, ProcPrefetch{});
     lh_pending_words_.assign(n, 0);
+    tree_barriers_.clear();
+    if (cfg().barrier_radix != 0)
+        tree_barriers_.resize(n);
     // Manager knowledge starts at the zero clock (previously
     // lazy-initialized by the first barrier arrival — same value, but
     // host-side init keeps run-time writes owner-only).
@@ -184,47 +195,110 @@ TreadMarks::noticeCount(const dsm::VectorClock &from,
     return count;
 }
 
+std::uint64_t
+TreadMarks::noticeCountDelta(const dsm::ClockDelta &d) const
+{
+    std::uint64_t count = 0;
+    for (const dsm::ClockDelta::Entry &e : d.entries) {
+        const ProcState &ps = *procs_[e.proc];
+        for (dsm::IntervalSeq s = e.from + 1; s <= e.to; ++s)
+            count += ps.interval_pages.at(s - 1).size();
+    }
+    return count;
+}
+
+std::uint64_t
+TreadMarks::noticesBetween(const dsm::VectorClock &from,
+                           const dsm::VectorClock &to,
+                           dsm::ClockDelta &scratch) const
+{
+    if (!cfg().sparse_clocks)
+        return noticeCount(from, to);
+    dsm::clockDelta(from, to, scratch);
+    const std::uint64_t n = noticeCountDelta(scratch);
+    ncp2_dassert(n == noticeCount(from, to),
+                 "sparse notice count diverged from the dense oracle");
+    return n;
+}
+
+void
+TreadMarks::invalidateInterval(NodeId proc, unsigned q, dsm::IntervalSeq s)
+{
+    ProcState &me = *procs_[proc];
+    dsm::PageStore &store = node(proc).pages;
+    const ProcState &ps = *procs_[q];
+    for (PageId page : ps.interval_pages.at(s - 1)) {
+        dsm::NodePage &pg = store.page(page);
+        if (!pg.present() || pg.applied[q] >= s)
+            continue;
+        if (pg.access == dsm::Access::none)
+            continue;
+        pg.access = dsm::Access::none;
+        node(proc).tlb.invalidate(page);
+        node(proc).adesc.invalidate(page);
+        ++stats_.invalidations;
+        if (pg.prefetched_unused) {
+            ++stats_.prefetches_useless;
+            if (sim::Trace *tr = sys_->trace()) [[unlikely]]
+                tr->emit(sys_->eq().now(), proc,
+                         sim::TraceEngine::cpu,
+                         sim::TraceKind::prefetch_useless, page);
+            pg.prefetched_unused = false;
+            PrefetchHistory &h = prefetch_[proc].history[page];
+            if (++h.useless_streak >= 1)
+                h.banned = true; // adaptive strategy gives up
+        } else if (pg.referenced) {
+            // Demand use resets the streak, but a page that was
+            // ever prefetched uselessly stays banned: the
+            // referenced bit already covers the optimistic case.
+            prefetch_[proc].history[page].useless_streak = 0;
+        }
+        if (pg.referenced)
+            me.invalidated.push_back(page);
+    }
+}
+
 void
 TreadMarks::applyInvalidations(NodeId proc, const dsm::VectorClock &from,
                                const dsm::VectorClock &to)
 {
-    ProcState &me = *procs_[proc];
-    dsm::PageStore &store = node(proc).pages;
     for (unsigned q = 0; q < from.size(); ++q) {
         if (q == proc)
             continue;
-        const ProcState &ps = *procs_[q];
-        for (dsm::IntervalSeq s = from[q] + 1; s <= to[q]; ++s) {
-            for (PageId page : ps.interval_pages.at(s - 1)) {
-                dsm::NodePage &pg = store.page(page);
-                if (!pg.present() || pg.applied[q] >= s)
-                    continue;
-                if (pg.access == dsm::Access::none)
-                    continue;
-                pg.access = dsm::Access::none;
-                node(proc).tlb.invalidate(page);
-                node(proc).adesc.invalidate(page);
-                ++stats_.invalidations;
-                if (pg.prefetched_unused) {
-                    ++stats_.prefetches_useless;
-                    if (sim::Trace *tr = sys_->trace()) [[unlikely]]
-                        tr->emit(sys_->eq().now(), proc,
-                                 sim::TraceEngine::cpu,
-                                 sim::TraceKind::prefetch_useless, page);
-                    pg.prefetched_unused = false;
-                    PrefetchHistory &h = prefetch_[proc].history[page];
-                    if (++h.useless_streak >= 1)
-                        h.banned = true; // adaptive strategy gives up
-                } else if (pg.referenced) {
-                    // Demand use resets the streak, but a page that was
-                    // ever prefetched uselessly stays banned: the
-                    // referenced bit already covers the optimistic case.
-                    prefetch_[proc].history[page].useless_streak = 0;
-                }
-                if (pg.referenced)
-                    me.invalidated.push_back(page);
-            }
-        }
+        for (dsm::IntervalSeq s = from[q] + 1; s <= to[q]; ++s)
+            invalidateInterval(proc, q, s);
+    }
+}
+
+void
+TreadMarks::applyInvalidationsDelta(NodeId proc, const dsm::ClockDelta &d)
+{
+    // Entries ascend by writer, so the (q, s) visit order is exactly the
+    // dense loop's with its empty ranges skipped — identical simulated
+    // side effects by construction.
+    for (const dsm::ClockDelta::Entry &e : d.entries) {
+        if (e.proc == proc)
+            continue;
+        for (dsm::IntervalSeq s = e.from + 1; s <= e.to; ++s)
+            invalidateInterval(proc, e.proc, s);
+    }
+}
+
+void
+TreadMarks::advanceClock(NodeId proc, const dsm::VectorClock &to,
+                         const dsm::ClockDelta &d)
+{
+    ProcState &me = *procs_[proc];
+    if (cfg().sparse_clocks) {
+        applyInvalidationsDelta(proc, d);
+        dsm::applyDelta(me.vt, d);
+        // The sparse merge must leave the clock exactly where the dense
+        // merge would: dominating the target.
+        ncp2_dassert(to.dominatedBy(me.vt),
+                     "sparse clock merge fell short of the target clock");
+    } else {
+        applyInvalidations(proc, me.vt, to);
+        me.vt.merge(to);
     }
 }
 
@@ -606,8 +680,12 @@ TreadMarks::faultIn(NodeId proc, PageId page)
 
     const std::vector<NodeId> writers = neededWriters(proc, page);
 
+    // Reset in place: reassigning a fresh Txn would free the shipments
+    // buffer (and each shipment's word vectors) on every fault, which is
+    // pure allocator churn at scale. clear() keeps the capacity.
     Txn &txn = txns_[proc];
-    txn = Txn{};
+    txn.shipments.clear();
+    txn.page_arrived = false;
     txn.cold = cold;
     // Preset the reply count before issuing anything: fiberSend may
     // yield the fiber, and early replies must not hit zero prematurely.
@@ -1060,6 +1138,8 @@ TreadMarks::finishPrefetch(NodeId proc, PageId page)
 // locks
 // ---------------------------------------------------------------------
 
+
+
 void
 TreadMarks::acquire(NodeId proc, unsigned lock_id)
 {
@@ -1083,19 +1163,19 @@ TreadMarks::acquire(NodeId proc, unsigned lock_id)
         if (lk.has_owner && lk.owner == proc && !lk.held && !lk.granting &&
             lk.waiters.empty()) {
             fast = true;
-            // Parallel: claim under the guard, before the charge below
-            // can let a manager pump in the same window hand the lock
-            // elsewhere. Serial keeps the historical claim-after-charge
-            // order (the fiber cannot be preempted there).
-            if (sys_->pdesActive())
-                lk.held = true;
+            // Claim under the guard, atomically with the check. The
+            // charge below parks this fiber while the global clock runs
+            // on, so a claim-after-charge order opens a window (serial
+            // included) where a manager pump sees the lock free and
+            // forwards it to us — and the forward, finding !held,
+            // grants our cached ownership to the next waiter while we
+            // believe the fast acquire succeeded.
+            lk.held = true;
         }
     }
     if (fast) {
         ++stats_.lock_fast_grants;
         n.cpu.advance(40, Cat::synch);
-        if (!sys_->pdesActive())
-            locks_[lock_id].held = true;
         return;
     }
 
@@ -1222,11 +1302,10 @@ TreadMarks::prepareGrant(unsigned lock_id, NodeId from, NodeId to)
     const dsm::VectorClock &vt_to = ps(to).vt;
     plan.eff = grant_vt;
     // Never grant a clock below the acquirer's own (merge semantics).
-    std::uint64_t notices = 0;
-    for (unsigned q = 0; q < plan.eff.size(); ++q) {
-        for (dsm::IntervalSeq s = vt_to[q] + 1; s <= plan.eff[q]; ++s)
-            notices += ps(q).interval_pages.at(s - 1).size();
-    }
+    // The granter runs this in its own context, so its delta scratch is
+    // free to use.
+    const std::uint64_t notices =
+        noticesBetween(vt_to, plan.eff, ps(from).delta_scratch);
     plan.notices = notices;
     stats_.grant_notices += static_cast<double>(notices);
 
@@ -1319,8 +1398,9 @@ TreadMarks::deliverGrant(unsigned lock_id, NodeId to,
         tr->emit(sys_->eq().now(), to, sim::TraceEngine::cpu,
                  sim::TraceKind::lock_grant, lock_id);
     ProcState &ps = *procs_[to];
-    applyInvalidations(to, ps.vt, grant_vt);
-    ps.vt.merge(grant_vt);
+    if (cfg().sparse_clocks)
+        dsm::clockDelta(ps.vt, grant_vt, ps.delta_scratch);
+    advanceClock(to, grant_vt, ps.delta_scratch);
     node(to).cpu.wake();
 }
 
@@ -1383,57 +1463,252 @@ TreadMarks::barrier(NodeId proc, unsigned barrier_id)
 
     closeInterval(proc);
 
-    const NodeId manager = 0;
     ProcState &ps = *procs_[proc];
     // The arrival carries the intervals the manager does not yet know.
     // Reading mgr_known_vt_ here is ordered: its last merge happened
     // before the previous barrier's release message woke this fiber.
-    const std::uint64_t up_notices = noticeCount(mgr_known_vt_, ps.vt);
+    const std::uint64_t up_notices =
+        noticesBetween(mgr_known_vt_, ps.vt, ps.delta_scratch);
 
-    fiberSend(proc, manager, grantBytes(up_notices), Cat::synch,
-              ctrl::Priority::high,
-              [this, proc, barrier_id, up_notices](Tick) {
-        // Barrier bookkeeping lives in the manager's shard: the entry is
-        // created (seeded with the manager's current knowledge) and
-        // merged only by arrival events on node 0's queue.
-        auto &b = barriers_[barrier_id];
-        if (b.merged_vt.size() == 0)
-            b.merged_vt = mgr_known_vt_;
-        dsm::Node &mgr = node(0);
-        const Tick done = mgr.cpu.interrupt(
-            cfg().interrupt_cycles + cfg().list_cycles * up_notices);
-        b.merged_vt.merge(procs_[proc]->vt);
-        if (done > b.ready_at)
-            b.ready_at = done;
-        if (++b.arrived < nprocs())
-            return;
+    if (cfg().barrier_radix != 0) {
+        // Combining tree: an internal node's own arrival folds into its
+        // own combine state (a self-message, exactly like the flat
+        // barrier's node-0 self-send); a leaf arrives at its parent.
+        const NodeId at =
+            treeChildren(proc).empty() ? treeParent(proc) : proc;
+        fiberSend(proc, at, grantBytes(up_notices), Cat::synch,
+                  ctrl::Priority::high,
+                  [this, at, proc, barrier_id, up_notices](Tick) {
+                      treeArrive(at, barrier_id, proc, nullptr, nullptr,
+                                 up_notices);
+                  });
+    } else {
+        const NodeId manager = 0;
+        fiberSend(proc, manager, grantBytes(up_notices), Cat::synch,
+                  ctrl::Priority::high,
+                  [this, proc, barrier_id, up_notices](Tick) {
+            // Barrier bookkeeping lives in the manager's shard: the
+            // entry is created (seeded with the manager's current
+            // knowledge) and merged only by arrival events on node 0's
+            // queue.
+            auto &b = barriers_[barrier_id];
+            if (b.merged_vt.size() == 0)
+                b.merged_vt = mgr_known_vt_;
+            dsm::Node &mgr = node(0);
+            const Tick done = mgr.cpu.interrupt(
+                cfg().interrupt_cycles + cfg().list_cycles * up_notices);
+            b.merged_vt.merge(procs_[proc]->vt);
+            if (done > b.ready_at)
+                b.ready_at = done;
+            if (++b.arrived < nprocs())
+                return;
 
-        // All arrived: broadcast releases at ready_at.
-        ++stats_.barriers;
-        const dsm::VectorClock final_vt = b.merged_vt;
-        mgr_known_vt_.merge(final_vt);
-        sys_->eq().schedule(b.ready_at, [this, barrier_id, final_vt]() {
-            for (unsigned q = 0; q < nprocs(); ++q) {
-                // q's clock is frozen: it is blocked at this barrier.
-                const std::uint64_t down =
-                    noticeCount(procs_[q]->vt, final_vt);
-                eventSend(0, q, grantBytes(down), ctrl::Priority::high,
-                          [this, q, final_vt](Tick) {
-                              ProcState &pq = *procs_[q];
-                              applyInvalidations(q, pq.vt, final_vt);
-                              pq.vt.merge(final_vt);
-                              node(q).cpu.wake();
-                          });
+            // All arrived: broadcast releases at ready_at. One shared
+            // final clock and one O(n) base delta from the pre-merge
+            // manager watermark replace the historical per-receiver
+            // dense copies and scans (n of each, n words apiece).
+            ++stats_.barriers;
+            auto final_vt =
+                std::make_shared<const dsm::VectorClock>(b.merged_vt);
+            std::shared_ptr<dsm::ClockDelta> base;
+            if (cfg().sparse_clocks) {
+                base = std::make_shared<dsm::ClockDelta>();
+                dsm::clockDelta(mgr_known_vt_, *final_vt, *base);
             }
-            barriers_.erase(barrier_id);
+            mgr_known_vt_.merge(*final_vt);
+            sys_->eq().schedule(b.ready_at,
+                                [this, barrier_id, final_vt, base]() {
+                for (unsigned q = 0; q < nprocs(); ++q) {
+                    // q's clock is frozen: it is blocked at this
+                    // barrier. Every participant dominates the
+                    // pre-merge watermark (it merged the previous
+                    // final), so narrowing the base delta to q's clock
+                    // yields exactly delta(vt_q, final).
+                    ProcState &pq = *procs_[q];
+                    std::uint64_t down;
+                    dsm::ClockDelta dq;
+                    if (base) {
+                        dsm::narrowDelta(*base, pq.vt, dq);
+                        down = noticeCountDelta(dq);
+                        ncp2_dassert(
+                            down == noticeCount(pq.vt, *final_vt),
+                            "narrowed barrier delta diverged");
+                    } else {
+                        down = noticeCount(pq.vt, *final_vt);
+                    }
+                    eventSend(0, q, grantBytes(down),
+                              ctrl::Priority::high,
+                              [this, q, final_vt,
+                               dq = std::move(dq)](Tick) {
+                                  advanceClock(q, *final_vt, dq);
+                                  node(q).cpu.wake();
+                              });
+                }
+                barriers_.erase(barrier_id);
+            });
         });
-    });
+    }
     n.cpu.block(Cat::synch);
 
     // Release processing: write-notice handling on the arriving CPU.
     n.cpu.advance(cfg().list_cycles * (ps.invalidated.size() + 1),
                   Cat::synch);
     issuePrefetches(proc);
+}
+
+std::vector<NodeId>
+TreadMarks::treeChildren(NodeId p) const
+{
+    std::vector<NodeId> out;
+    const unsigned r = cfg().barrier_radix;
+    const std::uint64_t first = static_cast<std::uint64_t>(p) * r + 1;
+    for (std::uint64_t c = first; c < first + r && c < nprocs(); ++c)
+        out.push_back(static_cast<NodeId>(c));
+    return out;
+}
+
+void
+TreadMarks::treeArrive(NodeId at, unsigned barrier_id, NodeId from,
+                       std::shared_ptr<const dsm::VectorClock> merged,
+                       std::shared_ptr<const dsm::VectorClock> mn,
+                       std::uint64_t up_notices)
+{
+    TreeBarrier &b = tree_barriers_[at][barrier_id];
+    if (b.merged_vt.size() == 0)
+        b.merged_vt = mgr_known_vt_; // seed, mirroring the flat manager
+
+    // Arrival processing interrupts the combine node, exactly as every
+    // arrival interrupts the flat barrier's manager — but each node
+    // absorbs at most radix+1 of them instead of node 0 absorbing n.
+    const Tick done = node(at).cpu.interrupt(
+        cfg().interrupt_cycles + cfg().list_cycles * up_notices);
+    if (done > b.ready_at)
+        b.ready_at = done;
+
+    // Leaf/self arrivals read the arriver's clock live: it is blocked
+    // at this barrier, so the clock is frozen until its release.
+    // Forwarded arrivals carry their subtree's snapshots.
+    const dsm::VectorClock &arr_merged = merged ? *merged : procs_[from]->vt;
+    const dsm::VectorClock &arr_min = mn ? *mn : procs_[from]->vt;
+    b.merged_vt.merge(arr_merged);
+    if (b.min_vt.size() == 0) {
+        b.min_vt = arr_min;
+    } else {
+        for (unsigned i = 0; i < b.min_vt.size(); ++i) {
+            if (arr_min[i] < b.min_vt[i])
+                b.min_vt[i] = arr_min[i];
+        }
+    }
+    if (from != at)
+        b.child_mins.emplace_back(from, arr_min);
+
+    const unsigned expected =
+        static_cast<unsigned>(treeChildren(at).size()) + 1;
+    if (++b.arrived < expected)
+        return;
+
+    if (at == 0) {
+        // Root: the barrier is complete. Broadcast at ready_at, self
+        // first — the flat release loop's q = 0, 1, ... order.
+        ++stats_.barriers;
+        auto final_vt =
+            std::make_shared<const dsm::VectorClock>(b.merged_vt);
+        std::shared_ptr<dsm::ClockDelta> base;
+        if (cfg().sparse_clocks) {
+            auto bd = std::make_shared<dsm::ClockDelta>();
+            dsm::clockDelta(mgr_known_vt_, *final_vt, *bd);
+            base = std::move(bd);
+        }
+        mgr_known_vt_.merge(*final_vt);
+        sys_->eq().schedule(b.ready_at, [this, barrier_id, final_vt,
+                                         base]() {
+            ProcState &p0 = *procs_[0];
+            std::uint64_t down;
+            if (base) {
+                dsm::narrowDelta(*base, p0.vt, p0.delta_scratch);
+                down = noticeCountDelta(p0.delta_scratch);
+                ncp2_dassert(down == noticeCount(p0.vt, *final_vt),
+                             "narrowed barrier delta diverged");
+            } else {
+                down = noticeCount(p0.vt, *final_vt);
+            }
+            eventSend(0, 0, grantBytes(down), ctrl::Priority::high,
+                      [this, barrier_id, final_vt, base](Tick) {
+                          treeDeliver(0, barrier_id, final_vt, base);
+                      });
+            broadcastChildren(0, barrier_id, final_vt, base);
+        });
+        return;
+    }
+
+    // Internal node: forward the combined arrival up the tree once the
+    // local arrival processing has retired. The subtree's clocks travel
+    // as snapshots (the combine state is erased at release).
+    const std::uint64_t fw = noticesBetween(mgr_known_vt_, b.merged_vt,
+                                            procs_[at]->delta_scratch);
+    auto fmerged = std::make_shared<const dsm::VectorClock>(b.merged_vt);
+    auto fmin = std::make_shared<const dsm::VectorClock>(b.min_vt);
+    const NodeId parent = treeParent(at);
+    sys_->eq().schedule(b.ready_at, [this, at, parent, barrier_id,
+                                     fmerged, fmin, fw]() {
+        eventSend(at, parent, grantBytes(fw), ctrl::Priority::high,
+                  [this, parent, barrier_id, at, fmerged, fmin,
+                   fw](Tick) {
+                      treeArrive(parent, barrier_id, at, fmerged, fmin,
+                                 fw);
+                  });
+    });
+}
+
+void
+TreadMarks::treeDeliver(NodeId p, unsigned barrier_id,
+                        std::shared_ptr<const dsm::VectorClock> final_vt,
+                        std::shared_ptr<const dsm::ClockDelta> base)
+{
+    ProcState &pp = *procs_[p];
+    if (base)
+        dsm::narrowDelta(*base, pp.vt, pp.delta_scratch);
+    advanceClock(p, *final_vt, pp.delta_scratch);
+    node(p).cpu.wake();
+    broadcastChildren(p, barrier_id, final_vt, base);
+}
+
+void
+TreadMarks::broadcastChildren(
+    NodeId p, unsigned barrier_id,
+    std::shared_ptr<const dsm::VectorClock> final_vt,
+    std::shared_ptr<const dsm::ClockDelta> base)
+{
+    auto &shard = tree_barriers_[p];
+    auto it = shard.find(barrier_id);
+    if (it == shard.end())
+        return;
+    auto &mins = it->second.child_mins;
+    // Arrival order at a combine node is scheduler-dependent under the
+    // parallel executor; broadcasting in node order keeps the release
+    // sequence deterministic.
+    std::sort(mins.begin(), mins.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (const auto &[c, mn] : mins) {
+        // The release down to c must carry every notice some descendant
+        // might lack: (subtree min, final]. Each descendant applies only
+        // its own narrower slice on delivery.
+        std::uint64_t down;
+        if (base) {
+            dsm::ClockDelta dc;
+            dsm::narrowDelta(*base, mn, dc);
+            down = noticeCountDelta(dc);
+            ncp2_dassert(down == noticeCount(mn, *final_vt),
+                         "narrowed subtree-min delta diverged");
+        } else {
+            down = noticeCount(mn, *final_vt);
+        }
+        eventSend(p, c, grantBytes(down), ctrl::Priority::high,
+                  [this, c, barrier_id, final_vt, base](Tick) {
+                      treeDeliver(c, barrier_id, final_vt, base);
+                  });
+    }
+    shard.erase(it);
 }
 
 // ---------------------------------------------------------------------

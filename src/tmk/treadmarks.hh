@@ -187,6 +187,9 @@ class TreadMarks : public dsm::Protocol
         std::vector<sim::PageId> open_dirty;
         /// pages invalidated by the last notice round (prefetch input)
         std::vector<sim::PageId> invalidated;
+        /// Reusable delta buffer for this shard's sparse-clock paths
+        /// (owner-context use only; pre-sized to num_procs at attach).
+        dsm::ClockDelta delta_scratch;
     };
 
     /**
@@ -219,6 +222,26 @@ class TreadMarks : public dsm::Protocol
         unsigned arrived = 0;
         sim::Tick ready_at = 0;      ///< manager finished all arrivals
         dsm::VectorClock merged_vt;
+    };
+
+    /**
+     * Combining-tree barrier state at one tree node (barrier_radix > 0).
+     * Lives in the node's own shard (tree_barriers_[node]) and is
+     * touched only by events on that node's queue, so the parallel
+     * executor needs no extra locking — the same owner-only rule as
+     * ProcState.
+     */
+    struct TreeBarrier
+    {
+        unsigned arrived = 0;       ///< children + self arrivals so far
+        sim::Tick ready_at = 0;     ///< last arrival interrupt retires
+        dsm::VectorClock merged_vt; ///< component max over the subtree
+        /// Component-wise *minimum* clock of each direct child's
+        /// subtree, recorded at its (combined) arrival: the release
+        /// message down to that child must carry every write notice in
+        /// (min, final], since some descendant may be that far behind.
+        std::vector<std::pair<sim::NodeId, dsm::VectorClock>> child_mins;
+        dsm::VectorClock min_vt;    ///< component min over the subtree
     };
 
     /** One diff shipment inside a fault/prefetch transaction. */
@@ -354,9 +377,46 @@ class TreadMarks : public dsm::Protocol
     std::uint64_t noticeCount(const dsm::VectorClock &from,
                               const dsm::VectorClock &to) const;
 
+    /** noticeCount over a precomputed sparse delta. */
+    std::uint64_t noticeCountDelta(const dsm::ClockDelta &d) const;
+
+    /**
+     * noticeCount(from, to) through the configured clock representation:
+     * the sparse delta walk when cfg().sparse_clocks (leaving the delta
+     * in @p scratch, cross-checked against the dense count under
+     * ncp2_dassert), the dense reference loop otherwise. @p scratch must
+     * be owned by the calling context (a shard's delta_scratch or a
+     * local).
+     */
+    std::uint64_t noticesBetween(const dsm::VectorClock &from,
+                                 const dsm::VectorClock &to,
+                                 dsm::ClockDelta &scratch) const;
+
     /** Invalidate @p proc's stale copies for intervals in (from, to]. */
     void applyInvalidations(sim::NodeId proc, const dsm::VectorClock &from,
                             const dsm::VectorClock &to);
+
+    /** Invalidate @p proc's stale copies for writer @p q's interval @p s
+     *  (the shared inner body of the dense and delta notice walks). */
+    void invalidateInterval(sim::NodeId proc, unsigned q,
+                            dsm::IntervalSeq s);
+
+    /**
+     * applyInvalidations driven by a sparse delta (entries ascend by
+     * writer, so the invalidation order — and thus every simulated side
+     * effect — matches the dense loop exactly).
+     */
+    void applyInvalidationsDelta(sim::NodeId proc,
+                                 const dsm::ClockDelta &d);
+
+    /**
+     * Deliver the clock advance (to, d) at @p proc: invalidations, then
+     * the vt merge, via the sparse delta (d = delta(vt_proc, to)) or the
+     * dense reference path per cfg().sparse_clocks. @p d may alias
+     * @p proc's delta_scratch.
+     */
+    void advanceClock(sim::NodeId proc, const dsm::VectorClock &to,
+                      const dsm::ClockDelta &d);
 
     /** Writers owing diffs to @p proc for @p page (given its watermarks). */
     std::vector<sim::NodeId> neededWriters(sim::NodeId proc,
@@ -427,6 +487,50 @@ class TreadMarks : public dsm::Protocol
     void deliverGrant(unsigned lock_id, sim::NodeId to,
                       dsm::VectorClock grant_vt, std::uint64_t notices);
 
+    // ----- combining-tree barrier (cfg().barrier_radix > 0) -----
+
+    /** Parent of tree node @p p (root 0 is its own parent). */
+    sim::NodeId
+    treeParent(sim::NodeId p) const
+    {
+        return p == 0 ? 0 : (p - 1) / cfg().barrier_radix;
+    }
+
+    /** Direct children of tree node @p p, ascending. */
+    std::vector<sim::NodeId> treeChildren(sim::NodeId p) const;
+
+    /**
+     * An arrival lands at combine node @p at (event context at @p at):
+     * @p from's subtree clocks fold into the combine state. Leaf and
+     * self arrivals pass null @p merged / @p mn and are read live from
+     * procs_[from]->vt (frozen: @p from is blocked at this barrier);
+     * forwarded internal arrivals carry snapshots.
+     */
+    void treeArrive(sim::NodeId at, unsigned barrier_id, sim::NodeId from,
+                    std::shared_ptr<const dsm::VectorClock> merged,
+                    std::shared_ptr<const dsm::VectorClock> mn,
+                    std::uint64_t up_notices);
+
+    /**
+     * Release delivery at tree node @p p: apply the final clock, wake
+     * the fiber, then re-broadcast down via broadcastChildren. @p base
+     * is the delta (pre-merge manager watermark -> final) driving the
+     * sparse paths; null when dense.
+     */
+    void treeDeliver(sim::NodeId p, unsigned barrier_id,
+                     std::shared_ptr<const dsm::VectorClock> final_vt,
+                     std::shared_ptr<const dsm::ClockDelta> base);
+
+    /**
+     * Send the release to each of @p p's tree children (ascending node
+     * id; the message carries the notices in (child subtree min,
+     * final]) and drop @p p's combine state. No-op when @p p holds no
+     * state for @p barrier_id (leaves; the root after its broadcast).
+     */
+    void broadcastChildren(sim::NodeId p, unsigned barrier_id,
+                           std::shared_ptr<const dsm::VectorClock> final_vt,
+                           std::shared_ptr<const dsm::ClockDelta> base);
+
     /**
      * Lazy Hybrid: build the shipments granter @p from piggybacks on a
      * grant to @p to covering its own intervals in (vt_to, grant_vt].
@@ -492,6 +596,10 @@ class TreadMarks : public dsm::Protocol
     std::mutex lock_mu_;
     std::unordered_map<unsigned, LockState> locks_;
     std::unordered_map<unsigned, BarrierState> barriers_;
+    /// Tree-barrier combine state, one shard per node (owner-only
+    /// access from that node's event queue); empty when the flat
+    /// barrier is configured.
+    std::vector<std::unordered_map<unsigned, TreeBarrier>> tree_barriers_;
     dsm::VectorClock mgr_known_vt_; ///< barrier manager's knowledge
     std::vector<Txn> txns_;
     std::vector<ProcPrefetch> prefetch_;

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Tests for the 256-1024-node scaling machinery: sparse interval-clock
+ * deltas vs the dense VectorClock reference, the combining-tree barrier
+ * vs the flat manager barrier, the hierarchical (clustered) mesh's
+ * PDES lookahead bound, and the scale-related knob validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/torture.hh"
+#include "aurc/aurc.hh"
+#include "dsm/system.hh"
+#include "dsm/vclock.hh"
+#include "harness/knobs.hh"
+#include "net/mesh.hh"
+#include "sim/rng.hh"
+#include "tests/workload_helpers.hh"
+#include "tmk/treadmarks.hh"
+
+using namespace dsm;
+
+namespace
+{
+
+VectorClock
+randomClock(sim::Rng &rng, unsigned n, unsigned lo, unsigned span)
+{
+    VectorClock v(n);
+    for (unsigned q = 0; q < n; ++q)
+        v[q] = lo + static_cast<IntervalSeq>(rng.below(span));
+    return v;
+}
+
+SysConfig
+scaleCfg(unsigned procs, bool sparse, unsigned radix, unsigned cluster)
+{
+    SysConfig cfg;
+    cfg.num_procs = procs;
+    cfg.heap_bytes = 8u << 20;
+    cfg.sparse_clocks = sparse;
+    cfg.barrier_radix = radix;
+    cfg.mesh_cluster = cluster;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// sparse clock deltas vs the dense reference
+// ---------------------------------------------------------------------
+
+TEST(SparseClock, DeltaAppliedToBaseIsDenseMerge)
+{
+    sim::Rng rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        const unsigned n = 2 + static_cast<unsigned>(rng.below(63));
+        // Arbitrary concurrent clocks: the delta only describes the
+        // target's lead, so apply-to-base must equal the dense merge.
+        const VectorClock base = randomClock(rng, n, 0, 20);
+        const VectorClock target = randomClock(rng, n, 0, 20);
+        VectorClock dense = base;
+        dense.merge(target);
+
+        ClockDelta d;
+        clockDelta(base, target, d);
+        VectorClock sparse = base;
+        applyDelta(sparse, d);
+        ASSERT_EQ(sparse, dense) << "trial " << trial;
+
+        // Entries are ascending by proc and strictly (from, to].
+        for (std::size_t i = 0; i < d.entries.size(); ++i) {
+            ASSERT_LT(d.entries[i].from, d.entries[i].to);
+            ASSERT_EQ(d.entries[i].from, base[d.entries[i].proc]);
+            ASSERT_EQ(d.entries[i].to, target[d.entries[i].proc]);
+            if (i)
+                ASSERT_LT(d.entries[i - 1].proc, d.entries[i].proc);
+        }
+    }
+}
+
+TEST(SparseClock, DominanceAfterApplyMatchesDense)
+{
+    sim::Rng rng(11);
+    for (int trial = 0; trial < 200; ++trial) {
+        const unsigned n = 2 + static_cast<unsigned>(rng.below(30));
+        const VectorClock base = randomClock(rng, n, 0, 10);
+        const VectorClock target = randomClock(rng, n, 0, 10);
+        ClockDelta d;
+        clockDelta(base, target, d);
+        VectorClock merged = base;
+        applyDelta(merged, d);
+        EXPECT_TRUE(target.dominatedBy(merged));
+        EXPECT_TRUE(base.dominatedBy(merged));
+        // An empty delta means base already dominated target.
+        if (d.empty())
+            EXPECT_TRUE(target.dominatedBy(base));
+    }
+}
+
+TEST(SparseClock, NarrowDeltaIsExactForDominatingReceivers)
+{
+    // The barrier-release situation: the manager computes one base
+    // delta (watermark -> final) and narrows it per receiver. Exact
+    // whenever the receiver dominates the watermark, which every
+    // barrier participant does (each merged the previous final clock).
+    sim::Rng rng(13);
+    for (int trial = 0; trial < 200; ++trial) {
+        const unsigned n = 2 + static_cast<unsigned>(rng.below(63));
+        const VectorClock watermark = randomClock(rng, n, 5, 10);
+        VectorClock final_vt = watermark;
+        for (unsigned q = 0; q < n; ++q)
+            final_vt[q] += static_cast<IntervalSeq>(rng.below(6));
+        // watermark <= recv <= final, componentwise.
+        VectorClock recv(n);
+        for (unsigned q = 0; q < n; ++q)
+            recv[q] = watermark[q] +
+                      static_cast<IntervalSeq>(
+                          rng.below(final_vt[q] - watermark[q] + 1));
+
+        ClockDelta base, narrow, direct;
+        clockDelta(watermark, final_vt, base);
+        narrowDelta(base, recv, narrow);
+        clockDelta(recv, final_vt, direct);
+        ASSERT_EQ(narrow.entries.size(), direct.entries.size());
+        for (std::size_t i = 0; i < narrow.entries.size(); ++i) {
+            EXPECT_EQ(narrow.entries[i].proc, direct.entries[i].proc);
+            EXPECT_EQ(narrow.entries[i].from, direct.entries[i].from);
+            EXPECT_EQ(narrow.entries[i].to, direct.entries[i].to);
+        }
+
+        VectorClock dense = recv;
+        dense.merge(final_vt);
+        VectorClock sparse = recv;
+        applyDelta(sparse, narrow);
+        EXPECT_EQ(sparse, dense);
+    }
+}
+
+// ---------------------------------------------------------------------
+// sparse clocks / tree barrier inside whole simulations
+// ---------------------------------------------------------------------
+
+TEST(ScaleSim, SparseClocksAreBitIdentical)
+{
+    // Host-representation change only: simulated results must not move
+    // by a single tick, for either protocol.
+    sim::setQuiet(true);
+    for (const bool aurc_proto : {false, true}) {
+        sim::Tick ticks[2];
+        std::uint64_t msgs[2];
+        for (const bool sparse : {false, true}) {
+            testutil::StencilWorkload w(2048, 3);
+            System sys(scaleCfg(8, sparse, 0, 0),
+                       aurc_proto ? aurc::makeAurc(false)
+                                  : tmk::makeTreadMarks({}));
+            const RunResult r = sys.run(w);
+            ticks[sparse] = r.exec_ticks;
+            msgs[sparse] = r.net.messages;
+        }
+        EXPECT_EQ(ticks[0], ticks[1]) << "aurc=" << aurc_proto;
+        EXPECT_EQ(msgs[0], msgs[1]) << "aurc=" << aurc_proto;
+    }
+}
+
+TEST(ScaleSim, DegenerateTreeBarrierIsBitIdenticalToFlat)
+{
+    // radix >= nprocs collapses the tree to root-with-all-leaves: the
+    // same message sizes, charges and ordering as the flat manager
+    // barrier, so results must be bit-identical.
+    sim::setQuiet(true);
+    sim::Tick ticks[2];
+    std::uint64_t msgs[2], bytes[2];
+    const unsigned radixes[2] = {0, 64};
+    for (int i = 0; i < 2; ++i) {
+        testutil::StencilWorkload w(2048, 3);
+        System sys(scaleCfg(8, true, radixes[i], 0),
+                   tmk::makeTreadMarks({}));
+        const RunResult r = sys.run(w);
+        ticks[i] = r.exec_ticks;
+        msgs[i] = r.net.messages;
+        bytes[i] = r.net.bytes;
+    }
+    EXPECT_EQ(ticks[0], ticks[1]);
+    EXPECT_EQ(msgs[0], msgs[1]);
+    EXPECT_EQ(bytes[0], bytes[1]);
+}
+
+TEST(ScaleSim, TreeBarrierEquivalentToFlatUnderRandomizedArrivals)
+{
+    // The Torture workload randomizes per-proc op programs (and so
+    // barrier arrival orders) from the seed. Across seeds and radixes
+    // the tree must complete the same number of barrier episodes as
+    // the flat reference and pass both the workload's own validation
+    // and the LRC conformance oracle; timing may legitimately differ
+    // (the tree is a different simulated machine).
+    sim::setQuiet(true);
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        apps::Torture::Params prm;
+        prm.seed = seed;
+        prm.rounds = 5;
+
+        std::uint64_t flat_barriers = 0;
+        for (const unsigned radix : {0u, 2u, 3u, 8u}) {
+            apps::Torture w(prm);
+            SysConfig cfg = scaleCfg(16, true, radix, 0);
+            cfg.check = true; // LRC oracle validates every interval
+            cfg.seed = seed;
+            System sys(cfg, tmk::makeTreadMarks({}));
+            const RunResult r = sys.run(w);
+            ASSERT_GT(r.exec_ticks, 0u);
+            const std::uint64_t episodes = r.stats.value("tmk.barriers");
+            ASSERT_GT(episodes, 0u);
+            if (radix == 0)
+                flat_barriers = episodes;
+            else
+                EXPECT_EQ(episodes, flat_barriers)
+                    << "seed " << seed << " radix " << radix;
+        }
+    }
+}
+
+TEST(ScaleSim, TreeBarrierWorksWhenProcsNotAPowerOfRadix)
+{
+    sim::setQuiet(true);
+    for (const unsigned procs : {5u, 7u, 13u}) {
+        for (const unsigned radix : {2u, 3u}) {
+            testutil::StencilWorkload w(1024, 2);
+            System sys(scaleCfg(procs, true, radix, 0),
+                       tmk::makeTreadMarks({}));
+            EXPECT_GT(sys.run(w).exec_ticks, 0u)
+                << "procs " << procs << " radix " << radix;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// hierarchical mesh
+// ---------------------------------------------------------------------
+
+TEST(HierMesh, FlatNormalizationIsExact)
+{
+    // cluster_size 0, 1 and >= num_nodes are all the flat mesh; every
+    // pairwise uncontended latency must agree with the flat object.
+    const unsigned n = 12;
+    net::MeshNetwork flat(n, net::NetTiming{});
+    for (const unsigned cs : {0u, 1u, 12u, 64u}) {
+        net::MeshNetwork m(n, net::NetTiming{}, cs);
+        EXPECT_EQ(m.clusterSize(), 0u) << "cs=" << cs;
+        for (sim::NodeId s = 0; s < n; ++s)
+            for (sim::NodeId d = 0; d < n; ++d)
+                ASSERT_EQ(m.uncontendedLatency(s, d, 128),
+                          flat.uncontendedLatency(s, d, 128))
+                    << "cs=" << cs << " " << s << "->" << d;
+        EXPECT_EQ(m.minCrossLatency(), flat.minCrossLatency());
+    }
+}
+
+TEST(HierMesh, MinCrossLatencyBoundsEveryPairBruteForce)
+{
+    // The parallel executor's lookahead must lower-bound every ordered
+    // cross pair at zero payload - verified by brute force over
+    // cluster shapes, including non-square and ragged ones, and with a
+    // slower backbone.
+    net::NetTiming slow_backbone;
+    slow_backbone.switch_cycles = 8;
+    slow_backbone.wire_cycles = 6;
+    for (const unsigned n : {6u, 8u, 16u, 33u, 64u}) {
+        for (const unsigned cs : {2u, 4u, 5u, 16u}) {
+            for (const bool slow : {false, true}) {
+                net::MeshNetwork mesh(n, net::NetTiming{}, cs,
+                                      slow ? slow_backbone
+                                           : net::NetTiming{});
+                const sim::Cycles bound = mesh.minCrossLatency();
+                ASSERT_GT(bound, 0u);
+                sim::Cycles best = sim::tick_never;
+                for (sim::NodeId s = 0; s < n; ++s) {
+                    for (sim::NodeId d = 0; d < n; ++d) {
+                        if (s == d)
+                            continue;
+                        const sim::Cycles lat =
+                            mesh.uncontendedLatency(s, d, 0);
+                        ASSERT_LE(bound, lat)
+                            << "n=" << n << " cs=" << cs << " slow="
+                            << slow << " " << s << "->" << d;
+                        if (lat < best)
+                            best = lat;
+                    }
+                }
+                // The cached bound is tight, not merely sound.
+                EXPECT_EQ(bound, best)
+                    << "n=" << n << " cs=" << cs << " slow=" << slow;
+            }
+        }
+    }
+}
+
+TEST(HierMesh, DeliveryNeverBeatsTheBound)
+{
+    // With contention and payloads, send() must still never deliver
+    // across nodes earlier than departure + minCrossLatency().
+    net::MeshNetwork mesh(32, net::NetTiming{}, 8);
+    const sim::Cycles bound = mesh.minCrossLatency();
+    sim::Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const auto s = static_cast<sim::NodeId>(rng.below(32));
+        auto d = static_cast<sim::NodeId>(rng.below(32));
+        if (s == d)
+            d = static_cast<sim::NodeId>((d + 1) % 32);
+        const sim::Tick dep = static_cast<sim::Tick>(i % 11);
+        const sim::Tick del =
+            mesh.send(dep, s, d, static_cast<std::uint32_t>(rng.below(4096)));
+        ASSERT_GE(del, dep + bound);
+    }
+}
+
+TEST(HierMesh, CrossClusterChargesEverySegment)
+{
+    // A cross-cluster message pays intra + outer + intra segments
+    // store-and-forward, so it is strictly slower than either an
+    // intra-cluster hop or a gateway-to-gateway hop.
+    net::MeshNetwork mesh(16, net::NetTiming{}, 4);
+    const sim::Cycles intra = mesh.uncontendedLatency(0, 1, 64);
+    const sim::Cycles gateways = mesh.uncontendedLatency(0, 4, 64);
+    const sim::Cycles cross = mesh.uncontendedLatency(1, 5, 64);
+    EXPECT_GT(cross, intra);
+    EXPECT_GT(cross, gateways);
+}
+
+TEST(HierMesh, ClusteredSimulationRunsAndIsDeterministic)
+{
+    sim::setQuiet(true);
+    sim::Tick runs[2];
+    for (int i = 0; i < 2; ++i) {
+        testutil::StencilWorkload w(2048, 3);
+        System sys(scaleCfg(16, true, 4, 4), tmk::makeTreadMarks({}));
+        runs[i] = sys.run(w).exec_ticks;
+    }
+    EXPECT_EQ(runs[0], runs[1]);
+    EXPECT_GT(runs[0], 0u);
+}
+
+// ---------------------------------------------------------------------
+// knob validation
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** setenv/unsetenv guard restoring the prior value on destruction. */
+class EnvGuard
+{
+  public:
+    explicit EnvGuard(const char *name) : name_(name)
+    {
+        const char *v = ::getenv(name);
+        had_ = v != nullptr;
+        if (had_)
+            old_ = v;
+    }
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+    void set(const char *v) { ::setenv(name_, v, 1); }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+} // namespace
+
+TEST(ScaleKnobs, ProcsBeyondSupportedMaximumIsFatal)
+{
+    EnvGuard procs("NCP2_PROCS");
+    procs.set("1025");
+    EXPECT_THROW(harness::knobs::procs(), std::runtime_error);
+    procs.set("1024");
+    EXPECT_EQ(harness::knobs::procs(), 1024u);
+}
+
+TEST(ScaleKnobs, RadixAndClusterParseAndDefault)
+{
+    EnvGuard radix("NCP2_BARRIER_RADIX");
+    EnvGuard cluster("NCP2_MESH_CLUSTER");
+    EnvGuard sparse("NCP2_SPARSE_VT");
+    radix.set("");
+    cluster.set("");
+    sparse.set("");
+    EXPECT_EQ(harness::knobs::barrierRadix(), 0u);
+    EXPECT_EQ(harness::knobs::meshCluster(), 0u);
+    EXPECT_TRUE(harness::knobs::sparseClocks());
+    radix.set("8");
+    cluster.set("16");
+    sparse.set("0");
+    EXPECT_EQ(harness::knobs::barrierRadix(), 8u);
+    EXPECT_EQ(harness::knobs::meshCluster(), 16u);
+    EXPECT_FALSE(harness::knobs::sparseClocks());
+    cluster.set("1"); // clusters of one node are the flat mesh
+    EXPECT_EQ(harness::knobs::meshCluster(), 0u);
+    radix.set("nope");
+    EXPECT_THROW(harness::knobs::barrierRadix(), std::runtime_error);
+}
+
+TEST(ScaleKnobs, ScaleNodesListParsesAndBounds)
+{
+    EnvGuard nodes("NCP2_SCALE_NODES");
+    nodes.set("");
+    const std::vector<unsigned> def = harness::knobs::scaleNodes();
+    ASSERT_EQ(def.size(), 4u);
+    EXPECT_EQ(def.back(), 1024u);
+    nodes.set("16,256");
+    const std::vector<unsigned> two = harness::knobs::scaleNodes();
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[0], 16u);
+    EXPECT_EQ(two[1], 256u);
+    nodes.set("2048");
+    EXPECT_THROW(harness::knobs::scaleNodes(), std::runtime_error);
+}
