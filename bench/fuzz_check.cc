@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/gstl_torture.hh"
 #include "apps/torture.hh"
 #include "bench/figure_common.hh"
 
@@ -82,11 +83,46 @@ makeJob(std::uint64_t seed, const std::string &proto, unsigned procs)
     return j;
 }
 
-std::string
-reproCommand(std::uint64_t seed, const std::string &proto, unsigned procs)
+/** Fuzz-vary the gstl-torture shape from the seed (see
+ *  src/apps/gstl_torture.hh: containers, not raw accesses). */
+apps::GstlTorture::Params
+gstlTortureParams(std::uint64_t seed)
 {
-    return "./build/bench/fuzz_check --repro " + std::to_string(seed) +
-           " '" + proto + "' " + std::to_string(procs);
+    sim::Rng g(seed * 0x9e3779b97f4a7c15ULL + 2);
+    apps::GstlTorture::Params p;
+    p.seed = seed;
+    p.rounds = 3 + static_cast<unsigned>(g.below(5));
+    p.keys_per_round = 3 + static_cast<unsigned>(g.below(8));
+    p.q_items = 3 + static_cast<unsigned>(g.below(8));
+    p.counters = 2 + static_cast<unsigned>(g.below(8));
+    p.adds_per_round = 1 + static_cast<unsigned>(g.below(5));
+    p.stripes = 2 + static_cast<unsigned>(g.below(5));
+    return p;
+}
+
+harness::Job
+makeGstlJob(std::uint64_t seed, const std::string &proto, unsigned procs)
+{
+    harness::Job j;
+    j.label = "gstl/s" + std::to_string(seed) + "/" + proto + "/p" +
+              std::to_string(procs);
+    j.cfg = fig::configFor(proto, procs);
+    j.cfg.check = true;
+    j.cfg.seed = seed;
+    const apps::GstlTorture::Params prm = gstlTortureParams(seed);
+    j.workload = [prm]() {
+        return std::make_unique<apps::GstlTorture>(prm);
+    };
+    return j;
+}
+
+std::string
+reproCommand(std::uint64_t seed, const std::string &proto, unsigned procs,
+             bool gstl = false)
+{
+    return std::string("./build/bench/fuzz_check --repro") +
+           (gstl ? "-gstl " : " ") + std::to_string(seed) + " '" + proto +
+           "' " + std::to_string(procs);
 }
 
 std::vector<std::uint64_t>
@@ -124,6 +160,8 @@ usage()
            "(default 1)\n"
            "  --smoke                 reduced sweep for ctest -L fuzz\n"
            "  --repro SEED PROTO P    replay one combination verbosely\n"
+           "  --repro-gstl SEED PROTO P  same for the gstl-torture "
+           "workload\n"
            "  --nocheck               with --repro: oracle off (does the\n"
            "                          workload's own validate() fire?)\n"
            "  --knobs                 list the NCP2_* environment "
@@ -132,9 +170,10 @@ usage()
 
 int
 repro(std::uint64_t seed, const std::string &proto, unsigned procs,
-      bool check)
+      bool check, bool gstl)
 {
-    harness::Job j = makeJob(seed, proto, procs);
+    harness::Job j =
+        gstl ? makeGstlJob(seed, proto, procs) : makeJob(seed, proto, procs);
     j.cfg.check = check;
     j.quiet = false;
     std::cout << "replaying " << j.label << "\n";
@@ -162,6 +201,7 @@ main(int argc, char **argv)
     std::uint64_t repro_seed = 0;
     std::string repro_proto;
     unsigned repro_procs = 0;
+    bool repro_gstl = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -188,7 +228,8 @@ main(int argc, char **argv)
                 ncp2_fatal("--seeds expects a positive count");
         } else if (a == "--start") {
             gen_start = std::strtoull(next("--start").c_str(), nullptr, 10);
-        } else if (a == "--repro") {
+        } else if (a == "--repro" || a == "--repro-gstl") {
+            repro_gstl = a == "--repro-gstl";
             repro_seed = std::strtoull(next("--repro").c_str(), nullptr, 10);
             repro_proto = next("--repro PROTO");
             repro_procs = static_cast<unsigned>(
@@ -206,7 +247,8 @@ main(int argc, char **argv)
     }
 
     if (repro_procs)
-        return repro(repro_seed, repro_proto, repro_procs, check);
+        return repro(repro_seed, repro_proto, repro_procs, check,
+                     repro_gstl);
 
     std::vector<std::uint64_t> seeds;
     if (gen_seeds) {
@@ -249,6 +291,16 @@ main(int argc, char **argv)
         jobs.push_back(std::move(j));
     }
 
+    // The gstl-torture smoke: the distributed-STL containers (striped
+    // hash map, mailbox rings, lock-backed atomics) pass the oracle
+    // through the same no-throw engine path. Appended after the scaled
+    // jobs so the indexing stays positional.
+    std::vector<std::string> gstl_variants;
+    if (smoke)
+        gstl_variants = {"Base", "I+P+D", "AURC"};
+    for (const auto &v : gstl_variants)
+        jobs.push_back(makeGstlJob(seeds[0], v, 8));
+
     const harness::ExperimentEngine engine;
     std::cerr << "[fuzz_check: " << seeds.size() << " seeds x "
               << variants.size() << " variants x " << procs.size()
@@ -280,6 +332,16 @@ main(int argc, char **argv)
         const std::string first_line = r.error.substr(0, r.error.find('\n'));
         const std::string repro = "NCP2_BARRIER_RADIX=8 NCP2_MESH_CLUSTER=16 " +
                                   reproCommand(seeds[0], v, 64);
+        std::cout << "FAIL " << r.label << ": " << first_line
+                  << "\n  repro: " << repro << "\n";
+        failures.push_back(repro + "  # " + first_line);
+    }
+    for (const auto &v : gstl_variants) {
+        const harness::JobResult &r = results[ji++];
+        if (r.error.empty())
+            continue;
+        const std::string first_line = r.error.substr(0, r.error.find('\n'));
+        const std::string repro = reproCommand(seeds[0], v, 8, true);
         std::cout << "FAIL " << r.label << ": " << first_line
                   << "\n  repro: " << repro << "\n";
         failures.push_back(repro + "  # " + first_line);

@@ -1,10 +1,10 @@
 /**
  * @file
- * Writing your own DSM application: implement dsm::Workload against the
- * Proc API (shared get/put, lock/unlock, barrier, compute) and run it
- * under any protocol. This one builds a shared histogram of a data set
- * with per-bucket-block locks, then validates it against a host-side
- * count.
+ * A larger g::App: build a shared histogram with g::hash_map's
+ * insert-or-accumulate (stripe locks replace hand-numbered bucket-block
+ * locks), track the processed-item total in a g::atomic, and validate
+ * both against a host-side count. Runs under three protocols to show
+ * the same app is protocol-agnostic.
  *
  *   $ ./examples/custom_app
  */
@@ -12,8 +12,7 @@
 #include <iostream>
 #include <vector>
 
-#include "dsm/system.hh"
-#include "dsm/workload.hh"
+#include "gstl/gstl.hh"
 #include "harness/runner.hh"
 #include "sim/rng.hh"
 
@@ -21,7 +20,7 @@ namespace
 {
 
 /** Parallel histogram: classic lock-protected shared accumulation. */
-class Histogram : public dsm::Workload
+class Histogram : public g::App
 {
   public:
     Histogram(unsigned items, unsigned buckets)
@@ -30,47 +29,37 @@ class Histogram : public dsm::Workload
     std::string name() const override { return "histogram"; }
 
     void
-    plan(dsm::GlobalHeap &heap, const dsm::SysConfig &) override
+    plan(g::context &ctx) override
     {
         // Deterministic input data, known to every node (read-only
-        // topology-style data can stay host-side; the *histogram* is
-        // the shared object under test).
+        // data can stay host-side; the *histogram* is the shared
+        // object under test).
         sim::Rng rng(2024);
         data_.resize(items_);
         for (auto &d : data_)
             d = static_cast<std::uint32_t>(rng.below(buckets_));
-        hist_.base = heap.allocPages(buckets_ * 8ull);
+        hist_.allocate(ctx, "hist", 2ull * buckets_, 8);
+        total_.allocate(ctx, "total");
     }
 
     void
-    run(dsm::Proc &p) override
+    run(g::context &ctx) override
     {
-        const unsigned np = p.nprocs();
-        const unsigned lo = items_ * p.id() / np;
-        const unsigned hi = items_ * (p.id() + 1) / np;
+        const unsigned np = ctx.nprocs();
+        const unsigned lo = items_ * ctx.id() / np;
+        const unsigned hi = items_ * (ctx.id() + 1) / np;
 
-        if (p.id() == 0) {
-            for (unsigned b = 0; b < buckets_; ++b)
-                hist_.put(p, b, 0);
-        }
-        p.barrier(0);
-
-        // Count locally, then merge under coarse bucket-block locks
-        // (one lock per 64 buckets).
+        // Count locally, then merge: each add() serializes only on its
+        // bucket's stripe lock.
         std::vector<std::int64_t> local(buckets_, 0);
         for (unsigned i = lo; i < hi; ++i) {
             ++local[data_[i]];
-            p.compute(6);
+            ctx.compute(6);
         }
-        for (unsigned blk = 0; blk < buckets_; blk += 64) {
-            p.lock(blk / 64);
-            for (unsigned b = blk; b < blk + 64 && b < buckets_; ++b) {
-                if (local[b])
-                    hist_.put(p, b, hist_.get(p, b) + local[b]);
-            }
-            p.unlock(blk / 64);
-        }
-        p.barrier(1);
+        for (unsigned b = 0; b < buckets_; ++b)
+            if (local[b])
+                hist_.add(ctx, b, local[b]);
+        total_.fetch_add(ctx, hi - lo);
     }
 
     void
@@ -80,20 +69,24 @@ class Histogram : public dsm::Workload
         for (auto d : data_)
             ++want[d];
         for (unsigned b = 0; b < buckets_; ++b) {
-            const auto got = sys.readGlobal<std::int64_t>(hist_.at(b));
-            if (got != want[b]) {
+            const auto got = hist_.peek_find(sys, b);
+            const std::int64_t v = got ? *got : 0;
+            if (v != want[b]) {
                 ncp2_fatal("histogram bucket %u: got %lld want %lld", b,
-                           static_cast<long long>(got),
+                           static_cast<long long>(v),
                            static_cast<long long>(want[b]));
             }
         }
+        if (sys.readGlobal<std::uint64_t>(total_.addr()) != items_)
+            ncp2_fatal("histogram item total mismatch");
     }
 
   private:
     unsigned items_;
     unsigned buckets_;
     std::vector<std::uint32_t> data_;
-    dsm::GArray<std::int64_t> hist_;
+    g::hash_map<std::uint32_t, std::int64_t> hist_;
+    g::atomic<std::uint64_t> total_;
 };
 
 } // namespace

@@ -1,16 +1,84 @@
 /**
  * @file
- * Quickstart: simulate a 16-node network of workstations running a
- * TreadMarks DSM with the paper's protocol controller (mode I+D), run
- * the Ocean workload on it, and print the execution-time breakdown.
+ * Quickstart: the advertised way to write a DSM application. Subclass
+ * g::App, declare your shared data as g:: containers, and change only
+ * the types - the plan()/run()/validate() lifecycle and the containers
+ * do the rest. The same binary then simulates it on a 16-node network
+ * of workstations under the paper's protocol (TreadMarks, mode I+D)
+ * and prints the execution-time breakdown.
  *
  *   $ ./examples/quickstart
  */
 
 #include <iostream>
 
-#include "apps/apps.hh"
+#include "gstl/gstl.hh"
 #include "harness/runner.hh"
+
+namespace
+{
+
+/**
+ * Parallel dot product: each processor owns a block of two shared
+ * vectors, accumulates its partial sum into a shared atomic, and one
+ * barrier separates filling from reading.
+ */
+class Dot : public g::App
+{
+  public:
+    explicit Dot(unsigned n) : n_(n) {}
+
+    std::string name() const override { return "dot"; }
+
+    void
+    plan(g::context &ctx) override
+    {
+        xs_.allocate(ctx, n_);
+        ys_.allocate(ctx, n_);
+        sum_.allocate(ctx, "sum");
+        filled_ = ctx.make_barrier("filled");
+    }
+
+    void
+    run(g::context &ctx) override
+    {
+        const unsigned lo = n_ * ctx.id() / ctx.nprocs();
+        const unsigned hi = n_ * (ctx.id() + 1) / ctx.nprocs();
+
+        // Owners fill their blocks (values derived from the index so
+        // validate() can recompute them host-side).
+        for (unsigned i = lo; i < hi; ++i) {
+            xs_.set(ctx, i, 2 * i + 1);
+            ys_.set(ctx, i, i % 7);
+        }
+        filled_.wait(ctx);
+
+        std::uint64_t acc = 0;
+        for (unsigned i = lo; i < hi; ++i) {
+            acc += std::uint64_t{xs_.get(ctx, i)} * ys_.get(ctx, i);
+            ctx.compute(8);
+        }
+        sum_.fetch_add(ctx, acc);
+    }
+
+    void
+    validate(dsm::System &sys) override
+    {
+        std::uint64_t want = 0;
+        for (unsigned i = 0; i < n_; ++i)
+            want += std::uint64_t{2 * i + 1} * (i % 7);
+        if (sys.readGlobal<std::uint64_t>(sum_.addr()) != want)
+            ncp2_fatal("dot product mismatch");
+    }
+
+  private:
+    unsigned n_;
+    g::vector<std::uint32_t> xs_, ys_;
+    g::atomic<std::uint64_t> sum_;
+    g::barrier filled_;
+};
+
+} // namespace
 
 int
 main()
@@ -19,21 +87,19 @@ main()
     //    TreadMarks with controller offloading (I) + hardware diffs (D).
     dsm::SysConfig cfg;
     cfg.num_procs = 16;
-    cfg.heap_bytes = 64ull << 20;
+    cfg.heap_bytes = 8ull << 20;
     cfg.mode.offload = true;
     cfg.mode.hw_diffs = true;
 
     harness::printConfig(std::cout, cfg);
 
-    // 2. Pick a workload (a small Ocean so this runs in a second).
-    auto ocean = apps::make("Ocean", apps::Scale::small);
-
-    // 3. Run. The workload self-validates: if the coherence protocol
+    // 2. Run. The workload self-validates: if the coherence protocol
     //    were wrong, this would throw.
-    const dsm::RunResult r = harness::runOnce(cfg, *ocean);
+    Dot app(1 << 16);
+    const dsm::RunResult r = harness::runOnce(cfg, app);
 
-    // 4. Report.
-    std::cout << "\nOcean on TreadMarks/I+D, 16 processors\n"
+    // 3. Report.
+    std::cout << "\ndot(x, y) on TreadMarks/I+D, 16 processors\n"
               << "  simulated time : " << r.exec_ticks << " cycles ("
               << r.seconds() * 1e3 << " ms at 100 MHz)\n"
               << "  network        : " << r.net.messages << " messages, "
@@ -42,9 +108,5 @@ main()
     harness::BreakdownRow row = harness::BreakdownRow::from("I+D", r);
     harness::printBreakdownTable(std::cout, "breakdown",
                                  {row.normalizedTo(row)});
-
-    std::cout << "\nProtocol statistics:\n";
-    for (const auto &[k, v] : r.stats.flat())
-        std::cout << "  " << k << " = " << v << '\n';
     return 0;
 }

@@ -10,11 +10,11 @@ namespace apps
 {
 
 void
-Em3d::plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg)
+Em3d::plan(g::context &ctx)
 {
     const unsigned n = p_.nodes_per_kind;
     const unsigned d = p_.degree;
-    nprocs_hint_ = p_.partitions ? p_.partitions : cfg.num_procs;
+    nprocs_hint_ = p_.partitions ? p_.partitions : ctx.nprocs();
     sim::Rng rng(p_.seed);
 
     // Nodes are block-partitioned by owner; an edge is "remote" when it
@@ -59,24 +59,25 @@ Em3d::plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg)
         init_h_[i] = rng.uniform();
     }
 
-    e_val_ = heap.allocPages(8ull * n);
-    h_val_ = heap.allocPages(8ull * n);
+    e_val_.allocate(ctx, n);
+    h_val_.allocate(ctx, n);
+    phase_ = ctx.make_barrier("phase");
 }
 
 void
-Em3d::run(dsm::Proc &p)
+Em3d::run(g::context &ctx)
 {
     const unsigned n = p_.nodes_per_kind;
     const unsigned d = p_.degree;
-    const unsigned np = p.nprocs();
-    const unsigned lo = n * p.id() / np;
-    const unsigned hi = n * (p.id() + 1) / np;
+    const unsigned np = ctx.proc().nprocs();
+    const unsigned lo = n * ctx.id() / np;
+    const unsigned hi = n * (ctx.id() + 1) / np;
 
     // Owners initialize their blocks (first touch), one bulk sweep per
     // field array.
-    p.putBlock(e_val_ + 8ull * lo, &init_e_[lo], hi - lo);
-    p.putBlock(h_val_ + 8ull * lo, &init_h_[lo], hi - lo);
-    p.barrier(0);
+    e_val_.write(ctx, lo, &init_e_[lo], hi - lo);
+    h_val_.write(ctx, lo, &init_h_[lo], hi - lo);
+    phase_.wait(ctx);
 
     for (unsigned it = 0; it < p_.iters; ++it) {
         // E phase: E_i -= sum w_ik * H_adj(i,k)
@@ -84,26 +85,24 @@ Em3d::run(dsm::Proc &p)
             double acc = 0.0;
             for (unsigned k = 0; k < d; ++k) {
                 const std::size_t e = static_cast<std::size_t>(i) * d + k;
-                acc += e_w_[e] * p.get<double>(h_val_ + 8ull * e_adj_[e]);
+                acc += e_w_[e] * h_val_.get(ctx, e_adj_[e]);
             }
-            const sim::GAddr a = e_val_ + 8ull * i;
-            p.put<double>(a, p.get<double>(a) - acc);
-            p.compute(20 * d + 10);
+            e_val_.set(ctx, i, e_val_.get(ctx, i) - acc);
+            ctx.compute(20 * d + 10);
         }
-        p.barrier(1 + 2 * it);
+        phase_.wait(ctx);
 
         // H phase: H_i -= sum w_ik * E_adj(i,k)
         for (unsigned i = lo; i < hi; ++i) {
             double acc = 0.0;
             for (unsigned k = 0; k < d; ++k) {
                 const std::size_t e = static_cast<std::size_t>(i) * d + k;
-                acc += h_w_[e] * p.get<double>(e_val_ + 8ull * h_adj_[e]);
+                acc += h_w_[e] * e_val_.get(ctx, h_adj_[e]);
             }
-            const sim::GAddr a = h_val_ + 8ull * i;
-            p.put<double>(a, p.get<double>(a) - acc);
-            p.compute(20 * d + 10);
+            h_val_.set(ctx, i, h_val_.get(ctx, i) - acc);
+            ctx.compute(20 * d + 10);
         }
-        p.barrier(2 + 2 * it);
+        phase_.wait(ctx);
     }
 }
 
@@ -117,9 +116,9 @@ Em3d::validate(dsm::System &sys)
     Em3d ref(ref_params);
     ref.disableValidation();
     auto refsys = referenceRun(ref, sys.cfg());
-    compareDoubles(sys, *refsys, e_val_, p_.nodes_per_kind, 1e-12,
+    compareDoubles(sys, *refsys, e_val_.addr(), p_.nodes_per_kind, 1e-12,
                    "Em3d.E");
-    compareDoubles(sys, *refsys, h_val_, p_.nodes_per_kind, 1e-12,
+    compareDoubles(sys, *refsys, h_val_.addr(), p_.nodes_per_kind, 1e-12,
                    "Em3d.H");
 }
 

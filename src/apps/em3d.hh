@@ -18,13 +18,13 @@
 #include <vector>
 
 #include "dsm/system.hh"
-#include "dsm/workload.hh"
+#include "gstl/gstl.hh"
 
 namespace apps
 {
 
 /** Bipartite E/H field relaxation. */
-class Em3d : public dsm::Workload
+class Em3d : public g::App
 {
   public:
     struct Params
@@ -43,8 +43,8 @@ class Em3d : public dsm::Workload
     explicit Em3d(Params p) : p_(p) {}
 
     std::string name() const override { return "Em3d"; }
-    void plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg) override;
-    void run(dsm::Proc &p) override;
+    void plan(g::context &ctx) override;
+    void run(g::context &ctx) override;
     void validate(dsm::System &sys) override;
 
     void disableValidation() { skip_validate_ = true; }
@@ -59,8 +59,9 @@ class Em3d : public dsm::Workload
     std::vector<double> e_w_, h_w_;
     std::vector<double> init_e_, init_h_;
 
-    sim::GAddr e_val_ = 0; ///< doubles, owner-partitioned
-    sim::GAddr h_val_ = 0;
+    g::vector<double> e_val_; ///< owner-partitioned
+    g::vector<double> h_val_;
+    g::barrier phase_; ///< between-phase barrier, reused
 };
 
 } // namespace apps

@@ -1,0 +1,205 @@
+#include "apps/gstl_torture.hh"
+
+#include "dsm/system.hh"
+#include "sim/logging.hh"
+
+namespace apps
+{
+
+std::uint64_t
+GstlTorture::mix(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+std::uint64_t
+GstlTorture::valueOf(unsigned proc, unsigned round, unsigned j) const
+{
+    return mix(prm_.seed ^ 0x76616c75ULL ^
+               (std::uint64_t{proc} << 40 | std::uint64_t{round} << 20 |
+                j));
+}
+
+// Key spaces are kept disjoint by a tag in the top bits; tagOf() then
+// guarantees they are nonzero and never the reserved all-ones encoding.
+std::uint64_t
+GstlTorture::freshKey(unsigned proc, unsigned round, unsigned j) const
+{
+    return (1ULL << 60) | (std::uint64_t{proc} << 40) |
+           (std::uint64_t{round} << 20) | j;
+}
+
+std::uint64_t
+GstlTorture::accKey(unsigned proc, unsigned j) const
+{
+    return (2ULL << 60) | (std::uint64_t{proc} << 20) | j;
+}
+
+std::uint64_t
+GstlTorture::qItem(unsigned proc, unsigned round, unsigned j) const
+{
+    return mix(prm_.seed ^ 0x71697465ULL ^
+               (std::uint64_t{proc} << 40 | std::uint64_t{round} << 20 |
+                j));
+}
+
+unsigned
+GstlTorture::addTarget(unsigned proc, unsigned round, unsigned j) const
+{
+    return static_cast<unsigned>(
+        mix(prm_.seed ^ 0x74676574ULL ^
+            (std::uint64_t{proc} << 40 | std::uint64_t{round} << 20 |
+             j)) %
+        prm_.counters);
+}
+
+std::uint64_t
+GstlTorture::addDelta(unsigned proc, unsigned round, unsigned j) const
+{
+    return mix(prm_.seed ^ 0x64656c74ULL ^
+               (std::uint64_t{proc} << 40 | std::uint64_t{round} << 20 |
+                j)) &
+           0xffffULL;
+}
+
+void
+GstlTorture::plan(g::context &ctx)
+{
+    ncp2_assert(prm_.rounds && prm_.keys_per_round && prm_.q_items &&
+                    prm_.counters && prm_.adds_per_round && prm_.stripes,
+                "gstl-torture parameters must be non-zero");
+    nprocs_ = ctx.nprocs();
+
+    // Fresh keys per proc per round plus one set of accumulate keys per
+    // proc; 3x headroom keeps every stripe comfortably under capacity
+    // whatever the hash spread (a full stripe is fatal by contract).
+    const std::uint64_t entries =
+        std::uint64_t{nprocs_} * prm_.keys_per_round * (prm_.rounds + 1);
+    map_.allocate(ctx, "map", 3 * entries, prm_.stripes);
+
+    queues_.assign(nprocs_, {});
+    for (unsigned q = 0; q < nprocs_; ++q)
+        queues_[q].allocate(ctx, "q" + std::to_string(q), prm_.q_items);
+
+    counters_.assign(prm_.counters, {});
+    for (unsigned c = 0; c < prm_.counters; ++c)
+        counters_[c].allocate(ctx, "ctr" + std::to_string(c));
+
+    checks_.allocate(ctx, nprocs_);
+    round_ = ctx.make_barrier("round");
+    done_ = ctx.make_barrier("done");
+}
+
+void
+GstlTorture::run(g::context &ctx)
+{
+    const unsigned me = ctx.id();
+    const unsigned np = ctx.proc().nprocs();
+    const unsigned peer = (me + 1) % np;      ///< whose keys we look up
+    const unsigned pred = (me + np - 1) % np; ///< whose queue we drain
+    std::uint64_t chk = 0;
+
+    for (unsigned r = 0; r < prm_.rounds; ++r) {
+        // Map traffic: fresh single-writer inserts plus commutative
+        // accumulation, all racing through the stripe locks.
+        for (unsigned j = 0; j < prm_.keys_per_round; ++j) {
+            map_.insert(ctx, freshKey(me, r, j), valueOf(me, r, j));
+            map_.add(ctx, accKey(me, j), valueOf(me, r, j) & 0xffffULL);
+        }
+
+        // Mailbox ring: fill my queue, then drain my predecessor's.
+        // Capacity equals q_items, so pushes never block (the queue is
+        // empty at round start) while pops block until the predecessor
+        // catches up - the blocking path is exercised without a cycle
+        // of full queues that could deadlock.
+        for (unsigned j = 0; j < prm_.q_items; ++j)
+            queues_[me].push(ctx, qItem(me, r, j));
+        for (unsigned j = 0; j < prm_.q_items; ++j)
+            chk = fold(chk, queues_[pred].pop(ctx));
+
+        // Commutative counter adds plus a racy unvalidated peek.
+        for (unsigned j = 0; j < prm_.adds_per_round; ++j)
+            counters_[addTarget(me, r, j)].fetch_add(ctx,
+                                                     addDelta(me, r, j));
+        racy_sink_ += counters_[r % prm_.counters].load_relaxed(ctx);
+
+        round_.wait(ctx);
+
+        // Post-barrier lookups: my peer's round-r keys are guaranteed
+        // present (and immutable), so every find result is
+        // deterministic; one probe targets a never-inserted key.
+        for (unsigned j = 0; j < prm_.keys_per_round; ++j) {
+            const auto v = map_.find(ctx, freshKey(peer, r, j));
+            chk = fold(chk, v ? *v : 0xdeadULL);
+        }
+        const auto miss =
+            map_.find(ctx, freshKey(peer, r, prm_.keys_per_round + 31));
+        chk = fold(chk, miss ? *miss : 0x6e6f6e65ULL);
+    }
+
+    checks_.set(ctx, me, chk);
+    done_.wait(ctx);
+}
+
+void
+GstlTorture::validate(dsm::System &sys)
+{
+    const auto fail = [&](const char *what) {
+        ncp2_fatal("gstl-torture seed %llu: %s mismatch",
+                   static_cast<unsigned long long>(prm_.seed), what);
+    };
+
+    // Map contents: every fresh key holds its single writer's value,
+    // every accumulate key the commutative sum of its deltas.
+    for (unsigned p = 0; p < nprocs_; ++p) {
+        for (unsigned r = 0; r < prm_.rounds; ++r)
+            for (unsigned j = 0; j < prm_.keys_per_round; ++j) {
+                const auto v = map_.peek_find(sys, freshKey(p, r, j));
+                if (!v || *v != valueOf(p, r, j))
+                    fail("fresh map entry");
+            }
+        for (unsigned j = 0; j < prm_.keys_per_round; ++j) {
+            std::uint64_t want = 0;
+            for (unsigned r = 0; r < prm_.rounds; ++r)
+                want += valueOf(p, r, j) & 0xffffULL;
+            const auto v = map_.peek_find(sys, accKey(p, j));
+            if (!v || *v != want)
+                fail("accumulated map entry");
+        }
+    }
+
+    // Counters: deltas commute, so the sums are schedule-independent.
+    for (unsigned c = 0; c < prm_.counters; ++c) {
+        std::uint64_t want = 0;
+        for (unsigned p = 0; p < nprocs_; ++p)
+            for (unsigned r = 0; r < prm_.rounds; ++r)
+                for (unsigned j = 0; j < prm_.adds_per_round; ++j)
+                    if (addTarget(p, r, j) == c)
+                        want += addDelta(p, r, j);
+        if (sys.readGlobal<std::uint64_t>(counters_[c].addr()) != want)
+            fail("counter");
+    }
+
+    // Checksums: replay each proc's folds in program order.
+    for (unsigned p = 0; p < nprocs_; ++p) {
+        const unsigned peer = (p + 1) % nprocs_;
+        const unsigned pred = (p + nprocs_ - 1) % nprocs_;
+        std::uint64_t want = 0;
+        for (unsigned r = 0; r < prm_.rounds; ++r) {
+            for (unsigned j = 0; j < prm_.q_items; ++j)
+                want = fold(want, qItem(pred, r, j));
+            for (unsigned j = 0; j < prm_.keys_per_round; ++j)
+                want = fold(want, valueOf(peer, r, j));
+            want = fold(want, 0x6e6f6e65ULL);
+        }
+        if (g::peek(sys, checks_, p) != want)
+            fail("proc checksum");
+    }
+}
+
+} // namespace apps

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * GstlTorture: the g:: container torture workload. Where Torture
+ * exercises the raw shared-access/sync surface, this app hammers the
+ * distributed-STL layer itself - striped g::hash_map under concurrent
+ * mixed insert/add/find traffic, g::spsc_queue mailbox rings with
+ * blocking push/pop, lock-backed g::atomic counters (plus racy
+ * load_relaxed reads whose values are deliberately never validated) -
+ * all generated deterministically from Params::seed so a failing
+ * {seed, protocol, nprocs} triple replays exactly.
+ *
+ * Determinism by construction, mirroring Torture's contract:
+ *  - every hash_map key encodes its writing processor, so no key ever
+ *    has two writers; accumulate keys take only commutative adds;
+ *  - queue i is produced by proc i and consumed by proc (i+1)%nprocs
+ *    only (the SPSC contract), so each consumer pops its producer's
+ *    exact FIFO sequence;
+ *  - counter deltas commute;
+ *  - cross-processor lookups happen after the round barrier, so the
+ *    probed entries are guaranteed present.
+ * validate() therefore replays the whole program host-side and demands
+ * exact equality of counters, map contents, and per-proc checksums.
+ */
+
+#ifndef NCP2_APPS_GSTL_TORTURE_HH
+#define NCP2_APPS_GSTL_TORTURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gstl/gstl.hh"
+
+namespace apps
+{
+
+class GstlTorture : public g::App
+{
+  public:
+    struct Params
+    {
+        std::uint64_t seed = 1;
+        unsigned rounds = 5;
+        unsigned keys_per_round = 6; ///< fresh map inserts per proc/round
+        unsigned q_items = 6;        ///< mailbox items per proc/round
+        unsigned counters = 4;       ///< g::atomic counters
+        unsigned adds_per_round = 3; ///< fetch_adds per proc/round
+        unsigned stripes = 4;        ///< hash_map stripe count
+    };
+
+    GstlTorture() : GstlTorture(Params()) {}
+    explicit GstlTorture(Params prm) : prm_(prm) {}
+
+    std::string name() const override { return "GstlTorture"; }
+    void plan(g::context &ctx) override;
+    void run(g::context &ctx) override;
+    void validate(dsm::System &sys) override;
+
+    const Params &params() const { return prm_; }
+
+  private:
+    // --- the deterministic program, shared by run() and validate() ---
+    static std::uint64_t mix(std::uint64_t x);
+    std::uint64_t valueOf(unsigned proc, unsigned round,
+                          unsigned j) const;
+    std::uint64_t freshKey(unsigned proc, unsigned round,
+                           unsigned j) const;
+    std::uint64_t accKey(unsigned proc, unsigned j) const;
+    std::uint64_t qItem(unsigned proc, unsigned round, unsigned j) const;
+    unsigned addTarget(unsigned proc, unsigned round, unsigned j) const;
+    std::uint64_t addDelta(unsigned proc, unsigned round,
+                           unsigned j) const;
+
+    static std::uint64_t
+    fold(std::uint64_t chk, std::uint64_t x)
+    {
+        return (chk ^ x) * 0x100000001b3ULL;
+    }
+
+    Params prm_;
+    unsigned nprocs_ = 0;
+
+    g::hash_map<std::uint64_t, std::uint64_t> map_;
+    std::vector<g::spsc_queue<std::uint64_t>> queues_; ///< one per proc
+    std::vector<g::atomic<std::uint64_t>> counters_;
+    g::vector<std::uint64_t> checks_; ///< per-proc published checksums
+    g::barrier round_;
+    g::barrier done_;
+
+    /// Racy load_relaxed landing zone; never validated (timing-
+    /// dependent by design - it exercises the oracle's acceptance of
+    /// concurrent values, not determinism).
+    std::uint64_t racy_sink_ = 0;
+};
+
+} // namespace apps
+
+#endif // NCP2_APPS_GSTL_TORTURE_HH

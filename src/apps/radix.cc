@@ -7,7 +7,7 @@ namespace apps
 {
 
 void
-Radix::plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg)
+Radix::plan(g::context &ctx)
 {
     sim::Rng rng(p_.seed);
     init_keys_.assign(p_.keys, 0);
@@ -20,32 +20,30 @@ Radix::plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg)
         key_sum_ += k;
     }
 
-    a_ = heap.allocPages(p_.keys * 4ull);
-    b_ = heap.allocPages(p_.keys * 4ull);
+    a_.allocate(ctx, p_.keys);
+    b_.allocate(ctx, p_.keys);
     // One page-aligned histogram row per processor: the counting phase
     // is then free of false sharing, concentrating it in the permute
     // phase exactly as in SPLASH-2 Radix.
-    hist_ = heap.allocPages(static_cast<std::uint64_t>(cfg.num_procs) *
-                            buckets() * 4);
+    hist_.allocate(ctx,
+                   static_cast<std::uint64_t>(ctx.nprocs()) * buckets());
+    phase_ = ctx.make_barrier("phase");
 }
 
 void
-Radix::run(dsm::Proc &p)
+Radix::run(g::context &ctx)
 {
     const unsigned n = p_.keys;
-    const unsigned np = p.nprocs();
+    const unsigned np = ctx.proc().nprocs();
     const unsigned nb = buckets();
-    const unsigned lo = n * p.id() / np;
-    const unsigned hi = n * (p.id() + 1) / np;
-    auto row = [&](unsigned q) {
-        return hist_ + static_cast<sim::GAddr>(q) * nb * 4;
-    };
+    const unsigned lo = n * ctx.id() / np;
+    const unsigned hi = n * (ctx.id() + 1) / np;
 
-    if (p.id() == 0)
-        p.putBlock(a_, init_keys_.data(), n);
-    p.barrier(0);
+    if (ctx.id() == 0)
+        a_.write(ctx, 0, init_keys_.data(), n);
+    phase_.wait(ctx);
 
-    sim::GAddr src = a_, dst = b_;
+    g::vector<std::uint32_t> src = a_, dst = b_;
     std::vector<std::uint32_t> counts(nb), mykeys(hi - lo);
 
     for (unsigned pass = 0; pass < passes(); ++pass) {
@@ -54,20 +52,20 @@ Radix::run(dsm::Proc &p)
         // (1) local histogram of the owned chunk
         std::fill(counts.begin(), counts.end(), 0);
         for (unsigned i = lo; i < hi; ++i) {
-            const auto k = p.get<std::uint32_t>(src + 4ull * i);
+            const auto k = src.get(ctx, i);
             mykeys[i - lo] = k;
             ++counts[(k >> shift) & (nb - 1)];
-            p.compute(30);
+            ctx.compute(30);
         }
-        p.putBlock(row(p.id()), counts.data(), nb);
-        p.barrier(1 + pass * 3);
+        hist_.write(ctx, std::uint64_t(ctx.id()) * nb, counts.data(), nb);
+        phase_.wait(ctx);
 
         // (2) proc 0 turns counts into global starting ranks:
         //     rank[q][d] = sum(counts[*][<d]) + sum(counts[<q][d])
-        if (p.id() == 0) {
+        if (ctx.id() == 0) {
             std::vector<std::uint32_t> all(np * nb);
             for (unsigned q = 0; q < np; ++q)
-                p.getBlock(row(q), &all[q * nb], nb);
+                hist_.read(ctx, std::uint64_t(q) * nb, &all[q * nb], nb);
             std::uint32_t base = 0;
             std::vector<std::uint32_t> rank(np * nb);
             for (unsigned d = 0; d < nb; ++d) {
@@ -75,24 +73,24 @@ Radix::run(dsm::Proc &p)
                     rank[q * nb + d] = base;
                     base += all[q * nb + d];
                 }
-                p.compute(2 * np);
+                ctx.compute(2 * np);
             }
             for (unsigned q = 0; q < np; ++q)
-                p.putBlock(row(q), &rank[q * nb], nb);
+                hist_.write(ctx, std::uint64_t(q) * nb, &rank[q * nb], nb);
         }
-        p.barrier(2 + pass * 3);
+        phase_.wait(ctx);
 
         // (3) permute into the destination at global offsets (the
         //     false-sharing hotspot: neighbours' ranks interleave pages)
-        p.getBlock(row(p.id()), counts.data(), nb);
+        hist_.read(ctx, std::uint64_t(ctx.id()) * nb, counts.data(), nb);
         for (unsigned i = lo; i < hi; ++i) {
             const std::uint32_t k = mykeys[i - lo];
             const unsigned d = (k >> shift) & (nb - 1);
-            p.put<std::uint32_t>(dst + 4ull * counts[d], k);
+            dst.set(ctx, counts[d], k);
             ++counts[d];
-            p.compute(50);
+            ctx.compute(50);
         }
-        p.barrier(3 + pass * 3);
+        phase_.wait(ctx);
         std::swap(src, dst);
     }
 }
@@ -101,11 +99,11 @@ void
 Radix::validate(dsm::System &sys)
 {
     // An even number of passes leaves the result in a_.
-    const sim::GAddr fin = (passes() % 2 == 0) ? a_ : b_;
+    const g::vector<std::uint32_t> &fin = (passes() % 2 == 0) ? a_ : b_;
     std::uint64_t sum = 0;
     std::uint32_t prev = 0;
     for (unsigned i = 0; i < p_.keys; ++i) {
-        const auto k = sys.readGlobal<std::uint32_t>(fin + 4ull * i);
+        const auto k = g::peek(sys, fin, i);
         if (k < prev)
             ncp2_fatal("Radix: output not sorted at %u (%u < %u)", i, k,
                        prev);

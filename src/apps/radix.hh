@@ -16,13 +16,13 @@
 #include <vector>
 
 #include "dsm/system.hh"
-#include "dsm/workload.hh"
+#include "gstl/gstl.hh"
 
 namespace apps
 {
 
 /** Parallel radix sort, one digit per iteration. */
-class Radix : public dsm::Workload
+class Radix : public g::App
 {
   public:
     struct Params
@@ -36,8 +36,8 @@ class Radix : public dsm::Workload
     explicit Radix(Params p) : p_(p) {}
 
     std::string name() const override { return "Radix"; }
-    void plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg) override;
-    void run(dsm::Proc &p) override;
+    void plan(g::context &ctx) override;
+    void run(g::context &ctx) override;
     void validate(dsm::System &sys) override;
 
   private:
@@ -48,9 +48,10 @@ class Radix : public dsm::Workload
     std::vector<std::uint32_t> init_keys_;
     std::uint64_t key_sum_ = 0;
 
-    sim::GAddr a_ = 0;    ///< key array A
-    sim::GAddr b_ = 0;    ///< key array B
-    sim::GAddr hist_ = 0; ///< [nprocs][buckets] counts, then ranks
+    g::vector<std::uint32_t> a_;    ///< key array A
+    g::vector<std::uint32_t> b_;    ///< key array B
+    g::vector<std::uint32_t> hist_; ///< [nprocs][buckets] counts, then ranks
+    g::barrier phase_;              ///< between-phase barrier, reused
 };
 
 } // namespace apps

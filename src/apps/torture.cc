@@ -10,10 +10,10 @@ namespace apps
 {
 
 void
-Torture::plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg)
+Torture::plan(g::context &ctx)
 {
-    nprocs_ = cfg.num_procs;
-    page_words_ = cfg.pageWords();
+    nprocs_ = ctx.nprocs();
+    page_words_ = ctx.cfg().pageWords();
     ncp2_assert(page_words_ % chunks_per_page == 0,
                 "page size not divisible into %u chunks", chunks_per_page);
     chunk_words_ = page_words_ / chunks_per_page;
@@ -21,11 +21,13 @@ Torture::plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg)
                     prm_.pc_slots,
                 "torture parameters must be non-zero");
 
-    arena_.base =
-        heap.allocPages(std::uint64_t{prm_.data_pages} * cfg.page_bytes);
-    counters_.base = heap.allocPages(prm_.counters * 8ull);
-    pc_.base = heap.allocPages(2ull * prm_.pc_slots * 8ull);
-    checks_.base = heap.allocPages(nprocs_ * 8ull);
+    arena_.allocate(ctx, std::uint64_t{prm_.data_pages} * page_words_);
+    counters_.allocate(ctx, prm_.counters); ///< one hot page on purpose
+    pc_.allocate(ctx, 2ull * prm_.pc_slots);
+    checks_.allocate(ctx, nprocs_);
+    counter_mus_ = ctx.make_mutexes("counter", prm_.counters);
+    round_ = ctx.make_barrier("round");
+    done_ = ctx.make_barrier("done");
 
     prog_.assign(nprocs_, {});
     for (unsigned p = 0; p < nprocs_; ++p) {
@@ -174,66 +176,65 @@ Torture::replayReference()
 }
 
 void
-Torture::run(dsm::Proc &p)
+Torture::run(g::context &ctx)
 {
-    const unsigned me = p.id();
+    const unsigned me = ctx.id();
     std::uint64_t chk = 0;
     std::vector<std::uint32_t> buf(chunk_words_);
     for (unsigned r = 0; r < prm_.rounds; ++r) {
         for (const Op &op : prog_[me][r]) {
             switch (op.k) {
               case Op::K::cread:
-                chk = fold(chk, arena_.get(p, op.a));
+                chk = fold(chk, arena_.get(ctx, op.a));
                 break;
               case Op::K::creadblk:
-                arena_.getRange(p, op.a, buf.data(), op.b);
+                arena_.read(ctx, op.a, buf.data(), op.b);
                 for (unsigned i = 0; i < op.b; ++i)
                     chk = fold(chk, buf[i]);
                 break;
               case Op::K::cwrite:
-                arena_.put(p, op.a, static_cast<std::uint32_t>(op.v));
+                arena_.set(ctx, op.a, static_cast<std::uint32_t>(op.v));
                 break;
               case Op::K::cwriteblk:
                 for (unsigned i = 0; i < op.b; ++i)
                     buf[i] = static_cast<std::uint32_t>(op.v + i);
-                arena_.putRange(p, op.a, buf.data(), op.b);
+                arena_.write(ctx, op.a, buf.data(), op.b);
                 break;
-              case Op::K::cadd: {
-                p.lock(100 + op.a);
-                const std::uint64_t cur = counters_.get(p, op.a);
-                p.compute(20);
-                counters_.put(p, op.a, cur + op.v);
-                p.unlock(100 + op.a);
+              case Op::K::cadd:
+                // The counters array is one hot page of lock-protected
+                // slots; the per-element atomic view keeps that layout.
+                g::atomic<std::uint64_t>(counters_, op.a,
+                                         counter_mus_[op.a])
+                    .fetch_add(ctx, op.v);
                 break;
-              }
               case Op::K::pcwrite:
-                pc_.put(p, op.a, op.v);
+                pc_.set(ctx, op.a, op.v);
                 break;
               case Op::K::pcread:
-                chk = fold(chk, pc_.get(p, op.a));
+                chk = fold(chk, pc_.get(ctx, op.a));
                 break;
               case Op::K::rread:
-                racy_sink_ += arena_.get(p, op.a);
+                racy_sink_ += arena_.get(ctx, op.a);
                 break;
               case Op::K::comp:
-                p.compute(op.a);
+                ctx.compute(op.a);
                 break;
             }
         }
-        // One reused barrier id on purpose: generation bookkeeping
+        // One reused barrier handle on purpose: generation bookkeeping
         // (protocol and oracle) must survive a processor racing a full
         // round ahead before a laggard's fiber resumes.
-        p.barrier(3);
+        round_.wait(ctx);
     }
-    checks_.put(p, me, chk);
-    p.barrier(4);
+    checks_.set(ctx, me, chk);
+    done_.wait(ctx);
 }
 
 void
 Torture::validate(dsm::System &sys)
 {
     for (std::size_t w = 0; w < ref_arena_.size(); ++w) {
-        const auto got = sys.readGlobal<std::uint32_t>(arena_.at(w));
+        const auto got = g::peek(sys, arena_, w);
         if (got != ref_arena_[w])
             ncp2_fatal("torture seed %llu: arena word %zu = %u, expected "
                        "%u",
@@ -241,7 +242,7 @@ Torture::validate(dsm::System &sys)
                        ref_arena_[w]);
     }
     for (std::size_t c = 0; c < ref_counters_.size(); ++c) {
-        const auto got = sys.readGlobal<std::uint64_t>(counters_.at(c));
+        const auto got = g::peek(sys, counters_, c);
         if (got != ref_counters_[c])
             ncp2_fatal("torture seed %llu: counter %zu = %llu, expected "
                        "%llu",
@@ -250,7 +251,7 @@ Torture::validate(dsm::System &sys)
                        static_cast<unsigned long long>(ref_counters_[c]));
     }
     for (unsigned p = 0; p < nprocs_; ++p) {
-        const auto got = sys.readGlobal<std::uint64_t>(checks_.at(p));
+        const auto got = g::peek(sys, checks_, p);
         if (got != ref_checks_[p])
             ncp2_fatal("torture seed %llu: proc %u checksum %llx, expected "
                        "%llx (a read observed a value the reference replay "

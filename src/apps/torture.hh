@@ -37,12 +37,12 @@
 #include <cstdint>
 #include <vector>
 
-#include "dsm/workload.hh"
+#include "gstl/gstl.hh"
 
 namespace apps
 {
 
-class Torture : public dsm::Workload
+class Torture : public g::App
 {
   public:
     struct Params
@@ -64,8 +64,8 @@ class Torture : public dsm::Workload
     explicit Torture(Params prm) : prm_(prm) {}
 
     std::string name() const override { return "Torture"; }
-    void plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg) override;
-    void run(dsm::Proc &p) override;
+    void plan(g::context &ctx) override;
+    void run(g::context &ctx) override;
     void validate(dsm::System &sys) override;
 
     const Params &params() const { return prm_; }
@@ -104,10 +104,13 @@ class Torture : public dsm::Workload
     unsigned nprocs_ = 0;
     unsigned page_words_ = 0;
     unsigned chunk_words_ = 0;
-    dsm::GArray<std::uint32_t> arena_;
-    dsm::GArray<std::uint64_t> counters_;
-    dsm::GArray<std::uint64_t> pc_;
-    dsm::GArray<std::uint64_t> checks_;
+    g::vector<std::uint32_t> arena_;
+    g::vector<std::uint64_t> counters_;
+    g::vector<std::uint64_t> pc_;
+    g::vector<std::uint64_t> checks_;
+    std::vector<g::mutex> counter_mus_; ///< one per counter
+    g::barrier round_; ///< end-of-round barrier, reused every round
+    g::barrier done_;  ///< final checksum-publication barrier
     /// prog_[proc][round]: generated once in plan(), interpreted by run.
     std::vector<std::vector<std::vector<Op>>> prog_;
     std::vector<std::uint32_t> ref_arena_;

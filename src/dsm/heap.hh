@@ -12,6 +12,7 @@
 #define NCP2_DSM_HEAP_HH
 
 #include <cstdint>
+#include <type_traits>
 
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -49,6 +50,33 @@ class GlobalHeap
     allocPages(std::uint64_t bytes)
     {
         return alloc(bytes, page_bytes_);
+    }
+
+    /**
+     * Allocate @p count elements of T with T's natural alignment (or
+     * page alignment when @p page_aligned). The shared-access path
+     * rejects element accesses whose address is not a multiple of the
+     * element size, so a T array placed after an odd-sized prior
+     * allocation must be re-aligned here — asserted, never silent.
+     * This is the allocation entry point the g:: containers use.
+     */
+    template <typename T>
+    sim::GAddr
+    allocArray(std::uint64_t count, bool page_aligned = false)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "shared elements must be trivially copyable");
+        static_assert(sizeof(T) <= 8 &&
+                          (sizeof(T) & (sizeof(T) - 1)) == 0,
+                      "shared elements must be 1/2/4/8 bytes (the "
+                      "access path's natural-alignment contract)");
+        const sim::GAddr a = page_aligned
+            ? allocPages(count * sizeof(T))
+            : alloc(count * sizeof(T), sizeof(T));
+        ncp2_assert(a % sizeof(T) == 0,
+                    "allocArray produced a misaligned base (%llu %% %zu)",
+                    static_cast<unsigned long long>(a), sizeof(T));
+        return a;
     }
 
     /**

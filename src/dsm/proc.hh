@@ -59,6 +59,10 @@ class Proc
      * Read @p count consecutive values starting at @p addr into @p out.
      * Timing-identical to the equivalent get() loop (every element is
      * charged individually); batching removes per-call host overhead.
+     *
+     * getBlock/putBlock are the canonical bulk range entry points:
+     * every other range spelling (GArray::getRange/putRange, the g::
+     * containers' read/write) forwards here.
      */
     template <typename T>
     void
@@ -116,14 +120,24 @@ struct GArray
     T get(Proc &p, std::uint64_t i) const { return p.get<T>(at(i)); }
     void put(Proc &p, std::uint64_t i, T v) const { p.put<T>(at(i), v); }
 
-    /** Read elements [i, i + count) into @p out. */
+    /**
+     * Read elements [i, i + count) into @p out.
+     * @deprecated Duplicate spelling of the canonical range entry
+     * point; call Proc::getBlock(at(i), ...) directly (or move the
+     * array to g::vector, whose read/write forward there too).
+     */
+    [[deprecated("use Proc::getBlock (canonical range entry point)")]]
     void
     getRange(Proc &p, std::uint64_t i, T *out, std::size_t count) const
     {
         p.getBlock(at(i), out, count);
     }
 
-    /** Write elements [i, i + count) from @p src. */
+    /**
+     * Write elements [i, i + count) from @p src.
+     * @deprecated See getRange; call Proc::putBlock(at(i), ...) instead.
+     */
+    [[deprecated("use Proc::putBlock (canonical range entry point)")]]
     void
     putRange(Proc &p, std::uint64_t i, const T *src, std::size_t count) const
     {

@@ -1,0 +1,517 @@
+/**
+ * @file
+ * Shared containers over the DSM: take correct concurrent C++ and
+ * change only the types.
+ *
+ *  - g::vector<T>      a fixed-size shared array; element get/set plus
+ *                      bulk read/write that batch whole page runs
+ *                      through the fast-path range engine, and
+ *                      page-run chunk iteration for staging through a
+ *                      bounded host buffer;
+ *  - g::hash_map<K,V>  open addressing over g::vector storage, striped:
+ *                      each stripe is an independently locked probe
+ *                      region, so concurrent mixed insert/find traffic
+ *                      serializes only per stripe;
+ *  - g::atomic<T>      lock-backed read-modify-write on one shared slot
+ *                      (packs with neighbours: natural alignment, no
+ *                      page rounding);
+ *  - g::spsc_queue<T>  a bounded single-producer/single-consumer
+ *                      mailbox (ring + cursors behind one lock; full/
+ *                      empty block by spinning with a backoff charge,
+ *                      which lazy release consistency requires - an
+ *                      unsynchronized poll could read a stale cursor
+ *                      forever).
+ *
+ * All element types must be trivially copyable and 1/2/4/8 bytes (the
+ * shared-access path's contract). Storage is claimed at plan() time
+ * through the context; handles are cheap POD-like values that can be
+ * copied freely into run() bodies.
+ */
+
+#ifndef NCP2_GSTL_CONTAINERS_HH
+#define NCP2_GSTL_CONTAINERS_HH
+
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "dsm/system.hh"
+#include "gstl/context.hh"
+
+namespace g
+{
+
+/** Fixed-size shared array of T living on the global heap. */
+template <typename T>
+class vector
+{
+  public:
+    vector() = default;
+
+    /**
+     * Plan phase: claim storage for @p count elements. Page-aligned by
+     * default (fresh pages = layout control over false sharing);
+     * @p page_aligned=false packs at natural alignment.
+     */
+    void
+    allocate(context &ctx, std::uint64_t count, bool page_aligned = true)
+    {
+        ncp2_assert(!valid_ || epoch_ != ctx.plan_epoch(),
+                    "g::vector allocated twice in one plan");
+        base_ = ctx.alloc_array<T>(count, page_aligned);
+        size_ = count;
+        epoch_ = ctx.plan_epoch();
+        valid_ = true;
+    }
+
+    bool valid() const { return valid_; }
+    std::uint64_t size() const { return size_; }
+
+    /** Global address of element @p i (i == size() is the end). */
+    sim::GAddr
+    addr(std::uint64_t i = 0) const
+    {
+        ncp2_assert(valid_ && i <= size_, "g::vector index out of range");
+        return base_ + i * sizeof(T);
+    }
+
+    T
+    get(context &ctx, std::uint64_t i) const
+    {
+        ncp2_assert(i < size_, "g::vector get out of range");
+        return ctx.proc().template get<T>(addr(i));
+    }
+
+    void
+    set(context &ctx, std::uint64_t i, T v) const
+    {
+        ncp2_assert(i < size_, "g::vector set out of range");
+        ctx.proc().put(addr(i), v);
+    }
+
+    /** Bulk-read elements [i, i+count) into @p out (page-run batched). */
+    void
+    read(context &ctx, std::uint64_t i, T *out, std::size_t count) const
+    {
+        ncp2_assert(i + count <= size_, "g::vector read out of range");
+        ctx.proc().getBlock(addr(i), out, count);
+    }
+
+    /** Bulk-write elements [i, i+count) from @p src. */
+    void
+    write(context &ctx, std::uint64_t i, const T *src,
+          std::size_t count) const
+    {
+        ncp2_assert(i + count <= size_, "g::vector write out of range");
+        ctx.proc().putBlock(addr(i), src, count);
+    }
+
+    /**
+     * Iterate [lo, hi) as page-run chunks: fn(index, count) is invoked
+     * per maximal run of elements sharing one page, in order. The
+     * natural shape for staging bulk transfers through a bounded host
+     * buffer of one page.
+     */
+    template <typename Fn>
+    void
+    for_each_chunk(const context &ctx, std::uint64_t lo, std::uint64_t hi,
+                   Fn &&fn) const
+    {
+        ncp2_assert(lo <= hi && hi <= size_,
+                    "g::vector chunk range out of range");
+        const std::uint64_t page = ctx.page_bytes();
+        while (lo < hi) {
+            const sim::GAddr a = base_ + lo * sizeof(T);
+            const std::uint64_t left_in_page =
+                (page - a % page) / sizeof(T);
+            const std::uint64_t n =
+                left_in_page < hi - lo ? left_in_page : hi - lo;
+            fn(lo, static_cast<std::size_t>(n));
+            lo += n;
+        }
+    }
+
+  private:
+    sim::GAddr base_ = 0;
+    std::uint64_t size_ = 0;
+    std::uint64_t epoch_ = 0;
+    bool valid_ = false;
+};
+
+/** Read one element host-side after the run (validation helper). */
+template <typename T>
+T
+peek(dsm::System &sys, const vector<T> &v, std::uint64_t i)
+{
+    return sys.readGlobal<T>(v.addr(i));
+}
+
+/**
+ * Lock-backed atomic view of one shared T slot. allocate() claims a
+ * packed (naturally aligned) slot plus a named mutex; the view
+ * constructor instead aliases an existing g::vector element with a
+ * caller-supplied mutex, so arrays of counters can keep a deliberate
+ * one-hot-page layout while each element still gets atomic RMW ops.
+ */
+template <typename T>
+class atomic
+{
+  public:
+    atomic() = default;
+
+    /** View form: element @p i of @p v guarded by @p mu. */
+    atomic(const vector<T> &v, std::uint64_t i, mutex mu)
+        : addr_(v.addr(i)), mu_(mu), valid_(true)
+    {
+    }
+
+    /** Plan phase: claim a packed slot and the mutex named @p name. */
+    void
+    allocate(context &ctx, const std::string &name)
+    {
+        ncp2_assert(!valid_ || epoch_ != ctx.plan_epoch(),
+                    "g::atomic allocated twice in one plan");
+        addr_ = ctx.alloc_array<T>(1, false);
+        mu_ = ctx.make_mutex(name);
+        epoch_ = ctx.plan_epoch();
+        valid_ = true;
+    }
+
+    sim::GAddr
+    addr() const
+    {
+        ncp2_assert(valid_, "g::atomic used before allocate()");
+        return addr_;
+    }
+
+    /** Coherent read (takes the lock, so remote updates are visible). */
+    T
+    load(context &ctx)
+    {
+        lock_guard lk(ctx, mu_);
+        return ctx.proc().template get<T>(addr());
+    }
+
+    /**
+     * Unsynchronized read: whatever value this node's copy holds right
+     * now. Legal under LRC (the oracle accepts concurrent values) but
+     * possibly stale - never gate progress on it.
+     */
+    T
+    load_relaxed(context &ctx)
+    {
+        return ctx.proc().template get<T>(addr());
+    }
+
+    void
+    store(context &ctx, T v)
+    {
+        lock_guard lk(ctx, mu_);
+        ctx.proc().put(addr(), v);
+    }
+
+    /** Atomic += via the lock; returns the previous value. */
+    T
+    fetch_add(context &ctx, T delta)
+    {
+        lock_guard lk(ctx, mu_);
+        const T old = ctx.proc().template get<T>(addr());
+        ctx.compute(rmw_cycles);
+        ctx.proc().put(addr(), static_cast<T>(old + delta));
+        return old;
+    }
+
+    /** Atomic swap via the lock; returns the previous value. */
+    T
+    exchange(context &ctx, T v)
+    {
+        lock_guard lk(ctx, mu_);
+        const T old = ctx.proc().template get<T>(addr());
+        ctx.compute(rmw_cycles);
+        ctx.proc().put(addr(), v);
+        return old;
+    }
+
+    /// Busy cycles charged for the RMW ALU work between the two halves
+    /// of every read-modify-write (matches a hand-written locked RMW).
+    static constexpr std::uint64_t rmw_cycles = 20;
+
+  private:
+    sim::GAddr addr_ = 0;
+    mutex mu_;
+    std::uint64_t epoch_ = 0;
+    bool valid_ = false;
+};
+
+/**
+ * Striped open-addressed shared hash map. Capacity is split into
+ * `stripes` equally sized probe regions; a key hashes to one stripe
+ * and probes linearly inside it under that stripe's mutex only. No
+ * erase (no tombstones): a stripe that fills is fatal, so plan
+ * capacity with headroom. Keys and values must satisfy the element
+ * contract (trivially copyable, 1/2/4/8 bytes); the all-ones key
+ * encoding is reserved as unusable.
+ */
+template <typename K, typename V>
+class hash_map
+{
+  public:
+    hash_map() = default;
+
+    /**
+     * Plan phase: claim storage for @p capacity slots in @p stripes
+     * stripes (capacity rounds up to a multiple of stripes) plus the
+     * per-stripe mutexes named "<name>/stripe".
+     */
+    void
+    allocate(context &ctx, const std::string &name, std::uint64_t capacity,
+             unsigned stripes)
+    {
+        ncp2_assert(stripes && capacity >= stripes,
+                    "g::hash_map needs at least one slot per stripe");
+        nstripes_ = stripes;
+        stripe_cap_ = (capacity + stripes - 1) / stripes;
+        keys_.allocate(ctx, stripe_cap_ * stripes);
+        vals_.allocate(ctx, stripe_cap_ * stripes);
+        counts_.allocate(ctx, stripes);
+        mus_ = ctx.make_mutexes(name + "/stripe", stripes);
+    }
+
+    std::uint64_t capacity() const { return stripe_cap_ * nstripes_; }
+    unsigned stripes() const { return nstripes_; }
+
+    /**
+     * Insert or assign. Returns true when the key was newly inserted,
+     * false when an existing value was overwritten.
+     */
+    bool
+    insert(context &ctx, K key, V val)
+    {
+        return update(ctx, key, val, false);
+    }
+
+    /** Insert-or-accumulate: map[key] += delta (insert as delta). */
+    bool
+    add(context &ctx, K key, V delta)
+    {
+        return update(ctx, key, delta, true);
+    }
+
+    /** Coherent lookup under the stripe lock. */
+    std::optional<V>
+    find(context &ctx, K key)
+    {
+        const std::uint64_t tag = tagOf(key);
+        const unsigned s = stripeOf(tag);
+        lock_guard lk(ctx, mus_[s]);
+        const std::uint64_t slot = probe(ctx, s, tag);
+        if (slot == npos ||
+            keys_.get(ctx, s * stripe_cap_ + slot) != tag)
+            return std::nullopt;
+        return vals_.get(ctx, s * stripe_cap_ + slot);
+    }
+
+    /** Total entries; sums the per-stripe counts under their locks. */
+    std::uint64_t
+    size(context &ctx)
+    {
+        std::uint64_t n = 0;
+        for (unsigned s = 0; s < nstripes_; ++s) {
+            lock_guard lk(ctx, mus_[s]);
+            n += counts_.get(ctx, s);
+        }
+        return n;
+    }
+
+    /** Host-side post-run lookup (validation helper). */
+    std::optional<V>
+    peek_find(dsm::System &sys, K key) const
+    {
+        const std::uint64_t tag = tagOf(key);
+        const unsigned s = stripeOf(tag);
+        for (std::uint64_t j = 0; j < stripe_cap_; ++j) {
+            const std::uint64_t i =
+                s * stripe_cap_ + (startOf(tag) + j) % stripe_cap_;
+            const std::uint64_t got = peek(sys, keys_, i);
+            if (got == 0)
+                return std::nullopt;
+            if (got == tag)
+                return peek(sys, vals_, i);
+        }
+        return std::nullopt;
+    }
+
+  private:
+    static constexpr std::uint64_t npos = ~0ull;
+
+    static std::uint64_t
+    tagOf(K key)
+    {
+        std::uint64_t u = 0;
+        std::memcpy(&u, &key, sizeof(K));
+        ncp2_assert(u + 1 != 0, "the all-ones key encoding is reserved");
+        return u + 1; // 0 marks an empty slot (pages start zeroed)
+    }
+
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 33;
+        x *= 0xc4ceb9fe1a85ec53ULL;
+        x ^= x >> 33;
+        return x;
+    }
+
+    unsigned
+    stripeOf(std::uint64_t tag) const
+    {
+        return static_cast<unsigned>(mix(tag) % nstripes_);
+    }
+
+    std::uint64_t
+    startOf(std::uint64_t tag) const
+    {
+        return (mix(tag) / nstripes_) % stripe_cap_;
+    }
+
+    /**
+     * Under the stripe lock: first slot (stripe-relative) holding @p tag
+     * or empty along the probe path, npos when the stripe is full.
+     */
+    std::uint64_t
+    probe(context &ctx, unsigned s, std::uint64_t tag)
+    {
+        const std::uint64_t start = startOf(tag);
+        for (std::uint64_t j = 0; j < stripe_cap_; ++j) {
+            const std::uint64_t slot = (start + j) % stripe_cap_;
+            const std::uint64_t got =
+                keys_.get(ctx, s * stripe_cap_ + slot);
+            if (got == tag || got == 0)
+                return slot;
+        }
+        return npos;
+    }
+
+    bool
+    update(context &ctx, K key, V val, bool accumulate)
+    {
+        const std::uint64_t tag = tagOf(key);
+        const unsigned s = stripeOf(tag);
+        lock_guard lk(ctx, mus_[s]);
+        const std::uint64_t slot = probe(ctx, s, tag);
+        if (slot == npos)
+            ncp2_fatal("g::hash_map stripe %u full (%llu slots); plan "
+                       "more capacity",
+                       s, static_cast<unsigned long long>(stripe_cap_));
+        const std::uint64_t i = s * stripe_cap_ + slot;
+        const bool fresh = keys_.get(ctx, i) == 0;
+        if (fresh) {
+            keys_.set(ctx, i, tag);
+            vals_.set(ctx, i, val);
+            counts_.set(ctx, s, counts_.get(ctx, s) + 1);
+        } else if (accumulate) {
+            vals_.set(ctx, i, static_cast<V>(vals_.get(ctx, i) + val));
+        } else {
+            vals_.set(ctx, i, val);
+        }
+        return fresh;
+    }
+
+    vector<std::uint64_t> keys_; ///< tagOf(key), 0 = empty
+    vector<V> vals_;
+    vector<std::uint32_t> counts_; ///< entries per stripe
+    std::vector<mutex> mus_;
+    std::uint64_t stripe_cap_ = 0;
+    unsigned nstripes_ = 0;
+};
+
+/**
+ * Bounded single-producer/single-consumer mailbox. One lock guards the
+ * ring cursors; a full push / empty pop spins, re-acquiring after a
+ * backoff charge so the peer's cursor update becomes visible (LRC needs
+ * the acquire - there is no doorbell to poll without one).
+ */
+template <typename T>
+class spsc_queue
+{
+  public:
+    spsc_queue() = default;
+
+    void
+    allocate(context &ctx, const std::string &name, std::uint64_t capacity)
+    {
+        ncp2_assert(capacity, "g::spsc_queue of zero capacity");
+        cap_ = capacity;
+        cursors_.allocate(ctx, 2); ///< [0]=popped count, [1]=pushed count
+        ring_.allocate(ctx, capacity);
+        mu_ = ctx.make_mutex(name + "/mu");
+    }
+
+    std::uint64_t capacity() const { return cap_; }
+
+    bool
+    try_push(context &ctx, T v)
+    {
+        lock_guard lk(ctx, mu_);
+        const std::uint64_t head = cursors_.get(ctx, 0);
+        const std::uint64_t tail = cursors_.get(ctx, 1);
+        if (tail - head >= cap_)
+            return false;
+        ring_.set(ctx, tail % cap_, v);
+        cursors_.set(ctx, 1, tail + 1);
+        return true;
+    }
+
+    /** Blocking push: spins with a backoff charge while full. */
+    void
+    push(context &ctx, T v)
+    {
+        while (!try_push(ctx, v))
+            ctx.compute(backoff_cycles);
+    }
+
+    std::optional<T>
+    try_pop(context &ctx)
+    {
+        lock_guard lk(ctx, mu_);
+        const std::uint64_t head = cursors_.get(ctx, 0);
+        if (head == cursors_.get(ctx, 1))
+            return std::nullopt;
+        const T v = ring_.get(ctx, head % cap_);
+        cursors_.set(ctx, 0, head + 1);
+        return v;
+    }
+
+    /** Blocking pop: spins with a backoff charge while empty. */
+    T
+    pop(context &ctx)
+    {
+        for (;;) {
+            if (auto v = try_pop(ctx))
+                return *v;
+            ctx.compute(backoff_cycles);
+        }
+    }
+
+    std::uint64_t
+    size(context &ctx)
+    {
+        lock_guard lk(ctx, mu_);
+        return cursors_.get(ctx, 1) - cursors_.get(ctx, 0);
+    }
+
+    /// Busy cycles charged between retries of a blocked push/pop.
+    static constexpr std::uint64_t backoff_cycles = 200;
+
+  private:
+    vector<std::uint64_t> cursors_;
+    vector<T> ring_;
+    mutex mu_;
+    std::uint64_t cap_ = 0;
+};
+
+} // namespace g
+
+#endif // NCP2_GSTL_CONTAINERS_HH

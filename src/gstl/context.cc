@@ -1,0 +1,108 @@
+#include "gstl/context.hh"
+
+namespace g
+{
+
+namespace detail
+{
+
+void
+Space::begin(dsm::GlobalHeap &h, const dsm::SysConfig &c)
+{
+    heap = &h;
+    cfg = &c;
+    planning = true;
+    ++plan_epoch;
+    lock_names.clear();
+    barrier_names.clear();
+    next_lock_id = 0;
+    next_barrier_id = 0;
+}
+
+} // namespace detail
+
+void
+mutex::lock(context &ctx)
+{
+    ctx.proc().lock(id());
+}
+
+void
+mutex::unlock(context &ctx)
+{
+    ctx.proc().unlock(id());
+}
+
+void
+barrier::wait(context &ctx)
+{
+    ctx.proc().barrier(id());
+}
+
+dsm::GlobalHeap &
+context::plan_heap()
+{
+    ncp2_assert(planning() && space_->planning,
+                "shared allocation outside plan(): layouts are decided "
+                "once, at plan time");
+    return *space_->heap;
+}
+
+mutex
+context::make_mutex(const std::string &name)
+{
+    plan_heap(); // same phase rules as allocation
+    const unsigned id = space_->next_lock_id;
+    if (!space_->lock_names.emplace(name, id).second)
+        ncp2_fatal("g::mutex name collision at plan time: '%s'",
+                   name.c_str());
+    ++space_->next_lock_id;
+    return mutex(id);
+}
+
+std::vector<mutex>
+context::make_mutexes(const std::string &name, unsigned n)
+{
+    ncp2_assert(n, "make_mutexes of zero locks");
+    plan_heap();
+    const unsigned base = space_->next_lock_id;
+    if (!space_->lock_names.emplace(name, base).second)
+        ncp2_fatal("g::mutex name collision at plan time: '%s'",
+                   name.c_str());
+    space_->next_lock_id += n;
+    std::vector<mutex> v;
+    v.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        v.push_back(mutex(base + i));
+    return v;
+}
+
+barrier
+context::make_barrier(const std::string &name)
+{
+    plan_heap();
+    const unsigned id = space_->next_barrier_id;
+    if (!space_->barrier_names.emplace(name, id).second)
+        ncp2_fatal("g::barrier name collision at plan time: '%s'",
+                   name.c_str());
+    ++space_->next_barrier_id;
+    return barrier(id);
+}
+
+void
+App::plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg)
+{
+    space_.begin(heap, cfg);
+    context ctx(space_, nullptr);
+    plan(ctx);
+    space_.planning = false;
+}
+
+void
+App::run(dsm::Proc &p)
+{
+    context ctx(space_, &p);
+    run(ctx);
+}
+
+} // namespace g

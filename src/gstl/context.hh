@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The distributed-STL application context: the one object an app talks
+ * to in both lifecycle phases.
+ *
+ * A g::App subclass implements plan(g::context&) and run(g::context&).
+ * In the *plan* phase the context is bound to the global heap and the
+ * system configuration: shared containers allocate their storage and
+ * sync primitives claim named lock/barrier ids (collisions are fatal at
+ * plan time, and allocation outside plan() is fatal too, so layouts are
+ * decided once, deterministically, before the first simulated cycle —
+ * which is what keeps them PDES/shard-safe). In the *run* phase each
+ * simulated processor's fiber gets its own context wrapping its
+ * dsm::Proc; containers and primitives then issue their shared accesses
+ * and sync ops through it.
+ */
+
+#ifndef NCP2_GSTL_CONTEXT_HH
+#define NCP2_GSTL_CONTEXT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsm/config.hh"
+#include "dsm/heap.hh"
+#include "dsm/proc.hh"
+#include "dsm/workload.hh"
+#include "sim/logging.hh"
+
+namespace g
+{
+
+class context;
+class App;
+
+/** A named DSM lock handle; created by context::make_mutex in plan(). */
+class mutex
+{
+  public:
+    mutex() = default;
+
+    void lock(context &ctx);
+    void unlock(context &ctx);
+
+    /** The raw protocol lock id (its % nprocs picks the manager node). */
+    unsigned id() const
+    {
+        ncp2_assert(valid_, "g::mutex used before make_mutex()");
+        return id_;
+    }
+    bool valid() const { return valid_; }
+
+  private:
+    friend class context;
+    explicit mutex(unsigned id) : id_(id), valid_(true) {}
+
+    unsigned id_ = 0;
+    bool valid_ = false;
+};
+
+/** RAII ownership of a g::mutex for one scope. */
+class lock_guard
+{
+  public:
+    lock_guard(context &ctx, mutex &mu) : ctx_(ctx), mu_(mu)
+    {
+        mu_.lock(ctx_);
+    }
+    ~lock_guard() { mu_.unlock(ctx_); }
+
+    lock_guard(const lock_guard &) = delete;
+    lock_guard &operator=(const lock_guard &) = delete;
+
+  private:
+    context &ctx_;
+    mutex &mu_;
+};
+
+/**
+ * A named global barrier handle. One handle may be waited on any number
+ * of times (each episode completes and retires before the next starts),
+ * so a single handle typically replaces a whole family of hand-numbered
+ * per-phase barrier ids.
+ */
+class barrier
+{
+  public:
+    barrier() = default;
+
+    /** Block until every processor has arrived. */
+    void wait(context &ctx);
+
+    unsigned id() const
+    {
+        ncp2_assert(valid_, "g::barrier used before make_barrier()");
+        return id_;
+    }
+    bool valid() const { return valid_; }
+
+  private:
+    friend class context;
+    explicit barrier(unsigned id) : id_(id), valid_(true) {}
+
+    unsigned id_ = 0;
+    bool valid_ = false;
+};
+
+namespace detail
+{
+
+/**
+ * Shared plan-time state behind every context of one App lifecycle:
+ * the heap/config bindings and the name -> id registries for sync
+ * primitives. Owned by g::App; reset at every plan().
+ */
+struct Space
+{
+    dsm::GlobalHeap *heap = nullptr;
+    const dsm::SysConfig *cfg = nullptr;
+    bool planning = false;
+    /// Bumped at every plan(): containers stamp their allocation with
+    /// it, so re-planning the same App object (a fresh System run)
+    /// re-allocates cleanly while double allocation inside one plan
+    /// still asserts.
+    std::uint64_t plan_epoch = 0;
+
+    std::map<std::string, unsigned> lock_names;
+    std::map<std::string, unsigned> barrier_names;
+    unsigned next_lock_id = 0;
+    unsigned next_barrier_id = 0;
+
+    void begin(dsm::GlobalHeap &h, const dsm::SysConfig &c);
+};
+
+} // namespace detail
+
+/** The app-facing handle for one lifecycle phase (see file comment). */
+class context
+{
+  public:
+    // ----- both phases -----
+    const dsm::SysConfig &cfg() const { return *space_->cfg; }
+    unsigned nprocs() const { return space_->cfg->num_procs; }
+    unsigned page_bytes() const { return space_->cfg->page_bytes; }
+    bool planning() const { return proc_ == nullptr; }
+
+    // ----- plan phase -----
+    /**
+     * Allocate @p count elements of T on the global heap, naturally
+     * aligned (page-aligned when @p page_aligned). Containers call
+     * this; apps normally go through them instead.
+     */
+    template <typename T>
+    sim::GAddr
+    alloc_array(std::uint64_t count, bool page_aligned = true)
+    {
+        return plan_heap().allocArray<T>(count, page_aligned);
+    }
+
+    /**
+     * Claim a named lock id. Fatal on a name collision or outside
+     * plan(): the registry is what turns magic integer lock ids into
+     * plan-checked handles.
+     */
+    mutex make_mutex(const std::string &name);
+
+    /** Claim @p n consecutive lock ids under one name ("name[i]"). */
+    std::vector<mutex> make_mutexes(const std::string &name, unsigned n);
+
+    /** Claim a named barrier id (same collision rules as make_mutex). */
+    barrier make_barrier(const std::string &name);
+
+    /** The raw plan-phase heap (escape hatch for non-g:: layouts). */
+    dsm::GlobalHeap &plan_heap();
+
+    /** This plan()'s epoch (container double-allocation detection). */
+    std::uint64_t plan_epoch() const { return space_->plan_epoch; }
+
+    // ----- run phase -----
+    dsm::Proc &proc()
+    {
+        ncp2_assert(proc_, "run-phase context operation during plan()");
+        return *proc_;
+    }
+    unsigned id() { return proc().id(); }
+    void compute(std::uint64_t cycles) { proc().compute(cycles); }
+    sim::Rng &rng() { return proc().rng(); }
+
+  private:
+    friend class App;
+    context(detail::Space &space, dsm::Proc *proc)
+        : space_(&space), proc_(proc)
+    {
+    }
+
+    detail::Space *space_;
+    dsm::Proc *proc_; ///< null during plan()
+};
+
+/**
+ * The advertised application base class: a dsm::Workload whose plan()
+ * and run() receive a g::context instead of raw heap + proc. validate()
+ * stays the host-side dsm::Workload hook (it reads final memory through
+ * dsm::System, e.g. via g::peek).
+ */
+class App : public dsm::Workload
+{
+  public:
+    /** Lay out shared containers and claim sync handles. */
+    virtual void plan(context &ctx) = 0;
+
+    /** SPMD body; runs on every simulated processor. */
+    virtual void run(context &ctx) = 0;
+
+    // dsm::Workload adapters (the SPI the System drives).
+    void plan(dsm::GlobalHeap &heap, const dsm::SysConfig &cfg) final;
+    void run(dsm::Proc &p) final;
+
+  private:
+    detail::Space space_;
+};
+
+} // namespace g
+
+#endif // NCP2_GSTL_CONTEXT_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The distributed-STL layer: the one app-facing API of this DSM.
+ *
+ * Write an app by subclassing g::App and changing only the types of
+ * your shared data:
+ *
+ *   class Sum : public g::App {
+ *       g::vector<double> xs_;
+ *       g::atomic<std::uint64_t> total_;
+ *       g::barrier done_;
+ *     public:
+ *       std::string name() const override { return "sum"; }
+ *       void plan(g::context &ctx) override {
+ *           xs_.allocate(ctx, 1 << 16);
+ *           total_.allocate(ctx, "total");
+ *           done_ = ctx.make_barrier("done");
+ *       }
+ *       void run(g::context &ctx) override {
+ *           // SPMD body: ctx.id(), ctx.nprocs(), ctx.compute(...),
+ *           // xs_.get/set/read/write, total_.fetch_add, done_.wait.
+ *       }
+ *       void validate(dsm::System &sys) override {
+ *           // host-side: g::peek(sys, xs_, i) reads final memory.
+ *       }
+ *   };
+ *
+ * See gstl/context.hh (lifecycle and sync handles) and
+ * gstl/containers.hh (vector, hash_map, atomic, spsc_queue).
+ */
+
+#ifndef NCP2_GSTL_GSTL_HH
+#define NCP2_GSTL_GSTL_HH
+
+#include "gstl/containers.hh"
+#include "gstl/context.hh"
+
+#endif // NCP2_GSTL_GSTL_HH

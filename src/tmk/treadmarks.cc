@@ -709,16 +709,41 @@ TreadMarks::faultIn(NodeId proc, PageId page)
                 auto marks = std::make_shared<std::vector<dsm::IntervalSeq>>(
                     hp.applied);
                 (*marks)[home] = ps(home).vt[home];
-                // Under the parallel executor the installer must not
-                // read the home copy's per-word keys in place (a later
-                // window may be rewriting them); snapshot them into the
-                // reply. Serially the live read at install time is kept,
-                // bit-identical to the historical behavior.
+                // Ship per-word defense keys consistent with the bytes:
+                // the home copy's word_keys raised to the floor of the
+                // home's own stores (word_interval). A local store
+                // registers no word_keys entry - it is defended on the
+                // home only by the proc-local word_interval floor in
+                // applyShipment - so without the fold, a remote diff
+                // whose shipment end outruns the install marks but whose
+                // word records predate the home's store would roll the
+                // fetched bytes back at the requester. Snapshotting at
+                // serve (rather than reading live at install) also keeps
+                // the keys consistent with the byte snapshot under the
+                // parallel executor.
                 std::shared_ptr<std::vector<std::uint64_t>> keys;
-                if (sys_->pdesActive() && hp.word_keys) {
+                const PageLog *hlog = peekLog(home, page);
+                const bool have_wi =
+                    hlog && !hlog->word_interval.empty();
+                if (hp.word_keys || have_wi) {
+                    const unsigned pw = cfg().pageWords();
                     keys = std::make_shared<std::vector<std::uint64_t>>(
-                        hp.word_keys.get(),
-                        hp.word_keys.get() + cfg().pageWords());
+                        pw, 0);
+                    if (hp.word_keys) {
+                        std::copy(hp.word_keys.get(),
+                                  hp.word_keys.get() + pw, keys->begin());
+                    }
+                    if (have_wi) {
+                        for (unsigned wd = 0; wd < pw; ++wd) {
+                            const dsm::IntervalSeq wi =
+                                hlog->word_interval[wd];
+                            if (wi == 0)
+                                continue;
+                            const std::uint64_t k = vtSumOf(home, wi);
+                            if (k > (*keys)[wd])
+                                (*keys)[wd] = k;
+                        }
+                    }
                 }
                 eventSend(home, proc, pageReplyBytes(),
                           ctrl::Priority::high,
@@ -739,18 +764,11 @@ TreadMarks::faultIn(NodeId proc, PageId page)
                             if ((*marks)[q] > mp.applied[q])
                                 mp.applied[q] = (*marks)[q];
                         }
-                        // Inherit the home copy's per-word keys so that
-                        // a diff older than a fetched value cannot
-                        // regress it (snapshotted at serve time under
-                        // the parallel executor, read live serially).
-                        const std::uint64_t *hk = nullptr;
-                        if (sys_->pdesActive()) {
-                            hk = keys ? keys->data() : nullptr;
-                        } else {
-                            const dsm::NodePage &hp2 =
-                                node(homeOf(page)).pages.page(page);
-                            hk = hp2.word_keys.get();
-                        }
+                        // Inherit the serve-time key snapshot so that a
+                        // diff older than a fetched value cannot regress
+                        // it (includes the home's local-store floor).
+                        const std::uint64_t *hk =
+                            keys ? keys->data() : nullptr;
                         if (hk) {
                             const unsigned pw = me2.pages.pageWords();
                             if (!mp.word_keys) {

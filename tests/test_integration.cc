@@ -472,7 +472,7 @@ class SliceSumWorkload : public dsm::Workload
         for (unsigned i = lo; i < hi; ++i)
             mine[i - lo] = static_cast<std::int64_t>(i) * 3 + 1;
         if (bulk_) {
-            arr_.putRange(p, lo, mine.data(), mine.size());
+            p.putBlock(arr_.at(lo), mine.data(), mine.size());
         } else {
             for (unsigned i = lo; i < hi; ++i)
                 arr_.put(p, i, mine[i - lo]);
@@ -482,7 +482,7 @@ class SliceSumWorkload : public dsm::Workload
         std::int64_t sum = 0;
         if (bulk_) {
             std::vector<std::int64_t> all(elems_);
-            arr_.getRange(p, 0, all.data(), all.size());
+            p.getBlock(arr_.at(0), all.data(), all.size());
             for (const std::int64_t v : all)
                 sum += v;
         } else {
