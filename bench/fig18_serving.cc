@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Figure 18 (beyond the paper): the serving-workload family. A sharded
+ * key-value/document store (apps::ServeApp) is driven by the
+ * seed-deterministic open-loop load generator, and the paper's
+ * throughput story is retold as per-request tail latency:
+ *
+ *   - protocol variants {Base, I+P+D, AURC+P},
+ *   - node counts from NCP2_SERVE_NODES (default 16,64,256),
+ *   - read ratios {95%, 50%},
+ *   - a partitioned-store family (private per-node key spaces, no
+ *     application locks, false-sharing coherence only) that is
+ *     reproducible under the parallel executor, while the shared rows
+ *     decline it (Workload::pdesSafe) and run serially,
+ *   - plus a closed-loop cross-check row per protocol (issue-after-
+ *     completion with think time instead of open-loop arrivals).
+ *
+ * Tables: per-request latency percentiles (p50/p99/p999/max from the
+ * online QuantileSketches in RunResult::app_stats), the queueing-delay
+ * vs service-time split, and throughput (requests per kilocycle).
+ * Results land in results/fig18_serving.json (schema v2): the "serve"
+ * stats group carries the same sketches per node and globally, and
+ * tools/trace_summary.py --requests reconstructs the exact percentiles
+ * from the request trace of an NCP2_TRACE'd run.
+ */
+
+#include "apps/serve/serve.hh"
+#include "bench/figure_common.hh"
+#include "sim/stats.hh"
+
+namespace
+{
+
+/** Scale-dependent store/load shape shared by every sweep point. */
+apps::ServeApp::Params
+baseParams(apps::Scale scale)
+{
+    apps::ServeApp::Params p;
+    if (scale == apps::Scale::tiny) {
+        p.load.keys_log2 = 6;
+        p.load.requests_per_node = 24;
+    } else if (scale == apps::Scale::small) {
+        p.load.keys_log2 = 8;
+        p.load.requests_per_node = 96;
+        p.stripes = 8;
+    } else {
+        p.load.keys_log2 = 10;
+        p.load.requests_per_node = 256;
+        p.stripes = 16;
+        p.streams = 2;
+    }
+    return p;
+}
+
+harness::Job
+serveJob(const std::string &label, const std::string &proto, unsigned procs,
+         const apps::ServeApp::Params &prm)
+{
+    harness::Job j;
+    j.label = label;
+    j.cfg = fig::configFor(proto, procs);
+    j.workload = [prm]() { return std::make_unique<apps::ServeApp>(prm); };
+    return j;
+}
+
+const sim::StatSnapshot::SketchVal *
+sketch(const sim::StatSnapshot &s, const std::string &name)
+{
+    for (const auto &q : s.sketches)
+        if (q.name == name)
+            return &q;
+    return nullptr;
+}
+
+const sim::StatSnapshot::AccumVal *
+accum(const sim::StatSnapshot &s, const std::string &name)
+{
+    for (const auto &a : s.accums)
+        if (a.name == name)
+            return &a;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (fig::header(argc, argv,
+                    "Figure 18: serving-store tail latency and throughput "
+                    "(open-loop load, per-request percentiles)"))
+        return 0;
+
+    const apps::Scale scale = fig::scaleFromEnv();
+    const std::vector<unsigned> counts = harness::knobs::serveNodes();
+    const std::vector<std::string> protos = {"Base", "I+P+D", "AURC+P"};
+    const std::vector<unsigned> read_pcts = {95, 50};
+
+    std::vector<harness::Job> jobs;
+    for (const auto &proto : protos) {
+        for (unsigned p : counts) {
+            for (unsigned r : read_pcts) {
+                apps::ServeApp::Params prm = baseParams(scale);
+                prm.load.read_pct = r;
+                jobs.push_back(serveJob(proto + "/p=" + std::to_string(p) +
+                                            "/r=" + std::to_string(r),
+                                        proto, p, prm));
+            }
+        }
+    }
+    // Partitioned-store family at the smallest node count: private key
+    // spaces, no application locks, false-sharing-only coherence. This
+    // family is reproducible under the parallel executor (the shared
+    // rows decline it and run serially; see Workload::pdesSafe).
+    for (const auto &proto : protos) {
+        for (unsigned r : read_pcts) {
+            apps::ServeApp::Params prm = baseParams(scale);
+            prm.shared = false;
+            prm.load.read_pct = r;
+            jobs.push_back(serveJob(proto + "/p=" +
+                                        std::to_string(counts[0]) +
+                                        "/part/r=" + std::to_string(r),
+                                    proto, counts[0], prm));
+        }
+    }
+    // Closed-loop cross-check at the smallest node count, 95% reads:
+    // same store and key stream, arrivals replaced by completion+think.
+    for (const auto &proto : protos) {
+        apps::ServeApp::Params prm = baseParams(scale);
+        prm.load.read_pct = 95;
+        prm.load.arrival = apps::serve::Arrival::closed;
+        jobs.push_back(serveJob(proto + "/p=" + std::to_string(counts[0]) +
+                                    "/closed",
+                                proto, counts[0], prm));
+    }
+
+    const auto results = fig::runAll("fig18_serving", jobs);
+
+    sim::Table lat({"run", "reqs", "p50", "p99", "p999", "max",
+                    "queue p99", "svc p99"});
+    sim::Table thr({"run", "exec ticks", "reqs", "req/kcycle",
+                    "mean queue", "mean svc"});
+    for (const auto &jr : results) {
+        const sim::StatSnapshot &s = jr.run.app_stats;
+        const auto *l = sketch(s, "latency");
+        const auto *q = sketch(s, "queue_delay");
+        const auto *v = sketch(s, "service");
+        const auto *qa = accum(s, "queue_delay_cycles");
+        const auto *va = accum(s, "service_cycles");
+        if (!l || !q || !v || !qa || !va)
+            ncp2_fatal("run '%s' is missing the serve stats group",
+                       jr.label.c_str());
+        lat.addRow({jr.label, std::to_string(l->count),
+                    std::to_string(l->p50), std::to_string(l->p99),
+                    std::to_string(l->p999), std::to_string(l->max),
+                    std::to_string(q->p99), std::to_string(v->p99)});
+        const double ticks = static_cast<double>(jr.run.exec_ticks);
+        thr.addRow({jr.label, std::to_string(jr.run.exec_ticks),
+                    std::to_string(l->count),
+                    sim::Table::fmt(1e3 * static_cast<double>(l->count) /
+                                        ticks, 3),
+                    sim::Table::fmt(qa->mean, 1),
+                    sim::Table::fmt(va->mean, 1)});
+    }
+    std::cout << "== per-request latency percentiles (cycles) ==\n";
+    lat.print(std::cout);
+    std::cout << "\n== throughput and queueing/service split ==\n";
+    thr.print(std::cout);
+    std::cout << "\n(open-loop rows share one arrival schedule per node "
+                 "count; latency differences across protocol\n variants "
+                 "are pure coherence overhead. closed-loop rows are the "
+                 "throughput cross-check.)\n";
+    return 0;
+}

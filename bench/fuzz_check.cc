@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "apps/gstl_torture.hh"
+#include "apps/serve/serve.hh"
 #include "apps/torture.hh"
 #include "bench/figure_common.hh"
 
@@ -116,13 +117,51 @@ makeGstlJob(std::uint64_t seed, const std::string &proto, unsigned procs)
     return j;
 }
 
+/** Fuzz-vary the serving-store shape from the seed: load mix, arrival
+ *  process, streams, and both store modes (shared and partitioned). */
+apps::ServeApp::Params
+serveParams(std::uint64_t seed)
+{
+    sim::Rng g(seed * 0x9e3779b97f4a7c15ULL + 3);
+    apps::ServeApp::Params p;
+    p.load.seed = seed;
+    p.load.keys_log2 = 3 + static_cast<unsigned>(g.below(5));
+    p.load.requests_per_node = 12 + static_cast<unsigned>(g.below(36));
+    p.load.read_pct = static_cast<unsigned>(g.below(101));
+    p.load.zipf_theta = 0.1 * static_cast<double>(g.below(10));
+    p.load.arrival = static_cast<apps::serve::Arrival>(g.below(3));
+    p.load.mean_gap_cycles = 200 + g.below(1200);
+    p.load.burst_len = 2 + static_cast<unsigned>(g.below(8));
+    p.shared = g.below(2) == 0;
+    p.streams = 1 + static_cast<unsigned>(g.below(3));
+    p.stripes = 2 + static_cast<unsigned>(g.below(6));
+    p.doc_words = 2 + static_cast<unsigned>(g.below(7));
+    p.service_cycles = 20 + static_cast<unsigned>(g.below(150));
+    p.think_cycles = 100 + g.below(700);
+    return p;
+}
+
+harness::Job
+makeServeJob(std::uint64_t seed, const std::string &proto, unsigned procs)
+{
+    const apps::ServeApp::Params prm = serveParams(seed);
+    harness::Job j;
+    j.label = "serve/s" + std::to_string(seed) + "/" + proto + "/p" +
+              std::to_string(procs) + (prm.shared ? "" : "/part");
+    j.cfg = fig::configFor(proto, procs);
+    j.cfg.check = true;
+    j.cfg.seed = seed;
+    j.workload = [prm]() { return std::make_unique<apps::ServeApp>(prm); };
+    return j;
+}
+
 std::string
 reproCommand(std::uint64_t seed, const std::string &proto, unsigned procs,
-             bool gstl = false)
+             const std::string &flavor = "")
 {
-    return std::string("./build/bench/fuzz_check --repro") +
-           (gstl ? "-gstl " : " ") + std::to_string(seed) + " '" + proto +
-           "' " + std::to_string(procs);
+    return std::string("./build/bench/fuzz_check --repro") + flavor + " " +
+           std::to_string(seed) + " '" + proto + "' " +
+           std::to_string(procs);
 }
 
 std::vector<std::uint64_t>
@@ -162,6 +201,8 @@ usage()
            "  --repro SEED PROTO P    replay one combination verbosely\n"
            "  --repro-gstl SEED PROTO P  same for the gstl-torture "
            "workload\n"
+           "  --repro-serve SEED PROTO P  same for the serving-store "
+           "workload\n"
            "  --nocheck               with --repro: oracle off (does the\n"
            "                          workload's own validate() fire?)\n"
            "  --knobs                 list the NCP2_* environment "
@@ -170,10 +211,12 @@ usage()
 
 int
 repro(std::uint64_t seed, const std::string &proto, unsigned procs,
-      bool check, bool gstl)
+      bool check, const std::string &flavor)
 {
-    harness::Job j =
-        gstl ? makeGstlJob(seed, proto, procs) : makeJob(seed, proto, procs);
+    harness::Job j = flavor == "-gstl" ? makeGstlJob(seed, proto, procs)
+                     : flavor == "-serve"
+                         ? makeServeJob(seed, proto, procs)
+                         : makeJob(seed, proto, procs);
     j.cfg.check = check;
     j.quiet = false;
     std::cout << "replaying " << j.label << "\n";
@@ -201,7 +244,7 @@ main(int argc, char **argv)
     std::uint64_t repro_seed = 0;
     std::string repro_proto;
     unsigned repro_procs = 0;
-    bool repro_gstl = false;
+    std::string repro_flavor;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -228,8 +271,9 @@ main(int argc, char **argv)
                 ncp2_fatal("--seeds expects a positive count");
         } else if (a == "--start") {
             gen_start = std::strtoull(next("--start").c_str(), nullptr, 10);
-        } else if (a == "--repro" || a == "--repro-gstl") {
-            repro_gstl = a == "--repro-gstl";
+        } else if (a == "--repro" || a == "--repro-gstl" ||
+                   a == "--repro-serve") {
+            repro_flavor = a.substr(std::string("--repro").size());
             repro_seed = std::strtoull(next("--repro").c_str(), nullptr, 10);
             repro_proto = next("--repro PROTO");
             repro_procs = static_cast<unsigned>(
@@ -248,7 +292,7 @@ main(int argc, char **argv)
 
     if (repro_procs)
         return repro(repro_seed, repro_proto, repro_procs, check,
-                     repro_gstl);
+                     repro_flavor);
 
     std::vector<std::uint64_t> seeds;
     if (gen_seeds) {
@@ -301,6 +345,20 @@ main(int argc, char **argv)
     for (const auto &v : gstl_variants)
         jobs.push_back(makeGstlJob(seeds[0], v, 8));
 
+    // The serving-store phase: the request/response store under the
+    // oracle, randomizing the mix, the arrival process and both store
+    // modes (shared and partitioned; see serveParams). Smoke keeps one
+    // seed; the full campaign fuzzes every corpus seed. Appended after
+    // the gstl jobs so the indexing stays positional.
+    const std::vector<std::string> serve_variants =
+        smoke ? std::vector<std::string>{"Base", "I+P+D", "AURC"}
+              : allVariants();
+    const std::vector<std::uint64_t> serve_seeds =
+        smoke ? std::vector<std::uint64_t>{seeds[0]} : seeds;
+    for (const std::uint64_t s : serve_seeds)
+        for (const auto &v : serve_variants)
+            jobs.push_back(makeServeJob(s, v, 8));
+
     const harness::ExperimentEngine engine;
     std::cerr << "[fuzz_check: " << seeds.size() << " seeds x "
               << variants.size() << " variants x " << procs.size()
@@ -341,10 +399,23 @@ main(int argc, char **argv)
         if (r.error.empty())
             continue;
         const std::string first_line = r.error.substr(0, r.error.find('\n'));
-        const std::string repro = reproCommand(seeds[0], v, 8, true);
+        const std::string repro = reproCommand(seeds[0], v, 8, "-gstl");
         std::cout << "FAIL " << r.label << ": " << first_line
                   << "\n  repro: " << repro << "\n";
         failures.push_back(repro + "  # " + first_line);
+    }
+    for (const std::uint64_t s : serve_seeds) {
+        for (const auto &v : serve_variants) {
+            const harness::JobResult &r = results[ji++];
+            if (r.error.empty())
+                continue;
+            const std::string first_line =
+                r.error.substr(0, r.error.find('\n'));
+            const std::string repro = reproCommand(s, v, 8, "-serve");
+            std::cout << "FAIL " << r.label << ": " << first_line
+                      << "\n  repro: " << repro << "\n";
+            failures.push_back(repro + "  # " + first_line);
+        }
     }
 
     if (!failures.empty()) {

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "apps/serve/serve.hh"
 #include "dsm/diff_pool.hh"
 #include "dsm/vclock.hh"
 #include "dsm/page.hh"
@@ -512,6 +513,43 @@ benchBarrierTree256(unsigned trials)
     return r;
 }
 
+/**
+ * Serving-store host throughput: the same small 8-node ServeApp run
+ * (open-loop Zipfian load, per-request sketches, shard locks) with the
+ * descriptor fast path forced off ("before") and on ("after"). Serving
+ * traffic is fine-grained - directory probes, header reads, small
+ * document bursts - so this is the access-path ratio measured on a
+ * real request mix rather than a synthetic loop; simulated results are
+ * bit-identical in both cells.
+ */
+KernelResult
+benchServeThroughput(unsigned trials)
+{
+    sim::setQuiet(true);
+    auto simOnce = [](bool fast) {
+        apps::ServeApp::Params prm;
+        prm.load.keys_log2 = 7;
+        prm.load.requests_per_node = 64;
+        prm.load.read_pct = 90;
+        prm.stripes = 8;
+        prm.streams = 2;
+        apps::ServeApp w(prm);
+        dsm::SysConfig cfg;
+        cfg.num_procs = 8;
+        cfg.heap_bytes = 8u << 20;
+        cfg.fast_path = fast;
+        dsm::System sys(cfg, tmk::makeTreadMarks(cfg.mode));
+        if (sys.run(w).exec_ticks == 0)
+            std::abort();
+    };
+    KernelResult r;
+    r.name = "serve_small";
+    r.items = 8 * 64;
+    r.before_ns = timeKernel(trials, 1, [&]() { simOnce(false); });
+    r.after_ns = timeKernel(trials, 1, [&]() { simOnce(true); });
+    return r;
+}
+
 /** Absolute end-to-end time of a small 8-proc stencil simulation. */
 double
 benchSimSmallMs(unsigned trials)
@@ -592,6 +630,7 @@ main(int argc, char **argv)
     kernels.push_back(benchPdesScaling(quick ? 3 : 10));
     kernels.push_back(benchVclockMerge256(trials, quick ? 50 : 200));
     kernels.push_back(benchBarrierTree256(quick ? 3 : 5));
+    kernels.push_back(benchServeThroughput(quick ? 3 : 10));
     const double sim_small_ms = benchSimSmallMs(quick ? 3 : 10);
 
     std::cout << "kernel            before_ns   after_ns  speedup\n";

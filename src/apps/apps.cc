@@ -6,6 +6,7 @@
 #include "apps/em3d.hh"
 #include "apps/ocean.hh"
 #include "apps/radix.hh"
+#include "apps/serve/serve.hh"
 #include "apps/torture.hh"
 #include "apps/tsp.hh"
 #include "apps/water.hh"
@@ -125,6 +126,25 @@ make(const std::string &name, Scale scale)
             p.counters = 16;
         }
         return std::make_unique<Torture>(p);
+    }
+    // The serving-store workload family (bench/fig18_serving drives it
+    // with explicit Params; this registry entry is for hand runs).
+    if (n == "serve") {
+        ServeApp::Params p;
+        if (scale == Scale::tiny) {
+            p.load.keys_log2 = 6;
+            p.load.requests_per_node = 24;
+        } else if (scale == Scale::small) {
+            p.load.keys_log2 = 8;
+            p.load.requests_per_node = 96;
+            p.stripes = 8;
+        } else {
+            p.load.keys_log2 = 10;
+            p.load.requests_per_node = 256;
+            p.stripes = 16;
+            p.streams = 2;
+        }
+        return std::make_unique<ServeApp>(p);
     }
     ncp2_fatal("unknown workload '%s'", name.c_str());
 }

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Seed-deterministic open-loop load generation for the serving
+ * workload family. Everything here is host-side and pure: given a seed
+ * and a node id it produces the exact same request schedule on every
+ * run, every platform and every executor (serial, NCP2_JOBS pools,
+ * NCP2_PDES partitions), which is what makes per-request latency
+ * percentiles bit-reproducible.
+ *
+ * Pieces:
+ *  - ZipfGen: Zipfian rank popularity via Gray's method (the YCSB
+ *    generator); theta == 0 degenerates to uniform.
+ *  - permuteKey: a seeded bijection on [0, 2^bits) so that popular
+ *    ranks scatter across the key space (and therefore across hash-map
+ *    stripes and pages) instead of clustering at low addresses.
+ *  - buildSchedule: per-node request vectors with Poisson or bursty
+ *    open-loop arrival offsets, or arrival-free schedules for the
+ *    closed-loop cross-check mode.
+ */
+
+#ifndef NCP2_APPS_SERVE_LOADGEN_HH
+#define NCP2_APPS_SERVE_LOADGEN_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace apps::serve
+{
+
+/** How requests arrive at a node's server. */
+enum class Arrival : unsigned
+{
+    poisson = 0, ///< open loop, exponential interarrival gaps
+    bursty = 1,  ///< open loop, on/off bursts of back-to-back requests
+    closed = 2,  ///< closed loop: issue after completion plus think time
+};
+
+inline const char *
+arrivalName(Arrival a)
+{
+    switch (a) {
+      case Arrival::poisson: return "poisson";
+      case Arrival::bursty: return "bursty";
+      case Arrival::closed: return "closed";
+    }
+    return "?";
+}
+
+/**
+ * Zipfian rank generator over [0, n) with exponent @p theta, using
+ * Gray's method (constant time per draw after an O(n) zeta setup).
+ * Rank 0 is the most popular. theta == 0 is the uniform distribution;
+ * theta == 1 is excluded (the alpha term degenerates).
+ */
+class ZipfGen
+{
+  public:
+    ZipfGen(std::uint64_t n, double theta) : n_(n), theta_(theta)
+    {
+        ncp2_assert(n > 0, "zipf over an empty rank space");
+        ncp2_assert(theta >= 0.0 && theta < 1.0,
+                    "zipf theta must be in [0, 1)");
+        if (theta_ == 0.0)
+            return;
+        for (std::uint64_t i = 1; i <= n_; ++i)
+            zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+        const double zeta2 = 1.0 + std::pow(0.5, theta_);
+        alpha_ = 1.0 / (1.0 - theta_);
+        half_pow_ = std::pow(0.5, theta_);
+        eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+               (1.0 - zeta2 / zetan_);
+    }
+
+    std::uint64_t
+    next(sim::Rng &rng)
+    {
+        if (theta_ == 0.0)
+            return rng.below(n_);
+        const double u = rng.uniform();
+        const double uz = u * zetan_;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + half_pow_)
+            return 1;
+        const auto r = static_cast<std::uint64_t>(
+            static_cast<double>(n_) *
+            std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return r >= n_ ? n_ - 1 : r;
+    }
+
+    /** P(rank = i); used by the chi-squared distribution tests. */
+    double
+    prob(std::uint64_t i) const
+    {
+        ncp2_assert(i < n_, "rank out of range");
+        if (theta_ == 0.0)
+            return 1.0 / static_cast<double>(n_);
+        return 1.0 / std::pow(static_cast<double>(i + 1), theta_) / zetan_;
+    }
+
+    std::uint64_t n() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double zetan_ = 0.0;
+    double alpha_ = 0.0;
+    double eta_ = 0.0;
+    double half_pow_ = 0.0;
+};
+
+/**
+ * A seeded bijection on [0, 2^bits): rounds of an affine map (odd
+ * multiplier, bijective mod 2^bits) and a masked xorshift (a 64-bit
+ * bijection that preserves the subdomain). Spreads adjacent ranks far
+ * apart so hot keys don't share stripes or pages.
+ */
+inline std::uint64_t
+permuteKey(std::uint64_t x, unsigned bits, std::uint64_t seed)
+{
+    ncp2_assert(bits >= 1 && bits <= 32, "key space must be 2^1..2^32");
+    const std::uint64_t mask = (1ull << bits) - 1;
+    x &= mask;
+    for (unsigned r = 0; r < 3; ++r) {
+        x = (x * 0x9e3779b97f4a7c15ULL + (seed ^ (0x5bull << r))) & mask;
+        x ^= x >> (bits / 2 + 1);
+    }
+    return x;
+}
+
+/** One planned request. Arrival is an offset from the serving-phase
+ *  start tick; unused (zero) in closed-loop schedules. */
+struct Request
+{
+    std::uint64_t arrival = 0;
+    std::uint64_t rank = 0; ///< Zipf rank; key = permuteKey(rank, ...)
+    bool is_write = false;
+};
+
+/** The load half of the serving parameters (see ServeApp::Params). */
+struct LoadSpec
+{
+    std::uint64_t seed = 1;
+    unsigned keys_log2 = 6;          ///< K = 2^keys_log2 keys
+    unsigned requests_per_node = 32;
+    unsigned read_pct = 80;          ///< 0..100
+    double zipf_theta = 0.9;         ///< 0 = uniform, < 1
+    Arrival arrival = Arrival::poisson;
+    std::uint64_t mean_gap_cycles = 800; ///< open-loop interarrival mean
+    unsigned burst_len = 8;          ///< requests per bursty on-period
+};
+
+/** Exponential gap with the given mean, in whole cycles (>= 1). */
+inline std::uint64_t
+expGap(sim::Rng &rng, double mean)
+{
+    const double g = -mean * std::log(1.0 - rng.uniform());
+    return g < 1.0 ? 1 : static_cast<std::uint64_t>(g);
+}
+
+/**
+ * Build node @p node's deterministic request schedule. Draw order is
+ * fixed (key, op, then gap), so the same seed always yields the same
+ * keys AND the same arrival process.
+ */
+inline std::vector<Request>
+buildSchedule(const LoadSpec &spec, const ZipfGen &zipf_proto,
+              unsigned node)
+{
+    ncp2_assert(spec.requests_per_node > 0, "empty request schedule");
+    ncp2_assert(spec.read_pct <= 100, "read_pct is a percentage");
+    ZipfGen zipf = zipf_proto; // cheap copy; the zeta setup is shared
+    sim::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0x53455256ull + node);
+
+    std::vector<Request> out;
+    out.reserve(spec.requests_per_node);
+    std::uint64_t t = 0;
+    for (unsigned i = 0; i < spec.requests_per_node; ++i) {
+        Request rq;
+        rq.rank = zipf.next(rng);
+        rq.is_write = rng.below(100) >= spec.read_pct;
+        switch (spec.arrival) {
+          case Arrival::poisson:
+            t += expGap(rng, static_cast<double>(spec.mean_gap_cycles));
+            break;
+          case Arrival::bursty:
+            // On-periods of burst_len back-to-back requests separated
+            // by exponential off-gaps sized to keep the long-run rate
+            // near the Poisson schedule's.
+            if (i % spec.burst_len == 0 && i != 0) {
+                t += expGap(rng, static_cast<double>(spec.mean_gap_cycles) *
+                                     spec.burst_len);
+            } else {
+                t += 1 + rng.below(spec.mean_gap_cycles / 8 + 1);
+            }
+            break;
+          case Arrival::closed:
+            break; // arrivals are generated at run time
+        }
+        rq.arrival = t;
+        out.push_back(rq);
+    }
+    return out;
+}
+
+} // namespace apps::serve
+
+#endif // NCP2_APPS_SERVE_LOADGEN_HH

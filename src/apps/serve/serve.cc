@@ -1,0 +1,505 @@
+#include "apps/serve/serve.hh"
+
+#include <algorithm>
+#include <optional>
+
+#include "dsm/system.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace apps
+{
+
+namespace
+{
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+// Keys live in their own tagged space (cf. GstlTorture): nonzero, never
+// the reserved all-ones tag, disjoint from any other key family. In
+// partitioned mode each node gets a private colour (bits 40..50) and a
+// private permutation seed, so key spaces are disjoint across nodes.
+std::uint64_t
+ServeApp::keyOf(unsigned node, std::uint64_t rank) const
+{
+    const std::uint64_t colour =
+        prm_.shared ? 0 : (std::uint64_t{node} + 1) << 40;
+    const std::uint64_t seed =
+        prm_.shared ? prm_.load.seed
+                    : prm_.load.seed +
+                          0x9e3779b97f4a7c15ULL * (std::uint64_t{node} + 1);
+    return (3ULL << 60) | colour |
+           serve::permuteKey(rank, prm_.load.keys_log2, seed);
+}
+
+// Document slot for (node, rank). Shared mode: one document per rank.
+// Partitioned mode: each node's documents are interleaved with every
+// other node's at word granularity within the arena (slot stride =
+// nprocs), so distinct nodes write disjoint words of the same shared
+// pages -- the classic false-sharing layout, which is the coherence
+// traffic this mode is designed to exercise.
+std::uint64_t
+ServeApp::slotOf(unsigned node, std::uint64_t rank) const
+{
+    return prm_.shared ? rank : rank * nprocs_ + node;
+}
+
+unsigned
+ServeApp::shardOf(std::uint64_t key) const
+{
+    return static_cast<unsigned>(mix(key) % prm_.stripes);
+}
+
+// Header word: 16 key-check bits | 16 writer bits | 32 write-seq bits.
+// wseq counts the writer's own writes to this key in actual service
+// order, so the final header is always some writer's *last* write.
+std::uint64_t
+ServeApp::headerOf(std::uint64_t key, unsigned writer,
+                   std::uint32_t wseq) const
+{
+    return (mix(key) >> 48 << 48) | (std::uint64_t{writer} << 32) | wseq;
+}
+
+std::array<std::uint64_t, 8>
+ServeApp::docOf(std::uint64_t key, unsigned writer, std::uint32_t wseq) const
+{
+    std::array<std::uint64_t, 8> buf{};
+    buf[0] = headerOf(key, writer, wseq);
+    for (unsigned i = 1; i < prm_.doc_words; ++i)
+        buf[i] = mix(key ^ (std::uint64_t{writer} << 36) ^
+                     (std::uint64_t{wseq} << 3) ^ i);
+    return buf;
+}
+
+void
+ServeApp::plan(g::context &ctx)
+{
+    ncp2_assert(prm_.streams >= 1, "serve needs at least one stream");
+    ncp2_assert(prm_.stripes >= 1, "serve needs at least one stripe");
+    ncp2_assert(prm_.doc_words >= 2 && prm_.doc_words <= 8,
+                "doc_words must be in [2, 8] (header + payload)");
+    ncp2_assert(prm_.load.keys_log2 >= 1 && prm_.load.keys_log2 <= 20,
+                "keys_log2 must be in [1, 20]");
+    nprocs_ = ctx.nprocs();
+    num_keys_ = 1ull << prm_.load.keys_log2;
+
+    // Shared mode: one directory, one document per rank, shard locks.
+    // Partitioned mode: one directory per node, node-interleaved
+    // document slots (see slotOf), and no application locks at all.
+    const unsigned ndirs = prm_.shared ? 1 : nprocs_;
+    dirs_.assign(ndirs, {});
+    for (unsigned d = 0; d < ndirs; ++d)
+        dirs_[d].allocate(ctx, "serve/dir" + std::to_string(d),
+                          3 * num_keys_, prm_.stripes);
+    docs_.allocate(ctx, num_keys_ * ndirs * prm_.doc_words);
+    locks_.clear();
+    if (prm_.shared)
+        locks_ = ctx.make_mutexes("serve/shard", prm_.stripes);
+    ready_ = ctx.make_barrier("serve/ready");
+    done_ = ctx.make_barrier("serve/done");
+
+    // Deterministic per-node schedules; the zeta setup is shared.
+    const serve::ZipfGen zipf(num_keys_, prm_.load.zipf_theta);
+    schedules_.assign(nprocs_, {});
+    for (unsigned n = 0; n < nprocs_; ++n)
+        schedules_[n] = serve::buildSchedule(prm_.load, zipf, n);
+
+    // Fresh metrics for this run (the same app object may be re-run).
+    nm_.assign(nprocs_, {});
+    for (auto &m : nm_)
+        m.log.reserve(prm_.load.requests_per_node);
+    wseq_.assign(nprocs_, {});
+    lat_all_.reset();
+    queue_all_.reset();
+    service_all_.reset();
+    requests_.reset();
+    reads_.reset();
+    writes_.reset();
+    svc_busy_.reset();
+    svc_data_.reset();
+    svc_synch_.reset();
+    svc_ipc_.reset();
+    queue_delay_.reset();
+    service_time_.reset();
+    buildStats();
+}
+
+void
+ServeApp::buildStats()
+{
+    root_ = std::make_unique<sim::StatGroup>("serve");
+    root_->addCounter("requests", &requests_, "requests served");
+    root_->addCounter("reads", &reads_, "GET requests");
+    root_->addCounter("writes", &writes_, "PUT requests");
+    root_->addAccum("queue_delay_cycles", &queue_delay_,
+                    "enqueue -> first-access waiting per request");
+    root_->addAccum("service_cycles", &service_time_,
+                    "first-access -> completion per request");
+    root_->addCounter("svc_busy_cycles", &svc_busy_,
+                      "service time spent in Cat::busy");
+    root_->addCounter("svc_data_cycles", &svc_data_,
+                      "service time stalled on page/diff fetches");
+    root_->addCounter("svc_synch_cycles", &svc_synch_,
+                      "service time in lock waits");
+    root_->addCounter("svc_ipc_cycles", &svc_ipc_,
+                      "service time stolen by remote-request service");
+    root_->addSketch("latency", &lat_all_,
+                     "end-to-end request latency (cycles)");
+    root_->addSketch("queue_delay", &queue_all_,
+                     "enqueue -> first-access (cycles)");
+    root_->addSketch("service", &service_all_,
+                     "first-access -> completion (cycles)");
+    node_groups_.clear();
+    for (unsigned n = 0; n < nprocs_; ++n) {
+        auto grp =
+            std::make_unique<sim::StatGroup>("n" + std::to_string(n));
+        grp->addSketch("latency", &nm_[n].latency,
+                       "this node's request latency (cycles)");
+        root_->addChild(grp.get());
+        node_groups_.push_back(std::move(grp));
+    }
+}
+
+void
+ServeApp::populate(g::context &ctx, unsigned me)
+{
+    // Shared mode: each key's home (rank % nprocs) inserts the
+    // directory entry and seeds the document (writer = home, wseq = 0);
+    // different homes write disjoint slots, so the only contention is
+    // the stripe locks. Partitioned mode: every node seeds its whole
+    // private key space into its own directory. Either way the serving
+    // phase is ordered behind the ready_ barrier.
+    const std::uint64_t lo = prm_.shared ? me : 0;
+    const std::uint64_t step = prm_.shared ? nprocs_ : 1;
+    auto &dir = dirs_[prm_.shared ? 0 : me];
+    for (std::uint64_t r = lo; r < num_keys_; r += step) {
+        const std::uint64_t key = keyOf(me, r);
+        if (!dir.insert(ctx, key, r))
+            ncp2_fatal("serve seed %llu: duplicate key %llx at populate",
+                       static_cast<unsigned long long>(prm_.load.seed),
+                       static_cast<unsigned long long>(key));
+        const auto doc = docOf(key, me, 0);
+        docs_.write(ctx, slotOf(me, r) * prm_.doc_words, doc.data(),
+                    prm_.doc_words);
+    }
+}
+
+std::uint64_t
+ServeApp::serveOne(g::context &ctx, unsigned me, const serve::Request &rq,
+                   std::uint64_t arrival, unsigned stream)
+{
+    NodeMetrics &m = nm_[me];
+    const dsm::Breakdown &bd = ctx.proc().system().node(me).cpu.bd;
+    const std::uint64_t b0 = bd.get(dsm::Cat::busy);
+    const std::uint64_t d0 = bd.get(dsm::Cat::data);
+    const std::uint64_t s0 = bd.get(dsm::Cat::synch);
+    const std::uint64_t i0 = bd.get(dsm::Cat::ipc);
+
+    const std::uint64_t start = ctx.now();
+    const std::uint64_t key = keyOf(me, rq.rank);
+
+    // Request parse/dispatch cost, then the store operation, then
+    // response formatting. Shared mode runs find + payload access under
+    // the key's shard lock so they form one consistent snapshot;
+    // partitioned mode is lock-free (this node is the key's only
+    // writer, so its own copy is always a consistent snapshot).
+    ctx.compute(prm_.service_cycles);
+    {
+        std::optional<g::lock_guard> lk;
+        if (prm_.shared)
+            lk.emplace(ctx, locks_[shardOf(key)]);
+        auto &dir = dirs_[prm_.shared ? 0 : me];
+        const auto slot = dir.find(ctx, key);
+        if (!slot)
+            ncp2_fatal("serve seed %llu node %u: key %llx missing",
+                       static_cast<unsigned long long>(prm_.load.seed), me,
+                       static_cast<unsigned long long>(key));
+        const std::uint64_t base = slotOf(me, *slot) * prm_.doc_words;
+        std::array<std::uint64_t, 8> buf{};
+        if (rq.is_write) {
+            const std::uint32_t wseq = ++wseq_[me][key];
+            buf = docOf(key, me, wseq);
+            docs_.write(ctx, base, buf.data(), prm_.doc_words);
+        } else {
+            docs_.read(ctx, base, buf.data(), prm_.doc_words);
+            const unsigned writer =
+                static_cast<unsigned>(buf[0] >> 32 & 0xffff);
+            const auto wseq = static_cast<std::uint32_t>(buf[0]);
+            // Partitioned reads must see this node's own last write
+            // exactly; shared reads any lock-consistent snapshot.
+            const bool torn =
+                prm_.shared
+                    ? buf != docOf(key, writer, wseq)
+                    : buf != docOf(key, me, wseq_[me][key]);
+            if (torn)
+                ncp2_fatal("serve seed %llu node %u: torn document for "
+                           "key %llx (header %llx)",
+                           static_cast<unsigned long long>(prm_.load.seed),
+                           me, static_cast<unsigned long long>(key),
+                           static_cast<unsigned long long>(buf[0]));
+        }
+    }
+    ctx.compute(prm_.service_cycles / 2);
+
+    const std::uint64_t done = ctx.now();
+    const std::uint64_t latency = done - arrival;
+    const std::uint64_t qdelay = start - arrival;
+    const std::uint64_t service = done - start;
+
+    m.latency.sample(latency);
+    m.queue.sample(qdelay);
+    m.service.sample(service);
+    m.svc_busy += bd.get(dsm::Cat::busy) - b0;
+    m.svc_data += bd.get(dsm::Cat::data) - d0;
+    m.svc_synch += bd.get(dsm::Cat::synch) - s0;
+    m.svc_ipc += bd.get(dsm::Cat::ipc) - i0;
+    ++requests_;
+    if (rq.is_write)
+        ++writes_;
+    else
+        ++reads_;
+    queue_delay_ += static_cast<double>(qdelay);
+    service_time_ += static_cast<double>(service);
+
+    if (sim::Trace *tr = ctx.proc().system().trace()) [[unlikely]] {
+        const std::uint64_t id =
+            (std::uint64_t{me} << 40) | m.log.size();
+        const std::uint16_t aux = rq.is_write ? 1 : 0;
+        tr->emit(arrival, me, sim::TraceEngine::cpu,
+                 sim::TraceKind::req_enqueue, id, aux);
+        tr->emit(start, me, sim::TraceEngine::cpu,
+                 sim::TraceKind::req_start, id, aux);
+        tr->emit(done, me, sim::TraceEngine::cpu,
+                 sim::TraceKind::req_done, id, aux);
+    }
+    m.log.push_back({arrival, start, done, key, stream, rq.is_write});
+    return done;
+}
+
+void
+ServeApp::serveOpen(g::context &ctx, unsigned me)
+{
+    const auto &sched = schedules_[me];
+    const std::uint64_t t0 = ctx.now();
+    const unsigned S = prm_.streams;
+    // Request i belongs to stream i % S (round-robin dealing); head[s]
+    // counts how many of stream s's requests are done. The CPU serves a
+    // ready stream head per step, scanning round-robin from one past
+    // the last served stream, and parks idle until the earliest head's
+    // arrival when none is ready.
+    std::vector<std::size_t> head(S, 0);
+    std::size_t served = 0;
+    unsigned cursor = 0;
+    while (served < sched.size()) {
+        const std::uint64_t now = ctx.now();
+        unsigned pick = S;
+        std::uint64_t min_arr = ~0ull;
+        unsigned min_s = 0;
+        for (unsigned d = 0; d < S; ++d) {
+            const unsigned s = (cursor + d) % S;
+            const std::size_t idx = head[s] * S + s;
+            if (idx >= sched.size())
+                continue;
+            const std::uint64_t arr = t0 + sched[idx].arrival;
+            if (arr <= now) {
+                pick = s;
+                break;
+            }
+            if (arr < min_arr) {
+                min_arr = arr;
+                min_s = s;
+            }
+        }
+        if (pick == S) {
+            ctx.idle_until(min_arr);
+            pick = min_s;
+        }
+        const std::size_t idx = head[pick] * S + pick;
+        serveOne(ctx, me, sched[idx], t0 + sched[idx].arrival, pick);
+        ++head[pick];
+        ++served;
+        cursor = (pick + 1) % S;
+    }
+}
+
+void
+ServeApp::serveClosed(g::context &ctx, unsigned me)
+{
+    const auto &sched = schedules_[me];
+    const std::uint64_t t0 = ctx.now();
+    const unsigned S = prm_.streams;
+    // S closed-loop clients per node: each issues, waits for its
+    // completion, thinks, and issues again. Issue ticks double as the
+    // arrival (enqueue) timestamps. Initial issues are staggered so
+    // the clients don't start in lockstep.
+    std::vector<std::size_t> head(S, 0);
+    std::vector<std::uint64_t> next(S);
+    for (unsigned s = 0; s < S; ++s)
+        next[s] = t0 + s * (prm_.think_cycles / S + 1);
+    std::size_t served = 0;
+    while (served < sched.size()) {
+        unsigned pick = S;
+        std::uint64_t best = ~0ull;
+        for (unsigned s = 0; s < S; ++s) {
+            if (head[s] * S + s >= sched.size())
+                continue;
+            if (next[s] < best) {
+                best = next[s];
+                pick = s;
+            }
+        }
+        ctx.idle_until(best);
+        const std::size_t idx = head[pick] * S + pick;
+        const std::uint64_t fin =
+            serveOne(ctx, me, sched[idx], best, pick);
+        next[pick] = fin + prm_.think_cycles;
+        ++head[pick];
+        ++served;
+    }
+}
+
+void
+ServeApp::run(g::context &ctx)
+{
+    const unsigned me = ctx.id();
+    populate(ctx, me);
+    ready_.wait(ctx);
+    if (prm_.load.arrival == serve::Arrival::closed)
+        serveClosed(ctx, me);
+    else
+        serveOpen(ctx, me);
+    done_.wait(ctx);
+}
+
+void
+ServeApp::validate(dsm::System &sys)
+{
+    const auto fail = [&](const char *what) {
+        ncp2_fatal("serve seed %llu: %s",
+                   static_cast<unsigned long long>(prm_.load.seed), what);
+    };
+
+    // Fold per-node metrics into the globals (deterministic order).
+    for (unsigned n = 0; n < nprocs_; ++n) {
+        const NodeMetrics &m = nm_[n];
+        lat_all_.merge(m.latency);
+        queue_all_.merge(m.queue);
+        service_all_.merge(m.service);
+        svc_busy_ += m.svc_busy;
+        svc_data_ += m.svc_data;
+        svc_synch_ += m.svc_synch;
+        svc_ipc_ += m.svc_ipc;
+    }
+
+    // Request accounting: every scheduled request was served exactly
+    // once, with sane per-request timestamps.
+    std::uint64_t want_total = 0;
+    for (unsigned n = 0; n < nprocs_; ++n) {
+        const auto &sched = schedules_[n];
+        const auto &log = nm_[n].log;
+        want_total += sched.size();
+        if (log.size() != sched.size())
+            fail("request log incomplete");
+        for (const ReqLog &r : log)
+            if (r.start < r.arrival || r.done < r.start)
+                fail("request timestamps out of order");
+    }
+    if (requests_.value() != want_total ||
+        reads_.value() + writes_.value() != want_total)
+        fail("request counter mismatch");
+
+    // The online sketches must be an exact function of the request log:
+    // replay every node's log into a fresh sketch and demand equality.
+    // (tools/trace_summary.py repeats this from the trace records.)
+    for (unsigned n = 0; n < nprocs_; ++n) {
+        sim::QuantileSketch replay;
+        for (const ReqLog &r : nm_[n].log)
+            replay.sample(r.done - r.arrival);
+        if (replay.counts() != nm_[n].latency.counts() ||
+            replay.sum() != nm_[n].latency.sum() ||
+            replay.max() != nm_[n].latency.max())
+            fail("latency sketch does not match the request log");
+    }
+
+    // How many times each node wrote each key (the schedule fixes the
+    // multiset of writes; in shared mode only their interleaving is
+    // timing-dependent, in partitioned mode nothing is).
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> writes;
+    for (unsigned n = 0; n < nprocs_; ++n) {
+        for (const auto &rq : schedules_[n])
+            if (rq.is_write) {
+                auto &per_node = writes[keyOf(n, rq.rank)];
+                per_node.resize(nprocs_, 0);
+                ++per_node[n];
+            }
+    }
+
+    if (prm_.shared) {
+        // Shared store: the directory is complete, and every document
+        // is a consistent (key, writer, wseq) snapshot where (writer,
+        // wseq) is a legal last write -- the seed value or some
+        // writer's final write.
+        for (std::uint64_t r = 0; r < num_keys_; ++r) {
+            const std::uint64_t key = keyOf(0, r);
+            const auto slot = dirs_[0].peek_find(sys, key);
+            if (!slot || *slot != r)
+                fail("directory entry missing or wrong slot");
+            std::array<std::uint64_t, 8> buf{};
+            for (unsigned i = 0; i < prm_.doc_words; ++i)
+                buf[i] = g::peek(sys, docs_, r * prm_.doc_words + i);
+            const unsigned writer =
+                static_cast<unsigned>(buf[0] >> 32 & 0xffff);
+            const auto wseq = static_cast<std::uint32_t>(buf[0]);
+            if (writer >= nprocs_)
+                fail("document writer out of range");
+            if (buf != docOf(key, writer, wseq))
+                fail("document payload inconsistent with header");
+            if (wseq == 0) {
+                if (writer != r % nprocs_)
+                    fail("untouched document not owned by its home");
+            } else {
+                const auto it = writes.find(key);
+                if (it == writes.end() || it->second[writer] != wseq)
+                    fail("final document is not some writer's last write");
+            }
+        }
+        return;
+    }
+
+    // Partitioned store: each key has exactly one writer, so the final
+    // document is fully determined by the schedule -- writer d, wseq
+    // equal to d's total scheduled writes to that key. This checks that
+    // the protocol kept every node's words intact through the
+    // false-sharing merges at the closing barrier.
+    for (unsigned d = 0; d < nprocs_; ++d) {
+        for (std::uint64_t r = 0; r < num_keys_; ++r) {
+            const std::uint64_t key = keyOf(d, r);
+            const auto slot = dirs_[d].peek_find(sys, key);
+            if (!slot || *slot != r)
+                fail("directory entry missing or wrong slot");
+            std::array<std::uint64_t, 8> buf{};
+            for (unsigned i = 0; i < prm_.doc_words; ++i)
+                buf[i] = g::peek(sys, docs_,
+                                 slotOf(d, r) * prm_.doc_words + i);
+            const auto it = writes.find(key);
+            const std::uint32_t want =
+                it == writes.end() ? 0 : it->second[d];
+            if (buf != docOf(key, d, want))
+                fail("partitioned document does not match its owner's "
+                     "last write");
+        }
+    }
+}
+
+} // namespace apps

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * ServeApp: a sharded key-value/document store on the DSM, driven by
+ * the seed-deterministic open-loop load generator (loadgen.hh). This is
+ * the serving-workload family the ROADMAP's north star asks for: the
+ * paper's throughput story retold as per-request tail latency.
+ *
+ * Store layout (all g:: containers over shared DSM memory), in two
+ * modes selected by Params::shared:
+ *  - shared (default): one g::hash_map directory (key -> document
+ *    slot, populated once per run by each key's home node, rank %
+ *    nprocs), a K x doc_words g::vector payload arena, and one
+ *    g::mutex per shard. GET and PUT run entirely under the key's
+ *    shard lock, so every read observes a lock-consistent document
+ *    snapshot (checked inline, fatal on a torn read) even though the
+ *    final interleaving of writers is schedule-dependent.
+ *  - partitioned: each node serves a private key space out of its own
+ *    directory with no application locks; documents of different
+ *    nodes are interleaved at slot granularity on the shared pages,
+ *    so the only coherence traffic is false sharing. Reads must see
+ *    the node's own last write exactly. This mode is reproducible
+ *    under the parallel executor (no contended-lock grant order in
+ *    its output), which the shared mode, by construction, is not.
+ *  - Document word 0 is a header packing (key check, writer,
+ *    per-writer write sequence); the remaining words are a pure
+ *    function of (key, writer, wseq).
+ *
+ * Serving model: each node's request schedule is dealt round-robin to S
+ * server streams (Params::streams); the node's simulated CPU multiplexes
+ * the streams cooperatively, serving a ready stream head per step and
+ * parking in Cat::idle (Proc::idleUntil) when no request has arrived.
+ * Closed-loop mode replaces arrivals with issue-after-completion plus
+ * think time, as a throughput cross-check.
+ *
+ * Metrics: per-request {enqueue, first-access, completion} ticks go to
+ *  - host-side per-node request logs (bit-identical across executors),
+ *  - sim::QuantileSketch online p50/p99/p999 per node and globally,
+ *  - the "serve" StatGroup (counters, queueing-delay vs service-time
+ *    accums, service-time cycles attributed to busy/data/synch/ipc via
+ *    the node's Breakdown), snapshotted into RunResult::app_stats,
+ *  - sim::Trace req_enqueue/req_start/req_done records when tracing,
+ *    from which tools/trace_summary.py reconstructs the exact same
+ *    percentiles.
+ *
+ * validate() replays the schedule host-side: directory completeness,
+ * header/payload consistency against the set of legal last writers,
+ * request accounting, and an exact re-derivation of every latency
+ * sketch from the request log.
+ */
+
+#ifndef NCP2_APPS_SERVE_SERVE_HH
+#define NCP2_APPS_SERVE_SERVE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/serve/loadgen.hh"
+#include "gstl/gstl.hh"
+#include "sim/quantile.hh"
+#include "sim/stats.hh"
+
+namespace apps
+{
+
+class ServeApp : public g::App
+{
+  public:
+    struct Params
+    {
+        serve::LoadSpec load;
+        /**
+         * true: one global store; every node GETs/PUTs every key under
+         * cross-node shard locks (the contention story). Declines the
+         * parallel executor: grant order under contention is the one
+         * documented PDES host race, and it decides this workload's
+         * visible output (wseq interleavings, latencies).
+         *
+         * false: partitioned store; each node owns a private key space
+         * and directory shard (no cross-node locks), documents of
+         * different nodes interleaved on shared pages (false-sharing
+         * coherence traffic only). PDES-safe: every remaining
+         * cross-node interaction is a message.
+         */
+        bool shared = true;
+        unsigned streams = 1;      ///< S server streams per node
+        unsigned stripes = 4;      ///< hash-map stripes == shard locks
+        unsigned doc_words = 4;    ///< words per document (2..8)
+        unsigned service_cycles = 60;       ///< busy work per request
+        std::uint64_t think_cycles = 400;   ///< closed-loop think time
+    };
+
+    /** One served request as logged by its node (host-side). */
+    struct ReqLog
+    {
+        std::uint64_t arrival = 0; ///< enqueue tick (absolute)
+        std::uint64_t start = 0;   ///< first-access tick (dequeue)
+        std::uint64_t done = 0;    ///< completion tick
+        std::uint64_t key = 0;
+        std::uint32_t stream = 0;
+        bool is_write = false;
+
+        bool
+        operator==(const ReqLog &o) const
+        {
+            return arrival == o.arrival && start == o.start &&
+                   done == o.done && key == o.key && stream == o.stream &&
+                   is_write == o.is_write;
+        }
+    };
+
+    ServeApp() : ServeApp(Params()) {}
+    explicit ServeApp(Params prm) : prm_(prm) {}
+
+    std::string name() const override { return "Serve"; }
+    void plan(g::context &ctx) override;
+    void run(g::context &ctx) override;
+    void validate(dsm::System &sys) override;
+    const sim::StatGroup *statGroup() const override { return root_.get(); }
+    bool pdesSafe() const override { return !prm_.shared; }
+
+    const Params &params() const { return prm_; }
+    /** Node @p n's request log in service order (after a run). */
+    const std::vector<ReqLog> &log(unsigned n) const { return nm_[n].log; }
+    /** The merged global latency sketch (valid after validate()). */
+    const sim::QuantileSketch &latencySketch() const { return lat_all_; }
+
+  private:
+    struct NodeMetrics
+    {
+        sim::QuantileSketch latency, queue, service;
+        std::uint64_t svc_busy = 0, svc_data = 0, svc_synch = 0,
+                      svc_ipc = 0;
+        std::vector<ReqLog> log;
+    };
+
+    std::uint64_t keyOf(unsigned node, std::uint64_t rank) const;
+    std::uint64_t slotOf(unsigned node, std::uint64_t rank) const;
+    unsigned shardOf(std::uint64_t key) const;
+    std::uint64_t headerOf(std::uint64_t key, unsigned writer,
+                           std::uint32_t wseq) const;
+    std::array<std::uint64_t, 8> docOf(std::uint64_t key, unsigned writer,
+                                       std::uint32_t wseq) const;
+
+    void populate(g::context &ctx, unsigned me);
+    void serveOpen(g::context &ctx, unsigned me);
+    void serveClosed(g::context &ctx, unsigned me);
+    /** Serve one request now; returns its completion tick. */
+    std::uint64_t serveOne(g::context &ctx, unsigned me,
+                           const serve::Request &rq, std::uint64_t arrival,
+                           unsigned stream);
+    void buildStats();
+
+    Params prm_;
+    unsigned nprocs_ = 0;
+    std::uint64_t num_keys_ = 0;
+
+    /// Directory: one global map (shared mode) or one per node
+    /// (partitioned mode; only the owner touches its map at run time).
+    std::vector<g::hash_map<std::uint64_t, std::uint64_t>> dirs_;
+    g::vector<std::uint64_t> docs_;
+    std::vector<g::mutex> locks_;
+    g::barrier ready_;
+    g::barrier done_;
+
+    std::vector<std::vector<serve::Request>> schedules_; ///< per node
+    std::vector<NodeMetrics> nm_;                        ///< per node
+    /// Per-node, per-key count of writes served so far (actual service
+    /// order); the source of each write's wseq.
+    std::vector<std::unordered_map<std::uint64_t, std::uint32_t>> wseq_;
+
+    // Globals (merged / folded in validate()).
+    sim::QuantileSketch lat_all_, queue_all_, service_all_;
+    sim::Counter requests_, reads_, writes_;
+    sim::Counter svc_busy_, svc_data_, svc_synch_, svc_ipc_;
+    sim::Accum queue_delay_, service_time_;
+
+    std::unique_ptr<sim::StatGroup> root_;
+    std::vector<std::unique_ptr<sim::StatGroup>> node_groups_;
+};
+
+} // namespace apps
+
+#endif // NCP2_APPS_SERVE_SERVE_HH

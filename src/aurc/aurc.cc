@@ -821,8 +821,13 @@ Aurc::acquire(NodeId proc, unsigned lock_id)
     LockState &lk = locks_[lock_id];
     if (lk.has_owner && lk.owner == proc && !lk.held && !lk.granting &&
         lk.waiters.empty()) {
-        n.cpu.advance(40, Cat::synch);
+        // Claim before the charge (cf. TreadMarks::acquire): advance()
+        // parks this fiber while the global clock runs on, so claiming
+        // after it opens a window where the manager pump sees the lock
+        // free and forwards our cached ownership to the next waiter --
+        // two owners, and the release assert fires much later.
         lk.held = true;
+        n.cpu.advance(40, Cat::synch);
         return;
     }
 

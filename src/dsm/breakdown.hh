@@ -35,6 +35,7 @@ enum class Cat : unsigned
     other_tlb,    ///< TLB fill latency
     other_wb,     ///< write-buffer-full stalls
     other_int,    ///< interrupt entry/exit not attributable elsewhere
+    idle,         ///< open-loop server waiting for the next arrival
     num_cats
 };
 
@@ -52,6 +53,7 @@ catName(Cat c)
       case Cat::other_tlb: return "other.tlb";
       case Cat::other_wb: return "other.wb";
       case Cat::other_int: return "other.int";
+      case Cat::idle: return "idle";
       default: return "?";
     }
 }

@@ -17,6 +17,18 @@ Proc::compute(std::uint64_t cycles)
     sys_->node(id_).cpu.advance(cycles, Cat::busy);
 }
 
+sim::Tick
+Proc::now()
+{
+    return sys_->node(id_).cpu.localNow();
+}
+
+void
+Proc::idleUntil(sim::Tick t)
+{
+    sys_->node(id_).cpu.stallUntil(t, Cat::idle);
+}
+
 void
 Proc::access(sim::GAddr addr, unsigned bytes, bool is_write, void *data)
 {

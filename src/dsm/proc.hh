@@ -35,6 +35,17 @@ class Proc
     /** Charge @p cycles of useful (busy) computation. */
     void compute(std::uint64_t cycles);
 
+    /** This processor's current local simulated time. */
+    sim::Tick now();
+
+    /**
+     * Sleep until absolute local tick @p t, charging the wait to the
+     * idle category. No-op if @p t is already in the past. This is the
+     * open-loop serving primitive: a server parks here until the next
+     * request's arrival tick.
+     */
+    void idleUntil(sim::Tick t);
+
     /** Read a trivially copyable value (size <= 8) from shared memory. */
     template <typename T>
     T

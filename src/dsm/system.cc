@@ -114,7 +114,14 @@ System::run(Workload &workload)
     if (ctx_.label.empty())
         ctx_.label = workload.name();
 
-    const unsigned workers = effectiveWorkers();
+    unsigned workers = effectiveWorkers();
+    if (workers > 1 && !workload.pdesSafe()) {
+        ncp2_warn("pdes_workers=%u ignored (workload '%s' is not "
+                  "reproducible under in-window lock-grant races); "
+                  "running on the serial scheduler",
+                  workers, workload.name().c_str());
+        workers = 1;
+    }
     pdes_active_ = workers > 1;
     router_->setParallel(pdes_active_);
 
@@ -159,6 +166,8 @@ System::run(Workload &workload)
     r.net = net_->stats();
     if (const sim::StatGroup *g = protocol_->statGroup())
         r.stats = g->snapshot();
+    if (const sim::StatGroup *g = workload.statGroup())
+        r.app_stats = g->snapshot();
     if (trace_) {
         // Close the last barrier epoch with the exact end-of-run
         // breakdowns (the same values r.bd carries), so per-epoch

@@ -76,6 +76,9 @@ struct RunResult
     /// end of run so it survives the System. Counter lookups go through
     /// stats.value("tmk.lock_acquires")-style dotted paths.
     sim::StatSnapshot stats;
+    /// Snapshot of the workload's own stat tree (Workload::statGroup()),
+    /// taken right after validate(); empty for workloads without one.
+    sim::StatSnapshot app_stats;
     /// Event trace (oldest surviving record first); empty unless
     /// SysConfig::trace_capacity was non-zero.
     std::vector<sim::TraceRecord> trace;

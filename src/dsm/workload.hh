@@ -18,6 +18,7 @@
 #include "dsm/config.hh"
 #include "dsm/heap.hh"
 #include "dsm/proc.hh"
+#include "sim/stats.hh"
 
 namespace dsm
 {
@@ -44,6 +45,27 @@ class Workload
      * @param sys the system, for reading final shared-memory contents.
      */
     virtual void validate(System &sys) = 0;
+
+    /**
+     * Optional application-level stat tree (request latencies, ...).
+     * Snapshotted into RunResult::app_stats right after validate(), so
+     * a workload may fold per-node stats into globals in validate().
+     */
+    virtual const sim::StatGroup *statGroup() const { return nullptr; }
+
+    /**
+     * Whether this workload's host-visible results are reproducible
+     * under the conservative-window parallel executor. Default yes.
+     *
+     * A workload whose observable output (logs, per-request metrics,
+     * data values) depends on the order contended locks are granted
+     * must decline: in-window lock-grant rendezvous are the one
+     * documented host race under pdes_workers > 1 (see DESIGN.md), so
+     * such a workload would not replay bit-identically. Declining
+     * forces the serial scheduler with a warning, exactly as a
+     * protocol declining Protocol::pdesSafe() does.
+     */
+    virtual bool pdesSafe() const { return true; }
 };
 
 } // namespace dsm

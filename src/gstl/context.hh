@@ -186,6 +186,10 @@ class context
     unsigned id() { return proc().id(); }
     void compute(std::uint64_t cycles) { proc().compute(cycles); }
     sim::Rng &rng() { return proc().rng(); }
+    /** This processor's current local simulated tick. */
+    sim::Tick now() { return proc().now(); }
+    /** Park until absolute tick @p t (idle time; open-loop waiting). */
+    void idle_until(sim::Tick t) { proc().idleUntil(t); }
 
   private:
     friend class App;

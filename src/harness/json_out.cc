@@ -155,6 +155,16 @@ emitStats(std::ostream &os, const sim::StatSnapshot &s)
         }
         os << "]}";
     }
+    os << "},\"sketches\":{";
+    for (std::size_t i = 0; i < s.sketches.size(); ++i) {
+        const auto &q = s.sketches[i];
+        if (i)
+            os << ',';
+        jsonString(os, q.name);
+        os << ":{\"count\":" << q.count << ",\"sum\":" << q.sum
+           << ",\"max\":" << q.max << ",\"p50\":" << q.p50
+           << ",\"p99\":" << q.p99 << ",\"p999\":" << q.p999 << '}';
+    }
     os << "},\"children\":{";
     for (std::size_t i = 0; i < s.children.size(); ++i) {
         if (i)
@@ -188,6 +198,8 @@ emitRun(std::ostream &os, const JobResult &jr)
     jsonNumber(os, row.ipc);
     os << ",\"others\":";
     jsonNumber(os, row.others);
+    os << ",\"idle\":";
+    jsonNumber(os, row.idle);
     os << ",\"diff_pct\":";
     jsonNumber(os, row.diff_pct);
     os << "},\"net\":{\"messages\":" << jr.run.net.messages
@@ -198,10 +210,21 @@ emitRun(std::ostream &os, const JobResult &jr)
     // The root group is name-keyed like children, so flat "tmk.X" paths
     // read straight off the document. Empty when the protocol exports
     // no StatGroup.
+    bool first = true;
     if (!jr.run.stats.name.empty()) {
         jsonString(os, jr.run.stats.name);
         os << ':';
         emitStats(os, jr.run.stats);
+        first = false;
+    }
+    // The workload's own stat tree (e.g. "serve") sits beside the
+    // protocol group, keyed the same way.
+    if (!jr.run.app_stats.name.empty()) {
+        if (!first)
+            os << ',';
+        jsonString(os, jr.run.app_stats.name);
+        os << ':';
+        emitStats(os, jr.run.app_stats);
     }
     os << "}}";
 }

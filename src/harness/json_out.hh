@@ -15,14 +15,18 @@
  *         "label": "...",
  *         "config": { protocol, mode, num_procs, page_bytes, seed, ... },
  *         "exec_ticks": N, "seconds": S, "wall_seconds": W,
- *         "breakdown": { busy, data, synch, ipc, others, diff_pct },
+ *         "breakdown": { busy, data, synch, ipc, others, idle, diff_pct },
  *         "net": { messages, bytes, latency_cycles, contention_cycles },
- *         "stats": {                       // protocol StatGroup snapshot
- *           "<group>": {                   // e.g. "tmk" or "aurc"
+ *         "stats": {                       // StatGroup snapshots
+ *           "<group>": {                   // protocol ("tmk"/"aurc") and,
+ *                                          // when the workload exports
+ *                                          // one, its own ("serve")
  *             "counters": { "<name>": N, ... },
  *             "accums": { "<name>": {sum, samples, mean}, ... },
  *             "histograms": { "<name>":
  *                 {total, mean, max, bounds: [...], counts: [...]}, ... },
+ *             "sketches": { "<name>":
+ *                 {count, sum, max, p50, p99, p999}, ... },
  *             "children": { "<group>": { ...same shape... } }
  *           }
  *         }

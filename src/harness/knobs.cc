@@ -92,6 +92,9 @@ registry()
         {"NCP2_SCALE_NODES", "list", "16,64,256,1024",
          "comma-separated node counts for the fig17_scaling bench, each "
          "in [1,1024]"},
+        {"NCP2_SERVE_NODES", "list", "16,64,256",
+         "comma-separated node counts for the fig18_serving bench, each "
+         "in [1,1024]"},
     };
     return knobs;
 }
@@ -226,6 +229,31 @@ scaleNodes()
     return out;
 }
 
+std::vector<unsigned>
+serveNodes()
+{
+    const char *s = raw("NCP2_SERVE_NODES");
+    if (!s || !*s)
+        return {16u, 64u, 256u};
+    std::vector<unsigned> out;
+    std::string item;
+    for (const char *p = s;; ++p) {
+        if (*p && *p != ',') {
+            item += *p;
+            continue;
+        }
+        const long v = parsePositive("NCP2_SERVE_NODES", item.c_str());
+        if (v > 1024)
+            ncp2_fatal("NCP2_SERVE_NODES entry %ld exceeds the supported "
+                       "maximum of 1024", v);
+        out.push_back(static_cast<unsigned>(v));
+        item.clear();
+        if (!*p)
+            break;
+    }
+    return out;
+}
+
 std::string
 resultsDir()
 {
@@ -282,6 +310,15 @@ activeValues()
             nodes += std::to_string(n);
         }
         out.emplace_back("NCP2_SCALE_NODES", std::move(nodes));
+    }
+    {
+        std::string nodes;
+        for (unsigned n : serveNodes()) {
+            if (!nodes.empty())
+                nodes += ',';
+            nodes += std::to_string(n);
+        }
+        out.emplace_back("NCP2_SERVE_NODES", std::move(nodes));
     }
     return out;
 }

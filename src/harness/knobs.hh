@@ -110,6 +110,12 @@ unsigned meshCluster();
  */
 std::vector<unsigned> scaleNodes();
 
+/**
+ * NCP2_SERVE_NODES: comma-separated simulated node counts for the
+ * fig18_serving bench (each in [1,1024]). Default: 16,64,256.
+ */
+std::vector<unsigned> serveNodes();
+
 /** Render the registry as the --knobs listing. */
 void printListing(std::ostream &os);
 

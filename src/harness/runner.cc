@@ -41,6 +41,9 @@ BreakdownRow::from(const std::string &label, const dsm::RunResult &r)
     row.synch = static_cast<double>(t.get(dsm::Cat::synch)) / n;
     row.ipc = static_cast<double>(t.get(dsm::Cat::ipc)) / n;
     row.others = static_cast<double>(t.others()) / n;
+    row.idle = static_cast<double>(t.get(dsm::Cat::idle)) / n;
+    // Idle (open-loop arrival waits) is excluded from the paper's
+    // five-way stacked bar; serving benches report it separately.
     const double total = row.busy + row.data + row.synch + row.ipc +
                          row.others;
     row.diff_pct = total > 0
@@ -60,6 +63,7 @@ BreakdownRow::normalizedTo(const BreakdownRow &base) const
     r.synch = synch * scale;
     r.ipc = ipc * scale;
     r.others = others * scale;
+    r.idle = idle * scale;
     return r;
 }
 

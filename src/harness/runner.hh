@@ -35,6 +35,7 @@ struct BreakdownRow
     std::string label;
     double exec_ticks = 0;
     double busy = 0, data = 0, synch = 0, ipc = 0, others = 0;
+    double idle = 0;     ///< open-loop arrival waits (serving workloads)
     double diff_pct = 0; ///< CPU diff-op share of execution (fig 2 label)
 
     /** Build from a run result. */

@@ -29,6 +29,13 @@ StatGroup::addHistogram(const std::string &name, const Histogram *h,
 }
 
 void
+StatGroup::addSketch(const std::string &name, const QuantileSketch *q,
+                     const std::string &desc)
+{
+    sketches_.push_back({name, q, desc});
+}
+
+void
 StatGroup::addChild(const StatGroup *child)
 {
     children_.push_back(child);
@@ -49,6 +56,13 @@ StatGroup::dump(std::ostream &os) const
         os << name_ << '.' << e.name << " total=" << e.stat->total()
            << " mean=" << e.stat->mean() << " max=" << e.stat->max()
            << "  # " << e.desc << '\n';
+    }
+    for (const auto &e : sketches_) {
+        os << name_ << '.' << e.name << " count=" << e.stat->count()
+           << " p50=" << e.stat->quantile(50, 100)
+           << " p99=" << e.stat->quantile(99, 100)
+           << " p999=" << e.stat->quantile(999, 1000)
+           << " max=" << e.stat->max() << "  # " << e.desc << '\n';
     }
     for (const StatGroup *child : children_)
         child->dump(os);
@@ -75,6 +89,13 @@ StatGroup::snapshot() const
                            e.stat->max(), e.stat->bounds(),
                            e.stat->counts(), e.desc});
     }
+    s.sketches.reserve(sketches_.size());
+    for (const auto &e : sketches_) {
+        s.sketches.push_back({e.name, e.stat->count(), e.stat->sum(),
+                              e.stat->max(), e.stat->quantile(50, 100),
+                              e.stat->quantile(99, 100),
+                              e.stat->quantile(999, 1000), e.desc});
+    }
     s.children.reserve(children_.size());
     for (const StatGroup *child : children_)
         s.children.push_back(child->snapshot());
@@ -93,6 +114,12 @@ flattenInto(const StatSnapshot &s, const std::string &prefix,
         out[base + "." + c.name] = c.value;
     for (const auto &a : s.accums)
         out[base + "." + a.name] = a.sum;
+    for (const auto &q : s.sketches) {
+        out[base + "." + q.name + ".count"] = static_cast<double>(q.count);
+        out[base + "." + q.name + ".p50"] = static_cast<double>(q.p50);
+        out[base + "." + q.name + ".p99"] = static_cast<double>(q.p99);
+        out[base + "." + q.name + ".p999"] = static_cast<double>(q.p999);
+    }
     for (const auto &child : s.children)
         flattenInto(child, base, out);
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/quantile.hh"
 #include "sim/types.hh"
 
 namespace sim
@@ -224,11 +225,28 @@ struct StatSnapshot
         std::vector<std::uint64_t> counts;
         std::string desc;
     };
+    /**
+     * Point-in-time read of a QuantileSketch: the integer percentiles
+     * plus count/sum/max, all exactly reproducible from the raw sample
+     * stream by a mirror of the sketch (see tools/trace_summary.py).
+     */
+    struct SketchVal
+    {
+        std::string name;
+        std::uint64_t count;
+        std::uint64_t sum;
+        std::uint64_t max;
+        std::uint64_t p50;
+        std::uint64_t p99;
+        std::uint64_t p999;
+        std::string desc;
+    };
 
     std::string name;
     std::vector<Scalar> counters;
     std::vector<AccumVal> accums;
     std::vector<HistVal> hists;
+    std::vector<SketchVal> sketches;
     std::vector<StatSnapshot> children;
 
     /** Flatten counters/accum sums into "group.sub.stat" -> value. */
@@ -254,6 +272,8 @@ class StatGroup
                   const std::string &desc);
     void addHistogram(const std::string &name, const Histogram *h,
                       const std::string &desc);
+    void addSketch(const std::string &name, const QuantileSketch *q,
+                   const std::string &desc);
     void addChild(const StatGroup *child);
 
     /** Render all registered stats to @p os, prefixed by the group name. */
@@ -268,11 +288,13 @@ class StatGroup
     struct CounterEntry { std::string name; const Counter *stat; std::string desc; };
     struct AccumEntry { std::string name; const Accum *stat; std::string desc; };
     struct HistEntry { std::string name; const Histogram *stat; std::string desc; };
+    struct SketchEntry { std::string name; const QuantileSketch *stat; std::string desc; };
 
     std::string name_;
     std::vector<CounterEntry> counters_;
     std::vector<AccumEntry> accums_;
     std::vector<HistEntry> hists_;
+    std::vector<SketchEntry> sketches_;
     std::vector<const StatGroup *> children_;
 };
 

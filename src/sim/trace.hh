@@ -78,6 +78,9 @@ enum class TraceKind : std::uint8_t
     prefetch_hit,    ///< arg=page (demand access found prefetch in flight)
     prefetch_useless,///< arg=page (invalidated before any reference)
     bd_snapshot,     ///< arg=cumulative cycles, aux=category index
+    req_enqueue,     ///< arg=request id, aux=1 for write; tick=arrival
+    req_start,       ///< arg=request id, aux=1 for write; tick=first access
+    req_done,        ///< arg=request id, aux=1 for write; tick=completion
     num_kinds
 };
 
@@ -99,6 +102,9 @@ traceKindName(TraceKind k)
       case TraceKind::prefetch_hit: return "prefetch_hit";
       case TraceKind::prefetch_useless: return "prefetch_useless";
       case TraceKind::bd_snapshot: return "bd_snapshot";
+      case TraceKind::req_enqueue: return "req_enqueue";
+      case TraceKind::req_start: return "req_start";
+      case TraceKind::req_done: return "req_done";
       default: return "?";
     }
 }

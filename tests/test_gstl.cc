@@ -387,6 +387,99 @@ TEST(GstlSyncKit, AtomicsAndQueuesUnderOracle)
 }
 
 // ---------------------------------------------------------------------
+// Negative paths: lookups that must miss (find and the host-side
+// peek_find), pops from an empty queue, pushes into a full ring, and
+// the blocking variants unblocking once the peer makes room.
+
+class ContainerNegativePaths : public g::App
+{
+  public:
+    std::string name() const override { return "container-negative"; }
+
+    void
+    plan(g::context &ctx) override
+    {
+        map_.allocate(ctx, "neg/map", 64, 4);
+        q_.allocate(ctx, "neg/q", ring_cap);
+        filled_ = ctx.make_barrier("neg/filled");
+    }
+
+    void
+    run(g::context &ctx) override
+    {
+        if (ctx.id() == 0) {
+            // Misses before any insert, then around present keys.
+            if (map_.find(ctx, 123).has_value())
+                ncp2_fatal("find hit in an empty map");
+            map_.insert(ctx, 1, 10);
+            map_.insert(ctx, 2, 20);
+            if (map_.find(ctx, 3).has_value())
+                ncp2_fatal("find hit an absent key");
+            if (map_.find(ctx, 2) != std::optional<std::uint64_t>(20))
+                ncp2_fatal("find missed a present key");
+
+            // Empty ring refuses to pop; a full ring refuses to push.
+            if (q_.try_pop(ctx).has_value())
+                ncp2_fatal("try_pop produced a value from an empty queue");
+            for (std::uint64_t j = 0; j < ring_cap; ++j)
+                if (!q_.try_push(ctx, j * 7))
+                    ncp2_fatal("try_push refused below capacity");
+            if (q_.try_push(ctx, 999))
+                ncp2_fatal("try_push accepted into a full ring");
+            if (q_.size(ctx) != ring_cap)
+                ncp2_fatal("full ring reports wrong size");
+        }
+        filled_.wait(ctx);
+        if (ctx.id() == 0) {
+            // Blocking push into the still-full ring: spins until the
+            // consumer below makes room.
+            q_.push(ctx, 1000);
+        } else if (ctx.id() == 1) {
+            // Drain FIFO across the wrap; the fifth pop blocks until
+            // the producer's post-barrier push lands.
+            for (std::uint64_t j = 0; j < ring_cap; ++j)
+                if (q_.pop(ctx) != j * 7)
+                    ncp2_fatal("ring popped out of order");
+            if (q_.pop(ctx) != 1000)
+                ncp2_fatal("blocking pop missed the unblocking push");
+            if (q_.try_pop(ctx).has_value())
+                ncp2_fatal("queue not empty after the drain");
+        }
+    }
+
+    void
+    validate(dsm::System &sys) override
+    {
+        if (map_.peek_find(sys, 1) != std::optional<std::uint64_t>(10) ||
+            map_.peek_find(sys, 2) != std::optional<std::uint64_t>(20))
+            ncp2_fatal("peek_find missed a present key");
+        if (map_.peek_find(sys, 3).has_value() ||
+            map_.peek_find(sys, 123).has_value())
+            ncp2_fatal("peek_find hit an absent key");
+    }
+
+    static constexpr std::uint64_t ring_cap = 4;
+
+  private:
+    g::hash_map<std::uint64_t, std::uint64_t> map_;
+    g::spsc_queue<std::uint64_t> q_;
+    g::barrier filled_;
+};
+
+TEST(GstlNegativePaths, MissesEmptyPopsAndFullPushes)
+{
+    sim::setQuiet(true);
+    for (const ProtocolKind kind :
+         {ProtocolKind::treadmarks, ProtocolKind::aurc}) {
+        ContainerNegativePaths w;
+        SysConfig cfg = smallCfg(4);
+        cfg.protocol = kind;
+        cfg.check = true;
+        harness::runOnce(cfg, w);
+    }
+}
+
+// ---------------------------------------------------------------------
 // The gstl torture workload: striped hash_map under concurrent mixed
 // insert/add/find traffic plus queues and atomics, with the LRC oracle
 // checking every access, across protocol variants - and the descriptor

@@ -1,0 +1,612 @@
+/**
+ * @file
+ * The serving workload family (src/apps/serve) and its metrics plumbing:
+ * QuantileSketch unit tests against a sorted-array oracle (error bounds,
+ * merge associativity), chi-squared sanity for the Zipfian and Poisson
+ * load generator, seed-deterministic replay across executors (engine
+ * pool width, the parallel executor for the partitioned store, the
+ * forced-serial demotion for the shared store), the LRC-oracle
+ * end-to-end matrix across protocol variants x fast-path x store mode,
+ * closed-loop accounting, reconstruction of the latency sketches from
+ * the request trace, and a regression for the AURC fast-path
+ * double-owner fix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "apps/serve/serve.hh"
+#include "harness/experiment.hh"
+#include "harness/runner.hh"
+#include "sim/quantile.hh"
+#include "sim/rng.hh"
+#include "sim/trace.hh"
+
+using dsm::ProtocolKind;
+using dsm::RunResult;
+using dsm::SysConfig;
+using sim::QuantileSketch;
+
+namespace
+{
+
+SysConfig
+smallCfg(unsigned procs)
+{
+    SysConfig cfg;
+    cfg.num_procs = procs;
+    cfg.heap_bytes = 8u << 20;
+    return cfg;
+}
+
+struct ModeParam
+{
+    const char *tag;
+    ProtocolKind kind;
+    bool offload, hw_diffs, prefetch;
+};
+
+constexpr ModeParam kModes[] = {
+    {"TmkBase", ProtocolKind::treadmarks, false, false, false},
+    {"TmkIPD", ProtocolKind::treadmarks, true, true, true},
+    {"Aurc", ProtocolKind::aurc, false, false, false},
+    {"AurcP", ProtocolKind::aurc, false, false, true},
+};
+
+SysConfig
+modeCfg(const ModeParam &m, unsigned procs)
+{
+    SysConfig cfg = smallCfg(procs);
+    cfg.protocol = m.kind;
+    cfg.mode.offload = m.offload;
+    cfg.mode.hw_diffs = m.hw_diffs;
+    cfg.mode.prefetch = m.prefetch;
+    cfg.check = true;
+    return cfg;
+}
+
+/** The observables that must never move between two equal runs. */
+void
+expectIdenticalRuns(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.exec_ticks, b.exec_ticks);
+    EXPECT_EQ(a.net.messages, b.net.messages);
+    EXPECT_EQ(a.net.bytes, b.net.bytes);
+    EXPECT_EQ(a.stats.flat(), b.stats.flat());
+    EXPECT_EQ(a.app_stats.flat(), b.app_stats.flat());
+}
+
+/** Tiny serving shape shared by the end-to-end tests below. */
+apps::ServeApp::Params
+tinyParams(bool shared)
+{
+    apps::ServeApp::Params prm;
+    prm.load.seed = 5;
+    prm.load.keys_log2 = 5;
+    prm.load.requests_per_node = 16;
+    prm.load.read_pct = 80;
+    prm.shared = shared;
+    prm.streams = 2;
+    prm.stripes = 4;
+    return prm;
+}
+
+void
+expectSameLogs(const apps::ServeApp &a, const apps::ServeApp &b,
+               unsigned procs)
+{
+    for (unsigned n = 0; n < procs; ++n) {
+        SCOPED_TRACE("node " + std::to_string(n));
+        EXPECT_EQ(a.log(n), b.log(n));
+    }
+}
+
+void
+expectSameSketch(const QuantileSketch &a, const QuantileSketch &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.sum(), b.sum());
+    EXPECT_EQ(a.max(), b.max());
+    EXPECT_EQ(a.counts(), b.counts());
+}
+
+const sim::StatSnapshot::Scalar *
+counter(const sim::StatSnapshot &s, const std::string &name)
+{
+    for (const auto &c : s.counters)
+        if (c.name == name)
+            return &c;
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// QuantileSketch vs a sorted-array oracle.
+
+/**
+ * Check every interesting quantile of @p sk against the exact sorted
+ * sample set: the reported value must be the lower bound of the bucket
+ * holding the true rank value, which implies the documented error
+ * bound (exact below linear_max, relative error < 2^(1-sub_bits)
+ * above it).
+ */
+void
+expectSketchMatches(const QuantileSketch &sk,
+                    std::vector<std::uint64_t> sorted)
+{
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(sk.count(), sorted.size());
+    std::uint64_t sum = 0, mx = 0;
+    for (std::uint64_t v : sorted) {
+        sum += v;
+        mx = std::max(mx, v);
+    }
+    EXPECT_EQ(sk.sum(), sum);
+    EXPECT_EQ(sk.max(), mx);
+
+    const std::pair<std::uint64_t, std::uint64_t> fracs[] = {
+        {1, 100}, {25, 100}, {50, 100}, {90, 100},
+        {99, 100}, {999, 1000}, {1, 1},
+    };
+    for (auto [num, den] : fracs) {
+        std::uint64_t target =
+            (num * sorted.size() + den - 1) / den;
+        if (target < 1)
+            target = 1;
+        const std::uint64_t x = sorted[target - 1];
+        const std::uint64_t q = sk.quantile(num, den);
+        SCOPED_TRACE("q=" + std::to_string(num) + "/" +
+                     std::to_string(den) + " true=" + std::to_string(x));
+        // Exactly the lower bound of the true value's bucket...
+        EXPECT_EQ(q, QuantileSketch::lowerBound(QuantileSketch::bucketOf(x)));
+        // ...which implies the documented error bounds.
+        EXPECT_LE(q, x);
+        if (x < QuantileSketch::linear_max)
+            EXPECT_EQ(q, x);
+        else
+            EXPECT_LT((x - q) * (1ull << (QuantileSketch::sub_bits - 1)),
+                      x);
+    }
+}
+
+TEST(QuantileSketch, AllEqualSamplesAreExactlyRepresented)
+{
+    for (const std::uint64_t v : {0ull, 37ull, 63ull, 64ull, 1000003ull}) {
+        QuantileSketch sk;
+        std::vector<std::uint64_t> ref(200, v);
+        for (std::uint64_t s : ref)
+            sk.sample(s);
+        SCOPED_TRACE("v=" + std::to_string(v));
+        expectSketchMatches(sk, ref);
+        // All-equal input: every quantile is the same bucket bound.
+        EXPECT_EQ(sk.quantile(1, 100), sk.quantile(999, 1000));
+    }
+}
+
+TEST(QuantileSketch, MonotoneRampMatchesSortedArray)
+{
+    QuantileSketch sk;
+    std::vector<std::uint64_t> ref;
+    for (std::uint64_t i = 0; i < 2000; ++i)
+        ref.push_back(i * 977 + 1);
+    for (std::uint64_t v : ref)
+        sk.sample(v);
+    expectSketchMatches(sk, ref);
+}
+
+TEST(QuantileSketch, AdversarialSpikeKeepsTailAccurate)
+{
+    // 990 tiny samples and a 10-sample spike six orders of magnitude
+    // out: p99 and p999 must land in the spike, p50 must stay exact.
+    QuantileSketch sk;
+    std::vector<std::uint64_t> ref;
+    for (unsigned i = 0; i < 990; ++i)
+        ref.push_back(10);
+    for (unsigned i = 0; i < 10; ++i)
+        ref.push_back(1000000000ull + i * 12345);
+    for (std::uint64_t v : ref)
+        sk.sample(v);
+    expectSketchMatches(sk, ref);
+    EXPECT_EQ(sk.quantile(50, 100), 10u);
+    EXPECT_GT(sk.quantile(991, 1000), 900000000ull);
+}
+
+TEST(QuantileSketch, ExactBelowLinearMax)
+{
+    // Every value below 2^sub_bits has a private bucket: round-trip is
+    // exact by construction.
+    for (std::uint64_t v = 0; v < QuantileSketch::linear_max; ++v)
+        EXPECT_EQ(QuantileSketch::lowerBound(QuantileSketch::bucketOf(v)),
+                  v);
+}
+
+TEST(QuantileSketch, MergeIsAssociativeAndMatchesSingleFeed)
+{
+    sim::Rng rng(99);
+    QuantileSketch a, b, c, all;
+    std::vector<std::uint64_t> ref;
+    auto feed = [&](QuantileSketch &sk, unsigned n, std::uint64_t scale) {
+        for (unsigned i = 0; i < n; ++i) {
+            const std::uint64_t v = rng.below(scale) + rng.below(64);
+            sk.sample(v);
+            all.sample(v);
+            ref.push_back(v);
+        }
+    };
+    feed(a, 300, 1ull << 20);
+    feed(b, 500, 1ull << 34);
+    feed(c, 200, 50);
+
+    QuantileSketch ab_c = a, bc = b, a_bc = a;
+    ab_c.merge(b);
+    ab_c.merge(c);
+    bc.merge(c);
+    a_bc.merge(bc);
+
+    expectSameSketch(ab_c, a_bc);
+    expectSameSketch(ab_c, all);
+    expectSketchMatches(ab_c, ref);
+}
+
+// ---------------------------------------------------------------------
+// Load generator distribution sanity (chi-squared) and determinism.
+
+TEST(ServeLoadGen, ZipfDrawsMatchStatedProbabilities)
+{
+    // Gray's generator is an approximation; the bound is generous but
+    // still far below any broken-generator failure mode.
+    apps::serve::ZipfGen zipf(16, 0.9);
+    double total = 0;
+    for (std::uint64_t i = 0; i < zipf.n(); ++i)
+        total += zipf.prob(i);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+
+    sim::Rng rng(12345);
+    const unsigned N = 20000;
+    std::array<std::uint64_t, 16> obs{};
+    for (unsigned i = 0; i < N; ++i)
+        ++obs[zipf.next(rng)];
+    double chi2 = 0;
+    for (std::uint64_t i = 0; i < zipf.n(); ++i) {
+        const double e = N * zipf.prob(i);
+        const double d = static_cast<double>(obs[i]) - e;
+        chi2 += d * d / e;
+    }
+    EXPECT_LT(chi2, 100.0) << "zipf chi-squared (df=15): " << chi2;
+    // Popularity must be monotone in rank for the head of the
+    // distribution (sampling noise allows tail inversions).
+    EXPECT_GT(obs[0], obs[1]);
+    EXPECT_GT(obs[1], obs[4]);
+}
+
+TEST(ServeLoadGen, ThetaZeroIsUniform)
+{
+    apps::serve::ZipfGen zipf(32, 0.0);
+    sim::Rng rng(777);
+    const unsigned N = 16000;
+    std::array<std::uint64_t, 32> obs{};
+    for (unsigned i = 0; i < N; ++i)
+        ++obs[zipf.next(rng)];
+    const double e = N / 32.0;
+    double chi2 = 0;
+    for (const std::uint64_t o : obs) {
+        const double d = static_cast<double>(o) - e;
+        chi2 += d * d / e;
+    }
+    EXPECT_LT(chi2, 80.0) << "uniform chi-squared (df=31): " << chi2;
+}
+
+TEST(ServeLoadGen, PoissonGapsAreExponential)
+{
+    apps::serve::LoadSpec spec;
+    spec.seed = 11;
+    spec.requests_per_node = 4000;
+    spec.mean_gap_cycles = 800;
+    apps::serve::ZipfGen zipf(1ull << spec.keys_log2, spec.zipf_theta);
+    const auto sched = apps::serve::buildSchedule(spec, zipf, 0);
+    ASSERT_EQ(sched.size(), spec.requests_per_node);
+
+    // Gaps binned at the exponential distribution's octiles: expected
+    // counts are uniform, so chi-squared (df=7) catches both a wrong
+    // mean and a wrong shape.
+    const double mean = static_cast<double>(spec.mean_gap_cycles);
+    std::array<double, 7> bound;
+    for (unsigned i = 1; i <= 7; ++i)
+        bound[i - 1] = -mean * std::log(1.0 - i / 8.0);
+    std::array<std::uint64_t, 8> obs{};
+    std::uint64_t prev = 0, total = 0;
+    for (const auto &rq : sched) {
+        ASSERT_GE(rq.arrival, prev);
+        const std::uint64_t gap = rq.arrival - prev;
+        prev = rq.arrival;
+        total += gap;
+        unsigned b = 0;
+        while (b < 7 && static_cast<double>(gap) > bound[b])
+            ++b;
+        ++obs[b];
+    }
+    const double e = sched.size() / 8.0;
+    double chi2 = 0;
+    for (const std::uint64_t o : obs) {
+        const double d = static_cast<double>(o) - e;
+        chi2 += d * d / e;
+    }
+    EXPECT_LT(chi2, 40.0) << "exponential-gap chi-squared (df=7): " << chi2;
+    const double got_mean =
+        static_cast<double>(total) / static_cast<double>(sched.size());
+    EXPECT_NEAR(got_mean, mean, 0.1 * mean);
+}
+
+TEST(ServeLoadGen, SchedulesAreSeedDeterministicAndPerNode)
+{
+    apps::serve::LoadSpec spec;
+    spec.seed = 21;
+    spec.requests_per_node = 64;
+    apps::serve::ZipfGen zipf(1ull << spec.keys_log2, spec.zipf_theta);
+    const auto a = apps::serve::buildSchedule(spec, zipf, 3);
+    const auto b = apps::serve::buildSchedule(spec, zipf, 3);
+    const auto c = apps::serve::buildSchedule(spec, zipf, 4);
+    ASSERT_EQ(a.size(), b.size());
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].rank, b[i].rank);
+        EXPECT_EQ(a[i].is_write, b[i].is_write);
+        differs |= a[i].rank != c[i].rank || a[i].arrival != c[i].arrival;
+    }
+    EXPECT_TRUE(differs) << "node 3 and node 4 drew identical schedules";
+}
+
+TEST(ServeLoadGen, PermuteKeyIsABijection)
+{
+    const unsigned bits = 10;
+    std::vector<bool> seen(1u << bits, false);
+    for (std::uint64_t x = 0; x < (1u << bits); ++x) {
+        const std::uint64_t y = apps::serve::permuteKey(x, bits, 0xfeedULL);
+        ASSERT_LT(y, 1u << bits);
+        ASSERT_FALSE(seen[y]) << "collision at " << x;
+        seen[y] = true;
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: oracle matrix, fast-path invariance, deterministic replay.
+
+TEST(ServeCheck, PassesOracleAcrossVariantsFastPathAndStoreMode)
+{
+    sim::setQuiet(true);
+    for (const auto &m : kModes) {
+        for (const bool shared : {true, false}) {
+            apps::ServeApp w[2] = {apps::ServeApp(tinyParams(shared)),
+                                   apps::ServeApp(tinyParams(shared))};
+            RunResult r[2];
+            for (int fast = 0; fast < 2; ++fast) {
+                SysConfig cfg = modeCfg(m, 4);
+                cfg.fast_path = fast != 0;
+                // runOnce also runs the host-replay validate().
+                r[fast] = harness::runOnce(cfg, w[fast]);
+            }
+            SCOPED_TRACE(std::string(m.tag) +
+                         (shared ? "/shared" : "/partitioned"));
+            // The fast path is a host-side optimization: the simulated
+            // run - request logs included - must be bit-identical.
+            expectIdenticalRuns(r[0], r[1]);
+            expectSameLogs(w[0], w[1], 4);
+            expectSameSketch(w[0].latencySketch(), w[1].latencySketch());
+        }
+    }
+}
+
+TEST(ServeCheck, ReplayIsBitIdenticalAcrossRuns)
+{
+    sim::setQuiet(true);
+    apps::ServeApp w[2] = {apps::ServeApp(tinyParams(true)),
+                           apps::ServeApp(tinyParams(true))};
+    RunResult r[2];
+    for (int i = 0; i < 2; ++i)
+        r[i] = harness::runOnce(modeCfg(kModes[1], 4), w[i]);
+    expectIdenticalRuns(r[0], r[1]);
+    expectSameLogs(w[0], w[1], 4);
+    expectSameSketch(w[0].latencySketch(), w[1].latencySketch());
+}
+
+TEST(ServeCheck, EnginePoolWidthDoesNotChangeResults)
+{
+    // The same three serving jobs through a 1-wide and a 3-wide
+    // ExperimentEngine pool: results must be bit-identical (this is
+    // what makes NCP2_JOBS a pure wall-clock knob for fig18).
+    sim::setQuiet(true);
+    auto makeJobs = []() {
+        std::vector<harness::Job> jobs;
+        for (const auto &m : {kModes[0], kModes[1], kModes[2]}) {
+            harness::Job j;
+            j.label = m.tag;
+            j.cfg = modeCfg(m, 4);
+            j.workload = []() {
+                return std::make_unique<apps::ServeApp>(tinyParams(true));
+            };
+            jobs.push_back(std::move(j));
+        }
+        return jobs;
+    };
+    const auto serial = harness::ExperimentEngine(1).runAll(makeJobs());
+    const auto pooled = harness::ExperimentEngine(3).runAll(makeJobs());
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(serial[i].label);
+        EXPECT_EQ(serial[i].label, pooled[i].label);
+        expectIdenticalRuns(serial[i].run, pooled[i].run);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The parallel executor: the partitioned store must replay bit-
+// identically; the shared store must decline and run serial.
+
+TEST(ServePdes, PartitionedStoreLogsAreBitIdentical)
+{
+    sim::setQuiet(true);
+    for (const auto &m : {kModes[0], kModes[1]}) {
+        apps::ServeApp w[2] = {apps::ServeApp(tinyParams(false)),
+                               apps::ServeApp(tinyParams(false))};
+        RunResult r[2];
+        for (int par = 0; par < 2; ++par) {
+            SysConfig cfg = modeCfg(m, 4);
+            cfg.pdes_workers = par ? 2 : 1;
+            r[par] = harness::runOnce(cfg, w[par]);
+        }
+        SCOPED_TRACE(m.tag);
+        // Everything the workload observes is bit-identical: request
+        // logs, every sketch, traffic, protocol counters. Only the
+        // closing-barrier finish tick may drift by a contention tie
+        // (see DESIGN.md), so exec_ticks gets a tolerance, not
+        // equality.
+        expectSameLogs(w[0], w[1], 4);
+        expectSameSketch(w[0].latencySketch(), w[1].latencySketch());
+        EXPECT_EQ(r[0].app_stats.flat(), r[1].app_stats.flat());
+        EXPECT_EQ(r[0].net.messages, r[1].net.messages);
+        EXPECT_EQ(r[0].net.bytes, r[1].net.bytes);
+        for (const char *key :
+             {"tmk.barriers", "tmk.intervals", "tmk.write_faults",
+              "tmk.write_notices"}) {
+            EXPECT_EQ(r[0].stats.value(key), r[1].stats.value(key)) << key;
+        }
+        const double s = static_cast<double>(r[0].exec_ticks);
+        const double p = static_cast<double>(r[1].exec_ticks);
+        EXPECT_LT(std::abs(s - p), 0.02 * s)
+            << "serial " << r[0].exec_ticks << " vs parallel "
+            << r[1].exec_ticks;
+    }
+}
+
+TEST(ServePdes, SharedStoreDeclinesAndMatchesSerialExactly)
+{
+    // The shared store's output depends on contended-lock grant order,
+    // the one documented PDES host race, so Workload::pdesSafe()
+    // declines: a pdes_workers=2 run must be THE serial run, tick for
+    // tick.
+    sim::setQuiet(true);
+    apps::ServeApp w[2] = {apps::ServeApp(tinyParams(true)),
+                           apps::ServeApp(tinyParams(true))};
+    RunResult r[2];
+    for (int par = 0; par < 2; ++par) {
+        SysConfig cfg = modeCfg(kModes[0], 4);
+        cfg.pdes_workers = par ? 2 : 1;
+        r[par] = harness::runOnce(cfg, w[par]);
+    }
+    expectIdenticalRuns(r[0], r[1]);
+    expectSameLogs(w[0], w[1], 4);
+}
+
+// ---------------------------------------------------------------------
+// Closed-loop accounting and trace reconstruction.
+
+TEST(ServeCheck, ClosedLoopAccountsEveryRequest)
+{
+    sim::setQuiet(true);
+    apps::ServeApp::Params prm = tinyParams(true);
+    prm.load.arrival = apps::serve::Arrival::closed;
+    apps::ServeApp w(prm);
+    const RunResult r = harness::runOnce(modeCfg(kModes[0], 4), w);
+
+    const std::uint64_t expect_reqs = 4ull * prm.load.requests_per_node;
+    const auto *reqs = counter(r.app_stats, "requests");
+    const auto *reads = counter(r.app_stats, "reads");
+    const auto *writes = counter(r.app_stats, "writes");
+    ASSERT_TRUE(reqs && reads && writes);
+    EXPECT_EQ(reqs->value, static_cast<double>(expect_reqs));
+    EXPECT_EQ(reads->value + writes->value,
+              static_cast<double>(expect_reqs));
+    EXPECT_EQ(w.latencySketch().count(), expect_reqs);
+    std::uint64_t logged = 0;
+    for (unsigned n = 0; n < 4; ++n) {
+        logged += w.log(n).size();
+        for (const auto &rq : w.log(n)) {
+            // Closed loop still queues: with S streams per node, a
+            // client's issue tick can land while the node's CPU is
+            // serving another stream. Only ordering is guaranteed.
+            EXPECT_LE(rq.arrival, rq.start);
+            EXPECT_LE(rq.start, rq.done);
+        }
+    }
+    EXPECT_EQ(logged, expect_reqs);
+}
+
+TEST(ServeTrace, RequestRecordsReconstructTheLatencySketches)
+{
+    // Rebuild every per-node latency sketch and the global one purely
+    // from the req_* trace records; they must match the app's online
+    // sketches bucket for bucket. (tools/trace_summary.py --requests
+    // does the same reconstruction host-side against the JSON trace.)
+    sim::setQuiet(true);
+    apps::ServeApp w(tinyParams(true));
+    SysConfig cfg = modeCfg(kModes[0], 4);
+    cfg.trace_capacity = 1u << 16;
+    const RunResult r = harness::runOnce(cfg, w);
+    ASSERT_EQ(r.trace_dropped, 0u);
+
+    struct Req
+    {
+        std::uint64_t enq = 0, start = 0, done = 0;
+        unsigned seen = 0;
+    };
+    std::map<std::pair<std::uint32_t, std::uint64_t>, Req> reqs;
+    for (const auto &rec : r.trace) {
+        if (rec.kind == sim::TraceKind::req_enqueue) {
+            reqs[{rec.node, rec.arg}].enq = rec.tick;
+            reqs[{rec.node, rec.arg}].seen |= 1;
+        } else if (rec.kind == sim::TraceKind::req_start) {
+            reqs[{rec.node, rec.arg}].start = rec.tick;
+            reqs[{rec.node, rec.arg}].seen |= 2;
+        } else if (rec.kind == sim::TraceKind::req_done) {
+            reqs[{rec.node, rec.arg}].done = rec.tick;
+            reqs[{rec.node, rec.arg}].seen |= 4;
+        }
+    }
+
+    QuantileSketch lat;
+    std::array<std::uint64_t, 4> per_node{};
+    for (const auto &[id, rq] : reqs) {
+        ASSERT_EQ(rq.seen, 7u) << "incomplete req triple";
+        ASSERT_LE(rq.enq, rq.start);
+        ASSERT_LE(rq.start, rq.done);
+        lat.sample(rq.done - rq.enq);
+        ++per_node[id.first];
+    }
+    for (unsigned n = 0; n < 4; ++n)
+        EXPECT_EQ(per_node[n], w.log(n).size());
+    expectSameSketch(lat, w.latencySketch());
+    EXPECT_EQ(lat.quantile(50, 100), w.latencySketch().quantile(50, 100));
+    EXPECT_EQ(lat.quantile(99, 100), w.latencySketch().quantile(99, 100));
+    EXPECT_EQ(lat.quantile(999, 1000),
+              w.latencySketch().quantile(999, 1000));
+}
+
+// ---------------------------------------------------------------------
+// Regression: the AURC fast path once forwarded cached lock ownership
+// while the requester was still paying its acquire latency, so two
+// nodes could hold the same lock (ncp2 assert in aurc.cc). A read-
+// heavy shared store under AURC+prefetch is exactly the traffic that
+// tripped it.
+
+TEST(ServeCheck, AurcFastPathLockOwnershipRegression)
+{
+    sim::setQuiet(true);
+    apps::ServeApp::Params prm = tinyParams(true);
+    prm.load.keys_log2 = 6;
+    prm.load.requests_per_node = 24;
+    prm.load.read_pct = 95;
+    for (int fast = 0; fast < 2; ++fast) {
+        apps::ServeApp w(prm);
+        SysConfig cfg = modeCfg(kModes[3], 4); // AURC + prefetch
+        cfg.fast_path = fast != 0;
+        harness::runOnce(cfg, w); // oracle + validate must stay silent
+    }
+}
+
+} // namespace

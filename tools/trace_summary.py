@@ -21,6 +21,12 @@ Usage:
       Validation + cross-check: the final cumulative snapshots must
       reproduce the run's "breakdown" aggregates exactly. The run is
       selected by LABEL, defaulting to the trace's otherData.label.
+  trace_summary.py --requests results/<bench>.json [--label LABEL] trace.json
+      Validation + request reconstruction: rebuild every per-request
+      latency from req_enqueue/req_start/req_done records, replay them
+      through an integer-exact mirror of sim::QuantileSketch, and
+      demand exact equality with the run's stats.serve sketches
+      (global and per-node children).
 
 Exit status: 0 ok, 1 validation/cross-check failure, 2 usage error.
 Stdlib only.
@@ -33,13 +39,13 @@ import sys
 # bd_snapshot aux slots, in emission order (dsm::Cat then the two
 # diff-op accounts); see System::emitBdSnapshot.
 CATS = ["busy", "data", "synch", "ipc", "other.cache", "other.tlb",
-        "other.wb", "other.int", "diff_op", "diff_op_ctrl"]
+        "other.wb", "other.int", "idle", "diff_op", "diff_op_ctrl"]
 
 KNOWN_EVENTS = {
     "page_fault", "fault_done", "diff_create", "diff_apply", "ctrl_queue",
     "lock_acquire", "lock_grant", "barrier_epoch", "msg_send",
     "msg_deliver", "prefetch_issue", "prefetch_hit", "prefetch_useless",
-    "bd_snapshot",
+    "bd_snapshot", "req_enqueue", "req_start", "req_done",
 }
 ENGINES = {0: "cpu", 1: "ctrl", 2: "nic"}
 
@@ -152,7 +158,7 @@ def snapshot_batches(data_events):
         if ev["name"] != "bd_snapshot":
             continue
         pid, aux = ev["pid"], ev["args"]["aux"]
-        if aux <= last_aux.get(pid, -1):  # aux runs 0..9 within a batch
+        if aux <= last_aux.get(pid, -1):  # aux runs 0..len(CATS)-1 per batch
             close(pid)
         open_batch.setdefault(pid, {})[aux] = ev["args"]["arg"]
         last_aux[pid] = aux
@@ -241,6 +247,7 @@ def cross_check(path, doc, data_events, results_path, label):
         "ipc": mean("ipc"),
         "others": sum(mean(c) for c in
                       ("other.cache", "other.tlb", "other.wb", "other.int")),
+        "idle": mean("idle"),
     }
     want = run["breakdown"]
     failures = []
@@ -249,7 +256,9 @@ def cross_check(path, doc, data_events, results_path, label):
         tol = 1e-9 * max(1.0, abs(ref))
         if abs(value - ref) > tol:
             failures.append(f"{cat}: trace {value} != results {ref}")
-    total = sum(got.values())
+    # Idle (open-loop arrival waits) is excluded from the five-way
+    # stacked-bar total, matching BreakdownRow::from.
+    total = sum(v for c, v in got.items() if c != "idle")
     if total > 0:
         diff_pct = 100.0 * mean("diff_op") / total
         tol = 1e-6 * max(1.0, abs(want["diff_pct"]))
@@ -263,6 +272,154 @@ def cross_check(path, doc, data_events, results_path, label):
           f"({len(finals)} procs, {len(data_events)} events)")
 
 
+SUB_BITS = 6          # sim::QuantileSketch::sub_bits
+LINEAR_MAX = 1 << SUB_BITS
+SUB_BUCKETS = 1 << (SUB_BITS - 1)
+
+
+def bucket_of(v):
+    if v < LINEAR_MAX:
+        return v
+    m = v.bit_length() - 1
+    return LINEAR_MAX + (m - SUB_BITS) * SUB_BUCKETS + \
+        (v >> (m - (SUB_BITS - 1))) - SUB_BUCKETS
+
+
+def bucket_lower_bound(b):
+    if b < LINEAR_MAX:
+        return b
+    level, sub = divmod(b - LINEAR_MAX, SUB_BUCKETS)
+    return (SUB_BUCKETS + sub) << (level + 1)
+
+
+class Sketch:
+    """Integer-exact mirror of sim::QuantileSketch (see quantile.hh):
+    HDR-style log-linear buckets, quantile() returns the lower bound of
+    the bucket holding rank ceil(num/den * count). Any divergence from
+    the C++ sketch is a bug in one of the two."""
+
+    def __init__(self):
+        self.counts = {}
+        self.count = self.sum = self.max = 0
+
+    def sample(self, v):
+        b = bucket_of(v)
+        self.counts[b] = self.counts.get(b, 0) + 1
+        self.count += 1
+        self.sum += v
+        self.max = max(self.max, v)
+
+    def quantile(self, num, den):
+        if not self.count:
+            return 0
+        target = max(1, (num * self.count + den - 1) // den)
+        cum = 0
+        for b in sorted(self.counts):
+            cum += self.counts[b]
+            if cum >= target:
+                return bucket_lower_bound(b)
+        return self.max
+
+
+def sketch_fields(sk):
+    return {"count": sk.count, "sum": sk.sum, "max": sk.max,
+            "p50": sk.quantile(50, 100), "p99": sk.quantile(99, 100),
+            "p999": sk.quantile(999, 1000)}
+
+
+def reconstruct_requests(path, data_events):
+    """Per-request records from req_enqueue/req_start/req_done triples,
+    keyed by (pid, request id). Returns {pid: [(arrival, start, done)]}.
+    """
+    ticks = {}
+    for ev in data_events:
+        name = ev["name"]
+        if name not in ("req_enqueue", "req_start", "req_done"):
+            continue
+        key = (ev["pid"], ev["args"]["arg"])
+        slot = {"req_enqueue": 0, "req_start": 1, "req_done": 2}[name]
+        entry = ticks.setdefault(key, [None, None, None])
+        if entry[slot] is not None:
+            raise TraceError(f"{path}: duplicate {name} for request "
+                             f"{key[1]} on proc {key[0]}")
+        entry[slot] = ev["args"]["tick"]
+    per_node = {}
+    for (pid, rid), (arr, start, done) in sorted(ticks.items()):
+        if arr is None or start is None or done is None:
+            raise TraceError(f"{path}: request {rid} on proc {pid} is "
+                             "missing one of enqueue/start/done")
+        if not arr <= start <= done:
+            raise TraceError(f"{path}: request {rid} on proc {pid} has "
+                             "out-of-order timestamps")
+        per_node.setdefault(pid, []).append((arr, start, done))
+    return per_node
+
+
+def check_requests(path, doc, data_events, results_path, label):
+    """The request trace must reproduce every latency sketch exactly:
+    per-node and global count/sum/max/p50/p99/p999 recomputed from
+    req_* records must equal the run's stats.serve values."""
+    results = load(results_path)
+    label = label or doc["otherData"].get("label")
+    run = next((r for r in results.get("runs", [])
+                if r.get("label") == label), None)
+    if run is None:
+        raise TraceError(f"{results_path}: no run labelled {label!r}")
+    if int(doc["otherData"]["dropped"]):
+        raise TraceError(f"{path}: ring overflowed (dropped events); "
+                         "cannot reconstruct the request log - raise "
+                         "NCP2_TRACE")
+    serve = run.get("stats", {}).get("serve")
+    if serve is None:
+        raise TraceError(f"{results_path}: run {label!r} has no "
+                         "stats.serve group")
+
+    per_node = reconstruct_requests(path, data_events)
+    if not per_node:
+        raise TraceError(f"{path}: no req_* records in trace")
+
+    failures = []
+
+    def compare(where, sk, want):
+        got = sketch_fields(sk)
+        for field, value in got.items():
+            ref = want.get(field)
+            if value != ref:
+                failures.append(f"{where}.{field}: trace {value} != "
+                                f"results {ref}")
+
+    glob = Sketch()
+    queue = Sketch()
+    service = Sketch()
+    for pid, reqs in sorted(per_node.items()):
+        node_sk = Sketch()
+        for arr, start, done in reqs:
+            node_sk.sample(done - arr)
+            glob.sample(done - arr)
+            queue.sample(start - arr)
+            service.sample(done - start)
+        child = serve.get("children", {}).get(f"n{pid}")
+        if child is None:
+            failures.append(f"n{pid}: no per-node child group in results")
+            continue
+        compare(f"n{pid}.latency", node_sk,
+                child["sketches"]["latency"])
+    compare("latency", glob, serve["sketches"]["latency"])
+    compare("queue_delay", queue, serve["sketches"]["queue_delay"])
+    compare("service", service, serve["sketches"]["service"])
+    nreq = sum(len(v) for v in per_node.values())
+    if nreq != serve["counters"]["requests"]:
+        failures.append(f"requests: trace {nreq} != results "
+                        f"{serve['counters']['requests']}")
+    if failures:
+        raise TraceError(f"{path}: request reconstruction mismatch vs "
+                         f"{results_path} [{label}]:\n  " +
+                         "\n  ".join(failures))
+    print(f"{path}: request-percentile reconstruction OK vs "
+          f"{results_path} [{label}] ({len(per_node)} nodes, "
+          f"{nreq} requests)")
+
+
 def main(argv):
     ap = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -273,6 +430,10 @@ def main(argv):
                     help="print per-epoch breakdown reconstruction")
     ap.add_argument("--results", metavar="FILE",
                     help="schema-v2 results JSON to cross-check against")
+    ap.add_argument("--requests", metavar="FILE",
+                    help="reconstruct per-request latency percentiles "
+                         "from req_* records and demand exact equality "
+                         "with FILE's stats.serve sketches")
     ap.add_argument("--label", metavar="LABEL",
                     help="run label (default: the trace's otherData.label)")
     args = ap.parse_args(argv[1:])
@@ -282,13 +443,17 @@ def main(argv):
         try:
             doc = load(path)
             data_events = validate(path, doc)
-            if args.validate and not (args.summary or args.results):
+            if args.validate and not (args.summary or args.results or
+                                      args.requests):
                 print(f"{path}: OK ({len(data_events)} events, dropped="
                       f"{doc['otherData']['dropped']})")
             if args.summary:
                 print_summary(path, doc, data_events)
             if args.results:
                 cross_check(path, doc, data_events, args.results, args.label)
+            if args.requests:
+                check_requests(path, doc, data_events, args.requests,
+                               args.label)
         except TraceError as exc:
             print(f"FAIL: {exc}", file=sys.stderr)
             status = 1
